@@ -1,0 +1,230 @@
+//! AS-level aggregation: Tables III and VI, and the Figure 1 CDF.
+
+use enumerator::HostRecord;
+use netsim::{AsKind, AsRegistry, Asn};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-AS tallies.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AsTally {
+    /// FTP servers observed in the AS.
+    pub ftp: u64,
+    /// Anonymous FTP servers observed.
+    pub anonymous: u64,
+    /// Writable servers observed (filled by the caller from the
+    /// reference-set analysis).
+    pub writable: u64,
+}
+
+/// Aggregates records by AS.
+pub fn tally_by_as(
+    records: &[HostRecord],
+    registry: &AsRegistry,
+    writable_ips: &std::collections::HashSet<std::net::Ipv4Addr>,
+) -> HashMap<Asn, AsTally> {
+    let mut map: HashMap<Asn, AsTally> = HashMap::new();
+    for r in records.iter().filter(|r| r.ftp_compliant) {
+        let Some(asn) = registry.lookup(r.ip) else { continue };
+        let t = map.entry(asn).or_default();
+        t.ftp += 1;
+        if r.is_anonymous() {
+            t.anonymous += 1;
+        }
+        if writable_ips.contains(&r.ip) {
+            t.writable += 1;
+        }
+    }
+    map
+}
+
+/// How many ASes (largest first) cover `fraction` of the total for the
+/// chosen metric — Table III's "78 ASes account for 50%".
+pub fn ases_covering(tallies: &HashMap<Asn, AsTally>, metric: impl Fn(&AsTally) -> u64, fraction: f64) -> usize {
+    let mut counts: Vec<u64> = tallies.values().map(&metric).filter(|&c| c > 0).collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = (total as f64 * fraction).ceil() as u64;
+    let mut acc = 0;
+    for (i, c) in counts.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    counts.len()
+}
+
+/// Kind mix of the ASes that cover 50% of a metric (Table III rows).
+pub fn kind_mix_of_top(
+    tallies: &HashMap<Asn, AsTally>,
+    registry: &AsRegistry,
+    metric: impl Fn(&AsTally) -> u64 + Copy,
+) -> HashMap<AsKind, usize> {
+    let n = ases_covering(tallies, metric, 0.5);
+    let mut ranked: Vec<(&Asn, u64)> =
+        tallies.iter().map(|(a, t)| (a, metric(t))).filter(|&(_, c)| c > 0).collect();
+    ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+    let mut mix = HashMap::new();
+    for (asn, _) in ranked.into_iter().take(n) {
+        if let Some(info) = registry.info(*asn) {
+            *mix.entry(info.kind).or_default() += 1;
+        }
+    }
+    mix
+}
+
+/// A Table VI row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopAsRow {
+    /// AS number.
+    pub asn: u32,
+    /// Organization name.
+    pub name: String,
+    /// Addresses the AS advertises.
+    pub advertised: u64,
+    /// FTP servers observed.
+    pub ftp: u64,
+    /// Anonymous FTP servers observed.
+    pub anonymous: u64,
+}
+
+/// Table VI: top `n` ASes by anonymous-server count.
+pub fn top_ases_by_anonymous(
+    tallies: &HashMap<Asn, AsTally>,
+    registry: &AsRegistry,
+    n: usize,
+) -> Vec<TopAsRow> {
+    let mut rows: Vec<TopAsRow> = tallies
+        .iter()
+        .filter(|(_, t)| t.anonymous > 0)
+        .filter_map(|(asn, t)| {
+            registry.info(*asn).map(|info| TopAsRow {
+                asn: asn.0,
+                name: info.name.clone(),
+                advertised: info.advertised_ips(),
+                ftp: t.ftp,
+                anonymous: t.anonymous,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.anonymous.cmp(&a.anonymous).then(a.asn.cmp(&b.asn)));
+    rows.truncate(n);
+    rows
+}
+
+/// One CDF series for Figure 1: cumulative fraction of servers vs number
+/// of ASes (ASes sorted by descending count).
+pub fn cdf_series(tallies: &HashMap<Asn, AsTally>, metric: impl Fn(&AsTally) -> u64) -> Vec<(usize, f64)> {
+    let mut counts: Vec<u64> = tallies.values().map(&metric).filter(|&c| c > 0).collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0u64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            acc += c;
+            (i + 1, acc as f64 / total as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Ipv4Net;
+    use std::collections::HashSet;
+    use std::net::Ipv4Addr;
+
+    fn setup() -> (Vec<HostRecord>, AsRegistry) {
+        let mut registry = AsRegistry::new();
+        registry.register(Asn(1), "Big Hosting", AsKind::Hosting);
+        registry.register(Asn(2), "Small ISP", AsKind::Isp);
+        registry.announce(Asn(1), Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 24));
+        registry.announce(Asn(2), Ipv4Net::new(Ipv4Addr::new(10, 0, 1, 0), 24));
+        registry.freeze();
+        let mut records = Vec::new();
+        // 6 FTP servers in AS1 (4 anon), 2 in AS2 (1 anon).
+        for i in 0..6u8 {
+            let mut r = HostRecord::new(Ipv4Addr::new(10, 0, 0, i));
+            r.ftp_compliant = true;
+            if i < 4 {
+                r.login = enumerator::LoginOutcome::Anonymous;
+            }
+            records.push(r);
+        }
+        for i in 0..2u8 {
+            let mut r = HostRecord::new(Ipv4Addr::new(10, 0, 1, i));
+            r.ftp_compliant = true;
+            if i == 0 {
+                r.login = enumerator::LoginOutcome::Anonymous;
+            }
+            records.push(r);
+        }
+        (records, registry)
+    }
+
+    #[test]
+    fn tally_counts_per_as() {
+        let (records, registry) = setup();
+        let writable: HashSet<Ipv4Addr> = [Ipv4Addr::new(10, 0, 0, 0)].into_iter().collect();
+        let t = tally_by_as(&records, &registry, &writable);
+        assert_eq!(t[&Asn(1)].ftp, 6);
+        assert_eq!(t[&Asn(1)].anonymous, 4);
+        assert_eq!(t[&Asn(1)].writable, 1);
+        assert_eq!(t[&Asn(2)].ftp, 2);
+    }
+
+    #[test]
+    fn covering_count() {
+        let (records, registry) = setup();
+        let t = tally_by_as(&records, &registry, &HashSet::new());
+        // AS1 alone holds 6/8 = 75% ≥ 50%.
+        assert_eq!(ases_covering(&t, |t| t.ftp, 0.5), 1);
+        assert_eq!(ases_covering(&t, |t| t.ftp, 0.9), 2);
+    }
+
+    #[test]
+    fn kind_mix() {
+        let (records, registry) = setup();
+        let t = tally_by_as(&records, &registry, &HashSet::new());
+        let mix = kind_mix_of_top(&t, &registry, |t| t.ftp);
+        assert_eq!(mix.get(&AsKind::Hosting), Some(&1));
+        assert_eq!(mix.get(&AsKind::Isp), None);
+    }
+
+    #[test]
+    fn top_by_anonymous_ordering() {
+        let (records, registry) = setup();
+        let t = tally_by_as(&records, &registry, &HashSet::new());
+        let rows = top_ases_by_anonymous(&t, &registry, 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "Big Hosting");
+        assert_eq!(rows[0].anonymous, 4);
+        assert_eq!(rows[0].advertised, 256);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let (records, registry) = setup();
+        let t = tally_by_as(&records, &registry, &HashSet::new());
+        let series = cdf_series(&t, |t| t.ftp);
+        assert_eq!(series.len(), 2);
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t: HashMap<Asn, AsTally> = HashMap::new();
+        assert_eq!(ases_covering(&t, |t| t.ftp, 0.5), 0);
+        assert!(cdf_series(&t, |t| t.ftp).is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! CVE exposure from banner version strings (Table XI).
+//!
+//! Exactly like the paper, no host is ever exploited: vulnerability is
+//! inferred by matching the implementation and version a banner
+//! advertises against published affected-version ranges.
+
+use enumerator::HostRecord;
+use ftp_proto::banner::{Banner, SoftwareFamily, Version};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One CVE with its affected-version predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CveRule {
+    /// CVE identifier.
+    pub id: &'static str,
+    /// Affected implementation.
+    pub family_name: &'static str,
+    /// CVSS score (as Table XI lists).
+    pub cvss: f64,
+}
+
+/// The Table XI rule set. The version boundaries mirror the disclosure
+/// data the paper's counts imply (see `worldgen::catalog::SOFTWARE_MIX`
+/// for the other side of the calibration).
+pub fn rules() -> Vec<(CveRule, SoftwareFamily, VersionRange)> {
+    use SoftwareFamily::*;
+    vec![
+        (
+            CveRule { id: "CVE-2015-3306", family_name: "ProFTPD", cvss: 10.0 },
+            ProFtpd,
+            VersionRange::exact("1.3.5"),
+        ),
+        (
+            CveRule { id: "CVE-2013-4359", family_name: "ProFTPD", cvss: 5.0 },
+            ProFtpd,
+            VersionRange::between("1.3.4c", "1.3.4d"),
+        ),
+        (
+            CveRule { id: "CVE-2012-6095", family_name: "ProFTPD", cvss: 1.2 },
+            ProFtpd,
+            VersionRange::up_to("1.3.4b"),
+        ),
+        (
+            CveRule { id: "CVE-2011-4130", family_name: "ProFTPD", cvss: 9.0 },
+            ProFtpd,
+            VersionRange::up_to("1.3.3c"),
+        ),
+        (
+            CveRule { id: "CVE-2011-1137", family_name: "ProFTPD", cvss: 5.0 },
+            ProFtpd,
+            VersionRange::up_to("1.3.3c"),
+        ),
+        (
+            CveRule { id: "CVE-2011-1575", family_name: "Pure-FTPD", cvss: 5.8 },
+            PureFtpd,
+            VersionRange::up_to("1.0.31"),
+        ),
+        (
+            CveRule { id: "CVE-2011-0418", family_name: "Pure-FTPD", cvss: 4.0 },
+            PureFtpd,
+            VersionRange::up_to("1.0.31"),
+        ),
+        (
+            CveRule { id: "CVE-2015-1419", family_name: "vsFTPD", cvss: 5.0 },
+            VsFtpd,
+            VersionRange::up_to("3.0.2"),
+        ),
+        (
+            CveRule { id: "CVE-2011-0762", family_name: "vsFTPD", cvss: 4.0 },
+            VsFtpd,
+            VersionRange::up_to("2.3.2"),
+        ),
+        (
+            CveRule { id: "CVE-2011-4800", family_name: "Serv-U", cvss: 9.0 },
+            ServU,
+            VersionRange::up_to("11.1"),
+        ),
+    ]
+}
+
+/// An inclusive version range predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionRange {
+    min: Option<Version>,
+    max: Option<Version>,
+}
+
+impl VersionRange {
+    /// All versions up to and including `max`.
+    pub fn up_to(max: &str) -> Self {
+        VersionRange { min: None, max: Version::parse(max) }
+    }
+
+    /// Exactly `v`.
+    pub fn exact(v: &str) -> Self {
+        VersionRange { min: Version::parse(v), max: Version::parse(v) }
+    }
+
+    /// Inclusive `[min, max]`.
+    pub fn between(min: &str, max: &str) -> Self {
+        VersionRange { min: Version::parse(min), max: Version::parse(max) }
+    }
+
+    /// Whether `v` falls inside.
+    pub fn contains(&self, v: &Version) -> bool {
+        if let Some(min) = &self.min {
+            if v < min {
+                return false;
+            }
+        }
+        if let Some(max) = &self.max {
+            if v > max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// CVEs a single banner is vulnerable to.
+pub fn cves_of_banner(banner: &str) -> Vec<&'static str> {
+    let parsed = Banner::parse(banner);
+    let Some(version) = &parsed.software().version else {
+        return Vec::new();
+    };
+    rules()
+        .iter()
+        .filter(|(_, family, range)| {
+            parsed.software().family == *family && range.contains(version)
+        })
+        .map(|(rule, _, _)| rule.id)
+        .collect()
+}
+
+/// Table XI: per-CVE vulnerable-host counts over all FTP records.
+pub fn table(records: &[HostRecord]) -> Vec<(CveRule, u64)> {
+    let rule_set = rules();
+    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+    for r in records.iter().filter(|r| r.ftp_compliant) {
+        if let Some(b) = &r.banner {
+            for id in cves_of_banner(b) {
+                *counts.entry(id).or_default() += 1;
+            }
+        }
+    }
+    rule_set
+        .into_iter()
+        .map(|(rule, _, _)| {
+            let n = counts.get(rule.id).copied().unwrap_or(0);
+            (rule, n)
+        })
+        .collect()
+}
+
+/// Hosts vulnerable to at least one CVE (the paper's "nearly 10%").
+pub fn vulnerable_hosts(records: &[HostRecord]) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.ftp_compliant)
+        .filter(|r| r.banner.as_deref().map(|b| !cves_of_banner(b).is_empty()).unwrap_or(false))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn proftpd_135_is_mod_copy_vulnerable() {
+        let cves = cves_of_banner("ProFTPD 1.3.5 Server (Debian)");
+        assert!(cves.contains(&"CVE-2015-3306"));
+        assert!(!cves.contains(&"CVE-2012-6095"), "1.3.5 postdates that range");
+    }
+
+    #[test]
+    fn old_proftpd_stacks_cves() {
+        let cves = cves_of_banner("ProFTPD 1.3.3c Server");
+        assert!(cves.contains(&"CVE-2011-4130"));
+        assert!(cves.contains(&"CVE-2011-1137"));
+        assert!(cves.contains(&"CVE-2012-6095"));
+        assert!(!cves.contains(&"CVE-2015-3306"));
+    }
+
+    #[test]
+    fn patched_versions_are_clean() {
+        assert!(cves_of_banner("ProFTPD 1.3.5a Server").is_empty());
+        assert!(cves_of_banner("(vsFTPd 3.0.3)").is_empty());
+        assert!(cves_of_banner("Serv-U FTP Server 15.1 ready").is_empty());
+    }
+
+    #[test]
+    fn vsftpd_ranges() {
+        let old = cves_of_banner("(vsFTPd 2.3.2)");
+        assert!(old.contains(&"CVE-2011-0762"));
+        assert!(old.contains(&"CVE-2015-1419"));
+        let newer = cves_of_banner("(vsFTPd 3.0.2)");
+        assert!(newer.contains(&"CVE-2015-1419"));
+        assert!(!newer.contains(&"CVE-2011-0762"));
+    }
+
+    #[test]
+    fn versionless_banners_report_nothing() {
+        assert!(cves_of_banner("Welcome to Pure-FTPd [privsep] [TLS]").is_empty());
+        assert!(cves_of_banner("Microsoft FTP Service").is_empty());
+    }
+
+    #[test]
+    fn table_counts_hosts() {
+        let mut records = Vec::new();
+        for (i, banner) in
+            ["ProFTPD 1.3.5 Server", "ProFTPD 1.3.5 Server", "(vsFTPd 2.3.2)"].iter().enumerate()
+        {
+            let mut r = HostRecord::new(Ipv4Addr::new(1, 1, 1, i as u8));
+            r.ftp_compliant = true;
+            r.banner = Some(banner.to_string());
+            records.push(r);
+        }
+        let t = table(&records);
+        let count = |id: &str| t.iter().find(|(r, _)| r.id == id).unwrap().1;
+        assert_eq!(count("CVE-2015-3306"), 2);
+        assert_eq!(count("CVE-2011-0762"), 1);
+        assert_eq!(count("CVE-2011-4800"), 0);
+        assert_eq!(vulnerable_hosts(&records), 3);
+    }
+
+    #[test]
+    fn version_range_boundaries() {
+        let r = VersionRange::up_to("1.3.4b");
+        assert!(r.contains(&Version::parse("1.3.4b").unwrap()));
+        assert!(r.contains(&Version::parse("1.3.3").unwrap()));
+        assert!(!r.contains(&Version::parse("1.3.4c").unwrap()));
+        let e = VersionRange::exact("1.3.5");
+        assert!(e.contains(&Version::parse("1.3.5").unwrap()));
+        assert!(!e.contains(&Version::parse("1.3.5a").unwrap()));
+    }
+}

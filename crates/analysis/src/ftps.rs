@@ -1,0 +1,177 @@
+//! FTPS ecosystem analysis (§IX, Tables XII and XIII).
+
+use crate::fingerprint;
+use enumerator::HostRecord;
+use serde::{Deserialize, Serialize};
+use simtls::{SimCertificate, TrustStore};
+use std::collections::HashMap;
+
+/// §IX headline statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FtpsSummary {
+    /// FTP servers observed.
+    pub ftp_total: u64,
+    /// Servers accepting `AUTH TLS`.
+    pub ftps_supported: u64,
+    /// Servers refusing plaintext login pending TLS.
+    pub required_before_login: u64,
+    /// Certificates collected.
+    pub certs_seen: u64,
+    /// Distinct certificates (by fingerprint).
+    pub unique_certs: u64,
+    /// Self-signed share among collected certificates.
+    pub self_signed_share: f64,
+}
+
+/// Computes §IX statistics.
+pub fn summarize(records: &[HostRecord]) -> FtpsSummary {
+    let mut s = FtpsSummary::default();
+    let mut fingerprints: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut self_signed = 0u64;
+    for r in records.iter().filter(|r| r.ftp_compliant) {
+        s.ftp_total += 1;
+        if r.ftps.supported {
+            s.ftps_supported += 1;
+        }
+        if r.ftps.required_before_login {
+            s.required_before_login += 1;
+        }
+        if let Some(cert) = &r.ftps.cert {
+            s.certs_seen += 1;
+            fingerprints.insert(cert.fingerprint());
+            if cert.is_self_signed() {
+                self_signed += 1;
+            }
+        }
+    }
+    s.unique_certs = fingerprints.len() as u64;
+    s.self_signed_share =
+        if s.certs_seen == 0 { 0.0 } else { self_signed as f64 / s.certs_seen as f64 };
+    s
+}
+
+/// A Table XII row: one certificate's deployment footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertRow {
+    /// Subject common name.
+    pub subject_cn: String,
+    /// Servers presenting this certificate.
+    pub servers: u64,
+    /// Browser-trusted per the study's root store.
+    pub trusted: bool,
+}
+
+/// Table XII: the `n` most widely deployed certificates.
+pub fn top_certs(records: &[HostRecord], n: usize) -> Vec<CertRow> {
+    let store = TrustStore::default_roots();
+    let mut by_fp: HashMap<u64, (SimCertificate, u64)> = HashMap::new();
+    for r in records {
+        if let Some(cert) = &r.ftps.cert {
+            let e = by_fp.entry(cert.fingerprint()).or_insert_with(|| (cert.clone(), 0));
+            e.1 += 1;
+        }
+    }
+    let mut rows: Vec<CertRow> = by_fp
+        .into_values()
+        .map(|(cert, servers)| CertRow {
+            trusted: store.is_trusted(&cert),
+            subject_cn: cert.subject_cn,
+            servers,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.servers.cmp(&a.servers).then(a.subject_cn.cmp(&b.subject_cn)));
+    rows.truncate(n);
+    rows
+}
+
+/// Table XIII: certificates shared across fleets of fingerprinted
+/// devices — `(device name, servers sharing one cert)`. A row appears
+/// when at least `min_fleet` devices of the same model present an
+/// identical certificate.
+pub fn shared_device_certs(records: &[HostRecord], min_fleet: u64) -> Vec<(String, u64)> {
+    // (device, cert fingerprint) → count.
+    let mut fleets: HashMap<(&'static str, u64), u64> = HashMap::new();
+    for r in records {
+        let Some(device) = fingerprint::device_of(r) else { continue };
+        let Some(cert) = &r.ftps.cert else { continue };
+        *fleets.entry((device.name, cert.fingerprint())).or_default() += 1;
+    }
+    let mut rows: Vec<(String, u64)> = fleets
+        .into_iter()
+        .filter(|&(_, count)| count >= min_fleet)
+        .map(|((name, _), count)| (name.to_owned(), count))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enumerator::LoginOutcome;
+    use std::net::Ipv4Addr;
+
+    fn rec(i: u8, cert: Option<SimCertificate>, supported: bool) -> HostRecord {
+        let mut r = HostRecord::new(Ipv4Addr::new(5, 5, 5, i));
+        r.ftp_compliant = true;
+        r.login = LoginOutcome::Anonymous;
+        r.ftps.supported = supported;
+        r.ftps.cert = cert;
+        r
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let shared = SimCertificate::browser_trusted("*.home.pl", "CA WildWest", 1);
+        let selfie = SimCertificate::self_signed("localhost", 2);
+        let records = vec![
+            rec(1, Some(shared.clone()), true),
+            rec(2, Some(shared), true),
+            rec(3, Some(selfie), true),
+            rec(4, None, false),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.ftp_total, 4);
+        assert_eq!(s.ftps_supported, 3);
+        assert_eq!(s.certs_seen, 3);
+        assert_eq!(s.unique_certs, 2);
+        assert!((s.self_signed_share - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_certs_ordered_with_trust() {
+        let shared = SimCertificate::browser_trusted("*.bluehost.com", "CA GlobalTrust", 1);
+        let selfie = SimCertificate::self_signed("ftp.Serv-U.com", 2);
+        let records = vec![
+            rec(1, Some(shared.clone()), true),
+            rec(2, Some(shared.clone()), true),
+            rec(3, Some(shared), true),
+            rec(4, Some(selfie), true),
+        ];
+        let rows = top_certs(&records, 10);
+        assert_eq!(rows[0].subject_cn, "*.bluehost.com");
+        assert_eq!(rows[0].servers, 3);
+        assert!(rows[0].trusted);
+        assert_eq!(rows[1].subject_cn, "ftp.Serv-U.com");
+        assert!(!rows[1].trusted);
+    }
+
+    #[test]
+    fn device_fleets_share_certs() {
+        let built_in = SimCertificate::self_signed("NAS.qnap.com", 77);
+        let mut records: Vec<HostRecord> = (0..5)
+            .map(|i| {
+                let mut r = rec(i, Some(built_in.clone()), true);
+                r.banner = Some("QNAP NAS FTP server ready".into());
+                r
+            })
+            .collect();
+        // One device of a different model with a unique cert.
+        let mut other = rec(9, Some(SimCertificate::self_signed("x", 9)), true);
+        other.banner = Some("Synology NAS FTP ready".into());
+        records.push(other);
+        let rows = shared_device_certs(&records, 2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], ("QNAP Turbo NAS".to_owned(), 5));
+    }
+}

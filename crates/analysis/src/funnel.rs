@@ -1,0 +1,86 @@
+//! Table I: the discovery funnel.
+
+use enumerator::HostRecord;
+use serde::{Deserialize, Serialize};
+
+/// The four rows of Table I, as measured by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Funnel {
+    /// Addresses probed (space minus blocklist).
+    pub ips_scanned: u64,
+    /// Hosts that answered SYN-ACK on TCP/21.
+    pub open_port: u64,
+    /// Hosts that sent an FTP-compliant banner.
+    pub ftp_servers: u64,
+    /// Hosts that allowed anonymous login.
+    pub anonymous: u64,
+}
+
+impl Funnel {
+    /// Builds the funnel from scan counters and enumeration records.
+    pub fn from_results(ips_scanned: u64, open_port: u64, records: &[HostRecord]) -> Self {
+        let ftp_servers = records.iter().filter(|r| r.ftp_compliant).count() as u64;
+        let anonymous = records.iter().filter(|r| r.is_anonymous()).count() as u64;
+        Funnel { ips_scanned, open_port, ftp_servers, anonymous }
+    }
+
+    /// Port-21-open rate per scanned address.
+    pub fn open_rate(&self) -> f64 {
+        ratio(self.open_port, self.ips_scanned)
+    }
+
+    /// FTP-compliance rate per open port.
+    pub fn ftp_rate(&self) -> f64 {
+        ratio(self.ftp_servers, self.open_port)
+    }
+
+    /// Anonymous rate per FTP server — the paper's headline 8%.
+    pub fn anonymous_rate(&self) -> f64 {
+        ratio(self.anonymous, self.ftp_servers)
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn rates_computed() {
+        let mut records = Vec::new();
+        for i in 0..100u8 {
+            let mut r = HostRecord::new(Ipv4Addr::new(1, 1, 1, i));
+            r.ftp_compliant = true;
+            if i < 8 {
+                r.login = enumerator::LoginOutcome::Anonymous;
+            }
+            records.push(r);
+        }
+        // 20 non-FTP responders.
+        for i in 0..20u8 {
+            records.push(HostRecord::new(Ipv4Addr::new(1, 1, 2, i)));
+        }
+        let f = Funnel::from_results(10_000, 120, &records);
+        assert_eq!(f.ftp_servers, 100);
+        assert_eq!(f.anonymous, 8);
+        assert!((f.open_rate() - 0.012).abs() < 1e-9);
+        assert!((f.ftp_rate() - 100.0 / 120.0).abs() < 1e-9);
+        assert!((f.anonymous_rate() - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let f = Funnel::default();
+        assert_eq!(f.open_rate(), 0.0);
+        assert_eq!(f.ftp_rate(), 0.0);
+        assert_eq!(f.anonymous_rate(), 0.0);
+    }
+}

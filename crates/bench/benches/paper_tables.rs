@@ -1,0 +1,94 @@
+//! One benchmark per table/figure of the paper: each prints the
+//! regenerated artifact once, then measures the cost of computing it
+//! from the enumeration records.
+//!
+//! Run with `cargo bench -p bench` (or `--bench paper_tables`). The
+//! printed tables are the reproduction's evaluation output; the timing
+//! shows each analysis is cheap relative to data collection.
+
+use analysis::{ases, bounce, campaigns, cve, exposure, fingerprint, ftps, writable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftp_study::{run_study, tables, StudyConfig, StudyResults};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyResults {
+    static STUDY: OnceLock<StudyResults> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        eprintln!("[bench] building the shared study world (once)…");
+        run_study(&StudyConfig::small(20_160, 1_200))
+    })
+}
+
+fn bench_table(c: &mut Criterion, id: &str, render: fn(&StudyResults) -> String) {
+    let s = study();
+    // Print the regenerated artifact once.
+    println!("{}", render(s));
+    c.bench_function(id, |b| b.iter(|| black_box(render(black_box(s)))));
+}
+
+fn tables_bench(c: &mut Criterion) {
+    bench_table(c, "table01_funnel", tables::table01_funnel);
+    bench_table(c, "table02_classes", tables::table02_classes);
+    bench_table(c, "table03_as50", tables::table03_as50);
+    bench_table(c, "table04_embedded", tables::table04_device_classes);
+    bench_table(c, "table05_provider", tables::table05_provider_devices);
+    bench_table(c, "table06_topas", tables::table06_top_ases);
+    bench_table(c, "table07_standalone", tables::table07_consumer_devices);
+    bench_table(c, "table08_ext", tables::table08_extensions);
+    bench_table(c, "table09_sensitive", tables::table09_sensitive);
+    bench_table(c, "table10_breakout", tables::table10_breakout);
+    bench_table(c, "table11_cve", tables::table11_cves);
+    bench_table(c, "table12_certs", tables::table12_certs);
+    bench_table(c, "table13_devcerts", tables::table13_device_certs);
+    bench_table(c, "fig01_cdf", tables::fig01_cdf);
+    bench_table(c, "sec6_campaigns", tables::section6_malice);
+    bench_table(c, "sec7_bounce", tables::section7_bounce);
+    bench_table(c, "sec9_ftps", tables::section9_ftps);
+}
+
+/// Raw analysis kernels (no rendering) — where the analytic time goes.
+fn kernels_bench(c: &mut Criterion) {
+    let s = study();
+    c.bench_function("kernel_classify_all", |b| {
+        b.iter(|| {
+            black_box(fingerprint::class_breakdown(black_box(&s.records)));
+        })
+    });
+    c.bench_function("kernel_sensitive_scan", |b| {
+        b.iter(|| black_box(exposure::sensitive_exposure(black_box(&s.records))))
+    });
+    c.bench_function("kernel_writable_scan", |b| {
+        b.iter(|| black_box(writable::detect(black_box(&s.records), None)))
+    });
+    c.bench_function("kernel_campaign_scan", |b| {
+        b.iter(|| black_box(campaigns::detect(black_box(&s.records))))
+    });
+    c.bench_function("kernel_cve_match", |b| {
+        b.iter(|| black_box(cve::table(black_box(&s.records))))
+    });
+    c.bench_function("kernel_cert_dedup", |b| {
+        b.iter(|| black_box(ftps::summarize(black_box(&s.records))))
+    });
+    c.bench_function("kernel_bounce_join", |b| {
+        b.iter(|| black_box(bounce::summarize(black_box(&s.records), black_box(&s.bounce_hits))))
+    });
+    let wr = writable::detect(&s.records, Some(&s.truth.registry));
+    c.bench_function("kernel_as_cdf", |b| {
+        b.iter(|| {
+            let t = ases::tally_by_as(&s.records, &s.truth.registry, &wr.servers);
+            black_box(ases::cdf_series(&t, |t| t.ftp))
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = tables_bench, kernels_bench
+}
+criterion_main!(benches);

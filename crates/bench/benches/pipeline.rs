@@ -1,0 +1,104 @@
+//! End-to-end pipeline benchmarks: what each data-collection stage
+//! costs, and how the simulator scales with population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enumerator::{EnumConfig, Enumerator};
+use ftp_study::{run_study, StudyConfig};
+use netsim::{SimDuration, Simulator};
+use std::hint::black_box;
+use worldgen::PopulationSpec;
+use zscan::{Blocklist, HostDiscovery, ScanConfig};
+
+/// Worldgen alone: synthesizing the population.
+fn worldgen_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_worldgen");
+    g.sample_size(10);
+    for &n in &[200usize, 600, 1_200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(1);
+                black_box(worldgen::build(&mut sim, &PopulationSpec::small(1, n)))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Host discovery alone over a populated world.
+fn scan_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_scan");
+    g.sample_size(10);
+    for &n in &[200usize, 600] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(1);
+                let spec = PopulationSpec::small(1, n);
+                let _truth = worldgen::build(&mut sim, &spec);
+                let mut cfg = ScanConfig::tcp21(spec.space, 7);
+                cfg.blocklist = Blocklist::new();
+                let (scanner, results) = HostDiscovery::new(cfg);
+                let id = sim.register_endpoint(Box::new(scanner));
+                sim.schedule_timer(id, SimDuration::ZERO, 0);
+                sim.run();
+                let n = results.borrow().open.len();
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Enumeration alone against a pre-built world (targets known).
+fn enumerate_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_enumerate");
+    g.sample_size(10);
+    for &n in &[200usize, 600] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(1);
+                let spec = PopulationSpec::small(1, n);
+                let truth = worldgen::build(&mut sim, &spec);
+                let mut cfg = EnumConfig::new(std::net::Ipv4Addr::new(198, 108, 0, 1))
+                    .with_concurrency(256);
+                cfg.request_gap = SimDuration::from_millis(10);
+                let (en, results) = Enumerator::new(cfg, truth.ftp_addresses());
+                let id = sim.register_endpoint(Box::new(en));
+                sim.schedule_timer(id, SimDuration::ZERO, 0);
+                sim.run();
+                let n = results.borrow().len();
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The whole study at small scale.
+fn full_study_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_full_study");
+    g.sample_size(10);
+    g.bench_function("n400", |b| {
+        b.iter(|| black_box(run_study(&StudyConfig::small(3, 400)).records.len()))
+    });
+    g.finish();
+}
+
+/// The §VIII honeypot experiment.
+fn honeypot_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec8_honeypot");
+    g.sample_size(10);
+    g.bench_function("8pots_90days", |b| {
+        b.iter(|| black_box(ftp_study::run_honeypot_experiment(7, 8, 90)))
+    });
+    // Print the regenerated §VIII report once.
+    let report = ftp_study::run_honeypot_experiment(7, 8, 90);
+    println!("SECTION VIII (measured): {report:#?}");
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = worldgen_bench, scan_bench, enumerate_bench, full_study_bench, honeypot_bench
+}
+criterion_main!(benches);

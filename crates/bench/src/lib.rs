@@ -1,0 +1,1 @@
+//! Criterion benchmark targets live in `benches/`; see DESIGN.md §4 for the experiment index.

@@ -1,0 +1,844 @@
+//! The enumeration engine: concurrent, quirk-tolerant FTP sessions.
+//!
+//! One [`Enumerator`] endpoint drives up to `max_concurrent` host
+//! sessions at once, each a small per-phase state machine advanced by
+//! network events. Every command is paced by the configured request gap
+//! (the paper's two-requests-per-second limit) and guarded by a step
+//! timeout; a server that hangs up mid-session is recorded as having
+//! refused service and is never contacted again.
+
+use crate::config::EnumConfig;
+use crate::record::{FileEntry, HostRecord, LoginOutcome};
+use ftp_proto::listing::{self, ListingFormat};
+use ftp_proto::reply::ReplyParser;
+use ftp_proto::{Banner, HostPort, LineCodec, Reply, Robots};
+use netsim::{ConnId, ConnectError, Ctx, Endpoint};
+use simtls::SimCertificate;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Shared handle to the accumulated records.
+pub type EnumResults = Rc<RefCell<Vec<HostRecord>>>;
+
+/// Commands reserved after traversal for the wrap-up phases
+/// (SYST/HELP/FEAT/SITE/PORT/LIST/AUTH/QUIT).
+const RESERVED_REQUESTS: u32 = 8;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Connecting,
+    Banner,
+    User,
+    Pass,
+    RobotsPasv,
+    RobotsRetr,
+    TravPasv { dir: String, depth: usize },
+    TravList { dir: String, depth: usize },
+    Syst,
+    Help,
+    Feat,
+    Site,
+    PortProbe,
+    PortList,
+    AuthTls,
+    TlsHello,
+    Quit,
+    Done,
+}
+
+const KIND_SEND: u64 = 0;
+const KIND_TIMEOUT: u64 = 1;
+const KIND_CONTROL: u64 = 2;
+const KIND_DATA: u64 = 3;
+
+fn token(slot: usize, gen: u32, kind: u64) -> u64 {
+    ((slot as u64) << 32) | ((gen as u64 & 0xff_ffff) << 8) | kind
+}
+
+fn untoken(t: u64) -> (usize, u32, u64) {
+    (((t >> 32) & 0xffff_ffff) as usize, ((t >> 8) & 0xff_ffff) as u32, t & 0xff)
+}
+
+#[derive(Debug)]
+struct Session {
+    ip: Ipv4Addr,
+    gen: u32,
+    record: HostRecord,
+    control: Option<ConnId>,
+    codec: LineCodec,
+    parser: ReplyParser,
+    phase: Phase,
+    pending: Option<(String, Phase)>,
+    data_conn: Option<ConnId>,
+    data_buf: Vec<u8>,
+    data_closed: bool,
+    awaiting_data_connect: bool,
+    got_final_reply: bool,
+    last_331_text: String,
+    robots: Robots,
+    queue: VecDeque<(String, usize)>,
+    visited: HashSet<String>,
+    listing_hint: ListingFormat,
+}
+
+impl Session {
+    fn new(ip: Ipv4Addr) -> Self {
+        Session {
+            ip,
+            gen: 0,
+            record: HostRecord::new(ip),
+            control: None,
+            codec: LineCodec::new(),
+            parser: ReplyParser::default(),
+            phase: Phase::Connecting,
+            pending: None,
+            data_conn: None,
+            data_buf: Vec::new(),
+            data_closed: false,
+            awaiting_data_connect: false,
+            got_final_reply: false,
+            last_331_text: String::new(),
+            robots: Robots::allow_all(),
+            queue: VecDeque::new(),
+            visited: HashSet::new(),
+            listing_hint: ListingFormat::Unix,
+        }
+    }
+
+    fn bump(&mut self) -> u32 {
+        self.gen = self.gen.wrapping_add(1) & 0xff_ffff;
+        self.gen
+    }
+}
+
+/// The enumerator endpoint. Build with [`Enumerator::new`], register,
+/// kick with a timer, run the simulator, then read the records from the
+/// returned handle.
+#[derive(Debug)]
+pub struct Enumerator {
+    cfg: EnumConfig,
+    targets: std::vec::IntoIter<Ipv4Addr>,
+    sessions: Vec<Option<Session>>,
+    /// Per-slot generation counters that survive session turnover: a
+    /// stale timer or connect result from a finished session must never
+    /// match a successor session on the same slot.
+    slot_gens: Vec<u32>,
+    free_slots: Vec<usize>,
+    conns: HashMap<ConnId, (usize, bool)>,
+    results: EnumResults,
+    active: usize,
+}
+
+impl Enumerator {
+    /// Creates an enumerator over `targets` and returns it with the
+    /// shared results handle.
+    pub fn new(cfg: EnumConfig, targets: Vec<Ipv4Addr>) -> (Self, EnumResults) {
+        let results: EnumResults = Rc::new(RefCell::new(Vec::new()));
+        (
+            Enumerator {
+                cfg,
+                targets: targets.into_iter(),
+                sessions: Vec::new(),
+                slot_gens: Vec::new(),
+                free_slots: Vec::new(),
+                conns: HashMap::new(),
+                results: results.clone(),
+                active: 0,
+            },
+            results,
+        )
+    }
+
+    /// Remaining unstarted targets plus live sessions.
+    pub fn in_flight(&self) -> usize {
+        self.active
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_>) {
+        while self.active < self.cfg.max_concurrent {
+            let Some(ip) = self.targets.next() else { return };
+            let slot = match self.free_slots.pop() {
+                Some(s) => s,
+                None => {
+                    self.sessions.push(None);
+                    self.slot_gens.push(0);
+                    self.sessions.len() - 1
+                }
+            };
+            let mut session = Session::new(ip);
+            session.gen = self.slot_gens[slot];
+            let gen = session.bump();
+            session.phase = Phase::Connecting;
+            self.sessions[slot] = Some(session);
+            self.active += 1;
+            ctx.connect(self.cfg.source_ip, ip, 21, token(slot, gen, KIND_CONTROL));
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let Some(mut session) = self.sessions[slot].take() else { return };
+        // Invalidate every outstanding timer/connect of this session and
+        // hand the advanced counter to the slot's next occupant.
+        session.bump();
+        self.slot_gens[slot] = session.gen;
+        session.phase = Phase::Done;
+        if let Some(c) = session.control.take() {
+            self.conns.remove(&c);
+            ctx.close(c);
+        }
+        if let Some(d) = session.data_conn.take() {
+            self.conns.remove(&d);
+            ctx.close(d);
+        }
+        self.results.borrow_mut().push(session.record);
+        self.free_slots.push(slot);
+        self.active -= 1;
+        self.start_next(ctx);
+    }
+
+    /// Queues `line` to be sent after the rate-limit gap, then moves to
+    /// `next`. Returns `false` (and does nothing) when the request budget
+    /// is exhausted.
+    fn queue_cmd(&mut self, ctx: &mut Ctx<'_>, slot: usize, line: String, next: Phase) -> bool {
+        let gap = self.cfg.request_gap;
+        let Some(s) = self.sessions[slot].as_mut() else { return false };
+        if s.record.requests_used >= self.cfg.request_cap {
+            return false;
+        }
+        s.pending = Some((line, next));
+        let gen = s.bump();
+        ctx.set_timer(gap, token(slot, gen, KIND_SEND));
+        true
+    }
+
+    fn send_pending(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let timeout = self.cfg.step_timeout;
+        let Some(s) = self.sessions[slot].as_mut() else { return };
+        let Some((line, next)) = s.pending.take() else { return };
+        let Some(control) = s.control else { return };
+        s.record.requests_used += 1;
+        s.phase = next;
+        s.got_final_reply = false;
+        ctx.send(control, format!("{line}\r\n").as_bytes());
+        let gen = s.gen;
+        ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
+    }
+
+    /// Remaining request budget once the wrap-up reserve is held back.
+    fn traversal_budget_left(&self, slot: usize) -> bool {
+        let Some(s) = self.sessions[slot].as_ref() else { return false };
+        s.record.requests_used + 2 + RESERVED_REQUESTS <= self.cfg.request_cap
+    }
+
+    fn open_data_channel(&mut self, ctx: &mut Ctx<'_>, slot: usize, port: u16) {
+        let src = self.cfg.source_ip;
+        let Some(s) = self.sessions[slot].as_mut() else { return };
+        s.awaiting_data_connect = true;
+        s.data_buf.clear();
+        s.data_closed = false;
+        let gen = s.gen;
+        let ip = s.ip;
+        ctx.connect(src, ip, port, token(slot, gen, KIND_DATA));
+    }
+
+    // ----- phase drivers -----
+
+    fn begin_post_login(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        // Anonymous session established: fetch robots.txt first.
+        if !self.queue_cmd(ctx, slot, "PASV".into(), Phase::RobotsPasv) {
+            self.begin_extras(ctx, slot);
+        }
+    }
+
+    fn begin_traversal(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        if let Some(s) = self.sessions[slot].as_mut() {
+            s.queue.clear();
+            s.queue.push_back(("/".to_owned(), 0));
+            s.visited.clear();
+            s.visited.insert("/".to_owned());
+        }
+        self.next_dir(ctx, slot);
+    }
+
+    fn next_dir(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let order = self.cfg.traversal;
+        loop {
+            let Some(s) = self.sessions[slot].as_mut() else { return };
+            let next = match order {
+                crate::config::TraversalOrder::BreadthFirst => s.queue.pop_front(),
+                crate::config::TraversalOrder::DepthFirst => s.queue.pop_back(),
+            };
+            let Some((dir, depth)) = next else {
+                self.begin_extras(ctx, slot);
+                return;
+            };
+            // Listing a directory fetches its contents, so match robots
+            // rules against the container form ("/backup/"), as Google's
+            // crawler does.
+            let as_container = if dir.ends_with('/') { dir.clone() } else { format!("{dir}/") };
+            if self.cfg.respect_robots
+                && !self.sessions[slot]
+                    .as_ref()
+                    .map(|s| s.robots.is_allowed(&as_container))
+                    .unwrap_or(true)
+            {
+                continue;
+            }
+            if !self.traversal_budget_left(slot) {
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    s.record.truncated = true;
+                }
+                self.begin_extras(ctx, slot);
+                return;
+            }
+            if self.queue_cmd(ctx, slot, "PASV".into(), Phase::TravPasv { dir, depth }) {
+                return;
+            }
+            // Budget refused the PASV; wrap up.
+            if let Some(s) = self.sessions[slot].as_mut() {
+                s.record.truncated = true;
+            }
+            self.begin_extras(ctx, slot);
+            return;
+        }
+    }
+
+    fn begin_extras(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        if !self.queue_cmd(ctx, slot, "SYST".into(), Phase::Syst) {
+            self.begin_quit(ctx, slot);
+        }
+    }
+
+    fn begin_port_probe_or_tls(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let logged_in = self.sessions[slot]
+            .as_ref()
+            .map(|s| s.record.login == LoginOutcome::Anonymous)
+            .unwrap_or(false);
+        if let (Some(collector), true) = (self.cfg.bounce_collector, logged_in) {
+            let line = format!("PORT {}", collector.to_port_args());
+            if self.queue_cmd(ctx, slot, line, Phase::PortProbe) {
+                return;
+            }
+        }
+        self.begin_tls(ctx, slot);
+    }
+
+    fn begin_tls(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        if self.cfg.collect_certs
+            && self.queue_cmd(ctx, slot, "AUTH TLS".into(), Phase::AuthTls) {
+                return;
+            }
+        self.begin_quit(ctx, slot);
+    }
+
+    fn begin_quit(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        if !self.queue_cmd(ctx, slot, "QUIT".into(), Phase::Quit) {
+            self.finish(ctx, slot);
+        }
+    }
+
+    // ----- transfer completion -----
+
+    fn transfer_complete(&mut self, ctx: &mut Ctx<'_>, slot: usize, success: bool) {
+        let phase = {
+            let Some(s) = self.sessions[slot].as_mut() else { return };
+            if let Some(d) = s.data_conn.take() {
+                self.conns.remove(&d);
+                ctx.close(d);
+            }
+            s.phase.clone()
+        };
+        match phase {
+            Phase::RobotsRetr => {
+                if success {
+                    let (robots, present, denies_all) = {
+                        let s = self.sessions[slot].as_ref().expect("session live");
+                        let body = String::from_utf8_lossy(&s.data_buf).into_owned();
+                        let robots = Robots::parse(&body, &self.cfg.user_agent);
+                        let denies = robots.denies_everything();
+                        (robots, true, denies)
+                    };
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.robots = robots;
+                        s.record.robots.present = present;
+                        s.record.robots.denies_all = denies_all;
+                    }
+                }
+                let denies_all = self.sessions[slot]
+                    .as_ref()
+                    .map(|s| s.record.robots.denies_all)
+                    .unwrap_or(false);
+                if denies_all && self.cfg.respect_robots {
+                    self.begin_extras(ctx, slot);
+                } else {
+                    self.begin_traversal(ctx, slot);
+                }
+            }
+            Phase::TravList { dir, depth } => {
+                if success {
+                    self.ingest_listing(slot, &dir, depth);
+                }
+                self.next_dir(ctx, slot);
+            }
+            _ => {}
+        }
+    }
+
+    fn ingest_listing(&mut self, slot: usize, dir: &str, depth: usize) {
+        let max_depth = self.cfg.max_depth;
+        let Some(s) = self.sessions[slot].as_mut() else { return };
+        let body = String::from_utf8_lossy(&s.data_buf).into_owned();
+        let (entries, failures) = listing::parse_body(&body, s.listing_hint);
+        s.record.unparsed_lines += failures as u64;
+        // Adopt the format of the first successful parse as the hint.
+        for e in entries {
+            if e.name == "." || e.name == ".." {
+                continue;
+            }
+            let path = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            s.record.files.push(FileEntry {
+                path: path.clone(),
+                is_dir: e.is_dir,
+                size: e.size,
+                readability: e.readability(),
+                owner: e.owner.clone(),
+                other_writable: e.permissions.map(|p| p.other_write()),
+            });
+            if e.is_dir && !e.is_symlink && depth < max_depth && s.visited.insert(path.clone())
+            {
+                s.queue.push_back((path, depth + 1));
+            }
+        }
+    }
+
+    // ----- reply handling -----
+
+    #[allow(clippy::too_many_lines)]
+    fn on_reply(&mut self, ctx: &mut Ctx<'_>, slot: usize, reply: Reply) {
+        // Strict-mode ablation: any multiline reply or out-of-spec code
+        // aborts the session (the un-hardened parser of DESIGN.md §5.4).
+        if self.cfg.strict_replies && reply.lines().len() > 1 {
+            self.finish(ctx, slot);
+            return;
+        }
+        let code = reply.code().value();
+        let preliminary = reply.code().is_positive_preliminary();
+        let phase = {
+            let Some(s) = self.sessions[slot].as_mut() else { return };
+            // A reply ends the step-timeout window.
+            s.bump();
+            s.phase.clone()
+        };
+        match phase {
+            Phase::Connecting => { /* ignore stray */ }
+            Phase::Banner => {
+                if code == 220 {
+                    let banner_text = reply.full_text();
+                    let parsed = Banner::parse(&banner_text);
+                    let forbids = parsed.forbids_anonymous();
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.banner = Some(banner_text);
+                        s.record.ftp_compliant = true;
+                        // IIS and friends emit DOS listings; seed the hint.
+                        if parsed.software().family
+                            == ftp_proto::SoftwareFamily::MicrosoftFtp
+                        {
+                            s.listing_hint = ListingFormat::Dos;
+                        }
+                    }
+                    if forbids {
+                        if let Some(s) = self.sessions[slot].as_mut() {
+                            s.record.login = LoginOutcome::SkippedBannerForbids;
+                        }
+                        self.begin_tls(ctx, slot);
+                    } else if !self.queue_cmd(ctx, slot, "USER anonymous".into(), Phase::User) {
+                        self.begin_quit(ctx, slot);
+                    }
+                } else {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.login = LoginOutcome::NotFtp;
+                    }
+                    self.finish(ctx, slot);
+                }
+            }
+            Phase::User => {
+                if code == 230 {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.login = LoginOutcome::Anonymous;
+                    }
+                    self.begin_post_login(ctx, slot);
+                } else if code == 331 || code == 332 {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.last_331_text = reply.full_text();
+                    }
+                    let pass = format!("PASS {}", self.cfg.password);
+                    if !self.queue_cmd(ctx, slot, pass, Phase::Pass) {
+                        self.begin_quit(ctx, slot);
+                    }
+                } else {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.login = LoginOutcome::Denied;
+                    }
+                    self.begin_tls(ctx, slot);
+                }
+            }
+            Phase::Pass => {
+                if code == 230 {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.login = LoginOutcome::Anonymous;
+                    }
+                    self.begin_post_login(ctx, slot);
+                } else {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.login = LoginOutcome::Denied;
+                        let hint = s.last_331_text.to_ascii_lowercase();
+                        if hint.contains("encryption")
+                            || hint.contains("tls")
+                            || hint.contains("ftps")
+                            || hint.contains("secure")
+                        {
+                            s.record.ftps.required_before_login = true;
+                        }
+                    }
+                    self.begin_tls(ctx, slot);
+                }
+            }
+            Phase::RobotsPasv | Phase::TravPasv { .. } => {
+                if code == 227 {
+                    match HostPort::parse_pasv_reply(reply.text()) {
+                        Ok(hp) => {
+                            if let Some(s) = self.sessions[slot].as_mut() {
+                                if s.record.pasv_addr.is_none() {
+                                    s.record.pasv_addr = Some(hp);
+                                }
+                            }
+                            self.open_data_channel(ctx, slot, hp.port());
+                        }
+                        Err(_) => self.begin_extras(ctx, slot),
+                    }
+                } else {
+                    // Server without working PASV: no traversal possible.
+                    self.begin_extras(ctx, slot);
+                }
+            }
+            Phase::RobotsRetr | Phase::TravList { .. } => {
+                if preliminary {
+                    // 150 — keep waiting.
+                } else if code >= 400 {
+                    self.transfer_complete(ctx, slot, false);
+                } else {
+                    let done = {
+                        let Some(s) = self.sessions[slot].as_mut() else { return };
+                        s.got_final_reply = true;
+                        s.data_closed || s.data_conn.is_none()
+                    };
+                    if done {
+                        self.transfer_complete(ctx, slot, true);
+                    }
+                }
+            }
+            Phase::Syst => {
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    if code == 215 {
+                        s.record.syst = Some(reply.full_text());
+                    }
+                }
+                if !self.queue_cmd(ctx, slot, "HELP".into(), Phase::Help) {
+                    self.begin_quit(ctx, slot);
+                }
+            }
+            Phase::Help => {
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    if code == 214 || code == 211 {
+                        s.record.help = Some(reply.full_text());
+                    }
+                }
+                if !self.queue_cmd(ctx, slot, "FEAT".into(), Phase::Feat) {
+                    self.begin_quit(ctx, slot);
+                }
+            }
+            Phase::Feat => {
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    if code == 211 && reply.lines().len() > 2 {
+                        s.record.feat =
+                            reply.lines()[1..reply.lines().len() - 1].to_vec();
+                    }
+                }
+                if !self.queue_cmd(ctx, slot, "SITE HELP".into(), Phase::Site) {
+                    self.begin_quit(ctx, slot);
+                }
+            }
+            Phase::Site => {
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    if code < 300 {
+                        s.record.site = Some(reply.full_text());
+                    }
+                }
+                self.begin_port_probe_or_tls(ctx, slot);
+            }
+            Phase::PortProbe => {
+                if code == 200 {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.port_accepts_third_party = Some(true);
+                    }
+                    // Trigger the actual bounce so the collector can
+                    // confirm the connection.
+                    if !self.queue_cmd(ctx, slot, "LIST /".into(), Phase::PortList) {
+                        self.begin_tls(ctx, slot);
+                    }
+                } else {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.port_accepts_third_party = Some(false);
+                    }
+                    self.begin_tls(ctx, slot);
+                }
+            }
+            Phase::PortList => {
+                if !preliminary {
+                    self.begin_tls(ctx, slot);
+                }
+            }
+            Phase::AuthTls => {
+                if code == 234 {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.ftps.supported = true;
+                        if let Some(c) = s.control {
+                            ctx.send(c, format!("{}\r\n", simtls::CLIENT_HELLO).as_bytes());
+                        }
+                        s.phase = Phase::TlsHello;
+                        let gen = s.gen;
+                        let timeout = self.cfg.step_timeout;
+                        ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
+                    }
+                } else {
+                    self.begin_quit(ctx, slot);
+                }
+            }
+            Phase::TlsHello => { /* cert arrives as a SIMTLS line, not a reply */ }
+            Phase::Quit => {
+                self.finish(ctx, slot);
+            }
+            Phase::Done => {}
+        }
+    }
+
+    fn on_control_line(&mut self, ctx: &mut Ctx<'_>, slot: usize, line: &str) {
+        // Simulated-TLS certificate line.
+        if line.starts_with('\u{1}') {
+            let in_hello = self.sessions[slot]
+                .as_ref()
+                .map(|s| s.phase == Phase::TlsHello)
+                .unwrap_or(false);
+            if in_hello {
+                if let Some(cert) = SimCertificate::parse_server_hello(line) {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.ftps.cert = Some(cert);
+                        s.bump();
+                    }
+                }
+                self.begin_quit(ctx, slot);
+            }
+            return;
+        }
+        let parsed = {
+            let Some(s) = self.sessions[slot].as_mut() else { return };
+            s.parser.push_line(line)
+        };
+        match parsed {
+            Ok(Some(reply)) => self.on_reply(ctx, slot, reply),
+            Ok(None) => {}
+            Err(_) => {
+                // Garbage on the control channel: not an FTP server (or
+                // one broken beyond use).
+                let phase = self.sessions[slot].as_ref().map(|s| s.phase.clone());
+                if phase == Some(Phase::Banner) {
+                    if let Some(s) = self.sessions[slot].as_mut() {
+                        s.record.login = LoginOutcome::NotFtp;
+                    }
+                }
+                self.finish(ctx, slot);
+            }
+        }
+    }
+}
+
+impl Endpoint for Enumerator {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        if t == 0 {
+            // Kick-off timer from the orchestrator.
+            self.start_next(ctx);
+            return;
+        }
+        let (slot, gen, kind) = untoken(t);
+        let Some(Some(s)) = self.sessions.get(slot) else { return };
+        if s.gen != gen {
+            return; // stale timer
+        }
+        match kind {
+            KIND_SEND => self.send_pending(ctx, slot),
+            KIND_TIMEOUT => {
+                // The step stalled: treat as refusal and move on.
+                self.finish(ctx, slot);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_outbound(&mut self, ctx: &mut Ctx<'_>, t: u64, result: Result<ConnId, ConnectError>) {
+        let (slot, gen, kind) = untoken(t);
+        let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+        if s.gen != gen {
+            // Stale connect (session moved on); close if it succeeded.
+            if let Ok(conn) = result {
+                ctx.close(conn);
+            }
+            return;
+        }
+        match (kind, result) {
+            (KIND_CONTROL, Ok(conn)) => {
+                s.control = Some(conn);
+                s.phase = Phase::Banner;
+                self.conns.insert(conn, (slot, false));
+                let timeout = self.cfg.step_timeout;
+                let gen = s.gen;
+                ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
+            }
+            (KIND_CONTROL, Err(_)) => {
+                s.record.login = LoginOutcome::Aborted;
+                self.finish(ctx, slot);
+            }
+            (KIND_DATA, Ok(conn)) => {
+                s.data_conn = Some(conn);
+                s.awaiting_data_connect = false;
+                self.conns.insert(conn, (slot, true));
+                // Data channel up: issue the transfer command.
+                let phase = s.phase.clone();
+                match phase {
+                    Phase::RobotsPasv
+                        if !self.queue_cmd(
+                            ctx,
+                            slot,
+                            "RETR robots.txt".into(),
+                            Phase::RobotsRetr,
+                        ) => {
+                            self.begin_extras(ctx, slot);
+                        }
+                    Phase::TravPasv { dir, depth } => {
+                        let cmd = if dir == "/" {
+                            "LIST /".to_owned()
+                        } else {
+                            format!("LIST {dir}")
+                        };
+                        if !self.queue_cmd(ctx, slot, cmd, Phase::TravList { dir, depth }) {
+                            if let Some(s) = self.sessions[slot].as_mut() {
+                                s.record.truncated = true;
+                            }
+                            self.begin_extras(ctx, slot);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            (KIND_DATA, Err(_)) => {
+                s.awaiting_data_connect = false;
+                // No data channel: skip whatever needed it.
+                let phase = s.phase.clone();
+                match phase {
+                    Phase::RobotsPasv => self.begin_traversal(ctx, slot),
+                    Phase::TravPasv { .. } => self.begin_extras(ctx, slot),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let Some(&(slot, is_data)) = self.conns.get(&conn) else { return };
+        if is_data {
+            if let Some(Some(s)) = self.sessions.get_mut(slot) {
+                s.data_buf.extend_from_slice(data);
+            }
+            return;
+        }
+        let mut lines = Vec::new();
+        let owner_ip;
+        {
+            let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+            owner_ip = s.ip;
+            s.codec.extend(data);
+            loop {
+                match s.codec.next_line() {
+                    Ok(Some(line)) => lines.push(line),
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Hostile over-long line: abort.
+                        self.finish(ctx, slot);
+                        return;
+                    }
+                }
+            }
+        }
+        for line in lines {
+            self.on_control_line(ctx, slot, &line);
+            // The session may have finished mid-loop — and the slot may
+            // already be re-occupied by a *different* host's session.
+            // Leftover lines belong to the dead session; never leak them.
+            let still_ours = matches!(
+                self.sessions.get(slot),
+                Some(Some(s)) if s.ip == owner_ip
+            );
+            if !still_ours {
+                break;
+            }
+        }
+    }
+
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let Some((slot, is_data)) = self.conns.remove(&conn) else { return };
+        if is_data {
+            let done = {
+                let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+                if s.data_conn == Some(conn) {
+                    s.data_conn = None;
+                }
+                s.data_closed = true;
+                s.got_final_reply
+                    && matches!(s.phase, Phase::RobotsRetr | Phase::TravList { .. })
+            };
+            if done {
+                self.transfer_complete(ctx, slot, true);
+            }
+            return;
+        }
+        // Control closed by the server: explicit refusal of service.
+        let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+        s.control = None;
+        if s.phase != Phase::Quit && s.phase != Phase::Done {
+            s.record.server_terminated = true;
+        }
+        self.finish(ctx, slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        for (slot, gen, kind) in [(0usize, 0u32, 0u64), (5, 1000, 3), (65_000, 0xff_ffff, 1)] {
+            let t = token(slot, gen, kind);
+            assert_eq!(untoken(t), (slot, gen, kind));
+        }
+    }
+
+    // Compile-time guard: the wrap-up reserve must be non-zero.
+    const _: () = assert!(RESERVED_REQUESTS > 0);
+}

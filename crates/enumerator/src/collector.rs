@@ -1,0 +1,66 @@
+//! The bounce collector: a listener on an address the study controls.
+//!
+//! For the §VII-B `PORT`-validation experiment, the enumerator sends
+//! each server a `PORT` naming this collector. A server that fails to
+//! validate the argument will open a data connection *to us* — each such
+//! connection is recorded here, keyed by the server's address. The join
+//! of "server replied 200 to the bogus PORT" and "collector saw a
+//! connection from that server" is the paper's confirmation signal.
+
+use netsim::{ConnId, Ctx, Endpoint};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Shared record of which servers connected to the collector.
+pub type BounceHits = Rc<RefCell<HashSet<Ipv4Addr>>>;
+
+/// Endpoint that accepts anything and records the peer address.
+#[derive(Debug, Default)]
+pub struct BounceCollector {
+    hits: BounceHits,
+}
+
+impl BounceCollector {
+    /// Creates a collector and a shared handle to its hit set.
+    pub fn new() -> (Self, BounceHits) {
+        let hits: BounceHits = Rc::new(RefCell::new(HashSet::new()));
+        (BounceCollector { hits: hits.clone() }, hits)
+    }
+}
+
+impl Endpoint for BounceCollector {
+    fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _local_port: u16) {
+        if let Some((ip, _)) = ctx.peer_of(conn) {
+            self.hits.borrow_mut().insert(ip);
+        }
+        // Accept whatever the server sends, then let it close.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimDuration, Simulator};
+
+    struct Dialer;
+    impl Endpoint for Dialer {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            ctx.connect(Ipv4Addr::new(5, 5, 5, 5), Ipv4Addr::new(9, 9, 9, 9), 1025, 0);
+        }
+    }
+
+    #[test]
+    fn records_peer_addresses() {
+        let mut sim = Simulator::new(1);
+        let (collector, hits) = BounceCollector::new();
+        let cid = sim.register_endpoint(Box::new(collector));
+        sim.bind(Ipv4Addr::new(9, 9, 9, 9), 1025, cid);
+        let did = sim.register_endpoint(Box::new(Dialer));
+        sim.schedule_timer(did, SimDuration::ZERO, 0);
+        sim.run();
+        assert!(hits.borrow().contains(&Ipv4Addr::new(5, 5, 5, 5)));
+        assert_eq!(hits.borrow().len(), 1);
+    }
+}

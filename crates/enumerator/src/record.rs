@@ -1,0 +1,304 @@
+//! Per-host enumeration records: the study's raw dataset.
+
+use ftp_proto::listing::Readability;
+use ftp_proto::HostPort;
+use serde::{Deserialize, Serialize};
+use simtls::SimCertificate;
+use std::net::Ipv4Addr;
+
+/// Outcome of the anonymous-login attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoginOutcome {
+    /// Login not attempted: the banner stated anonymous access is
+    /// forbidden (the enumerator's ethics rule).
+    SkippedBannerForbids,
+    /// Attempted and rejected.
+    Denied,
+    /// Anonymous session established.
+    Anonymous,
+    /// The host never presented a valid FTP greeting.
+    NotFtp,
+    /// The connection failed or timed out before login finished.
+    Aborted,
+}
+
+/// What the enumerator learned from `robots.txt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RobotsInfo {
+    /// The file existed and parsed.
+    pub present: bool,
+    /// The policy excluded the entire filesystem.
+    pub denies_all: bool,
+}
+
+/// One file or directory observed during traversal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEntry {
+    /// Full canonical path.
+    pub path: String,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Size, when the listing exposed it.
+    pub size: Option<u64>,
+    /// The paper's three-way readability classification.
+    pub readability: Readability,
+    /// Owner column, when exposed (`ftp`, `root`, …).
+    pub owner: Option<String>,
+    /// All-users write bit, when permissions were exposed.
+    pub other_writable: Option<bool>,
+}
+
+impl FileEntry {
+    /// The file's name (final path component).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or("")
+    }
+
+    /// Lower-cased extension without the dot, if any.
+    pub fn extension(&self) -> Option<String> {
+        let name = self.name();
+        let dot = name.rfind('.')?;
+        if dot == 0 || dot + 1 == name.len() {
+            return None;
+        }
+        Some(name[dot + 1..].to_ascii_lowercase())
+    }
+}
+
+/// FTPS observation for one host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FtpsObservation {
+    /// `AUTH TLS`/`AUTH SSL` accepted.
+    pub supported: bool,
+    /// Plaintext login was refused pending TLS (FTPS required).
+    pub required_before_login: bool,
+    /// The certificate captured from the simulated handshake.
+    pub cert: Option<SimCertificate>,
+}
+
+/// Everything the enumerator learned about one host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostRecord {
+    /// The host address.
+    pub ip: Ipv4Addr,
+    /// Raw banner text (`220` body), if any arrived.
+    pub banner: Option<String>,
+    /// The host sent a syntactically valid FTP greeting.
+    pub ftp_compliant: bool,
+    /// Login outcome.
+    pub login: LoginOutcome,
+    /// robots.txt findings (only meaningful after login).
+    pub robots: RobotsInfo,
+    /// Every file and directory observed.
+    pub files: Vec<FileEntry>,
+    /// Traversal stopped at the request cap (the paper's 26.7 K
+    /// ">500 requests" population).
+    pub truncated: bool,
+    /// The server closed the control channel mid-session.
+    pub server_terminated: bool,
+    /// Control-channel commands issued.
+    pub requests_used: u32,
+    /// `SYST` reply text.
+    pub syst: Option<String>,
+    /// `HELP` reply text (joined lines).
+    pub help: Option<String>,
+    /// `FEAT` feature lines.
+    pub feat: Vec<String>,
+    /// `SITE` reply text.
+    pub site: Option<String>,
+    /// FTPS observation.
+    pub ftps: FtpsObservation,
+    /// Host-port tuple from the first `227` reply (NAT detection: a
+    /// private or mismatching address reveals NAT deployment).
+    pub pasv_addr: Option<HostPort>,
+    /// `PORT` probe verdict: `Some(true)` = accepted a third-party
+    /// address (bounce-vulnerable), `Some(false)` = rejected it,
+    /// `None` = not probed.
+    pub port_accepts_third_party: Option<bool>,
+    /// Listing lines no parser understood.
+    pub unparsed_lines: u64,
+}
+
+impl HostRecord {
+    /// A fresh record for `ip`.
+    pub fn new(ip: Ipv4Addr) -> Self {
+        HostRecord {
+            ip,
+            banner: None,
+            ftp_compliant: false,
+            login: LoginOutcome::Aborted,
+            robots: RobotsInfo::default(),
+            files: Vec::new(),
+            truncated: false,
+            server_terminated: false,
+            requests_used: 0,
+            syst: None,
+            help: None,
+            feat: Vec::new(),
+            site: None,
+            ftps: FtpsObservation::default(),
+            pasv_addr: None,
+            port_accepts_third_party: None,
+            unparsed_lines: 0,
+        }
+    }
+
+    /// True when the anonymous session succeeded.
+    pub fn is_anonymous(&self) -> bool {
+        self.login == LoginOutcome::Anonymous
+    }
+
+    /// Count of non-directory entries.
+    pub fn file_count(&self) -> usize {
+        self.files.iter().filter(|f| !f.is_dir).count()
+    }
+
+    /// True when any (non-directory) data was observed — the paper's
+    /// "exposed some form of data" 24% statistic.
+    pub fn exposes_data(&self) -> bool {
+        self.files.iter().any(|f| !f.is_dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(path: &str, is_dir: bool) -> FileEntry {
+        FileEntry {
+            path: path.to_owned(),
+            is_dir,
+            size: None,
+            readability: Readability::Unknown,
+            owner: None,
+            other_writable: None,
+        }
+    }
+
+    #[test]
+    fn name_and_extension() {
+        let e = entry("/pub/photos/DSC_0001.JPG", false);
+        assert_eq!(e.name(), "DSC_0001.JPG");
+        assert_eq!(e.extension().as_deref(), Some("jpg"));
+        assert_eq!(entry("/x/noext", false).extension(), None);
+        assert_eq!(entry("/x/.hidden", false).extension(), None);
+        assert_eq!(entry("/x/trailing.", false).extension(), None);
+        assert_eq!(entry("/a/b.tar.gz", false).extension().as_deref(), Some("gz"));
+    }
+
+    #[test]
+    fn exposes_data_ignores_directories() {
+        let mut r = HostRecord::new(Ipv4Addr::new(1, 2, 3, 4));
+        assert!(!r.exposes_data());
+        r.files.push(entry("/pub", true));
+        assert!(!r.exposes_data());
+        r.files.push(entry("/pub/file.txt", false));
+        assert!(r.exposes_data());
+        assert_eq!(r.file_count(), 1);
+    }
+
+    #[test]
+    fn fresh_record_defaults() {
+        let r = HostRecord::new(Ipv4Addr::new(1, 1, 1, 1));
+        assert!(!r.ftp_compliant);
+        assert!(!r.is_anonymous());
+        assert_eq!(r.login, LoginOutcome::Aborted);
+        assert_eq!(r.port_accepts_third_party, None);
+    }
+}
+
+/// Operational summary of an enumeration run — the tool telemetry an
+/// operator watches (the paper's team iterated on exactly these signals
+/// while hardening the enumerator, §III).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Hosts contacted.
+    pub hosts: u64,
+    /// Hosts that presented a valid FTP greeting.
+    pub ftp: u64,
+    /// Anonymous sessions established.
+    pub anonymous: u64,
+    /// Sessions the server terminated early.
+    pub server_terminated: u64,
+    /// Sessions that hit the request cap.
+    pub truncated: u64,
+    /// Sessions aborted by timeout/connect failure.
+    pub aborted: u64,
+    /// Total control-channel commands issued.
+    pub total_requests: u64,
+    /// Total file/directory entries observed.
+    pub total_entries: u64,
+    /// Listing lines no parser understood.
+    pub unparsed_lines: u64,
+}
+
+impl RunSummary {
+    /// Aggregates a record set.
+    pub fn from_records(records: &[HostRecord]) -> Self {
+        let mut s = RunSummary::default();
+        for r in records {
+            s.hosts += 1;
+            if r.ftp_compliant {
+                s.ftp += 1;
+            }
+            if r.is_anonymous() {
+                s.anonymous += 1;
+            }
+            if r.server_terminated {
+                s.server_terminated += 1;
+            }
+            if r.truncated {
+                s.truncated += 1;
+            }
+            if r.login == LoginOutcome::Aborted {
+                s.aborted += 1;
+            }
+            s.total_requests += u64::from(r.requests_used);
+            s.total_entries += r.files.len() as u64;
+            s.unparsed_lines += r.unparsed_lines;
+        }
+        s
+    }
+
+    /// Mean commands per contacted host.
+    pub fn mean_requests(&self) -> f64 {
+        if self.hosts == 0 {
+            0.0
+        } else {
+            self.total_requests as f64 / self.hosts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn aggregates_records() {
+        let mut a = HostRecord::new(Ipv4Addr::new(1, 1, 1, 1));
+        a.ftp_compliant = true;
+        a.login = LoginOutcome::Anonymous;
+        a.requests_used = 10;
+        a.truncated = true;
+        let mut b = HostRecord::new(Ipv4Addr::new(1, 1, 1, 2));
+        b.login = LoginOutcome::Aborted;
+        b.requests_used = 2;
+        let s = RunSummary::from_records(&[a, b]);
+        assert_eq!(s.hosts, 2);
+        assert_eq!(s.ftp, 1);
+        assert_eq!(s.anonymous, 1);
+        assert_eq!(s.truncated, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.total_requests, 12);
+        assert!((s.mean_requests() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = RunSummary::from_records(&[]);
+        assert_eq!(s.hosts, 0);
+        assert_eq!(s.mean_requests(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Robustness: the enumerator against hostile or broken servers.
+//!
+//! The paper's tool had to survive "oddities found in the wild" (§III);
+//! the strongest form of that requirement is surviving *adversarial*
+//! servers: random reply garbage, reply floods, half-open behavior, and
+//! abrupt resets — without panicking, leaking sessions, or stalling the
+//! rest of the scan.
+
+use enumerator::{EnumConfig, Enumerator};
+use ftpd::profile::{AnonPolicy, ServerProfile};
+use ftpd::FtpServerEngine;
+use netsim::{ConnId, Ctx, Endpoint, SimDuration, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simvfs::{FileMeta, Vfs};
+use std::net::Ipv4Addr;
+
+const SCANNER: Ipv4Addr = Ipv4Addr::new(198, 108, 0, 1);
+
+/// A server that answers every line with seeded garbage and sometimes
+/// hangs up.
+struct HostileServer {
+    seed: u64,
+}
+
+impl HostileServer {
+    fn garbage(&self, salt: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ salt);
+        let style = rng.random_range(0..5u8);
+        match style {
+            0 => b"220 welcome\r\n".to_vec(), // plausible then nothing
+            1 => {
+                // Random printable noise with stray CRLFs.
+                let mut v = Vec::new();
+                for _ in 0..rng.random_range(1..120) {
+                    v.push(rng.random_range(0x20..0x7f));
+                }
+                v.extend_from_slice(b"\r\n");
+                v
+            }
+            2 => {
+                // Reply-code soup: valid-looking codes with junk text.
+                format!("{} {:x}\r\n", rng.random_range(100..700), rng.random::<u64>())
+                    .into_bytes()
+            }
+            3 => {
+                // A never-terminated multiline reply.
+                b"230-never finishes\r\n part two\r\n".to_vec()
+            }
+            _ => {
+                // Binary noise, no line terminator.
+                (0..rng.random_range(1..200)).map(|_| rng.random()).collect()
+            }
+        }
+    }
+}
+
+impl Endpoint for HostileServer {
+    fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _port: u16) {
+        let g = self.garbage(1);
+        ctx.send(conn, &g);
+    }
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let g = self.garbage(data.len() as u64 + 2);
+        ctx.send(conn, &g);
+        if data.len().is_multiple_of(7) {
+            ctx.close(conn);
+        }
+    }
+}
+
+fn ip(n: u8) -> Ipv4Addr {
+    Ipv4Addr::new(100, 64, 1, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A mixed population of hostile and honest servers: the enumerator
+    /// finishes every session, the honest hosts are fully enumerated,
+    /// and no session wedges the scan.
+    #[test]
+    fn enumerator_survives_hostile_servers(seed in any::<u64>()) {
+        let mut sim = Simulator::new(5);
+        let mut targets = Vec::new();
+        // Five hostile servers.
+        for n in 1..=5u8 {
+            let id = sim.register_endpoint(Box::new(HostileServer { seed: seed ^ n as u64 }));
+            sim.bind(ip(n), 21, id);
+            targets.push(ip(n));
+        }
+        // Two honest ones interleaved.
+        for n in 6..=7u8 {
+            let mut vfs = Vfs::new();
+            vfs.add_file("/pub/data.txt", FileMeta::public(3).with_content("ok")).unwrap();
+            let profile =
+                ServerProfile::new("ProFTPD 1.3.5 Server").with_anonymous(AnonPolicy::Allowed);
+            let id = sim.register_endpoint(Box::new(FtpServerEngine::new(ip(n), profile, vfs)));
+            sim.bind(ip(n), 21, id);
+            targets.push(ip(n));
+        }
+        let mut cfg = EnumConfig::new(SCANNER).with_concurrency(3);
+        cfg.step_timeout = SimDuration::from_secs(5);
+        cfg.request_gap = SimDuration::from_millis(5);
+        let (en, results) = Enumerator::new(cfg, targets);
+        let id = sim.register_endpoint(Box::new(en));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        sim.run();
+
+        let records = results.borrow();
+        prop_assert_eq!(records.len(), 7, "every target produced a record");
+        // Honest servers enumerated completely despite the hostile noise.
+        for n in 6..=7u8 {
+            let r = records.iter().find(|r| r.ip == ip(n)).expect("record");
+            prop_assert!(r.is_anonymous(), "honest host lost: {:?}", r.login);
+            prop_assert!(r.files.iter().any(|f| f.path == "/pub/data.txt"));
+        }
+        // No hostile server was ever recorded as anonymous with files —
+        // garbage must not synthesize data.
+        for n in 1..=5u8 {
+            let r = records.iter().find(|r| r.ip == ip(n)).expect("record");
+            prop_assert!(r.files.is_empty(), "garbage produced files: {:?}", r.files);
+        }
+    }
+}
+
+/// A tarpit that accepts the login then answers nothing further: the
+/// per-step timeout must reap it without blocking the others.
+#[test]
+fn tarpit_after_login_is_reaped() {
+    struct Tarpit;
+    impl Endpoint for Tarpit {
+        fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+            ctx.send(conn, b"220 slow server\r\n");
+        }
+        fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+            let line = String::from_utf8_lossy(data);
+            if line.starts_with("USER") {
+                ctx.send(conn, b"331 ok\r\n");
+            } else if line.starts_with("PASS") {
+                ctx.send(conn, b"230 in\r\n");
+            }
+            // …and then silence forever.
+        }
+    }
+    let mut sim = Simulator::new(9);
+    let tid = sim.register_endpoint(Box::new(Tarpit));
+    sim.bind(ip(1), 21, tid);
+    let honest = ServerProfile::new("FTP ready").with_anonymous(AnonPolicy::Allowed);
+    let hid = sim.register_endpoint(Box::new(FtpServerEngine::new(ip(2), honest, Vfs::new())));
+    sim.bind(ip(2), 21, hid);
+
+    let mut cfg = EnumConfig::new(SCANNER).with_concurrency(1);
+    cfg.step_timeout = SimDuration::from_secs(5);
+    let (en, results) = Enumerator::new(cfg, vec![ip(1), ip(2)]);
+    let id = sim.register_endpoint(Box::new(en));
+    sim.schedule_timer(id, SimDuration::ZERO, 0);
+    sim.run();
+    let records = results.borrow();
+    assert_eq!(records.len(), 2, "the tarpit did not block the queue");
+    let tarpit = records.iter().find(|r| r.ip == ip(1)).unwrap();
+    assert!(tarpit.is_anonymous(), "login succeeded before the stall");
+    let honest = records.iter().find(|r| r.ip == ip(2)).unwrap();
+    assert!(honest.is_anonymous());
+}

@@ -1,0 +1,193 @@
+//! Control-channel line framing: CRLF splitting with Telnet IAC handling.
+//!
+//! FTP's control channel is a Telnet NVT stream (RFC 959 §3.1). Real
+//! servers occasionally emit Telnet IAC sequences or bare-LF line
+//! endings; the paper's enumerator had to tolerate both. [`LineCodec`]
+//! accumulates bytes and yields complete decoded lines.
+
+use crate::error::ProtoError;
+use bytes::BytesMut;
+
+/// Telnet "Interpret As Command" escape byte.
+const IAC: u8 = 255;
+
+/// Maximum accepted control-channel line length. Real clients impose a
+/// similar cap to defend against hostile servers streaming an unbounded
+/// "line"; the enumerator treats an over-long line as server misbehavior.
+pub const MAX_LINE: usize = 8192;
+
+/// Incremental CRLF line decoder with Telnet IAC stripping.
+///
+/// # Example
+///
+/// ```
+/// use ftp_proto::LineCodec;
+///
+/// let mut codec = LineCodec::new();
+/// codec.extend(b"220 Welcome\r\n331 Pas");
+/// assert_eq!(codec.next_line()?, Some("220 Welcome".to_owned()));
+/// assert_eq!(codec.next_line()?, None);
+/// codec.extend(b"sword required\r\n");
+/// assert_eq!(codec.next_line()?, Some("331 Password required".to_owned()));
+/// # Ok::<(), ftp_proto::ProtoError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct LineCodec {
+    buf: BytesMut,
+}
+
+impl LineCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the network.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete line, if one is buffered.
+    ///
+    /// Lines are terminated by `\r\n` or a bare `\n`; the terminator is
+    /// consumed and not included. Telnet IAC escape sequences are
+    /// stripped; non-UTF-8 bytes are replaced with U+FFFD (the enumerator
+    /// must not abort on binary junk — filenames in the wild are in many
+    /// encodings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::LineTooLong`] when more than [`MAX_LINE`]
+    /// bytes accumulate without a terminator.
+    pub fn next_line(&mut self) -> Result<Option<String>, ProtoError> {
+        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.buf.split_to(pos + 1).to_vec();
+            // Drop trailing \n and optional \r.
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let cleaned = strip_iac(&line);
+            return Ok(Some(String::from_utf8_lossy(&cleaned).into_owned()));
+        }
+        if self.buf.len() > MAX_LINE {
+            let len = self.buf.len();
+            self.buf.clear();
+            return Err(ProtoError::LineTooLong { len });
+        }
+        Ok(None)
+    }
+
+    /// Drains any trailing unterminated data (used at connection close —
+    /// some servers send a final line without CRLF before hanging up).
+    pub fn take_remainder(&mut self) -> Option<String> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let bytes: Vec<u8> = self.buf.split_to(self.buf.len()).to_vec();
+        let cleaned = strip_iac(&bytes);
+        Some(String::from_utf8_lossy(&cleaned).into_owned())
+    }
+}
+
+/// Removes Telnet IAC sequences: `IAC IAC` unescapes to a literal 255,
+/// `IAC <cmd>` and `IAC <cmd> <opt>` are dropped.
+fn strip_iac(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == IAC {
+            match bytes.get(i + 1) {
+                Some(&IAC) => {
+                    out.push(IAC);
+                    i += 2;
+                }
+                // WILL/WONT/DO/DONT take an option byte.
+                Some(&cmd) if (251..=254).contains(&cmd) => i += 3,
+                Some(_) => i += 2,
+                None => i += 1,
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_crlf_lines() {
+        let mut c = LineCodec::new();
+        c.extend(b"a\r\nb\r\n");
+        assert_eq!(c.next_line().unwrap(), Some("a".into()));
+        assert_eq!(c.next_line().unwrap(), Some("b".into()));
+        assert_eq!(c.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn tolerates_bare_lf() {
+        let mut c = LineCodec::new();
+        c.extend(b"hello\nworld\n");
+        assert_eq!(c.next_line().unwrap(), Some("hello".into()));
+        assert_eq!(c.next_line().unwrap(), Some("world".into()));
+    }
+
+    #[test]
+    fn partial_lines_buffered() {
+        let mut c = LineCodec::new();
+        c.extend(b"par");
+        assert_eq!(c.next_line().unwrap(), None);
+        assert_eq!(c.buffered(), 3);
+        c.extend(b"tial\r\n");
+        assert_eq!(c.next_line().unwrap(), Some("partial".into()));
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn strips_telnet_negotiation() {
+        let mut c = LineCodec::new();
+        // IAC WILL <option 1> before text, and escaped IAC IAC inside.
+        c.extend(&[255, 251, 1]);
+        c.extend(b"OK");
+        c.extend(&[255, 255]);
+        c.extend(b"\r\n");
+        let line = c.next_line().unwrap().unwrap();
+        assert!(line.starts_with("OK"));
+        assert_eq!(line.as_bytes().last(), Some(&0xbd)); // U+FFFD tail byte of lossy 255
+    }
+
+    #[test]
+    fn non_utf8_is_lossy_not_fatal() {
+        let mut c = LineCodec::new();
+        c.extend(&[0xC3, 0x28, b'\r', b'\n']); // invalid UTF-8 pair
+        let line = c.next_line().unwrap().unwrap();
+        assert!(line.contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn overlong_line_errors_and_resets() {
+        let mut c = LineCodec::new();
+        c.extend(&vec![b'x'; MAX_LINE + 1]);
+        assert!(matches!(c.next_line(), Err(ProtoError::LineTooLong { .. })));
+        // State is cleared so the session can resync.
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn take_remainder_flushes_unterminated_tail() {
+        let mut c = LineCodec::new();
+        c.extend(b"221 Goodbye");
+        assert_eq!(c.next_line().unwrap(), None);
+        assert_eq!(c.take_remainder(), Some("221 Goodbye".into()));
+        assert_eq!(c.take_remainder(), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by the protocol parsers.
+
+use std::fmt;
+
+/// Error returned by the parsers in this crate.
+///
+/// Every variant carries enough context to report *what* failed to parse;
+/// the enumerator uses this to distinguish "the server is broken" from
+/// "our parser is too strict" when hardening against real-world quirks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// A command line could not be parsed.
+    BadCommand {
+        /// The offending input line (truncated to 128 bytes).
+        input: String,
+    },
+    /// A reply line did not start with a three-digit code.
+    BadReplyCode {
+        /// The offending input line (truncated to 128 bytes).
+        input: String,
+    },
+    /// A multiline reply was truncated before its terminating line.
+    TruncatedReply,
+    /// A `PORT`/`PASV` host-port tuple was malformed.
+    BadHostPort {
+        /// The offending argument text.
+        input: String,
+    },
+    /// A directory-listing line matched no known format.
+    BadListing {
+        /// The offending listing line (truncated to 128 bytes).
+        input: String,
+    },
+    /// An FTP pathname contained an illegal sequence (embedded NUL or CR).
+    BadPath {
+        /// The offending path.
+        input: String,
+    },
+    /// Input line exceeded the protocol maximum accepted by the codec.
+    LineTooLong {
+        /// Number of bytes observed before giving up.
+        len: usize,
+    },
+}
+
+impl ProtoError {
+    pub(crate) fn bad_command(input: &str) -> Self {
+        ProtoError::BadCommand { input: truncate(input) }
+    }
+    pub(crate) fn bad_reply(input: &str) -> Self {
+        ProtoError::BadReplyCode { input: truncate(input) }
+    }
+    pub(crate) fn bad_host_port(input: &str) -> Self {
+        ProtoError::BadHostPort { input: truncate(input) }
+    }
+    pub(crate) fn bad_listing(input: &str) -> Self {
+        ProtoError::BadListing { input: truncate(input) }
+    }
+    pub(crate) fn bad_path(input: &str) -> Self {
+        ProtoError::BadPath { input: truncate(input) }
+    }
+}
+
+fn truncate(s: &str) -> String {
+    if s.len() <= 128 {
+        s.to_owned()
+    } else {
+        let mut end = 128;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        s[..end].to_owned()
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadCommand { input } => write!(f, "unparseable FTP command: {input:?}"),
+            ProtoError::BadReplyCode { input } => {
+                write!(f, "reply line missing three-digit code: {input:?}")
+            }
+            ProtoError::TruncatedReply => write!(f, "multiline reply truncated"),
+            ProtoError::BadHostPort { input } => {
+                write!(f, "malformed host-port tuple: {input:?}")
+            }
+            ProtoError::BadListing { input } => {
+                write!(f, "listing line matched no known format: {input:?}")
+            }
+            ProtoError::BadPath { input } => write!(f, "illegal FTP pathname: {input:?}"),
+            ProtoError::LineTooLong { len } => {
+                write!(f, "control-channel line exceeded limit at {len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ProtoError::bad_command("FOO");
+        let s = e.to_string();
+        assert!(s.starts_with("unparseable"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn truncation_is_utf8_safe() {
+        let long = "é".repeat(200);
+        let e = ProtoError::bad_command(&long);
+        match e {
+            ProtoError::BadCommand { input } => assert!(input.len() <= 128),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<ProtoError>();
+    }
+}

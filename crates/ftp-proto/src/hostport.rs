@@ -1,0 +1,255 @@
+//! `PORT`/`PASV`/`EPRT`/`EPSV` host-port argument handling.
+//!
+//! The `PORT` command and `227` (`PASV`) reply both carry an IPv4 address
+//! and TCP port encoded as six comma-separated decimal bytes:
+//! `h1,h2,h3,h4,p1,p2` where the port is `p1*256 + p2`. Validating — or
+//! failing to validate — the address half of this tuple is the root of
+//! the FTP *bounce attack* the paper measures in §VII-B, so this module
+//! is load-bearing for the reproduction's experiments.
+
+use crate::error::ProtoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An (IPv4 address, TCP port) pair as carried by `PORT`/`PASV`.
+///
+/// # Example
+///
+/// ```
+/// use ftp_proto::HostPort;
+/// use std::net::Ipv4Addr;
+///
+/// let hp: HostPort = "10,0,0,1,31,144".parse()?;
+/// assert_eq!(hp.ip(), Ipv4Addr::new(10, 0, 0, 1));
+/// assert_eq!(hp.port(), 8080);
+/// assert_eq!(hp.to_port_args(), "10,0,0,1,31,144");
+/// # Ok::<(), ftp_proto::ProtoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostPort {
+    ip: Ipv4Addr,
+    port: u16,
+}
+
+impl HostPort {
+    /// Creates a host-port pair.
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        HostPort { ip, port }
+    }
+
+    /// The IPv4 address half.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The TCP port half.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Encodes as `h1,h2,h3,h4,p1,p2` for `PORT` arguments and `227`
+    /// reply bodies.
+    pub fn to_port_args(&self) -> String {
+        let o = self.ip.octets();
+        format!("{},{},{},{},{},{}", o[0], o[1], o[2], o[3], self.port >> 8, self.port & 0xff)
+    }
+
+    /// Encodes as RFC 2428 `|1|h.h.h.h|port|` for `EPRT`.
+    pub fn to_eprt_args(&self) -> String {
+        format!("|1|{}|{}|", self.ip, self.port)
+    }
+
+    /// Parses an RFC 2428 `EPRT` argument: `<d><proto><d><addr><d><port><d>`
+    /// with any delimiter byte. Only protocol family `1` (IPv4) is
+    /// accepted — the study is IPv4-only, as was the paper's scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadHostPort`] on malformed input or non-IPv4
+    /// family.
+    pub fn parse_eprt(arg: &str) -> Result<Self, ProtoError> {
+        let mut chars = arg.chars();
+        let delim = chars.next().ok_or_else(|| ProtoError::bad_host_port(arg))?;
+        let rest: &str = chars.as_str();
+        let mut parts = rest.split(delim);
+        let proto = parts.next().ok_or_else(|| ProtoError::bad_host_port(arg))?;
+        let addr = parts.next().ok_or_else(|| ProtoError::bad_host_port(arg))?;
+        let port = parts.next().ok_or_else(|| ProtoError::bad_host_port(arg))?;
+        if proto.trim() != "1" {
+            return Err(ProtoError::bad_host_port(arg));
+        }
+        let ip: Ipv4Addr = addr.parse().map_err(|_| ProtoError::bad_host_port(arg))?;
+        let port: u16 = port.parse().map_err(|_| ProtoError::bad_host_port(arg))?;
+        Ok(HostPort::new(ip, port))
+    }
+
+    /// Extracts the host-port tuple from a `227 Entering Passive Mode`
+    /// reply body, tolerating the many phrasings seen in the wild:
+    /// `227 Entering Passive Mode (h1,h2,h3,h4,p1,p2)`,
+    /// `227 =h1,h2,h3,h4,p1,p2`, bare tuples, and extra trailing text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadHostPort`] when no six-number tuple can be
+    /// found anywhere in the text.
+    pub fn parse_pasv_reply(text: &str) -> Result<Self, ProtoError> {
+        // Scan for the first run of six comma-separated integers.
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i].is_ascii_digit() {
+                if let Some((hp, _len)) = try_tuple(&text[i..]) {
+                    return Ok(hp);
+                }
+                // Skip past this run of digits.
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b',') {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Err(ProtoError::bad_host_port(text))
+    }
+}
+
+/// Attempts to parse `h1,h2,h3,h4,p1,p2` at the start of `s`.
+fn try_tuple(s: &str) -> Option<(HostPort, usize)> {
+    let mut nums = [0u16; 6];
+    let mut pos = 0;
+    for (idx, slot) in nums.iter_mut().enumerate() {
+        if idx > 0 {
+            if s[pos..].starts_with(',') {
+                pos += 1;
+            } else {
+                return None;
+            }
+        }
+        let start = pos;
+        while pos < s.len() && s.as_bytes()[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == start || pos - start > 3 {
+            return None;
+        }
+        let v: u16 = s[start..pos].parse().ok()?;
+        if v > 255 {
+            return None;
+        }
+        *slot = v;
+    }
+    let ip = Ipv4Addr::new(nums[0] as u8, nums[1] as u8, nums[2] as u8, nums[3] as u8);
+    let port = nums[4] * 256 + nums[5];
+    Some((HostPort::new(ip, port), pos))
+}
+
+impl FromStr for HostPort {
+    type Err = ProtoError;
+
+    /// Parses the classic `h1,h2,h3,h4,p1,p2` form (as in `PORT`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadHostPort`] unless the input is exactly a
+    /// six-number tuple (surrounding whitespace tolerated).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        match try_tuple(t) {
+            Some((hp, len)) if len == t.len() => Ok(hp),
+            _ => Err(ProtoError::bad_host_port(s)),
+        }
+    }
+}
+
+impl fmt::Display for HostPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl From<(Ipv4Addr, u16)> for HostPort {
+    fn from((ip, port): (Ipv4Addr, u16)) -> Self {
+        HostPort::new(ip, port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let hp: HostPort = "192,168,0,10,200,21".parse().unwrap();
+        assert_eq!(hp.ip(), Ipv4Addr::new(192, 168, 0, 10));
+        assert_eq!(hp.port(), 200 * 256 + 21);
+    }
+
+    #[test]
+    fn reject_out_of_range() {
+        assert!("300,1,1,1,1,1".parse::<HostPort>().is_err());
+        assert!("1,1,1,1,1".parse::<HostPort>().is_err());
+        assert!("1,1,1,1,1,1,1".parse::<HostPort>().is_err());
+        assert!("a,b,c,d,e,f".parse::<HostPort>().is_err());
+    }
+
+    #[test]
+    fn pasv_reply_with_parentheses() {
+        let hp =
+            HostPort::parse_pasv_reply("Entering Passive Mode (10,0,0,5,19,137).").unwrap();
+        assert_eq!(hp.ip(), Ipv4Addr::new(10, 0, 0, 5));
+        assert_eq!(hp.port(), 19 * 256 + 137);
+    }
+
+    #[test]
+    fn pasv_reply_bare_tuple() {
+        let hp = HostPort::parse_pasv_reply("=127,0,0,1,4,1").unwrap();
+        assert_eq!(hp.port(), 1025);
+    }
+
+    #[test]
+    fn pasv_reply_skips_leading_numbers() {
+        // Some servers phrase it as "227 Ok (1 of 5) (10,0,0,1,4,1)".
+        let hp = HostPort::parse_pasv_reply("Ok 1 of 5 then (10,0,0,1,4,1)").unwrap();
+        assert_eq!(hp.ip(), Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn pasv_reply_none_found() {
+        assert!(HostPort::parse_pasv_reply("Entering Passive Mode").is_err());
+        assert!(HostPort::parse_pasv_reply("1,2,3").is_err());
+    }
+
+    #[test]
+    fn eprt_parse_and_encode() {
+        let hp = HostPort::parse_eprt("|1|132.235.1.2|6275|").unwrap();
+        assert_eq!(hp.ip(), Ipv4Addr::new(132, 235, 1, 2));
+        assert_eq!(hp.port(), 6275);
+        assert_eq!(hp.to_eprt_args(), "|1|132.235.1.2|6275|");
+    }
+
+    #[test]
+    fn eprt_custom_delimiter() {
+        let hp = HostPort::parse_eprt("!1!10.1.2.3!21!").unwrap();
+        assert_eq!(hp.port(), 21);
+    }
+
+    #[test]
+    fn eprt_rejects_ipv6_family() {
+        assert!(HostPort::parse_eprt("|2|::1|6275|").is_err());
+    }
+
+    #[test]
+    fn roundtrip_port_args() {
+        let hp = HostPort::new(Ipv4Addr::new(1, 2, 3, 4), 65535);
+        let s = hp.to_port_args();
+        assert_eq!(s.parse::<HostPort>().unwrap(), hp);
+    }
+
+    #[test]
+    fn display_is_ip_colon_port() {
+        let hp = HostPort::new(Ipv4Addr::new(8, 8, 8, 8), 21);
+        assert_eq!(hp.to_string(), "8.8.8.8:21");
+    }
+}

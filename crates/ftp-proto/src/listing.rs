@@ -1,0 +1,694 @@
+//! Directory-listing formats: UNIX `ls -l`, MS-DOS/IIS, EPLF and MLSD.
+//!
+//! `LIST` output is not standardized; the paper's enumerator had to parse
+//! whatever each implementation produced. This module implements both
+//! directions — parsing (for the enumerator and honeypot log analysis)
+//! and rendering (for the simulated servers) — so the reproduction's
+//! client and servers exercise realistic, mutually-independent code
+//! paths: servers render a format, the enumerator sniffs and parses it.
+//!
+//! The `# Readable` / `# Non-readable` / `# Unk-readability` columns of
+//! the paper's Table IX come straight from the permission bits carried
+//! here: UNIX-style listings expose an all-users read bit, DOS-style
+//! listings do not (the paper labels those files "unk-readability").
+
+use crate::error::ProtoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The listing dialect a server emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ListingFormat {
+    /// `drwxr-xr-x  2 ftp ftp 4096 Jun 18  2015 pub` — the common case.
+    #[default]
+    Unix,
+    /// `06-18-15  09:43AM       <DIR>          aspnet_client` — IIS/DOS.
+    Dos,
+    /// `+i8388621.48594,m825718503,r,s280,\tdjb.html` — EPLF.
+    Eplf,
+    /// RFC 3659 `MLSD` fact lines.
+    Mlsd,
+}
+
+/// Whether the anonymous (all-users) read permission could be determined.
+///
+/// Mirrors the paper's three-way readability split (§III): UNIX listings
+/// carry an "other" read bit; DOS-style listings carry no permissions at
+/// all, so files on most Windows-based servers are *unk-readability*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Readability {
+    /// All-users read bit set.
+    Readable,
+    /// All-users read bit clear.
+    NonReadable,
+    /// Listing format exposes no permission information.
+    Unknown,
+}
+
+/// UNIX permission bits as shown in an `ls -l` mode string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Permissions {
+    bits: u16,
+}
+
+impl Permissions {
+    /// Permissions from the low nine mode bits (`0o755`-style).
+    pub fn from_mode(mode: u16) -> Self {
+        Permissions { bits: mode & 0o777 }
+    }
+
+    /// The standard anonymous-directory permissions, `0o755`.
+    pub fn public_dir() -> Self {
+        Permissions::from_mode(0o755)
+    }
+
+    /// World-readable file permissions, `0o644`.
+    pub fn public_file() -> Self {
+        Permissions::from_mode(0o644)
+    }
+
+    /// Owner-only file permissions, `0o600`.
+    pub fn private_file() -> Self {
+        Permissions::from_mode(0o600)
+    }
+
+    /// The raw nine permission bits.
+    pub fn mode(&self) -> u16 {
+        self.bits
+    }
+
+    /// True if the all-users ("other") read bit is set — the bit the
+    /// paper used to decide whether an anonymous user could likely
+    /// retrieve a file.
+    pub fn other_read(&self) -> bool {
+        self.bits & 0o004 != 0
+    }
+
+    /// True if the all-users write bit is set.
+    pub fn other_write(&self) -> bool {
+        self.bits & 0o002 != 0
+    }
+
+    /// Renders the nine-character `rwxr-xr-x` suffix of a mode string.
+    pub fn to_rwx(&self) -> String {
+        let mut s = String::with_capacity(9);
+        for shift in [6u16, 3, 0] {
+            let trio = (self.bits >> shift) & 0o7;
+            s.push(if trio & 0o4 != 0 { 'r' } else { '-' });
+            s.push(if trio & 0o2 != 0 { 'w' } else { '-' });
+            s.push(if trio & 0o1 != 0 { 'x' } else { '-' });
+        }
+        s
+    }
+
+    /// Parses the nine-character `rwx` triple-group; returns `None` on
+    /// unexpected characters (setuid `s`/`t` letters are accepted).
+    pub fn parse_rwx(s: &str) -> Option<Self> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 9 {
+            return None;
+        }
+        let mut bits = 0u16;
+        for (i, &c) in chars.iter().enumerate() {
+            let expected = ['r', 'w', 'x'][i % 3];
+            let set = match c {
+                '-' => false,
+                's' | 't' if expected == 'x' => true,
+                'S' | 'T' if expected == 'x' => false,
+                c if c == expected => true,
+                _ => return None,
+            };
+            if set {
+                bits |= 1 << (8 - i);
+            }
+        }
+        Some(Permissions { bits })
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_rwx())
+    }
+}
+
+/// One parsed entry from a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListingEntry {
+    /// File or directory name (final component only).
+    pub name: String,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Size in bytes when the format exposes it.
+    pub size: Option<u64>,
+    /// UNIX permissions when the format exposes them.
+    pub permissions: Option<Permissions>,
+    /// Owner name when the format exposes it (e.g. `ftp`).
+    pub owner: Option<String>,
+    /// Raw modification-time text as shown in the listing.
+    pub mtime: Option<String>,
+    /// True for symlinks (UNIX `l` type); the link target is stripped.
+    pub is_symlink: bool,
+}
+
+impl ListingEntry {
+    /// Creates a directory entry with only a name (as from `NLST`).
+    pub fn bare(name: impl Into<String>, is_dir: bool) -> Self {
+        ListingEntry {
+            name: name.into(),
+            is_dir,
+            size: None,
+            permissions: None,
+            owner: None,
+            mtime: None,
+            is_symlink: false,
+        }
+    }
+
+    /// The paper's three-way readability classification for this entry.
+    pub fn readability(&self) -> Readability {
+        match self.permissions {
+            Some(p) if p.other_read() => Readability::Readable,
+            Some(_) => Readability::NonReadable,
+            None => Readability::Unknown,
+        }
+    }
+}
+
+/// Parses one listing line, trying the given format first and falling
+/// back to sniffing the others — the tolerance strategy the paper's
+/// enumerator converged on after iterative testing against live servers.
+///
+/// Lines that are recognized as noise (e.g. `total 52` headers) return
+/// `Ok(None)`.
+///
+/// # Errors
+///
+/// Returns [`ProtoError::BadListing`] if no parser recognizes the line.
+pub fn parse_line(line: &str, hint: ListingFormat) -> Result<Option<ListingEntry>, ProtoError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let order: [ListingFormat; 4] = match hint {
+        ListingFormat::Unix => {
+            [ListingFormat::Unix, ListingFormat::Dos, ListingFormat::Eplf, ListingFormat::Mlsd]
+        }
+        ListingFormat::Dos => {
+            [ListingFormat::Dos, ListingFormat::Unix, ListingFormat::Eplf, ListingFormat::Mlsd]
+        }
+        ListingFormat::Eplf => {
+            [ListingFormat::Eplf, ListingFormat::Unix, ListingFormat::Dos, ListingFormat::Mlsd]
+        }
+        ListingFormat::Mlsd => {
+            [ListingFormat::Mlsd, ListingFormat::Unix, ListingFormat::Dos, ListingFormat::Eplf]
+        }
+    };
+    if line.starts_with("total ") && line[6..].trim().chars().all(|c| c.is_ascii_digit()) {
+        return Ok(None);
+    }
+    for fmt in order {
+        let parsed = match fmt {
+            ListingFormat::Unix => parse_unix(line),
+            ListingFormat::Dos => parse_dos(line),
+            ListingFormat::Eplf => parse_eplf(line),
+            ListingFormat::Mlsd => parse_mlsd(line),
+        };
+        if let Some(e) = parsed {
+            return Ok(Some(e));
+        }
+    }
+    Err(ProtoError::bad_listing(line))
+}
+
+/// Parses a full multi-line listing body, skipping noise lines and
+/// collecting per-line failures separately so a single weird line does
+/// not abort a 10 000-entry directory (a real-world lesson from §III).
+pub fn parse_body(body: &str, hint: ListingFormat) -> (Vec<ListingEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut failures = 0;
+    for line in body.lines() {
+        match parse_line(line, hint) {
+            Ok(Some(e)) => entries.push(e),
+            Ok(None) => {}
+            Err(_) => failures += 1,
+        }
+    }
+    (entries, failures)
+}
+
+fn parse_unix(line: &str) -> Option<ListingEntry> {
+    // drwxr-xr-x   2 ftp      ftp          4096 Jun 18  2015 pub
+    // -rw-r--r--   1 1000     1000      1048576 Jun 18 09:43 photo.jpg
+    // lrwxrwxrwx   1 root     root           11 Jan  1  2014 www -> /var/www
+    let bytes = line.as_bytes();
+    if bytes.len() < 11 {
+        return None;
+    }
+    let type_ch = bytes[0] as char;
+    let (is_dir, is_symlink) = match type_ch {
+        'd' => (true, false),
+        '-' => (false, false),
+        'l' => (false, true),
+        'b' | 'c' | 'p' | 's' => (false, false),
+        _ => return None,
+    };
+    let perms = Permissions::parse_rwx(&line[1..10])?;
+    let rest = &line[10..];
+    // Tokenize: links owner group size month day time-or-year name...
+    let mut tokens = rest.split_whitespace();
+    let _links = tokens.next()?;
+    let owner = tokens.next()?.to_owned();
+    let group_or_size = tokens.next()?;
+    // Some embedded servers omit the group column; detect by checking if
+    // the next token after `group_or_size` is a month name.
+    let mut size_tok;
+    let month;
+    let maybe = tokens.next()?;
+    if is_month(maybe) {
+        size_tok = group_or_size;
+        month = maybe;
+    } else {
+        size_tok = maybe;
+        let m = tokens.next()?;
+        if !is_month(m) {
+            // device files have "maj, min" instead of size
+            size_tok = m;
+            let m2 = tokens.next()?;
+            if !is_month(m2) {
+                return None;
+            }
+            month = m2;
+        } else {
+            month = m;
+        }
+    }
+    let day = tokens.next()?;
+    let time_or_year = tokens.next()?;
+    let size: Option<u64> = size_tok.trim_end_matches(',').parse().ok();
+    // The name is everything after the time column in the original line.
+    let time_pos = find_token_end(line, time_or_year)?;
+    let mut name = line[time_pos..].trim_start().to_owned();
+    if name.is_empty() {
+        return None;
+    }
+    if is_symlink {
+        if let Some(ix) = name.find(" -> ") {
+            name.truncate(ix);
+        }
+    }
+    let mtime = format!("{month} {day} {time_or_year}");
+    Some(ListingEntry {
+        name,
+        is_dir,
+        size,
+        permissions: Some(perms),
+        owner: Some(owner),
+        mtime: Some(mtime),
+        is_symlink,
+    })
+}
+
+fn is_month(s: &str) -> bool {
+    matches!(
+        s,
+        "Jan" | "Feb" | "Mar" | "Apr" | "May" | "Jun" | "Jul" | "Aug" | "Sep" | "Oct" | "Nov"
+            | "Dec"
+    )
+}
+
+/// Byte offset just past the *time column* occurrence of `tok` in `line`.
+fn find_token_end(line: &str, tok: &str) -> Option<usize> {
+    // Search from the right: the name may itself contain month-like text,
+    // but the time/year column precedes the name.
+    let mut search_end = line.len();
+    while let Some(pos) = line[..search_end].rfind(tok) {
+        let before_ok = pos == 0 || line.as_bytes()[pos - 1] == b' ';
+        let after = pos + tok.len();
+        let after_ok = after >= line.len() || line.as_bytes()[after] == b' ';
+        if before_ok && after_ok {
+            // Heuristic: the name follows; ensure something follows.
+            if after < line.len() {
+                return Some(after);
+            }
+        }
+        if pos == 0 {
+            break;
+        }
+        search_end = pos;
+    }
+    None
+}
+
+fn parse_dos(line: &str) -> Option<ListingEntry> {
+    // 06-18-15  09:43AM       <DIR>          aspnet_client
+    // 06-18-15  09:43AM              1043901 products.mdb
+    let mut tokens = line.split_whitespace();
+    let date = tokens.next()?;
+    let time = tokens.next()?;
+    if !looks_like_dos_date(date) || !looks_like_dos_time(time) {
+        return None;
+    }
+    let size_or_dir = tokens.next()?;
+    let (is_dir, size) = if size_or_dir.eq_ignore_ascii_case("<dir>") {
+        (true, None)
+    } else {
+        (false, size_or_dir.parse::<u64>().ok())
+    };
+    if !is_dir && size.is_none() {
+        return None;
+    }
+    let name_start = find_token_end(line, size_or_dir)?;
+    let name = line[name_start..].trim_start().to_owned();
+    if name.is_empty() {
+        return None;
+    }
+    Some(ListingEntry {
+        name,
+        is_dir,
+        size,
+        permissions: None,
+        owner: None,
+        mtime: Some(format!("{date} {time}")),
+        is_symlink: false,
+    })
+}
+
+fn looks_like_dos_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    (b.len() == 8 || b.len() == 10)
+        && b[2] == b'-'
+        && b[5] == b'-'
+        && b.iter().filter(|c| c.is_ascii_digit()).count() >= 6
+}
+
+fn looks_like_dos_time(s: &str) -> bool {
+    let s = s.to_ascii_uppercase();
+    (s.ends_with("AM") || s.ends_with("PM")) && s.contains(':')
+}
+
+fn parse_eplf(line: &str) -> Option<ListingEntry> {
+    // +i8388621.48594,m825718503,r,s280,\tdjb.html
+    let rest = line.strip_prefix('+')?;
+    let tab = rest.find('\t')?;
+    let (facts, name) = (&rest[..tab], &rest[tab + 1..]);
+    if name.is_empty() {
+        return None;
+    }
+    let mut is_dir = false;
+    let mut size = None;
+    let mut mtime = None;
+    for fact in facts.split(',') {
+        if fact == "/" {
+            is_dir = true;
+        } else if let Some(s) = fact.strip_prefix('s') {
+            size = s.parse::<u64>().ok();
+        } else if let Some(m) = fact.strip_prefix('m') {
+            mtime = Some(m.to_owned());
+        }
+    }
+    Some(ListingEntry {
+        name: name.to_owned(),
+        is_dir,
+        size,
+        permissions: None,
+        owner: None,
+        mtime,
+        is_symlink: false,
+    })
+}
+
+fn parse_mlsd(line: &str) -> Option<ListingEntry> {
+    // type=dir;modify=20150618094300;perm=el; pub
+    let space = line.find("; ")?;
+    let (facts, name) = (&line[..space + 1], &line[space + 2..]);
+    if name.is_empty() || !facts.contains('=') {
+        return None;
+    }
+    let mut is_dir = false;
+    let mut size = None;
+    let mut mtime = None;
+    let mut seen_type = false;
+    for fact in facts.split(';') {
+        let Some((k, v)) = fact.split_once('=') else { continue };
+        match k.trim().to_ascii_lowercase().as_str() {
+            "type" => {
+                seen_type = true;
+                is_dir = matches!(v, "dir" | "cdir" | "pdir");
+            }
+            "size" => size = v.parse::<u64>().ok(),
+            "modify" => mtime = Some(v.to_owned()),
+            _ => {}
+        }
+    }
+    if !seen_type && size.is_none() && mtime.is_none() {
+        return None;
+    }
+    Some(ListingEntry {
+        name: name.to_owned(),
+        is_dir,
+        size,
+        permissions: None,
+        owner: None,
+        mtime,
+        is_symlink: false,
+    })
+}
+
+/// Renders a listing line in the given format — used by the simulated
+/// servers so the enumerator parses realistic output it did not itself
+/// produce.
+pub fn render_line(entry: &ListingEntry, format: ListingFormat) -> String {
+    match format {
+        ListingFormat::Unix => {
+            let perms = entry.permissions.unwrap_or_else(Permissions::public_file);
+            let t = if entry.is_dir { 'd' } else { '-' };
+            let owner = entry.owner.as_deref().unwrap_or("ftp");
+            let size = entry.size.unwrap_or(if entry.is_dir { 4096 } else { 0 });
+            let mtime = entry.mtime.as_deref().unwrap_or("Jun 18  2015");
+            format!("{t}{perms}   1 {owner:<8} {owner:<8} {size:>12} {mtime} {}", entry.name)
+        }
+        ListingFormat::Dos => {
+            // Only reuse the entry's mtime when it is already DOS-shaped;
+            // a UNIX "Jun 18  2015" string would render an unparseable line.
+            let mtime = match entry.mtime.as_deref() {
+                Some(m)
+                    if m.split_whitespace().next().map(looks_like_dos_date).unwrap_or(false) =>
+                {
+                    m
+                }
+                _ => "06-18-15 09:43AM",
+            };
+            if entry.is_dir {
+                format!("{mtime}       <DIR>          {}", entry.name)
+            } else {
+                format!("{mtime} {:>20} {}", entry.size.unwrap_or(0), entry.name)
+            }
+        }
+        ListingFormat::Eplf => {
+            let mut facts = String::from("+");
+            if entry.is_dir {
+                facts.push_str("/,");
+            } else {
+                facts.push_str("r,");
+            }
+            if let Some(s) = entry.size {
+                facts.push_str(&format!("s{s},"));
+            }
+            format!("{facts}\t{}", entry.name)
+        }
+        ListingFormat::Mlsd => {
+            let t = if entry.is_dir { "dir" } else { "file" };
+            let size = entry.size.map(|s| format!("size={s};")).unwrap_or_default();
+            format!("type={t};{size}modify=20150618094300; {}", entry.name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions_roundtrip() {
+        for mode in [0o777u16, 0o755, 0o644, 0o600, 0o000, 0o700] {
+            let p = Permissions::from_mode(mode);
+            assert_eq!(Permissions::parse_rwx(&p.to_rwx()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn permissions_setuid_letters() {
+        let p = Permissions::parse_rwx("rwsr-xr-t").unwrap();
+        assert!(p.other_read());
+        assert_eq!(p.mode() & 0o100, 0o100);
+        assert!(Permissions::parse_rwx("rwSr-xr-T").is_some());
+        assert!(Permissions::parse_rwx("rwzr-xr-x").is_none());
+    }
+
+    #[test]
+    fn unix_dir_line() {
+        let e = parse_line("drwxr-xr-x   2 ftp      ftp          4096 Jun 18  2015 pub", ListingFormat::Unix)
+            .unwrap()
+            .unwrap();
+        assert!(e.is_dir);
+        assert_eq!(e.name, "pub");
+        assert_eq!(e.readability(), Readability::Readable);
+        assert_eq!(e.owner.as_deref(), Some("ftp"));
+    }
+
+    #[test]
+    fn unix_file_with_spaces_in_name() {
+        let e = parse_line(
+            "-rw-r--r--   1 user     user      1048576 Jun 18 09:43 Tax Return 2014.pdf",
+            ListingFormat::Unix,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(e.name, "Tax Return 2014.pdf");
+        assert_eq!(e.size, Some(1_048_576));
+    }
+
+    #[test]
+    fn unix_private_file_nonreadable() {
+        let e = parse_line(
+            "-rw-------   1 root     root          718 Jan  5  2015 shadow",
+            ListingFormat::Unix,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(e.readability(), Readability::NonReadable);
+    }
+
+    #[test]
+    fn unix_symlink_strips_target() {
+        let e = parse_line(
+            "lrwxrwxrwx   1 root     root           11 Jan  1  2014 www -> /var/www",
+            ListingFormat::Unix,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(e.is_symlink);
+        assert_eq!(e.name, "www");
+    }
+
+    #[test]
+    fn unix_total_header_skipped() {
+        assert_eq!(parse_line("total 52", ListingFormat::Unix).unwrap(), None);
+    }
+
+    #[test]
+    fn dos_lines() {
+        let d = parse_line(
+            "06-18-15  09:43AM       <DIR>          aspnet_client",
+            ListingFormat::Dos,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(d.is_dir);
+        assert_eq!(d.name, "aspnet_client");
+        assert_eq!(d.readability(), Readability::Unknown);
+
+        let f = parse_line("06-18-15  09:43AM              1043901 products.mdb", ListingFormat::Dos)
+            .unwrap()
+            .unwrap();
+        assert!(!f.is_dir);
+        assert_eq!(f.size, Some(1_043_901));
+        assert_eq!(f.readability(), Readability::Unknown);
+    }
+
+    #[test]
+    fn eplf_lines() {
+        let f = parse_line("+i8388621.48594,m825718503,r,s280,\tdjb.html", ListingFormat::Eplf)
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.name, "djb.html");
+        assert_eq!(f.size, Some(280));
+        assert!(!f.is_dir);
+
+        let d = parse_line("+i8388621.50690,m824255907,/,\t514", ListingFormat::Eplf)
+            .unwrap()
+            .unwrap();
+        assert!(d.is_dir);
+        assert_eq!(d.name, "514");
+    }
+
+    #[test]
+    fn mlsd_lines() {
+        let e = parse_line("type=dir;modify=20150618094300;perm=el; pub", ListingFormat::Mlsd)
+            .unwrap()
+            .unwrap();
+        assert!(e.is_dir);
+        assert_eq!(e.name, "pub");
+        let f = parse_line("type=file;size=1024;modify=20150618094300; a.txt", ListingFormat::Mlsd)
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.size, Some(1024));
+    }
+
+    #[test]
+    fn sniffing_falls_back_across_formats() {
+        // Ask for DOS but feed UNIX.
+        let e = parse_line(
+            "drwxr-xr-x   2 ftp      ftp          4096 Jun 18  2015 pub",
+            ListingFormat::Dos,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(e.is_dir);
+    }
+
+    #[test]
+    fn unparseable_line_is_error() {
+        assert!(parse_line("not a listing at all %%%", ListingFormat::Unix).is_err());
+    }
+
+    #[test]
+    fn parse_body_counts_failures() {
+        let body = "total 8\r\ndrwxr-xr-x   2 ftp ftp 4096 Jun 18  2015 pub\r\n???garbage???\r\n";
+        let (entries, failures) = parse_body(body, ListingFormat::Unix);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn render_parse_roundtrip_all_formats() {
+        let entry = ListingEntry {
+            name: "backup.tar.gz".into(),
+            is_dir: false,
+            size: Some(123_456),
+            permissions: Some(Permissions::public_file()),
+            owner: Some("ftp".into()),
+            mtime: Some("Jun 18  2015".into()),
+            is_symlink: false,
+        };
+        for fmt in [ListingFormat::Unix, ListingFormat::Dos, ListingFormat::Eplf, ListingFormat::Mlsd]
+        {
+            let line = render_line(&entry, fmt);
+            let back = parse_line(&line, fmt).unwrap().unwrap();
+            assert_eq!(back.name, entry.name, "{fmt:?}: {line}");
+            assert_eq!(back.size, entry.size, "{fmt:?}: {line}");
+            assert!(!back.is_dir);
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_dir() {
+        let entry = ListingEntry {
+            name: "pub".into(),
+            is_dir: true,
+            size: None,
+            permissions: Some(Permissions::public_dir()),
+            owner: Some("ftp".into()),
+            mtime: None,
+            is_symlink: false,
+        };
+        for fmt in [ListingFormat::Unix, ListingFormat::Dos, ListingFormat::Eplf, ListingFormat::Mlsd]
+        {
+            let line = render_line(&entry, fmt);
+            let back = parse_line(&line, fmt).unwrap().unwrap();
+            assert!(back.is_dir, "{fmt:?}: {line}");
+            assert_eq!(back.name, "pub");
+        }
+    }
+}

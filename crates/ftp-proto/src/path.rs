@@ -1,0 +1,220 @@
+//! FTP pathname handling.
+//!
+//! A tiny, strict path type used on both sides of the simulation. Paths
+//! are always absolute, `/`-separated, with `.` and `..` resolved at
+//! construction — the enumerator's breadth-first traversal needs a
+//! canonical key per directory to avoid revisiting (and to defeat
+//! symlink-style loops), and the servers need confinement: a client must
+//! never escape the published root via `..`.
+
+use crate::error::ProtoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A canonical, absolute FTP pathname.
+///
+/// # Example
+///
+/// ```
+/// use ftp_proto::FtpPath;
+///
+/// let p: FtpPath = "/pub/../pub/photos/./2015".parse()?;
+/// assert_eq!(p.as_str(), "/pub/photos/2015");
+/// assert_eq!(p.file_name(), Some("2015"));
+/// # Ok::<(), ftp_proto::ProtoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FtpPath {
+    inner: String,
+}
+
+impl FtpPath {
+    /// The root directory, `/`.
+    pub fn root() -> Self {
+        FtpPath { inner: "/".to_owned() }
+    }
+
+    /// Resolves `relative` against this path. Absolute inputs replace the
+    /// base entirely (as `CWD /abs` does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadPath`] if the input contains NUL or CR
+    /// bytes, or if `..` would climb above the root.
+    pub fn join(&self, relative: &str) -> Result<Self, ProtoError> {
+        if relative.starts_with('/') {
+            relative.parse()
+        } else {
+            format!("{}/{relative}", self.inner).parse()
+        }
+    }
+
+    /// The canonical string form (always begins with `/`).
+    pub fn as_str(&self) -> &str {
+        &self.inner
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.inner == "/" {
+            None
+        } else {
+            self.inner.rsplit('/').next()
+        }
+    }
+
+    /// The parent directory; the root is its own parent.
+    pub fn parent(&self) -> FtpPath {
+        if self.inner == "/" {
+            return self.clone();
+        }
+        match self.inner.rfind('/') {
+            Some(0) => FtpPath::root(),
+            Some(ix) => FtpPath { inner: self.inner[..ix].to_owned() },
+            None => FtpPath::root(),
+        }
+    }
+
+    /// Path components, excluding the leading empty segment.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.inner.split('/').filter(|s| !s.is_empty())
+    }
+
+    /// Number of components (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// True if `self` equals `ancestor` or lies beneath it.
+    pub fn starts_with(&self, ancestor: &FtpPath) -> bool {
+        if ancestor.inner == "/" {
+            return true;
+        }
+        self.inner == ancestor.inner
+            || self
+                .inner
+                .strip_prefix(&ancestor.inner)
+                .map(|rest| rest.starts_with('/'))
+                .unwrap_or(false)
+    }
+}
+
+impl FromStr for FtpPath {
+    type Err = ProtoError;
+
+    /// Canonicalizes a path string. Relative inputs are resolved against
+    /// the root. `.` segments vanish, `..` pops (never above root —
+    /// climbing above root is an error so servers can *detect* escape
+    /// attempts rather than silently clamping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadPath`] on embedded NUL/CR bytes or a `..`
+    /// underflow.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains('\0') || s.contains('\r') || s.contains('\n') {
+            return Err(ProtoError::bad_path(s));
+        }
+        let mut stack: Vec<&str> = Vec::new();
+        for seg in s.split('/') {
+            match seg {
+                "" | "." => {}
+                ".." => {
+                    if stack.pop().is_none() {
+                        return Err(ProtoError::bad_path(s));
+                    }
+                }
+                other => stack.push(other),
+            }
+        }
+        let inner = if stack.is_empty() { "/".to_owned() } else { format!("/{}", stack.join("/")) };
+        Ok(FtpPath { inner })
+    }
+}
+
+impl fmt::Display for FtpPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.inner)
+    }
+}
+
+impl Default for FtpPath {
+    fn default() -> Self {
+        FtpPath::root()
+    }
+}
+
+impl AsRef<str> for FtpPath {
+    fn as_ref(&self) -> &str {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes() {
+        let p: FtpPath = "/a/./b/../c//d/".parse().unwrap();
+        assert_eq!(p.as_str(), "/a/c/d");
+    }
+
+    #[test]
+    fn relative_resolves_from_root() {
+        let p: FtpPath = "pub/files".parse().unwrap();
+        assert_eq!(p.as_str(), "/pub/files");
+    }
+
+    #[test]
+    fn join_relative_and_absolute() {
+        let base: FtpPath = "/pub".parse().unwrap();
+        assert_eq!(base.join("photos").unwrap().as_str(), "/pub/photos");
+        assert_eq!(base.join("/etc").unwrap().as_str(), "/etc");
+        assert_eq!(base.join("..").unwrap().as_str(), "/");
+    }
+
+    #[test]
+    fn escape_above_root_is_error() {
+        assert!("/..".parse::<FtpPath>().is_err());
+        assert!("/a/../../b".parse::<FtpPath>().is_err());
+        let base = FtpPath::root();
+        assert!(base.join("../../etc/passwd").is_err());
+    }
+
+    #[test]
+    fn rejects_control_bytes() {
+        assert!("/a\0b".parse::<FtpPath>().is_err());
+        assert!("/a\rb".parse::<FtpPath>().is_err());
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let p: FtpPath = "/a/b/c".parse().unwrap();
+        assert_eq!(p.file_name(), Some("c"));
+        assert_eq!(p.parent().as_str(), "/a/b");
+        assert_eq!(FtpPath::root().parent(), FtpPath::root());
+        assert_eq!(FtpPath::root().file_name(), None);
+        let top: FtpPath = "/a".parse().unwrap();
+        assert_eq!(top.parent(), FtpPath::root());
+    }
+
+    #[test]
+    fn starts_with_semantics() {
+        let a: FtpPath = "/pub/photos".parse().unwrap();
+        let b: FtpPath = "/pub".parse().unwrap();
+        let c: FtpPath = "/pu".parse().unwrap();
+        assert!(a.starts_with(&b));
+        assert!(!a.starts_with(&c)); // not a component boundary
+        assert!(a.starts_with(&FtpPath::root()));
+        assert!(a.starts_with(&a));
+        assert!(!b.starts_with(&a));
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(FtpPath::root().depth(), 0);
+        assert_eq!("/a/b/c".parse::<FtpPath>().unwrap().depth(), 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! FTP server replies: three-digit codes and multiline reply assembly.
+
+use crate::error::ProtoError;
+use std::fmt;
+
+/// A three-digit FTP reply code (RFC 959 §4.2).
+///
+/// The wrapper gives the digit classes names, because the enumerator's
+/// decision logic ("is this a success? should I retry? give up?") is
+/// driven entirely by the first digit — the paper notes that the *text*
+/// attached to a code is implementation- and language-specific and cannot
+/// be relied upon (§II gives four different meanings of 331).
+///
+/// # Example
+///
+/// ```
+/// use ftp_proto::ReplyCode;
+///
+/// let code = ReplyCode::new(230);
+/// assert!(code.is_positive_completion());
+/// assert!(!code.is_transient_negative());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplyCode(u16);
+
+impl ReplyCode {
+    /// Service ready for new user.
+    pub const SERVICE_READY: ReplyCode = ReplyCode(220);
+    /// Service closing control connection.
+    pub const SERVICE_CLOSING: ReplyCode = ReplyCode(221);
+    /// User logged in, proceed.
+    pub const LOGGED_IN: ReplyCode = ReplyCode(230);
+    /// Requested file action okay, completed.
+    pub const FILE_ACTION_OK: ReplyCode = ReplyCode(250);
+    /// `PATHNAME` created (also `PWD` response).
+    pub const PATHNAME_CREATED: ReplyCode = ReplyCode(257);
+    /// User name okay, need password.
+    pub const NEED_PASSWORD: ReplyCode = ReplyCode(331);
+    /// Entering passive mode.
+    pub const ENTERING_PASSIVE: ReplyCode = ReplyCode(227);
+    /// Not logged in.
+    pub const NOT_LOGGED_IN: ReplyCode = ReplyCode(530);
+    /// Requested action not taken (file unavailable).
+    pub const FILE_UNAVAILABLE: ReplyCode = ReplyCode(550);
+
+    /// Wraps a raw code. Values outside `100..=599` are preserved as-is;
+    /// real servers emit junk and the enumerator must carry it through.
+    pub fn new(code: u16) -> Self {
+        ReplyCode(code)
+    }
+
+    /// The raw numeric value.
+    pub fn value(self) -> u16 {
+        self.0
+    }
+
+    /// First digit is 1: positive preliminary (e.g. `150 Opening data
+    /// connection`).
+    pub fn is_positive_preliminary(self) -> bool {
+        (100..200).contains(&self.0)
+    }
+
+    /// First digit is 2: positive completion.
+    pub fn is_positive_completion(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// First digit is 3: positive intermediate (more input wanted).
+    pub fn is_positive_intermediate(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// First digit is 4: transient negative completion (retryable).
+    pub fn is_transient_negative(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// First digit is 5: permanent negative completion.
+    pub fn is_permanent_negative(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+}
+
+impl fmt::Display for ReplyCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03}", self.0)
+    }
+}
+
+impl From<u16> for ReplyCode {
+    fn from(v: u16) -> Self {
+        ReplyCode(v)
+    }
+}
+
+/// A complete server reply: a code plus one or more lines of text.
+///
+/// Multiline replies follow RFC 959: the first line is `ddd-text`, the
+/// terminating line is `ddd text` with the *same* code. Lines in between
+/// may be arbitrary (some servers even start them with other digits),
+/// which [`ReplyParser`] tolerates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    code: ReplyCode,
+    lines: Vec<String>,
+}
+
+impl Reply {
+    /// Builds a single-line reply.
+    pub fn new(code: impl Into<ReplyCode>, text: impl Into<String>) -> Self {
+        Reply { code: code.into(), lines: vec![text.into()] }
+    }
+
+    /// Builds a multiline reply from the given lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty; a reply always has at least one line.
+    pub fn multiline(code: impl Into<ReplyCode>, lines: Vec<String>) -> Self {
+        assert!(!lines.is_empty(), "a reply must have at least one line");
+        Reply { code: code.into(), lines }
+    }
+
+    /// Parses a single `ddd text` or `ddd-text` line as a complete reply.
+    ///
+    /// Use [`ReplyParser`] when the input may span multiple lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadReplyCode`] if the line does not begin
+    /// with three ASCII digits.
+    pub fn parse_line(line: &str) -> Result<Self, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (code, _sep, text) = split_reply_line(line).ok_or_else(|| ProtoError::bad_reply(line))?;
+        Ok(Reply::new(code, text))
+    }
+
+    /// The reply code.
+    pub fn code(&self) -> ReplyCode {
+        self.code
+    }
+
+    /// All text lines (without codes or CRLF).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The first line of text — for banners and quick matching.
+    pub fn text(&self) -> &str {
+        &self.lines[0]
+    }
+
+    /// Concatenated text of all lines joined with `\n`.
+    pub fn full_text(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    /// Serializes to wire format (CRLF line endings, RFC 959 multiline
+    /// framing).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        if self.lines.len() == 1 {
+            out.push_str(&format!("{} {}\r\n", self.code, self.lines[0]));
+        } else {
+            for (i, l) in self.lines.iter().enumerate() {
+                if i + 1 == self.lines.len() {
+                    out.push_str(&format!("{} {}\r\n", self.code, l));
+                } else if i == 0 {
+                    out.push_str(&format!("{}-{}\r\n", self.code, l));
+                } else {
+                    out.push_str(&format!(" {l}\r\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.lines[0])
+    }
+}
+
+/// Splits `"230 Login ok"` into `(230, ' ', "Login ok")`.
+fn split_reply_line(line: &str) -> Option<(u16, char, &str)> {
+    let b = line.as_bytes();
+    if b.len() < 3 || !b[..3].iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    let code: u16 = line[..3].parse().ok()?;
+    match b.get(3) {
+        None => Some((code, ' ', "")),
+        Some(b' ') => Some((code, ' ', &line[4..])),
+        Some(b'-') => Some((code, '-', &line[4..])),
+        // Some implementations jam text against the code ("220Welcome").
+        Some(_) => Some((code, ' ', &line[3..])),
+    }
+}
+
+/// Incremental assembler for (possibly multiline) replies.
+///
+/// Feed complete lines via [`ReplyParser::push_line`]; a `Some(Reply)`
+/// return means a full reply is available. The parser implements the
+/// real-world tolerance the paper's enumerator needed: continuation lines
+/// need not repeat the code, inner lines may start with digits, and a
+/// terminator is any line starting with the opening code followed by a
+/// space.
+///
+/// # Example
+///
+/// ```
+/// use ftp_proto::reply::ReplyParser;
+///
+/// let mut p = ReplyParser::new();
+/// assert!(p.push_line("230-Welcome to example FTP").unwrap().is_none());
+/// assert!(p.push_line("Mirror of ftp.example.org").unwrap().is_none());
+/// let reply = p.push_line("230 Login successful").unwrap().unwrap();
+/// assert_eq!(reply.code().value(), 230);
+/// assert_eq!(reply.lines().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplyParser {
+    pending: Option<(u16, Vec<String>)>,
+}
+
+impl ReplyParser {
+    /// Creates an idle parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if a multiline reply is partially assembled.
+    pub fn in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Feeds one line (trailing CR/LF tolerated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadReplyCode`] only when a *fresh* reply line
+    /// lacks a leading code; continuation lines are accepted verbatim.
+    pub fn push_line(&mut self, line: &str) -> Result<Option<Reply>, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        match &mut self.pending {
+            None => {
+                let (code, sep, text) =
+                    split_reply_line(line).ok_or_else(|| ProtoError::bad_reply(line))?;
+                if sep == '-' {
+                    self.pending = Some((code, vec![text.to_owned()]));
+                    Ok(None)
+                } else {
+                    Ok(Some(Reply::new(code, text)))
+                }
+            }
+            Some((open_code, lines)) => {
+                // A terminator must be a *strict* `ddd<SP>` (or bare `ddd`)
+                // line — the jammed-text tolerance applied to fresh replies
+                // would otherwise misread inner lines like "211x ..." as
+                // terminators.
+                let strict_sep = line.len() == 3 || line.as_bytes().get(3) == Some(&b' ');
+                if let (true, Some((code, ' ', text))) = (strict_sep, split_reply_line(line)) {
+                    if code == *open_code {
+                        lines.push(text.to_owned());
+                        let (code, lines) = self.pending.take().expect("pending reply present");
+                        return Ok(Some(Reply::multiline(code, lines)));
+                    }
+                }
+                // Continuation line: strip the conventional leading space.
+                let text = line.strip_prefix(' ').unwrap_or(line);
+                lines.push(text.to_owned());
+                Ok(None)
+            }
+        }
+    }
+
+    /// Signals end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::TruncatedReply`] if a multiline reply was
+    /// still being assembled — the server hung up mid-reply, which the
+    /// enumerator treats as refusal of service.
+    pub fn finish(&mut self) -> Result<(), ProtoError> {
+        if self.pending.take().is_some() {
+            Err(ProtoError::TruncatedReply)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_classes() {
+        assert!(ReplyCode::new(150).is_positive_preliminary());
+        assert!(ReplyCode::new(230).is_positive_completion());
+        assert!(ReplyCode::new(331).is_positive_intermediate());
+        assert!(ReplyCode::new(421).is_transient_negative());
+        assert!(ReplyCode::new(530).is_permanent_negative());
+    }
+
+    #[test]
+    fn single_line_parse() {
+        let r = Reply::parse_line("220 ProFTPD 1.3.5 Server ready.\r\n").unwrap();
+        assert_eq!(r.code(), ReplyCode::SERVICE_READY);
+        assert_eq!(r.text(), "ProFTPD 1.3.5 Server ready.");
+    }
+
+    #[test]
+    fn jammed_text_tolerated() {
+        let r = Reply::parse_line("220Welcome").unwrap();
+        assert_eq!(r.code().value(), 220);
+        assert_eq!(r.text(), "Welcome");
+    }
+
+    #[test]
+    fn bare_code_tolerated() {
+        let r = Reply::parse_line("230").unwrap();
+        assert_eq!(r.code().value(), 230);
+        assert_eq!(r.text(), "");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Reply::parse_line("hello world").is_err());
+        assert!(Reply::parse_line("22 partial").is_err());
+    }
+
+    #[test]
+    fn multiline_assembly() {
+        let mut p = ReplyParser::new();
+        assert_eq!(p.push_line("220-Welcome").unwrap(), None);
+        assert!(p.in_progress());
+        assert_eq!(p.push_line(" to the machine").unwrap(), None);
+        let r = p.push_line("220 Ready").unwrap().unwrap();
+        assert_eq!(r.lines().len(), 3);
+        assert_eq!(r.lines()[1], "to the machine");
+        assert!(!p.in_progress());
+    }
+
+    #[test]
+    fn multiline_inner_lines_with_other_codes() {
+        // Some servers embed digit-leading lines mid-reply.
+        let mut p = ReplyParser::new();
+        p.push_line("211-Features:").unwrap();
+        assert_eq!(p.push_line("211x not terminator").unwrap(), None);
+        assert_eq!(p.push_line("500 different code is continuation").unwrap(), None);
+        let r = p.push_line("211 End").unwrap().unwrap();
+        assert_eq!(r.code().value(), 211);
+        assert_eq!(r.lines().len(), 4);
+    }
+
+    #[test]
+    fn truncated_multiline_detected() {
+        let mut p = ReplyParser::new();
+        p.push_line("220-Hello").unwrap();
+        assert_eq!(p.finish(), Err(ProtoError::TruncatedReply));
+        // finish() clears state.
+        assert!(p.finish().is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrip_single() {
+        let r = Reply::new(250u16, "Okay");
+        assert_eq!(r.to_wire(), "250 Okay\r\n");
+        let mut p = ReplyParser::new();
+        let back = p.push_line(r.to_wire().trim_end()).unwrap().unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wire_roundtrip_multiline() {
+        let r = Reply::multiline(230u16, vec!["a".into(), "b".into(), "c".into()]);
+        let wire = r.to_wire();
+        let mut p = ReplyParser::new();
+        let mut out = None;
+        for line in wire.lines() {
+            out = p.push_line(line).unwrap();
+        }
+        assert_eq!(out.unwrap(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn multiline_requires_lines() {
+        let _ = Reply::multiline(230u16, vec![]);
+    }
+
+    #[test]
+    fn display_shows_code_and_first_line() {
+        let r = Reply::new(230u16, "Login successful");
+        assert_eq!(r.to_string(), "230 Login successful");
+    }
+}

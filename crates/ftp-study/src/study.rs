@@ -1,0 +1,163 @@
+//! The end-to-end study pipeline: worldgen → host discovery →
+//! enumeration → HTTP sweep, in one deterministic simulation.
+
+use crate::webprobe::{HttpObservation, WebProbe};
+use enumerator::{BounceCollector, EnumConfig, Enumerator, HostRecord};
+use ftp_proto::HostPort;
+use netsim::{SimDuration, Simulator};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use worldgen::{PopulationSpec, WorldTruth};
+use zscan::{Blocklist, HostDiscovery, ScanConfig};
+
+/// Addresses the study's own machines occupy (outside the population
+/// space).
+const SCANNER_IP: Ipv4Addr = Ipv4Addr::new(198, 108, 0, 1);
+const COLLECTOR_IP: Ipv4Addr = Ipv4Addr::new(198, 108, 0, 2);
+const WEB_IP: Ipv4Addr = Ipv4Addr::new(198, 108, 0, 3);
+const COLLECTOR_PORT: u16 = 2121;
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// World generation parameters.
+    pub population: PopulationSpec,
+    /// Enumerator request cap (paper: 500).
+    pub request_cap: u32,
+    /// Enumerator concurrency.
+    pub concurrency: usize,
+    /// Probe `PORT` validation (§VII-B).
+    pub probe_bounce: bool,
+    /// Sweep HTTP for the §VI-B overlap.
+    pub probe_http: bool,
+    /// Honor robots.txt (ablation switch).
+    pub respect_robots: bool,
+    /// Strict-RFC reply parsing (ablation switch).
+    pub strict_replies: bool,
+    /// Inter-command gap; the paper's 2 req/s is 500 ms, but simulated
+    /// time is free so the default keeps it faithful.
+    pub request_gap: SimDuration,
+}
+
+impl StudyConfig {
+    /// Paper-faithful configuration over the given population.
+    pub fn new(population: PopulationSpec) -> Self {
+        StudyConfig {
+            population,
+            request_cap: 500,
+            concurrency: 256,
+            probe_bounce: true,
+            probe_http: true,
+            respect_robots: true,
+            strict_replies: false,
+            request_gap: SimDuration::from_millis(500),
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn small(seed: u64, servers: usize) -> Self {
+        let mut cfg = StudyConfig::new(PopulationSpec::small(seed, servers));
+        cfg.request_gap = SimDuration::from_millis(10);
+        cfg
+    }
+}
+
+/// Everything the pipeline measured, plus ground truth for validation.
+#[derive(Debug)]
+pub struct StudyResults {
+    /// Ground truth (never consulted by the analyses).
+    pub truth: WorldTruth,
+    /// Addresses probed by host discovery.
+    pub ips_scanned: u64,
+    /// Hosts answering on TCP/21.
+    pub open_port: u64,
+    /// Per-host enumeration records.
+    pub records: Vec<HostRecord>,
+    /// Server addresses whose bounced connections reached the collector.
+    pub bounce_hits: HashSet<Ipv4Addr>,
+    /// HTTP sweep results.
+    pub http: HashMap<Ipv4Addr, HttpObservation>,
+}
+
+impl StudyResults {
+    /// The Table I funnel, measured.
+    pub fn funnel(&self) -> analysis::Funnel {
+        analysis::Funnel::from_results(self.ips_scanned, self.open_port, &self.records)
+    }
+}
+
+/// Runs the complete pipeline.
+pub fn run_study(cfg: &StudyConfig) -> StudyResults {
+    let mut sim = Simulator::new(cfg.population.seed);
+    let truth = worldgen::build(&mut sim, &cfg.population);
+
+    // Stage 1: ZMap-style host discovery over the population space.
+    let mut scan_cfg = ScanConfig::tcp21(cfg.population.space, cfg.population.seed ^ 0x5ca);
+    scan_cfg.blocklist = Blocklist::standard();
+    let (scanner, scan_results) = HostDiscovery::new(scan_cfg);
+    let sid = sim.register_endpoint(Box::new(scanner));
+    sim.schedule_timer(sid, SimDuration::ZERO, 0);
+    sim.run();
+    let (open, ips_scanned) = {
+        let r = scan_results.borrow();
+        (r.open.clone(), r.probes_sent)
+    };
+
+    // Stage 2: enumerate every responsive host.
+    let (collector, bounce_hits) = BounceCollector::new();
+    let cid = sim.register_endpoint(Box::new(collector));
+    sim.bind(COLLECTOR_IP, COLLECTOR_PORT, cid);
+    let mut enum_cfg = EnumConfig::new(SCANNER_IP)
+        .with_request_cap(cfg.request_cap)
+        .with_concurrency(cfg.concurrency)
+        .with_request_gap(cfg.request_gap);
+    enum_cfg.respect_robots = cfg.respect_robots;
+    enum_cfg.strict_replies = cfg.strict_replies;
+    if cfg.probe_bounce {
+        enum_cfg = enum_cfg.with_bounce_probe(HostPort::new(COLLECTOR_IP, COLLECTOR_PORT));
+    }
+    let (enumerator, records) = Enumerator::new(enum_cfg, open.clone());
+    let eid = sim.register_endpoint(Box::new(enumerator));
+    sim.schedule_timer(eid, SimDuration::ZERO, 0);
+    sim.run();
+
+    // Stage 3: HTTP overlap sweep of the FTP-responsive hosts.
+    let http = if cfg.probe_http {
+        let ftp_ips: Vec<Ipv4Addr> =
+            records.borrow().iter().filter(|r| r.ftp_compliant).map(|r| r.ip).collect();
+        let (probe, web_results) = WebProbe::new(WEB_IP, ftp_ips);
+        let wid = sim.register_endpoint(Box::new(probe));
+        sim.schedule_timer(wid, SimDuration::ZERO, 0);
+        sim.run();
+        let out = web_results.borrow().clone();
+        out
+    } else {
+        HashMap::new()
+    };
+
+    let records = records.borrow().clone();
+    let bounce_hits = bounce_hits.borrow().clone();
+    StudyResults {
+        truth,
+        ips_scanned,
+        open_port: open.len() as u64,
+        records,
+        bounce_hits,
+        http,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_smoke() {
+        let results = run_study(&StudyConfig::small(11, 120));
+        assert!(results.ips_scanned > 0);
+        let funnel = results.funnel();
+        assert_eq!(funnel.ftp_servers as usize, results.truth.hosts.len());
+        assert!(funnel.open_port > funnel.ftp_servers, "non-FTP responders exist");
+        assert!(funnel.anonymous > 0);
+    }
+}

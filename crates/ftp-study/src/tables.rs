@@ -1,0 +1,424 @@
+//! Renders every table and figure of the paper from measured results.
+//!
+//! Each `table_*` function regenerates one artifact of the evaluation;
+//! [`full_report`] concatenates them all — this is what the
+//! `full_study` example and the benchmark harness print.
+
+use crate::study::StudyResults;
+use analysis::report::{pct, thousands, Table};
+use analysis::{ases, bounce, campaigns, cve, exposure, fingerprint, ftps, writable};
+
+/// Table I: the discovery funnel.
+pub fn table01_funnel(r: &StudyResults) -> String {
+    let f = r.funnel();
+    let mut t = Table::new("TABLE I. GENERAL METRICS FROM FTP ENUMERATION");
+    t.row(["IPs scanned", &thousands(f.ips_scanned), ""]);
+    t.row([
+        "Open port 21",
+        &thousands(f.open_port),
+        &pct(f.open_port, f.ips_scanned),
+    ]);
+    t.row(["FTP servers", &thousands(f.ftp_servers), &pct(f.ftp_servers, f.open_port)]);
+    t.row([
+        "Anonymous FTP servers",
+        &thousands(f.anonymous),
+        &pct(f.anonymous, f.ftp_servers),
+    ]);
+    t.render()
+}
+
+/// Table II: server classification.
+pub fn table02_classes(r: &StudyResults) -> String {
+    let b = fingerprint::class_breakdown(&r.records);
+    let mut t = Table::new("TABLE II. BREAKOUT OF SERVERS IN EACH CATEGORY")
+        .headers(["Server Classification", "All FTP Servers", "Anonymous FTP Servers"]);
+    for (name, all, anon) in &b.rows {
+        t.row([
+            name.clone(),
+            format!("{} {}", thousands(*all), pct(*all, b.total)),
+            format!("{} {}", thousands(*anon), pct(*anon, b.total_anon)),
+        ]);
+    }
+    t.render()
+}
+
+/// Table III: ASes accounting for 50% of each FTP type.
+pub fn table03_as50(r: &StudyResults) -> String {
+    let wr = writable::detect(&r.records, Some(&r.truth.registry));
+    let tallies = ases::tally_by_as(&r.records, &r.truth.registry, &wr.servers);
+    let mut t = Table::new("TABLE III. ASES ACCOUNTING FOR 50% OF ALL FTP TYPES")
+        .headers(["AS Type", "All FTP", "Anonymous FTP"]);
+    let all_mix = ases::kind_mix_of_top(&tallies, &r.truth.registry, |t| t.ftp);
+    let anon_mix = ases::kind_mix_of_top(&tallies, &r.truth.registry, |t| t.anonymous);
+    for kind in [netsim::AsKind::Hosting, netsim::AsKind::Isp, netsim::AsKind::Academic, netsim::AsKind::Other]
+    {
+        t.row([
+            kind.to_string(),
+            all_mix.get(&kind).copied().unwrap_or(0).to_string(),
+            anon_mix.get(&kind).copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    let n_all = ases::ases_covering(&tallies, |t| t.ftp, 0.5);
+    let n_anon = ases::ases_covering(&tallies, |t| t.anonymous, 0.5);
+    t.row(["(total ASes at 50%)", &n_all.to_string(), &n_anon.to_string()]);
+    t.render()
+}
+
+/// Table IV: classes of embedded devices.
+pub fn table04_device_classes(r: &StudyResults) -> String {
+    let mut t = Table::new("TABLE IV. CLASSES OF EMBEDDED DEVICES")
+        .headers(["Device Type", "All FTP", "Anonymous FTP"]);
+    for (class, total, anon) in fingerprint::device_class_breakdown(&r.records) {
+        t.row([class, thousands(total), thousands(anon)]);
+    }
+    t.render()
+}
+
+/// Table V: provider-deployed devices.
+pub fn table05_provider_devices(r: &StudyResults) -> String {
+    let mut t = Table::new("TABLE V. COMMON PROVIDER DEPLOYED DEVICES")
+        .headers(["Device", "# Found", "# Anonymous"]);
+    for (name, total, anon) in fingerprint::device_breakdown(&r.records, true) {
+        t.row([name, thousands(total), format!("{} {}", thousands(anon), pct(anon, total))]);
+    }
+    t.render()
+}
+
+/// Table VI: top ASes by anonymous-server count.
+pub fn table06_top_ases(r: &StudyResults) -> String {
+    let wr = writable::detect(&r.records, Some(&r.truth.registry));
+    let tallies = ases::tally_by_as(&r.records, &r.truth.registry, &wr.servers);
+    let rows = ases::top_ases_by_anonymous(&tallies, &r.truth.registry, 10);
+    let mut t = Table::new("TABLE VI. TOP 10 ASES BY NUMBER OF ANONYMOUS FTP SERVERS")
+        .headers(["AS", "IPs advertised", "FTP servers", "Anonymous FTP servers"]);
+    for row in rows {
+        t.row([
+            format!("AS{} {}", row.asn, row.name),
+            format!("{} ", thousands(row.advertised)),
+            format!("{} {}", thousands(row.ftp), pct(row.ftp, row.advertised)),
+            format!("{} {}", thousands(row.anonymous), pct(row.anonymous, row.ftp)),
+        ]);
+    }
+    t.render()
+}
+
+/// Table VII: standalone embedded devices.
+pub fn table07_consumer_devices(r: &StudyResults) -> String {
+    let mut t = Table::new(
+        "TABLE VII. SAMPLE OF EMBEDDED SERVER DEVICES THAT ARE DEPLOYED AS STANDALONE",
+    )
+    .headers(["Device", "# Found", "# Anonymous"]);
+    for (name, total, anon) in fingerprint::device_breakdown(&r.records, false) {
+        t.row([name, thousands(total), format!("{} {}", thousands(anon), pct(anon, total))]);
+    }
+    t.render()
+}
+
+/// Table VIII: most common file extensions across SOHO devices.
+pub fn table08_extensions(r: &StudyResults) -> String {
+    let rows = exposure::extension_histogram(&r.records, exposure::is_soho);
+    let soho_total = r.records.iter().filter(|rec| exposure::is_soho(rec)).count() as u64;
+    let mut t = Table::new("TABLE VIII. MOST COMMON FILE EXTENSIONS ACROSS KNOWN SOHO DEVICES")
+        .headers(["Extension", "# Files", "# Servers"]);
+    for row in rows.iter().take(10) {
+        t.row([
+            format!(".{}", row.extension),
+            thousands(row.files),
+            format!("{} {}", thousands(row.servers), pct(row.servers, soho_total)),
+        ]);
+    }
+    t.render()
+}
+
+/// Table IX: sensitive exposure with readability splits.
+pub fn table09_sensitive(r: &StudyResults) -> String {
+    let table = exposure::sensitive_exposure(&r.records);
+    let mut t = Table::new("TABLE IX. EXAMPLES OF SENSITIVE EXPOSURE VIA ANONYMOUS FTP").headers([
+        "File",
+        "# Servers",
+        "# Files",
+        "# Readable",
+        "# Non-readable",
+        "# Unk-readable",
+    ]);
+    for class in exposure::SensitiveClass::ALL {
+        let row = table.get(&class).cloned().unwrap_or_default();
+        t.row([
+            class.label().to_owned(),
+            thousands(row.servers),
+            thousands(row.files),
+            thousands(row.readable),
+            thousands(row.non_readable),
+            thousands(row.unk_readable),
+        ]);
+    }
+    t.render()
+}
+
+/// Table X: device breakout for each exposure class.
+pub fn table10_breakout(r: &StudyResults) -> String {
+    let out = exposure::device_breakout(&r.records);
+    let buckets =
+        ["Embedded NAS", "Embedded Router", "Embedded Other", "Generic", "Hosting", "Unknown"];
+    let mut t = Table::new("TABLE X. BREAKOUT OF DEVICES EXPOSING USER INFORMATION").headers(
+        std::iter::once("Type of Exposure".to_owned())
+            .chain(buckets.iter().map(|b| b.to_string())),
+    );
+    for (class, label) in [
+        (exposure::ExposureClass::SensitiveDocuments, "Sensitive Documents"),
+        (exposure::ExposureClass::PhotoLibrary, "Photo Libraries"),
+        (exposure::ExposureClass::RootFilesystem, "Root File Systems"),
+        (exposure::ExposureClass::ScriptingSource, "Scripting Source"),
+    ] {
+        let counts = out.get(&class);
+        let total: u64 = counts.map(|m| m.values().sum()).unwrap_or(0);
+        let mut cells = vec![label.to_owned()];
+        for b in buckets {
+            let n = counts.and_then(|m| m.get(b)).copied().unwrap_or(0);
+            cells.push(pct(n, total));
+        }
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Table XI: CVE exposure from banner versions.
+pub fn table11_cves(r: &StudyResults) -> String {
+    let mut t = Table::new("TABLE XI. NUMBER OF SERVERS VULNERABLE TO CVES").headers([
+        "Implementation",
+        "Vulnerability",
+        "CVSS Score",
+        "Number IPs",
+    ]);
+    for (rule, count) in cve::table(&r.records) {
+        t.row([
+            rule.family_name.to_owned(),
+            rule.id.to_owned(),
+            format!("{:.1}", rule.cvss),
+            thousands(count),
+        ]);
+    }
+    t.render()
+}
+
+/// Table XII: most common FTPS certificates.
+pub fn table12_certs(r: &StudyResults) -> String {
+    let mut t = Table::new("TABLE XII. TOP 10 MOST COMMON FTPS CERTIFICATES").headers([
+        "Certificate CN",
+        "# Servers",
+        "Browser-trusted?",
+    ]);
+    for row in ftps::top_certs(&r.records, 10) {
+        t.row([
+            row.subject_cn,
+            thousands(row.servers),
+            if row.trusted { "Yes".to_owned() } else { "No – self-signed".to_owned() },
+        ]);
+    }
+    t.render()
+}
+
+/// Table XIII: devices sharing built-in FTPS certificates.
+pub fn table13_device_certs(r: &StudyResults) -> String {
+    let mut t = Table::new("TABLE XIII. DEVICES THAT SHARE FTPS CERTIFICATES")
+        .headers(["Device", "# Found"]);
+    for (name, count) in ftps::shared_device_certs(&r.records, 2) {
+        t.row([name, thousands(count)]);
+    }
+    t.render()
+}
+
+/// Figure 1 as CSV (`ases,all,anonymous,writable` series) for plotting.
+pub fn fig01_cdf_csv(r: &StudyResults) -> String {
+    let wr = writable::detect(&r.records, Some(&r.truth.registry));
+    let tallies = ases::tally_by_as(&r.records, &r.truth.registry, &wr.servers);
+    let all = ases::cdf_series(&tallies, |t| t.ftp);
+    let anon = ases::cdf_series(&tallies, |t| t.anonymous);
+    let writable_series = ases::cdf_series(&tallies, |t| t.writable);
+    let at = |series: &[(usize, f64)], n: usize| -> f64 {
+        series.iter().take_while(|&&(i, _)| i <= n).last().map(|&(_, f)| f).unwrap_or(1.0)
+    };
+    let max_n = all.len().max(anon.len()).max(writable_series.len()).max(1);
+    let mut out = String::from("ases,all_ftp,anonymous_ftp,writable_ftp\n");
+    for n in 1..=max_n {
+        out.push_str(&format!(
+            "{n},{:.6},{:.6},{:.6}\n",
+            at(&all, n),
+            at(&anon, n),
+            at(&writable_series, n)
+        ));
+    }
+    out
+}
+
+/// Figure 1: the AS CDF, as a text table of sample points.
+pub fn fig01_cdf(r: &StudyResults) -> String {
+    let wr = writable::detect(&r.records, Some(&r.truth.registry));
+    let tallies = ases::tally_by_as(&r.records, &r.truth.registry, &wr.servers);
+    let all = ases::cdf_series(&tallies, |t| t.ftp);
+    let anon = ases::cdf_series(&tallies, |t| t.anonymous);
+    let writable_series = ases::cdf_series(&tallies, |t| t.writable);
+    let mut t = Table::new("FIGURE 1. CDF OF FTP SERVERS BY AS (sampled points)").headers([
+        "# ASes",
+        "All FTP",
+        "Anonymous FTP",
+        "Writable FTP",
+    ]);
+    let sample = |series: &[(usize, f64)], n: usize| -> String {
+        series
+            .iter()
+            .take_while(|&&(i, _)| i <= n)
+            .last()
+            .map(|&(_, f)| format!("{:.3}", f))
+            .unwrap_or_else(|| "1.000".to_owned())
+    };
+    for n in [1usize, 2, 5, 10, 20, 50, 100, 200, 500] {
+        t.row([
+            n.to_string(),
+            sample(&all, n),
+            sample(&anon, n),
+            sample(&writable_series, n),
+        ]);
+    }
+    t.render()
+}
+
+/// §VI summaries: writability, campaigns, and the HTTP overlap.
+pub fn section6_malice(r: &StudyResults) -> String {
+    let wr = writable::detect(&r.records, Some(&r.truth.registry));
+    let cs = campaigns::detect(&r.records);
+    let mut t = Table::new("SECTION VI. MALICIOUS USE (measured)").headers(["Metric", "Value"]);
+    t.row([
+        "World-writable servers (reference set)".to_owned(),
+        format!("{} in {} ASes", thousands(wr.servers.len() as u64), wr.as_count),
+    ]);
+    let count = |c: campaigns::CampaignClass| {
+        cs.servers.get(&c).map(|s| s.len() as u64).unwrap_or(0)
+    };
+    t.row(["ftpchk3 campaign servers".to_owned(), thousands(count(campaigns::CampaignClass::Ftpchk3))]);
+    t.row(["RAT servers (reference-set sourced)".to_owned(), thousands(count(campaigns::CampaignClass::Rat))]);
+    t.row(["UDP DDoS script servers".to_owned(), thousands(count(campaigns::CampaignClass::Ddos))]);
+    t.row([
+        "Holy Bible SEO servers".to_owned(),
+        format!(
+            "{} ({:.2}% also writable)",
+            thousands(count(campaigns::CampaignClass::HolyBible)),
+            cs.holy_bible_writable_share * 100.0
+        ),
+    ]);
+    t.row(["Keygen-flier servers".to_owned(), thousands(count(campaigns::CampaignClass::KeygenFlier))]);
+    t.row(["WaReZ transport servers".to_owned(), thousands(count(campaigns::CampaignClass::Warez))]);
+    t.row(["Ramnit-banner servers".to_owned(), thousands(count(campaigns::CampaignClass::Ramnit))]);
+    let ftp_total = r.records.iter().filter(|x| x.ftp_compliant).count() as u64;
+    let both = r.http.len() as u64;
+    let scripting = r.http.values().filter(|o| o.powered_by.is_some()).count() as u64;
+    t.row([
+        "FTP hosts also serving HTTP".to_owned(),
+        format!("{} {}", thousands(both), pct(both, ftp_total)),
+    ]);
+    t.row([
+        "FTP hosts with server-side scripting".to_owned(),
+        format!("{} {}", thousands(scripting), pct(scripting, ftp_total)),
+    ]);
+    t.render()
+}
+
+/// §VII-B: PORT validation summary.
+pub fn section7_bounce(r: &StudyResults) -> String {
+    let s = bounce::summarize(&r.records, &r.bounce_hits);
+    let mut t = Table::new("SECTION VII-B. PORT BOUNCING (measured)").headers(["Metric", "Value"]);
+    t.row([
+        "Anonymous servers failing PORT validation".to_owned(),
+        format!("{} ({:.2}% of probed)", thousands(s.accepted), s.acceptance_rate() * 100.0),
+    ]);
+    t.row(["…confirmed at collector".to_owned(), thousands(s.confirmed)]);
+    t.row(["Servers behind NAT".to_owned(), thousands(s.nat)]);
+    t.row(["NAT + invalid PORT".to_owned(), thousands(s.nat_and_vulnerable)]);
+    t.row(["Writable + invalid PORT".to_owned(), thousands(s.writable_and_vulnerable)]);
+    t.row(["FileZilla servers observed".to_owned(), thousands(s.filezilla_total)]);
+    t.render()
+}
+
+/// §IX: FTPS summary.
+pub fn section9_ftps(r: &StudyResults) -> String {
+    let s = ftps::summarize(&r.records);
+    let mut t = Table::new("SECTION IX. FTPS IMPACT (measured)").headers(["Metric", "Value"]);
+    t.row([
+        "FTP servers supporting FTPS".to_owned(),
+        format!("{} {}", thousands(s.ftps_supported), pct(s.ftps_supported, s.ftp_total)),
+    ]);
+    t.row(["FTPS required before login".to_owned(), thousands(s.required_before_login)]);
+    t.row([
+        "Unique certificates".to_owned(),
+        format!("{} of {} collected", thousands(s.unique_certs), thousands(s.certs_seen)),
+    ]);
+    t.row([
+        "Self-signed certificates".to_owned(),
+        format!("{:.1}%", s.self_signed_share * 100.0),
+    ]);
+    t.render()
+}
+
+/// §X's proposed CyberUL certification, run fleet-wide.
+pub fn section10_cyberul(r: &StudyResults) -> String {
+    let (rate, failing) = analysis::cyberul::fleet_summary(&r.records);
+    let mut t = Table::new("SECTION X. CYBERUL CERTIFICATION (proposed remedy, measured)")
+        .headers(["Metric", "Value"]);
+    t.row(["Fleet certification pass rate".to_owned(), format!("{:.1}%", rate * 100.0)]);
+    for (check, count) in failing.into_iter().take(6) {
+        t.row([format!("blocking finding: {check}"), thousands(count)]);
+    }
+    t.render()
+}
+
+/// §III-A's notification queue, summarized.
+pub fn section3_notifications(r: &StudyResults) -> String {
+    let digests = analysis::notify::build_digests(&r.records, &r.truth.registry);
+    let mut t = Table::new("SECTION III-A. RESPONSIBLE-DISCLOSURE QUEUE (measured)")
+        .headers(["Network", "Findings"]);
+    for d in digests.iter().take(10) {
+        t.row([
+            format!("AS{} {}", d.asn, d.organization),
+            thousands(d.total_findings()),
+        ]);
+    }
+    t.row(["(total networks to notify)".to_owned(), thousands(digests.len() as u64)]);
+    t.render()
+}
+
+/// The complete paper reproduction report.
+pub fn full_report(r: &StudyResults) -> String {
+    let scale = r.truth.spec.scale;
+    let boost = r.truth.spec.rare_boost;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FTP: THE FORGOTTEN CLOUD — reproduction run\n\
+         population scale 1:{scale} (multiply counts by {scale} for paper scale);\n\
+         rare-phenomenon boost {boost:.0}x (divide rare counts by {boost:.0} first)\n\n"
+    ));
+    for section in [
+        table01_funnel(r),
+        table02_classes(r),
+        table03_as50(r),
+        table04_device_classes(r),
+        table05_provider_devices(r),
+        table06_top_ases(r),
+        table07_consumer_devices(r),
+        table08_extensions(r),
+        table09_sensitive(r),
+        table10_breakout(r),
+        table11_cves(r),
+        table12_certs(r),
+        table13_device_certs(r),
+        fig01_cdf(r),
+        section6_malice(r),
+        section7_bounce(r),
+        section9_ftps(r),
+        section10_cyberul(r),
+        section3_notifications(r),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,180 @@
+//! HTTP co-hosting probe (§VI-B).
+//!
+//! The paper joined its FTP enumeration against a Censys HTTP snapshot
+//! to find hosts running both services and, via `X-Powered-By`, hosts
+//! with server-side scripting. Our substitute is a direct sweep: one
+//! `GET /` per FTP host, recording the `Server` and `X-Powered-By`
+//! headers.
+
+use netsim::{ConnId, ConnectError, Ctx, Endpoint};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// What one host's HTTP front said.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpObservation {
+    /// `Server` header value.
+    pub server: Option<String>,
+    /// `X-Powered-By` header value (scripting indicator).
+    pub powered_by: Option<String>,
+}
+
+/// Shared results handle: host → observation (present only for hosts
+/// that answered HTTP).
+pub type WebResults = Rc<RefCell<HashMap<Ipv4Addr, HttpObservation>>>;
+
+/// Endpoint sweeping a target list on TCP/80.
+#[derive(Debug)]
+pub struct WebProbe {
+    source_ip: Ipv4Addr,
+    targets: Vec<Ipv4Addr>,
+    next: usize,
+    in_flight: usize,
+    max_concurrent: usize,
+    conn_targets: HashMap<ConnId, Ipv4Addr>,
+    bufs: HashMap<ConnId, String>,
+    results: WebResults,
+}
+
+impl WebProbe {
+    /// Creates a probe over `targets`; returns it with its results
+    /// handle. Kick with a timer to start.
+    pub fn new(source_ip: Ipv4Addr, targets: Vec<Ipv4Addr>) -> (Self, WebResults) {
+        let results: WebResults = Rc::new(RefCell::new(HashMap::new()));
+        (
+            WebProbe {
+                source_ip,
+                targets,
+                next: 0,
+                in_flight: 0,
+                max_concurrent: 128,
+                conn_targets: HashMap::new(),
+                bufs: HashMap::new(),
+                results: results.clone(),
+            },
+            results,
+        )
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        while self.in_flight < self.max_concurrent && self.next < self.targets.len() {
+            let ip = self.targets[self.next];
+            let token = self.next as u64;
+            self.next += 1;
+            self.in_flight += 1;
+            ctx.connect(self.source_ip, ip, 80, token);
+        }
+    }
+
+    fn finish_conn(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        if let Some(ip) = self.conn_targets.remove(&conn) {
+            if let Some(body) = self.bufs.remove(&conn) {
+                let obs = parse_headers(&body);
+                self.results.borrow_mut().insert(ip, obs);
+            }
+            self.in_flight -= 1;
+            ctx.close(conn);
+            self.pump(ctx);
+        }
+    }
+}
+
+fn parse_headers(response: &str) -> HttpObservation {
+    let mut obs = HttpObservation::default();
+    for line in response.lines() {
+        if let Some(v) = header_value(line, "server") {
+            obs.server = Some(v);
+        } else if let Some(v) = header_value(line, "x-powered-by") {
+            obs.powered_by = Some(v);
+        }
+    }
+    obs
+}
+
+fn header_value(line: &str, name: &str) -> Option<String> {
+    let (k, v) = line.split_once(':')?;
+    if k.trim().eq_ignore_ascii_case(name) {
+        Some(v.trim().to_owned())
+    } else {
+        None
+    }
+}
+
+impl Endpoint for WebProbe {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.pump(ctx);
+    }
+
+    fn on_outbound(&mut self, ctx: &mut Ctx<'_>, token: u64, result: Result<ConnId, ConnectError>) {
+        let ix = token as usize;
+        match result {
+            Ok(conn) => {
+                let ip = self.targets[ix];
+                self.conn_targets.insert(conn, ip);
+                self.bufs.insert(conn, String::new());
+                ctx.send(conn, b"GET / HTTP/1.0\r\nHost: probe\r\n\r\n");
+            }
+            Err(_) => {
+                self.in_flight -= 1;
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        if let Some(buf) = self.bufs.get_mut(&conn) {
+            buf.push_str(&String::from_utf8_lossy(data));
+            if buf.contains("\r\n\r\n") {
+                self.finish_conn(ctx, conn);
+            }
+        }
+    }
+
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.finish_conn(ctx, conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpd::misc::HttpService;
+    use netsim::{SimDuration, Simulator};
+
+    #[test]
+    fn sweep_collects_headers() {
+        let mut sim = Simulator::new(4);
+        let php = Ipv4Addr::new(9, 0, 0, 1);
+        let plain = Ipv4Addr::new(9, 0, 0, 2);
+        let none = Ipv4Addr::new(9, 0, 0, 3);
+        let s1 = sim.register_endpoint(Box::new(
+            HttpService::new("Apache/2.2.22").with_powered_by("PHP/5.4.45"),
+        ));
+        sim.bind(php, 80, s1);
+        let s2 = sim.register_endpoint(Box::new(HttpService::new("nginx/1.2.1")));
+        sim.bind(plain, 80, s2);
+        sim.add_host(none); // no HTTP service
+        let (probe, results) =
+            WebProbe::new(Ipv4Addr::new(198, 108, 0, 3), vec![php, plain, none]);
+        let id = sim.register_endpoint(Box::new(probe));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        sim.run();
+        let r = results.borrow();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[&php].powered_by.as_deref(), Some("PHP/5.4.45"));
+        assert_eq!(r[&plain].server.as_deref(), Some("nginx/1.2.1"));
+        assert!(r[&plain].powered_by.is_none());
+        assert!(!r.contains_key(&none));
+    }
+
+    #[test]
+    fn header_parsing() {
+        let obs = parse_headers("HTTP/1.0 200 OK\r\nServer: x\r\nX-Powered-By: ASP.NET\r\n\r\n");
+        assert_eq!(obs.server.as_deref(), Some("x"));
+        assert_eq!(obs.powered_by.as_deref(), Some("ASP.NET"));
+        assert_eq!(header_value("no colon here", "server"), None);
+    }
+}

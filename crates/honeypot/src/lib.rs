@@ -1,0 +1,37 @@
+//! FTP honeypots and a generative attacker population (§VIII).
+//!
+//! The paper ran eight anonymous, world-writable FTP honeypots for three
+//! months and catalogued who showed up: port scanners, HTTP `GET`s on
+//! port 21, credential brute-forcers, blind directory traversers, write
+//! probers, `PORT`-bounce testers, one CVE-2015-3306 exploit attempt,
+//! one Seagate no-root-password RAT upload, and certificate
+//! fingerprinters.
+//!
+//! This crate reproduces both sides:
+//!
+//! * [`sensor::Sensor`] wraps a normal [`ftpd::FtpServerEngine`] and
+//!   records every control-channel line with its source and timestamp —
+//!   the honeypot's observation capability;
+//! * [`attackers`] generates a population of scripted attackers whose
+//!   *mix* is calibrated to §VIII's observations; each attacker is an
+//!   independent scripted FTP client replayed over the simulator at a
+//!   random time in the observation window;
+//! * [`farm`] assembles the eight honeypots, runs the window, and
+//!   distills the paper's §VIII-A statistics from the logs alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attackers;
+pub mod farm;
+pub mod sensor;
+
+pub use attackers::{AttackerKind, AttackerSpec};
+pub use farm::{FarmReport, HoneypotFarm};
+pub use sensor::{LogEvent, Sensor, SensorLog};
+
+/// True when `name` matches the WaReZ transport-directory signature
+/// (two-digit date components plus six-digit time plus `p`, §VI-C).
+pub fn warez_like(name: &str) -> bool {
+    name.len() == 13 && name.ends_with('p') && name[..12].chars().all(|c| c.is_ascii_digit())
+}

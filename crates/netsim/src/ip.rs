@@ -1,0 +1,264 @@
+//! IPv4 prefix (CIDR) utilities.
+//!
+//! The simulator, the ZMap-style scanner's blocklist, and the worldgen
+//! AS-prefix allocator all reason about address ranges; this module gives
+//! them one `Ipv4Net` type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix such as `10.0.0.0/8`.
+///
+/// # Example
+///
+/// ```
+/// use netsim::Ipv4Net;
+/// use std::net::Ipv4Addr;
+///
+/// let net: Ipv4Net = "192.168.0.0/16".parse()?;
+/// assert!(net.contains(Ipv4Addr::new(192, 168, 55, 1)));
+/// assert_eq!(net.size(), 65536);
+/// # Ok::<(), netsim::ip::ParseNetError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    base: u32,
+    prefix_len: u8,
+}
+
+/// Error parsing an [`Ipv4Net`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetError {
+    input: String,
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR prefix: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseNetError {}
+
+impl Ipv4Net {
+    /// Creates a prefix, masking `base` down to the prefix boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} exceeds 32");
+        let mask = Self::mask_bits(prefix_len);
+        Ipv4Net { base: u32::from(base) & mask, prefix_len }
+    }
+
+    fn mask_bits(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// The prefix length.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// Whether `ip` lies inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & Self::mask_bits(self.prefix_len) == self.base
+    }
+
+    /// The `index`-th address of the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.size()`.
+    pub fn addr_at(&self, index: u64) -> Ipv4Addr {
+        assert!(index < self.size(), "index {index} out of range for /{}", self.prefix_len);
+        Ipv4Addr::from(self.base + index as u32)
+    }
+
+    /// Zero-based offset of `ip` within the prefix, or `None` if outside.
+    pub fn index_of(&self, ip: Ipv4Addr) -> Option<u64> {
+        if self.contains(ip) {
+            Some(u64::from(u32::from(ip) - self.base))
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over every address in the prefix (ascending).
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map(move |i| self.addr_at(i))
+    }
+
+    /// Whether the prefixes share any address.
+    pub fn overlaps(&self, other: &Ipv4Net) -> bool {
+        let shorter = self.prefix_len.min(other.prefix_len);
+        let mask = Self::mask_bits(shorter);
+        self.base & mask == other.base & mask
+    }
+
+    /// Splits into `2^bits` equal sub-prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting prefix length would exceed 32.
+    pub fn subnets(&self, bits: u8) -> Vec<Ipv4Net> {
+        let new_len = self.prefix_len + bits;
+        assert!(new_len <= 32, "subnet split to /{new_len} exceeds /32");
+        let step = 1u64 << (32 - new_len);
+        (0..(1u64 << bits))
+            .map(|i| Ipv4Net {
+                base: self.base + (i * step) as u32,
+                prefix_len: new_len,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Net {
+    type Err = ParseNetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseNetError { input: s.to_owned() };
+        let (addr, len) = s.split_once('/').ok_or_else(err)?;
+        let base: Ipv4Addr = addr.trim().parse().map_err(|_| err())?;
+        let prefix_len: u8 = len.trim().parse().map_err(|_| err())?;
+        if prefix_len > 32 {
+            return Err(err());
+        }
+        Ok(Ipv4Net::new(base, prefix_len))
+    }
+}
+
+/// IANA-reserved ranges a responsible Internet-wide scan must exclude
+/// (the paper followed Durumeric et al.'s scanning recommendations).
+pub fn reserved_ranges() -> Vec<Ipv4Net> {
+    [
+        "0.0.0.0/8",       // "this" network
+        "10.0.0.0/8",      // RFC 1918
+        "100.64.0.0/10",   // CGN shared space
+        "127.0.0.0/8",     // loopback
+        "169.254.0.0/16",  // link local
+        "172.16.0.0/12",   // RFC 1918
+        "192.0.0.0/24",    // IETF protocol assignments
+        "192.0.2.0/24",    // TEST-NET-1
+        "192.168.0.0/16",  // RFC 1918
+        "198.18.0.0/15",   // benchmarking
+        "198.51.100.0/24", // TEST-NET-2
+        "203.0.113.0/24",  // TEST-NET-3
+        "224.0.0.0/4",     // multicast
+        "240.0.0.0/4",     // future use
+    ]
+    .iter()
+    .map(|s| s.parse().expect("static table parses"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n: Ipv4Net = "10.1.2.3/8".parse().unwrap();
+        assert_eq!(n.to_string(), "10.0.0.0/8"); // masked down
+        assert_eq!(n.prefix_len(), 8);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Net>().is_err());
+        assert!("bogus/8".parse::<Ipv4Net>().is_err());
+    }
+
+    #[test]
+    fn contains_and_index() {
+        let n: Ipv4Net = "192.168.0.0/16".parse().unwrap();
+        let ip = Ipv4Addr::new(192, 168, 3, 7);
+        assert!(n.contains(ip));
+        let ix = n.index_of(ip).unwrap();
+        assert_eq!(n.addr_at(ix), ip);
+        assert_eq!(n.index_of(Ipv4Addr::new(192, 169, 0, 0)), None);
+    }
+
+    #[test]
+    fn size_and_bounds() {
+        let n: Ipv4Net = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(n.size(), 1);
+        assert_eq!(n.addr_at(0), Ipv4Addr::new(1, 2, 3, 4));
+        let whole: Ipv4Net = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(whole.size(), 1u64 << 32);
+        assert!(whole.contains(Ipv4Addr::new(255, 255, 255, 255)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_at_out_of_range_panics() {
+        let n: Ipv4Net = "1.2.3.0/24".parse().unwrap();
+        let _ = n.addr_at(256);
+    }
+
+    #[test]
+    fn overlap() {
+        let a: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let b: Ipv4Net = "10.5.0.0/16".parse().unwrap();
+        let c: Ipv4Net = "11.0.0.0/8".parse().unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn subnet_split() {
+        let n: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let subs = n.subnets(2);
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[1].to_string(), "10.64.0.0/10");
+        assert_eq!(subs.iter().map(|s| s.size()).sum::<u64>(), n.size());
+    }
+
+    #[test]
+    fn iter_matches_size() {
+        let n: Ipv4Net = "1.2.3.0/30".parse().unwrap();
+        let all: Vec<_> = n.iter().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], Ipv4Addr::new(1, 2, 3, 3));
+    }
+
+    #[test]
+    fn reserved_ranges_cover_rfc1918() {
+        let ranges = reserved_ranges();
+        for ip in [
+            Ipv4Addr::new(10, 1, 1, 1),
+            Ipv4Addr::new(172, 20, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 1),
+            Ipv4Addr::new(127, 0, 0, 1),
+        ] {
+            assert!(ranges.iter().any(|r| r.contains(ip)), "{ip} not covered");
+        }
+        assert!(!ranges.iter().any(|r| r.contains(Ipv4Addr::new(8, 8, 8, 8))));
+    }
+}

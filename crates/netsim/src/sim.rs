@@ -1,0 +1,1191 @@
+//! The discrete-event simulator core: hosts, connections, and endpoints.
+//!
+//! # Model
+//!
+//! * A **host** is an IPv4 address with bound services, a firewall
+//!   policy for unbound ports (RST vs silent drop — what lets a scanner
+//!   distinguish *closed* from *filtered*), and optional NAT metadata.
+//! * An **endpoint** is event-driven application code implementing
+//!   [`Endpoint`]. One endpoint may serve many hosts/ports (worldgen
+//!   binds one FTP engine per simulated server host) and many concurrent
+//!   connections (the enumerator drives thousands of sessions from one
+//!   endpoint).
+//! * A **connection** is a reliable, ordered byte stream established via
+//!   a simulated three-way handshake with per-path latency.
+//!
+//! Handlers receive a [`Ctx`] with immediate-effect APIs (send bytes,
+//! open connections, bind ephemeral ports, set timers). The simulator is
+//! single-threaded; determinism comes from the totally-ordered event
+//! queue (time, then insertion sequence).
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifies a registered [`Endpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(u32);
+
+/// Identifies a live (or recently closed) connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Outcome of a stateless SYN probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeStatus {
+    /// SYN-ACK received: the port is open.
+    Open,
+    /// RST received: host up, port closed.
+    Closed,
+    /// Nothing came back: host absent or firewall drops.
+    Filtered,
+}
+
+/// Why an outbound connect failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnectError {
+    /// The peer sent RST (port closed, connection rejected).
+    Refused,
+    /// No answer within the connect timeout.
+    Timeout,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::Refused => f.write_str("connection refused"),
+            ConnectError::Timeout => f.write_str("connection timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// Behavior of a host for SYNs to ports with no bound service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FirewallPolicy {
+    /// Send RST — scanner sees *closed*.
+    #[default]
+    RejectUnbound,
+    /// Silently drop — scanner sees *filtered*.
+    DropUnbound,
+    /// Drop everything, even SYNs to bound ports (dark host).
+    DropAll,
+}
+
+/// Event-driven application logic attached to the simulator.
+///
+/// All methods have no-op defaults so implementations override only what
+/// they need. Methods receive a [`Ctx`] for interacting with the network.
+#[allow(unused_variables)]
+pub trait Endpoint {
+    /// A new inbound connection was accepted on `local_port`.
+    fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, local_port: u16) {}
+    /// An outbound connect initiated with `token` finished.
+    fn on_outbound(&mut self, ctx: &mut Ctx<'_>, token: u64, result: Result<ConnId, ConnectError>) {
+    }
+    /// Bytes arrived on an established connection.
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {}
+    /// The peer closed (or reset) the connection.
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {}
+    /// A timer set with `token` fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
+    /// A stateless SYN probe completed.
+    fn on_probe(&mut self, ctx: &mut Ctx<'_>, target: Ipv4Addr, port: u16, status: ProbeStatus) {}
+}
+
+/// Tunable simulator parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Minimum one-way path latency.
+    pub base_latency: SimDuration,
+    /// Maximum additional per-path jitter (seeded, stable per path).
+    pub jitter: SimDuration,
+    /// Probability a SYN probe (or its answer) is lost, `0.0..=1.0`.
+    /// Stream data is never lost — simulated TCP retransmits.
+    pub probe_loss: f64,
+    /// How long a connect waits for SYN-ACK before timing out.
+    pub connect_timeout: SimDuration,
+    /// How long a probe waits before reporting *filtered*.
+    pub probe_timeout: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            base_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(40),
+            probe_loss: 0.0,
+            connect_timeout: SimDuration::from_secs(10),
+            probe_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Host {
+    bound: HashMap<u16, EndpointId>,
+    firewall: FirewallPolicy,
+    /// RFC 1918 address this host believes it has (NAT deployment).
+    internal_ip: Option<Ipv4Addr>,
+    next_ephemeral: u16,
+}
+
+impl Host {
+    fn new() -> Self {
+        Host {
+            bound: HashMap::new(),
+            firewall: FirewallPolicy::default(),
+            internal_ip: None,
+            next_ephemeral: 49_152,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    SynSent,
+    Established,
+    Closed,
+}
+
+#[derive(Debug, Clone)]
+struct Conn {
+    initiator_ip: Ipv4Addr,
+    initiator_port: u16,
+    initiator_ep: EndpointId,
+    responder_ip: Ipv4Addr,
+    responder_port: u16,
+    responder_ep: Option<EndpointId>,
+    token: u64,
+    state: ConnState,
+    latency: SimDuration,
+    /// Bytes transferred in each direction (initiator→responder,
+    /// responder→initiator); used by bandwidth accounting and tests.
+    sent: (u64, u64),
+}
+
+#[derive(Debug)]
+enum Ev {
+    SynArrive { conn: ConnId },
+    ConnectResult { conn: ConnId, ok: bool },
+    ConnectTimeout { conn: ConnId },
+    Data { conn: ConnId, to_initiator: bool, bytes: Vec<u8> },
+    Close { conn: ConnId, to_initiator: bool },
+    Timer { ep: EndpointId, token: u64 },
+    ProbeResult { ep: EndpointId, target: Ipv4Addr, port: u16, status: ProbeStatus },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Shared simulator state reachable from handlers via [`Ctx`].
+pub struct SimCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    hosts: HashMap<Ipv4Addr, Host>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    cfg: SimConfig,
+    seed: u64,
+    rng: StdRng,
+    events_processed: u64,
+}
+
+impl SimCore {
+    fn schedule(&mut self, delay: SimDuration, ev: Ev) {
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, ev }));
+    }
+
+    /// Stable per-path one-way latency.
+    fn latency(&self, a: Ipv4Addr, b: Ipv4Addr) -> SimDuration {
+        let jitter = self.cfg.jitter.as_micros();
+        if jitter == 0 {
+            return self.cfg.base_latency;
+        }
+        let mut x = self.seed ^ ((u32::from(a) as u64) << 32 | u32::from(b) as u64);
+        // splitmix64 finalizer — stable, seeded, uniform.
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        self.cfg.base_latency + SimDuration::from_micros(x % jitter)
+    }
+}
+
+/// Handler-side API: everything an [`Endpoint`] may do to the network.
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    me: EndpointId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the endpoint this context belongs to.
+    pub fn me(&self) -> EndpointId {
+        self.me
+    }
+
+    /// Deterministic random value (advances the shared sim RNG).
+    pub fn rand_u64(&mut self) -> u64 {
+        self.core.rng.random()
+    }
+
+    /// Sends bytes on an established connection. Bytes on closed or
+    /// half-open connections are silently dropped, as data racing a
+    /// close would be on a real network.
+    pub fn send(&mut self, conn: ConnId, bytes: &[u8]) {
+        let Some(c) = self.core.conns.get_mut(&conn.0) else { return };
+        if c.state != ConnState::Established {
+            return;
+        }
+        let to_initiator = self.me != c.initiator_ep;
+        if to_initiator {
+            c.sent.1 += bytes.len() as u64;
+        } else {
+            c.sent.0 += bytes.len() as u64;
+        }
+        let lat = c.latency;
+        self.core.schedule(lat, Ev::Data { conn, to_initiator, bytes: bytes.to_vec() });
+    }
+
+    /// Closes a connection; the peer receives `on_close` one latency
+    /// later. Closing an already-closed connection is a no-op.
+    pub fn close(&mut self, conn: ConnId) {
+        let Some(c) = self.core.conns.get_mut(&conn.0) else { return };
+        if c.state == ConnState::Closed {
+            return;
+        }
+        c.state = ConnState::Closed;
+        let to_initiator = self.me != c.initiator_ep;
+        let lat = c.latency;
+        self.core.schedule(lat, Ev::Close { conn, to_initiator });
+    }
+
+    /// Initiates a connection from `src_ip` (a host this endpoint
+    /// controls) to `dst`. The result arrives via
+    /// [`Endpoint::on_outbound`] carrying `token`.
+    pub fn connect(&mut self, src_ip: Ipv4Addr, dst_ip: Ipv4Addr, dst_port: u16, token: u64) {
+        let src_port = {
+            let host = self.core.hosts.entry(src_ip).or_insert_with(Host::new);
+            let p = host.next_ephemeral;
+            host.next_ephemeral = if p == u16::MAX { 49_152 } else { p + 1 };
+            p
+        };
+        let latency = self.core.latency(src_ip, dst_ip);
+        let id = self.core.next_conn;
+        self.core.next_conn += 1;
+        self.core.conns.insert(
+            id,
+            Conn {
+                initiator_ip: src_ip,
+                initiator_port: src_port,
+                initiator_ep: self.me,
+                responder_ip: dst_ip,
+                responder_port: dst_port,
+                responder_ep: None,
+                token,
+                state: ConnState::SynSent,
+                latency,
+                sent: (0, 0),
+            },
+        );
+        self.core.schedule(latency, Ev::SynArrive { conn: ConnId(id) });
+        let timeout = self.core.cfg.connect_timeout;
+        self.core.schedule(timeout, Ev::ConnectTimeout { conn: ConnId(id) });
+    }
+
+    /// Sends a stateless SYN probe (ZMap-style host discovery). The
+    /// answer arrives via [`Endpoint::on_probe`].
+    pub fn probe(&mut self, target: Ipv4Addr, port: u16) {
+        let lost = self.core.cfg.probe_loss > 0.0
+            && self.core.rng.random::<f64>() < self.core.cfg.probe_loss;
+        let status = if lost {
+            ProbeStatus::Filtered
+        } else {
+            match self.core.hosts.get(&target) {
+                None => ProbeStatus::Filtered,
+                Some(h) => match (h.bound.contains_key(&port), h.firewall) {
+                    (_, FirewallPolicy::DropAll) => ProbeStatus::Filtered,
+                    (true, _) => ProbeStatus::Open,
+                    (false, FirewallPolicy::RejectUnbound) => ProbeStatus::Closed,
+                    (false, FirewallPolicy::DropUnbound) => ProbeStatus::Filtered,
+                },
+            }
+        };
+        let ep = self.me;
+        let delay = match status {
+            ProbeStatus::Filtered => self.core.cfg.probe_timeout,
+            _ => {
+                // Round trip on the real path (seeded per path).
+                let lat = self.core.latency(Ipv4Addr::UNSPECIFIED, target);
+                lat + lat
+            }
+        };
+        self.core.schedule(delay, Ev::ProbeResult { ep, target, port, status });
+    }
+
+    /// Binds an ephemeral port on `host_ip` to this endpoint (for `PASV`
+    /// data listeners). Returns the chosen port.
+    pub fn listen_ephemeral(&mut self, host_ip: Ipv4Addr) -> u16 {
+        let me = self.me;
+        let host = self.core.hosts.entry(host_ip).or_insert_with(Host::new);
+        loop {
+            let p = host.next_ephemeral;
+            host.next_ephemeral = if p == u16::MAX { 49_152 } else { p + 1 };
+            if let std::collections::hash_map::Entry::Vacant(e) = host.bound.entry(p) {
+                e.insert(me);
+                return p;
+            }
+        }
+    }
+
+    /// Removes a port binding created with [`Ctx::listen_ephemeral`] (or
+    /// [`Simulator::bind`]).
+    pub fn unlisten(&mut self, host_ip: Ipv4Addr, port: u16) {
+        if let Some(h) = self.core.hosts.get_mut(&host_ip) {
+            h.bound.remove(&port);
+        }
+    }
+
+    /// Arms a timer; [`Endpoint::on_timer`] fires with `token` after
+    /// `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let ep = self.me;
+        self.core.schedule(delay, Ev::Timer { ep, token });
+    }
+
+    /// Remote address of a connection (`None` once fully forgotten).
+    pub fn peer_of(&self, conn: ConnId) -> Option<(Ipv4Addr, u16)> {
+        let c = self.core.conns.get(&conn.0)?;
+        if self.me == c.initiator_ep && c.responder_ep != Some(self.me) {
+            Some((c.responder_ip, c.responder_port))
+        } else {
+            Some((c.initiator_ip, c.initiator_port))
+        }
+    }
+
+    /// Local address of a connection from this endpoint's perspective.
+    pub fn local_of(&self, conn: ConnId) -> Option<(Ipv4Addr, u16)> {
+        let c = self.core.conns.get(&conn.0)?;
+        if self.me == c.initiator_ep {
+            Some((c.initiator_ip, c.initiator_port))
+        } else {
+            Some((c.responder_ip, c.responder_port))
+        }
+    }
+
+    /// The RFC 1918 address a NATed host believes it has, if configured.
+    pub fn internal_ip_of(&self, host_ip: Ipv4Addr) -> Option<Ipv4Addr> {
+        self.core.hosts.get(&host_ip).and_then(|h| h.internal_ip)
+    }
+
+    /// Bytes sent so far as `(initiator→responder, responder→initiator)`.
+    pub fn bytes_of(&self, conn: ConnId) -> Option<(u64, u64)> {
+        self.core.conns.get(&conn.0).map(|c| c.sent)
+    }
+}
+
+/// The simulator: owns the clock, hosts, connections, and endpoints.
+pub struct Simulator {
+    core: SimCore,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.core.now)
+            .field("hosts", &self.core.hosts.len())
+            .field("conns", &self.core.conns.len())
+            .field("endpoints", &self.endpoints.len())
+            .field("queued", &self.core.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with default [`SimConfig`] and the given RNG
+    /// seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator::with_config(seed, SimConfig::default())
+    }
+
+    /// Creates a simulator with explicit configuration.
+    pub fn with_config(seed: u64, cfg: SimConfig) -> Self {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                hosts: HashMap::new(),
+                conns: HashMap::new(),
+                next_conn: 0,
+                cfg,
+                seed,
+                rng: StdRng::seed_from_u64(seed),
+                events_processed: 0,
+            },
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Registers a host (idempotent).
+    pub fn add_host(&mut self, ip: Ipv4Addr) {
+        self.core.hosts.entry(ip).or_insert_with(Host::new);
+    }
+
+    /// True if a host exists at `ip`.
+    pub fn has_host(&self, ip: Ipv4Addr) -> bool {
+        self.core.hosts.contains_key(&ip)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.core.hosts.len()
+    }
+
+    /// Sets the firewall policy of a host (created if absent).
+    pub fn set_firewall(&mut self, ip: Ipv4Addr, policy: FirewallPolicy) {
+        self.core.hosts.entry(ip).or_insert_with(Host::new).firewall = policy;
+    }
+
+    /// Marks a host as NAT-deployed with the given internal address.
+    pub fn set_internal_ip(&mut self, ip: Ipv4Addr, internal: Ipv4Addr) {
+        self.core.hosts.entry(ip).or_insert_with(Host::new).internal_ip = Some(internal);
+    }
+
+    /// Registers application logic; returns its id for [`Simulator::bind`].
+    pub fn register_endpoint(&mut self, ep: Box<dyn Endpoint>) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(Some(ep));
+        id
+    }
+
+    /// Binds `port` on `ip` to an endpoint (creating the host if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound on that host.
+    pub fn bind(&mut self, ip: Ipv4Addr, port: u16, ep: EndpointId) {
+        let host = self.core.hosts.entry(ip).or_insert_with(Host::new);
+        let prev = host.bound.insert(port, ep);
+        assert!(prev.is_none(), "{ip}:{port} bound twice");
+    }
+
+    /// Schedules a timer for an endpoint from outside any handler — the
+    /// idiomatic way to kick off client drivers.
+    pub fn schedule_timer(&mut self, ep: EndpointId, delay: SimDuration, token: u64) {
+        self.core.schedule(delay, Ev::Timer { ep, token });
+    }
+
+    /// Immutable access to a registered endpoint (for result extraction
+    /// after [`Simulator::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while that endpoint's handler is running (it is
+    /// temporarily detached) — which cannot happen from outside the
+    /// simulator loop.
+    pub fn endpoint(&self, id: EndpointId) -> &dyn Endpoint {
+        self.endpoints[id.0 as usize].as_deref().expect("endpoint detached")
+    }
+
+    /// Mutable access to a registered endpoint.
+    ///
+    /// # Panics
+    ///
+    /// See [`Simulator::endpoint`].
+    pub fn endpoint_mut(&mut self, id: EndpointId) -> &mut dyn Endpoint {
+        self.endpoints[id.0 as usize].as_deref_mut().expect("endpoint detached")
+    }
+
+    /// Takes an endpoint out of the simulator (consuming its slot), for
+    /// downcasting into a concrete results type after a run.
+    pub fn take_endpoint(&mut self, id: EndpointId) -> Box<dyn Endpoint> {
+        self.endpoints[id.0 as usize].take().expect("endpoint detached or already taken")
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(q)) = self.core.queue.pop() else { return false };
+        self.core.now = q.at;
+        self.core.events_processed += 1;
+        self.dispatch(q.ev);
+        true
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(q)) = self.core.queue.peek() {
+            if q.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    fn call<F>(&mut self, ep: EndpointId, f: F)
+    where
+        F: FnOnce(&mut dyn Endpoint, &mut Ctx<'_>),
+    {
+        let slot = ep.0 as usize;
+        let Some(mut boxed) = self.endpoints.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        {
+            let mut ctx = Ctx { core: &mut self.core, me: ep };
+            f(boxed.as_mut(), &mut ctx);
+        }
+        self.endpoints[slot] = Some(boxed);
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::SynArrive { conn } => {
+                let Some(c) = self.core.conns.get(&conn.0) else { return };
+                if c.state != ConnState::SynSent {
+                    return;
+                }
+                let (dst_ip, dst_port) = (c.responder_ip, c.responder_port);
+                let lat = c.latency;
+                let verdict = match self.core.hosts.get(&dst_ip) {
+                    // No host: nobody answers, the SYN is simply lost and
+                    // the initiator's connect timer fires.
+                    None => None,
+                    Some(h) => match (h.bound.get(&dst_port).copied(), h.firewall) {
+                        (_, FirewallPolicy::DropAll) => None,
+                        (Some(ep), _) => {
+                            self.core.conns.get_mut(&conn.0).expect("conn present").responder_ep =
+                                Some(ep);
+                            Some(true)
+                        }
+                        (None, FirewallPolicy::RejectUnbound) => Some(false),
+                        (None, FirewallPolicy::DropUnbound) => None,
+                    },
+                };
+                match verdict {
+                    Some(true) => {
+                        {
+                            let c = self.core.conns.get_mut(&conn.0).expect("conn present");
+                            c.state = ConnState::Established;
+                        }
+                        self.core.schedule(lat, Ev::ConnectResult { conn, ok: true });
+                        let ep = self
+                            .core
+                            .conns
+                            .get(&conn.0)
+                            .and_then(|c| c.responder_ep)
+                            .expect("responder endpoint resolved");
+                        self.call(ep, |e, ctx| e.on_inbound(ctx, conn, dst_port));
+                    }
+                    Some(false) => {
+                        self.core.schedule(lat, Ev::ConnectResult { conn, ok: false });
+                    }
+                    None => { /* silent drop; ConnectTimeout will fire */ }
+                }
+            }
+            Ev::ConnectResult { conn, ok } => {
+                let Some(c) = self.core.conns.get(&conn.0) else { return };
+                let ep = c.initiator_ep;
+                let token = c.token;
+                if ok {
+                    if c.state != ConnState::Established {
+                        return; // raced a close
+                    }
+                    self.call(ep, |e, ctx| e.on_outbound(ctx, token, Ok(conn)));
+                } else {
+                    self.core.conns.remove(&conn.0);
+                    self.call(ep, |e, ctx| {
+                        e.on_outbound(ctx, token, Err(ConnectError::Refused))
+                    });
+                }
+            }
+            Ev::ConnectTimeout { conn } => {
+                let Some(c) = self.core.conns.get(&conn.0) else { return };
+                if c.state != ConnState::SynSent {
+                    return;
+                }
+                let ep = c.initiator_ep;
+                let token = c.token;
+                self.core.conns.remove(&conn.0);
+                self.call(ep, |e, ctx| e.on_outbound(ctx, token, Err(ConnectError::Timeout)));
+            }
+            Ev::Data { conn, to_initiator, bytes } => {
+                // Deliver while the connection record exists — a local
+                // close() only stops *new* sends; bytes already in flight
+                // were sent before the FIN and must still arrive (the
+                // Close event, queued after them, removes the record).
+                let Some(c) = self.core.conns.get(&conn.0) else { return };
+                let ep = if to_initiator { Some(c.initiator_ep) } else { c.responder_ep };
+                if let Some(ep) = ep {
+                    self.call(ep, |e, ctx| e.on_data(ctx, conn, &bytes));
+                }
+            }
+            Ev::Close { conn, to_initiator } => {
+                let Some(c) = self.core.conns.get(&conn.0) else { return };
+                let ep = if to_initiator { Some(c.initiator_ep) } else { c.responder_ep };
+                if let Some(ep) = ep {
+                    self.call(ep, |e, ctx| e.on_close(ctx, conn));
+                }
+                self.core.conns.remove(&conn.0);
+            }
+            Ev::Timer { ep, token } => {
+                self.call(ep, |e, ctx| e.on_timer(ctx, token));
+            }
+            Ev::ProbeResult { ep, target, port, status } => {
+                self.call(ep, |e, ctx| e.on_probe(ctx, target, port, status));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records everything that happens to it; shared via Rc for
+    /// post-run inspection.
+    #[derive(Default)]
+    struct Recorder {
+        log: Rc<RefCell<Vec<String>>>,
+        conn: Option<ConnId>,
+    }
+
+    impl Endpoint for Recorder {
+        fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, local_port: u16) {
+            self.log.borrow_mut().push(format!("inbound:{local_port}"));
+            ctx.send(conn, b"hello");
+        }
+        fn on_outbound(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            token: u64,
+            result: Result<ConnId, ConnectError>,
+        ) {
+            match result {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    self.log.borrow_mut().push(format!("connected:{token}"));
+                    ctx.send(conn, b"ping");
+                }
+                Err(e) => self.log.borrow_mut().push(format!("failed:{token}:{e}")),
+            }
+        }
+        fn on_data(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, data: &[u8]) {
+            self.log.borrow_mut().push(format!("data:{}", String::from_utf8_lossy(data)));
+        }
+        fn on_close(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
+            self.log.borrow_mut().push("closed".into());
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.log.borrow_mut().push(format!("timer:{token}"));
+            if token >= 1000 {
+                // Convention for tests: token >= 1000 means "connect to
+                // 10.0.0.1:21 from 10.9.9.9".
+                ctx.connect(
+                    Ipv4Addr::new(10, 9, 9, 9),
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    (token - 1000) as u16,
+                    token,
+                );
+            }
+        }
+        fn on_probe(&mut self, _ctx: &mut Ctx<'_>, target: Ipv4Addr, _port: u16, status: ProbeStatus) {
+            self.log.borrow_mut().push(format!("probe:{target}:{status:?}"));
+        }
+    }
+
+    type Log = Rc<RefCell<Vec<String>>>;
+
+    fn setup() -> (Simulator, Log, Log, EndpointId, EndpointId) {
+        let mut sim = Simulator::new(7);
+        let server_log = Rc::new(RefCell::new(Vec::new()));
+        let client_log = Rc::new(RefCell::new(Vec::new()));
+        let server = Recorder { log: server_log.clone(), conn: None };
+        let client = Recorder { log: client_log.clone(), conn: None };
+        let sid = sim.register_endpoint(Box::new(server));
+        let cid = sim.register_endpoint(Box::new(client));
+        sim.add_host(Ipv4Addr::new(10, 0, 0, 1));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 21, sid);
+        (sim, server_log, client_log, sid, cid)
+    }
+
+    #[test]
+    fn full_handshake_and_data_exchange() {
+        let (mut sim, server_log, client_log, _sid, cid) = setup();
+        sim.schedule_timer(cid, SimDuration::ZERO, 1021);
+        sim.run();
+        let s = server_log.borrow();
+        let c = client_log.borrow();
+        assert!(s.contains(&"inbound:21".to_string()), "{s:?}");
+        assert!(s.contains(&"data:ping".to_string()), "{s:?}");
+        assert!(c.contains(&"connected:1021".to_string()), "{c:?}");
+        assert!(c.contains(&"data:hello".to_string()), "{c:?}");
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_refused() {
+        let (mut sim, _s, client_log, _sid, cid) = setup();
+        sim.schedule_timer(cid, SimDuration::ZERO, 1080); // port 80 unbound
+        sim.run();
+        let c = client_log.borrow();
+        assert!(
+            c.iter().any(|l| l.starts_with("failed:1080:connection refused")),
+            "{c:?}"
+        );
+    }
+
+    #[test]
+    fn connect_to_missing_host_times_out() {
+        let mut sim = Simulator::new(7);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let cid = sim.register_endpoint(Box::new(Recorder { log: log.clone(), conn: None }));
+        sim.schedule_timer(cid, SimDuration::ZERO, 0);
+        // Manually drive a connect to an address with no host.
+        struct Kick;
+        impl Endpoint for Kick {}
+        let _ = Kick; // silence unused warning in older compilers
+        sim.run();
+        // Directly test via a one-off endpoint:
+        let log2 = Rc::new(RefCell::new(Vec::new()));
+        struct Conn2 {
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Endpoint for Conn2 {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.connect(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 21, 5);
+            }
+            fn on_outbound(
+                &mut self,
+                _ctx: &mut Ctx<'_>,
+                token: u64,
+                result: Result<ConnId, ConnectError>,
+            ) {
+                self.log.borrow_mut().push(format!("{token}:{result:?}"));
+            }
+        }
+        let mut sim2 = Simulator::new(9);
+        let id = sim2.register_endpoint(Box::new(Conn2 { log: log2.clone() }));
+        sim2.schedule_timer(id, SimDuration::ZERO, 0);
+        sim2.run();
+        assert_eq!(log2.borrow().as_slice(), ["5:Err(Timeout)"]);
+    }
+
+    #[test]
+    fn firewall_dropall_times_out_even_when_bound() {
+        let (mut sim, _s, client_log, _sid, cid) = setup();
+        sim.set_firewall(Ipv4Addr::new(10, 0, 0, 1), FirewallPolicy::DropAll);
+        sim.schedule_timer(cid, SimDuration::ZERO, 1021);
+        sim.run();
+        let c = client_log.borrow();
+        assert!(c.iter().any(|l| l.contains("timed out")), "{c:?}");
+    }
+
+    #[test]
+    fn probe_statuses() {
+        struct Prober {
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Endpoint for Prober {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.probe(Ipv4Addr::new(10, 0, 0, 1), 21); // open
+                ctx.probe(Ipv4Addr::new(10, 0, 0, 1), 80); // closed (RST)
+                ctx.probe(Ipv4Addr::new(10, 0, 0, 2), 21); // filtered (no host)
+                ctx.probe(Ipv4Addr::new(10, 0, 0, 3), 21); // filtered (drop)
+            }
+            fn on_probe(&mut self, _ctx: &mut Ctx<'_>, target: Ipv4Addr, port: u16, status: ProbeStatus) {
+                self.log.borrow_mut().push(format!("{target}:{port}:{status:?}"));
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        struct Sink;
+        impl Endpoint for Sink {}
+        let sid = sim.register_endpoint(Box::new(Sink));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 21, sid);
+        sim.add_host(Ipv4Addr::new(10, 0, 0, 3));
+        sim.set_firewall(Ipv4Addr::new(10, 0, 0, 3), FirewallPolicy::DropUnbound);
+        let pid = sim.register_endpoint(Box::new(Prober { log: log.clone() }));
+        sim.schedule_timer(pid, SimDuration::ZERO, 0);
+        sim.run();
+        let mut got = log.borrow().clone();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                "10.0.0.1:21:Open",
+                "10.0.0.1:80:Closed",
+                "10.0.0.2:21:Filtered",
+                "10.0.0.3:21:Filtered",
+            ]
+        );
+    }
+
+    #[test]
+    fn close_notifies_peer_and_drops_late_data() {
+        struct Closer;
+        impl Endpoint for Closer {
+            fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+                ctx.send(conn, b"bye");
+                ctx.close(conn);
+                // This send races the close and must be dropped.
+                ctx.send(conn, b"ghost");
+            }
+        }
+        let mut sim = Simulator::new(3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let sid = sim.register_endpoint(Box::new(Closer));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 21, sid);
+        let cid = sim.register_endpoint(Box::new(Recorder { log: log.clone(), conn: None }));
+        sim.schedule_timer(cid, SimDuration::ZERO, 1021);
+        sim.run();
+        let c = log.borrow();
+        assert!(c.contains(&"closed".to_string()), "{c:?}");
+        assert!(!c.iter().any(|l| l.contains("ghost")), "{c:?}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut sim, server_log, client_log, _sid, cid) = setup();
+            sim.schedule_timer(cid, SimDuration::ZERO, 1021);
+            sim.run();
+            let trace =
+                (server_log.borrow().clone(), client_log.borrow().clone(), sim.now().as_micros());
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_is_stable_per_path() {
+        let sim = Simulator::new(99);
+        let a = Ipv4Addr::new(1, 2, 3, 4);
+        let b = Ipv4Addr::new(5, 6, 7, 8);
+        assert_eq!(sim.core.latency(a, b), sim.core.latency(a, b));
+        // Different path, (almost certainly) different latency.
+        let c = Ipv4Addr::new(9, 9, 9, 9);
+        assert_ne!(sim.core.latency(a, b), sim.core.latency(a, c));
+    }
+
+    #[test]
+    fn run_until_stops_clock_at_deadline() {
+        let (mut sim, _s, _c, _sid, cid) = setup();
+        sim.schedule_timer(cid, SimDuration::from_secs(100), 1);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(50));
+        assert_eq!(sim.now().as_micros(), 50_000_000);
+        sim.run();
+        assert!(sim.now().as_micros() >= 100_000_000);
+    }
+
+    #[test]
+    fn ephemeral_listener_receives_connection() {
+        struct PasvServer {
+            data_port: Option<u16>,
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Endpoint for PasvServer {
+            fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, local_port: u16) {
+                if Some(local_port) == self.data_port {
+                    self.log.borrow_mut().push("data-conn".into());
+                    ctx.send(conn, b"listing");
+                } else {
+                    let p = ctx.listen_ephemeral(Ipv4Addr::new(10, 0, 0, 1));
+                    self.data_port = Some(p);
+                    ctx.send(conn, format!("PASV {p}").as_bytes());
+                }
+            }
+        }
+        struct PasvClient {
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Endpoint for PasvClient {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.connect(Ipv4Addr::new(10, 9, 9, 9), Ipv4Addr::new(10, 0, 0, 1), 21, 1);
+            }
+            fn on_data(&mut self, ctx: &mut Ctx<'_>, _conn: ConnId, data: &[u8]) {
+                let text = String::from_utf8_lossy(data).into_owned();
+                if let Some(port) = text.strip_prefix("PASV ") {
+                    let port: u16 = port.parse().unwrap();
+                    ctx.connect(Ipv4Addr::new(10, 9, 9, 9), Ipv4Addr::new(10, 0, 0, 1), port, 2);
+                } else {
+                    self.log.borrow_mut().push(text);
+                }
+            }
+        }
+        let mut sim = Simulator::new(5);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let sid =
+            sim.register_endpoint(Box::new(PasvServer { data_port: None, log: log.clone() }));
+        sim.bind(Ipv4Addr::new(10, 0, 0, 1), 21, sid);
+        let cid = sim.register_endpoint(Box::new(PasvClient { log: log.clone() }));
+        sim.schedule_timer(cid, SimDuration::ZERO, 0);
+        sim.run();
+        let l = log.borrow();
+        assert!(l.contains(&"data-conn".to_string()), "{l:?}");
+        assert!(l.contains(&"listing".to_string()), "{l:?}");
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        struct Srv;
+        impl Endpoint for Srv {
+            fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+                ctx.send(conn, b"0123456789");
+            }
+        }
+        struct Cli {
+            seen: Rc<RefCell<(u64, u64)>>,
+        }
+        impl Endpoint for Cli {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.connect(Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(1, 0, 0, 2), 21, 0);
+            }
+            fn on_outbound(&mut self, ctx: &mut Ctx<'_>, _t: u64, r: Result<ConnId, ConnectError>) {
+                let conn = r.unwrap();
+                ctx.send(conn, b"abc");
+            }
+            fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: &[u8]) {
+                *self.seen.borrow_mut() = ctx.bytes_of(conn).unwrap();
+            }
+        }
+        let mut sim = Simulator::new(2);
+        let seen = Rc::new(RefCell::new((0, 0)));
+        let sid = sim.register_endpoint(Box::new(Srv));
+        sim.bind(Ipv4Addr::new(1, 0, 0, 2), 21, sid);
+        let cid = sim.register_endpoint(Box::new(Cli { seen: seen.clone() }));
+        sim.schedule_timer(cid, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(*seen.borrow(), (3, 10));
+    }
+
+    #[test]
+    fn internal_ip_exposed_via_ctx() {
+        let mut sim = Simulator::new(1);
+        let ip = Ipv4Addr::new(7, 7, 7, 7);
+        sim.set_internal_ip(ip, Ipv4Addr::new(192, 168, 1, 50));
+        struct Check {
+            ok: Rc<RefCell<bool>>,
+        }
+        impl Endpoint for Check {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                *self.ok.borrow_mut() =
+                    ctx.internal_ip_of(Ipv4Addr::new(7, 7, 7, 7))
+                        == Some(Ipv4Addr::new(192, 168, 1, 50));
+            }
+        }
+        let ok = Rc::new(RefCell::new(false));
+        let id = sim.register_endpoint(Box::new(Check { ok: ok.clone() }));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        sim.run();
+        assert!(*ok.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut sim = Simulator::new(1);
+        struct S;
+        impl Endpoint for S {}
+        let a = sim.register_endpoint(Box::new(S));
+        let b = sim.register_endpoint(Box::new(S));
+        sim.bind(Ipv4Addr::new(1, 1, 1, 1), 21, a);
+        sim.bind(Ipv4Addr::new(1, 1, 1, 1), 21, b);
+    }
+
+    #[test]
+    fn probe_loss_forces_filtered() {
+        let cfg = SimConfig { probe_loss: 1.0, ..SimConfig::default() };
+        let mut sim = Simulator::with_config(1, cfg);
+        struct S;
+        impl Endpoint for S {}
+        let sid = sim.register_endpoint(Box::new(S));
+        sim.bind(Ipv4Addr::new(1, 1, 1, 1), 21, sid);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        struct P {
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Endpoint for P {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.probe(Ipv4Addr::new(1, 1, 1, 1), 21);
+            }
+            fn on_probe(&mut self, _c: &mut Ctx<'_>, _t: Ipv4Addr, _p: u16, status: ProbeStatus) {
+                self.log.borrow_mut().push(format!("{status:?}"));
+            }
+        }
+        let pid = sim.register_endpoint(Box::new(P { log: log.clone() }));
+        sim.schedule_timer(pid, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(log.borrow().as_slice(), ["Filtered"]);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Nop;
+    impl Endpoint for Nop {}
+
+    #[test]
+    fn events_processed_counts_dispatches() {
+        let mut sim = Simulator::new(1);
+        let id = sim.register_endpoint(Box::new(Nop));
+        for i in 0..5 {
+            sim.schedule_timer(id, SimDuration::from_micros(i), i);
+        }
+        assert_eq!(sim.events_processed(), 0);
+        sim.run();
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn step_returns_false_on_empty_queue() {
+        let mut sim = Simulator::new(1);
+        assert!(!sim.step());
+        let id = sim.register_endpoint(Box::new(Nop));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim = Simulator::new(1);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        struct Rec(Rc<RefCell<Vec<u64>>>);
+        impl Endpoint for Rec {
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.0.borrow_mut().push(token);
+            }
+        }
+        let id = sim.register_endpoint(Box::new(Rec(fired.clone())));
+        sim.schedule_timer(id, SimDuration::from_secs(1), 1);
+        sim.schedule_timer(id, SimDuration::from_secs(10), 2);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(fired.borrow().as_slice(), [1]);
+        sim.run();
+        assert_eq!(fired.borrow().as_slice(), [1, 2]);
+    }
+
+    #[test]
+    fn ephemeral_ports_skip_bound_ones_and_wrap() {
+        let mut sim = Simulator::new(1);
+        let ip = Ipv4Addr::new(9, 9, 9, 9);
+        struct Binder {
+            ip: Ipv4Addr,
+            got: Rc<RefCell<Vec<u16>>>,
+        }
+        impl Endpoint for Binder {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                for _ in 0..5 {
+                    let p = ctx.listen_ephemeral(self.ip);
+                    self.got.borrow_mut().push(p);
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let id = sim.register_endpoint(Box::new(Binder { ip, got: got.clone() }));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        sim.run();
+        let ports = got.borrow().clone();
+        assert_eq!(ports.len(), 5);
+        let set: std::collections::HashSet<u16> = ports.iter().copied().collect();
+        assert_eq!(set.len(), 5, "no duplicates: {ports:?}");
+        assert!(ports.iter().all(|&p| p >= 49_152));
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn take_endpoint_twice_panics() {
+        let mut sim = Simulator::new(1);
+        let id = sim.register_endpoint(Box::new(Nop));
+        let _ = sim.take_endpoint(id);
+        let _ = sim.take_endpoint(id);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_safe_after_removal() {
+        struct Closer;
+        impl Endpoint for Closer {
+            fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+                ctx.close(conn);
+                ctx.close(conn); // double close: must be a no-op
+            }
+        }
+        struct Dialer;
+        impl Endpoint for Dialer {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.connect(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 21, 0);
+            }
+        }
+        let mut sim = Simulator::new(3);
+        let sid = sim.register_endpoint(Box::new(Closer));
+        sim.bind(Ipv4Addr::new(2, 2, 2, 2), 21, sid);
+        let did = sim.register_endpoint(Box::new(Dialer));
+        sim.schedule_timer(did, SimDuration::ZERO, 0);
+        sim.run(); // must terminate without panic
+        assert!(sim.events_processed() > 0);
+    }
+}

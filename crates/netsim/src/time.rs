@@ -1,0 +1,170 @@
+//! Simulated time: a virtual clock measured in microseconds.
+//!
+//! Wall-clock time never enters the simulation; the honeypot "three
+//! months" of §VIII and the enumerator's "two requests per second" rate
+//! limit are both expressed in [`SimTime`], which only advances when the
+//! event queue advances it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// From milliseconds (saturating).
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000))
+    }
+
+    /// From seconds (saturating).
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s.saturating_mul(1_000_000))
+    }
+
+    /// From whole days (saturating; used by the honeypot's three-month
+    /// runs).
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d.saturating_mul(86_400_000_000))
+    }
+
+    /// Total microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Total seconds, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Scales the duration by an integer factor, saturating.
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{}.{:06}s", self.0 / 1_000_000, self.0 % 1_000_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// An instant on the simulated clock (microseconds since simulation
+/// start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From microseconds since epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier`
+    /// is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_days(1).as_secs(), 86_400);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(5);
+        assert_eq!(t.as_micros(), 5_000_000);
+        assert_eq!((t - SimTime::from_micros(1_000_000)).as_secs(), 4);
+        // Saturating when "earlier" is later.
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_micros(7);
+        assert_eq!(t.as_micros(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(42).to_string(), "42us");
+        assert_eq!(SimDuration::from_secs(1).to_string(), "1.000000s");
+        assert_eq!(SimTime::from_micros(42).to_string(), "t+42us");
+    }
+
+    #[test]
+    fn saturating_mul() {
+        assert_eq!(SimDuration::from_secs(1).saturating_mul(3).as_secs(), 3);
+        assert_eq!(SimDuration::from_secs(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
+    }
+}

@@ -1,0 +1,264 @@
+//! Simulated TLS for FTPS: certificates, a toy handshake, and a trust
+//! store.
+//!
+//! The paper's FTPS analysis (§IX, Tables XII and XIII) uses only
+//! certificate *identity*: how many unique certificates exist across the
+//! FTPS population, which subject CNs are most common, whether a
+//! certificate is browser-trusted or self-signed, and which device models
+//! ship identical built-in certificates (and hence identical private
+//! keys). None of that requires cryptography, so this crate substitutes a
+//! structured certificate exchange for a real TLS handshake:
+//!
+//! * [`SimCertificate`] carries subject CN, issuer CN, a key identifier
+//!   (equal key id across devices ⇒ extractable shared private key — the
+//!   Table XIII finding), and a derived fingerprint used for dedup;
+//! * the handshake is two line-oriented messages
+//!   ([`CLIENT_HELLO`] / [`SimCertificate::to_server_hello`]) sent on the
+//!   control channel after `AUTH TLS` succeeds, which is exactly where
+//!   RFC 4217 puts the real handshake;
+//! * [`TrustStore`] answers "would a browser trust this?" from the
+//!   issuer CN, standing in for path validation.
+//!
+//! The substitution is documented in `DESIGN.md` §2.
+//!
+//! # Example
+//!
+//! ```
+//! use simtls::{SimCertificate, TrustStore};
+//!
+//! let cert = SimCertificate::browser_trusted("*.home.pl", "CA WildWest", 7001);
+//! let wire = cert.to_server_hello();
+//! let back = SimCertificate::parse_server_hello(&wire).unwrap();
+//! assert_eq!(back, cert);
+//! assert!(TrustStore::default_roots().is_trusted(&back));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The line a client sends to begin the simulated handshake.
+pub const CLIENT_HELLO: &str = "\u{1}SIMTLS CLIENT_HELLO";
+
+/// Prefix of the server's certificate-bearing reply line.
+pub const SERVER_HELLO_PREFIX: &str = "\u{1}SIMTLS SERVER_HELLO ";
+
+/// A simulated X.509 certificate: exactly the fields the study analyses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SimCertificate {
+    /// Subject common name, e.g. `*.home.pl` or `localhost`.
+    pub subject_cn: String,
+    /// Issuer common name; equals `subject_cn` for self-signed certs.
+    pub issuer_cn: String,
+    /// Private-key identifier. Two certificates with the same key id
+    /// share a private key — the §IX device-fleet vulnerability.
+    pub key_id: u64,
+}
+
+impl SimCertificate {
+    /// A certificate signed by a (simulated) public CA.
+    pub fn browser_trusted(
+        subject_cn: impl Into<String>,
+        issuer_cn: impl Into<String>,
+        key_id: u64,
+    ) -> Self {
+        SimCertificate { subject_cn: subject_cn.into(), issuer_cn: issuer_cn.into(), key_id }
+    }
+
+    /// A self-signed certificate (issuer == subject).
+    pub fn self_signed(subject_cn: impl Into<String>, key_id: u64) -> Self {
+        let cn = subject_cn.into();
+        SimCertificate { subject_cn: cn.clone(), issuer_cn: cn, key_id }
+    }
+
+    /// True when issuer equals subject.
+    pub fn is_self_signed(&self) -> bool {
+        self.subject_cn == self.issuer_cn
+    }
+
+    /// Stable fingerprint for dedup (the paper's "793K unique
+    /// certificates" count is a fingerprint-distinct count).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self
+            .subject_cn
+            .bytes()
+            .chain([0xff])
+            .chain(self.issuer_cn.bytes())
+            .chain([0xfe])
+            .chain(self.key_id.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Encodes the server's handshake line carrying this certificate.
+    pub fn to_server_hello(&self) -> String {
+        format!(
+            "{SERVER_HELLO_PREFIX}cn={}|issuer={}|key={:016x}",
+            escape(&self.subject_cn),
+            escape(&self.issuer_cn),
+            self.key_id
+        )
+    }
+
+    /// Decodes a server handshake line.
+    ///
+    /// Returns `None` when the line is not a simulated TLS server hello
+    /// or a field is malformed.
+    pub fn parse_server_hello(line: &str) -> Option<Self> {
+        let body = line.trim_end_matches(['\r', '\n']).strip_prefix(SERVER_HELLO_PREFIX)?;
+        let mut subject = None;
+        let mut issuer = None;
+        let mut key = None;
+        for field in body.split('|') {
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "cn" => subject = Some(unescape(v)),
+                "issuer" => issuer = Some(unescape(v)),
+                "key" => key = u64::from_str_radix(v, 16).ok(),
+                _ => {}
+            }
+        }
+        Some(SimCertificate {
+            subject_cn: subject?,
+            issuer_cn: issuer?,
+            key_id: key?,
+        })
+    }
+}
+
+impl fmt::Display for SimCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CN={} (issuer {})", self.subject_cn, self.issuer_cn)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('%', "%25").replace('|', "%7C").replace('=', "%3D")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("%3D", "=").replace("%7C", "|").replace("%25", "%")
+}
+
+/// Decides whether a certificate chains to a trusted root — stands in
+/// for browser path validation in Table XII's "Browser-trusted?" column.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrustStore {
+    roots: HashSet<String>,
+}
+
+impl TrustStore {
+    /// An empty store (trusts nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default simulated root set used by the study's analyses.
+    pub fn default_roots() -> Self {
+        let mut s = TrustStore::new();
+        for root in [
+            "CA WildWest",
+            "CA GlobalTrust",
+            "CA SecureSites",
+            "CA HostingRoot",
+            "CA DeviceRoot",
+        ] {
+            s.add_root(root);
+        }
+        s
+    }
+
+    /// Adds a trusted root by issuer CN.
+    pub fn add_root(&mut self, issuer_cn: impl Into<String>) {
+        self.roots.insert(issuer_cn.into());
+    }
+
+    /// True when the certificate's issuer is a trusted root *and* the
+    /// certificate is not self-signed.
+    pub fn is_trusted(&self, cert: &SimCertificate) -> bool {
+        !cert.is_self_signed() && self.roots.contains(&cert.issuer_cn)
+    }
+
+    /// Number of trusted roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when the store trusts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_signed_detection() {
+        assert!(SimCertificate::self_signed("localhost", 1).is_self_signed());
+        assert!(!SimCertificate::browser_trusted("a", "CA WildWest", 1).is_self_signed());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_fields() {
+        let a = SimCertificate::browser_trusted("x", "ca", 1);
+        let b = SimCertificate::browser_trusted("x", "ca", 2);
+        let c = SimCertificate::browser_trusted("y", "ca", 1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn handshake_roundtrip() {
+        let cert = SimCertificate::browser_trusted("*.bluehost.com", "CA GlobalTrust", 42);
+        let line = cert.to_server_hello();
+        assert!(line.starts_with(SERVER_HELLO_PREFIX));
+        assert_eq!(SimCertificate::parse_server_hello(&line).unwrap(), cert);
+    }
+
+    #[test]
+    fn handshake_roundtrip_with_special_chars() {
+        let cert = SimCertificate::self_signed("weird|cn=with%stuff", 7);
+        let line = cert.to_server_hello();
+        assert_eq!(SimCertificate::parse_server_hello(&line).unwrap(), cert);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(SimCertificate::parse_server_hello("220 hello").is_none());
+        assert!(SimCertificate::parse_server_hello(
+            &format!("{SERVER_HELLO_PREFIX}cn=a|issuer=b|key=zz")
+        )
+        .is_none());
+        assert!(SimCertificate::parse_server_hello(&format!("{SERVER_HELLO_PREFIX}cn=a"))
+            .is_none());
+    }
+
+    #[test]
+    fn trust_store_logic() {
+        let store = TrustStore::default_roots();
+        let good = SimCertificate::browser_trusted("*.home.pl", "CA WildWest", 1);
+        let unknown_ca = SimCertificate::browser_trusted("x", "Shady CA", 2);
+        let selfie = SimCertificate::self_signed("CA WildWest", 3); // issuer IS a root name
+        assert!(store.is_trusted(&good));
+        assert!(!store.is_trusted(&unknown_ca));
+        assert!(!store.is_trusted(&selfie), "self-signed never trusted");
+        assert!(!store.is_empty());
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn display_shows_cn() {
+        let c = SimCertificate::self_signed("ftp.Serv-U.com", 9);
+        assert_eq!(c.to_string(), "CN=ftp.Serv-U.com (issuer ftp.Serv-U.com)");
+    }
+}

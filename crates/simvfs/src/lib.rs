@@ -1,0 +1,663 @@
+//! A virtual filesystem with UNIX permissions for simulated FTP servers.
+//!
+//! Every simulated server in the reproduction publishes a [`Vfs`]: a tree
+//! of directories and files with permission bits, owners, sizes and
+//! modification times. File *contents* are deliberately not stored —
+//! matching the paper's ethics stance of not bulk-downloading files — but
+//! each file can carry a small optional `content` used where the paper
+//! did download or upload specific artifacts (write probes, the
+//! `ftpchk3` stages, `robots.txt`).
+//!
+//! The metadata here is exactly what directory listings expose: the
+//! enumerator reconstructs its view of a server from rendered listings,
+//! never from this structure directly, so the measurement pipeline is
+//! honest about what a real client could observe.
+//!
+//! # Example
+//!
+//! ```
+//! use simvfs::{Vfs, FileMeta, Owner};
+//!
+//! let mut vfs = Vfs::new();
+//! vfs.mkdir_p("/pub/photos")?;
+//! vfs.add_file("/pub/photos/DSC_0001.JPG", FileMeta::public(2_400_000))?;
+//! assert_eq!(vfs.list("/pub/photos")?.len(), 1);
+//! assert_eq!(vfs.file_count(), 1);
+//! # Ok::<(), simvfs::VfsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ftp_proto::listing::Permissions;
+use ftp_proto::FtpPath;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Who owns a node — rendered as the owner column of UNIX listings and
+/// used by upload-approval quirks (Pure-FTPd refuses to serve files still
+/// owned by [`Owner::Anonymous`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Owner {
+    /// `root`.
+    Root,
+    /// The FTP service account, `ftp`.
+    #[default]
+    Ftp,
+    /// An anonymous upload not yet approved by the administrator.
+    Anonymous,
+    /// A local user account (uid rendered as `user<N>`).
+    User(u16),
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Root => f.write_str("root"),
+            Owner::Ftp => f.write_str("ftp"),
+            Owner::Anonymous => f.write_str("ftp"),
+            Owner::User(n) => write!(f, "user{n}"),
+        }
+    }
+}
+
+/// Metadata for a file node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// Size in bytes.
+    pub size: u64,
+    /// Permission bits.
+    pub perms: Permissions,
+    /// Owner account.
+    pub owner: Owner,
+    /// Modification time as rendered in listings (`"Jun 18  2015"`).
+    pub mtime: String,
+    /// Optional small content (write probes, scripts, robots.txt).
+    pub content: Option<String>,
+}
+
+impl FileMeta {
+    /// A world-readable (`0644`) file of the given size.
+    pub fn public(size: u64) -> Self {
+        FileMeta {
+            size,
+            perms: Permissions::public_file(),
+            owner: Owner::Ftp,
+            mtime: "Jun 18  2015".to_owned(),
+            content: None,
+        }
+    }
+
+    /// An owner-only (`0600`) file of the given size.
+    pub fn private(size: u64) -> Self {
+        FileMeta { perms: Permissions::private_file(), ..FileMeta::public(size) }
+    }
+
+    /// Builder-style: replaces the content (and size, to match).
+    pub fn with_content(mut self, content: impl Into<String>) -> Self {
+        let content = content.into();
+        self.size = content.len() as u64;
+        self.content = Some(content);
+        self
+    }
+
+    /// Builder-style: replaces the owner.
+    pub fn with_owner(mut self, owner: Owner) -> Self {
+        self.owner = owner;
+        self
+    }
+
+    /// Builder-style: replaces the permissions.
+    pub fn with_perms(mut self, perms: Permissions) -> Self {
+        self.perms = perms;
+        self
+    }
+
+    /// Builder-style: replaces the mtime text.
+    pub fn with_mtime(mut self, mtime: impl Into<String>) -> Self {
+        self.mtime = mtime.into();
+        self
+    }
+}
+
+/// Metadata for a directory node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirMeta {
+    /// Permission bits (other-read governs anonymous LIST).
+    pub perms: Permissions,
+    /// Owner account.
+    pub owner: Owner,
+    /// Modification time as rendered in listings.
+    pub mtime: String,
+}
+
+impl Default for DirMeta {
+    fn default() -> Self {
+        DirMeta {
+            perms: Permissions::public_dir(),
+            owner: Owner::Ftp,
+            mtime: "Jun 18  2015".to_owned(),
+        }
+    }
+}
+
+/// A node in the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// A regular file.
+    File(FileMeta),
+    /// A directory with named children.
+    Dir {
+        /// Directory metadata.
+        meta: DirMeta,
+        /// Child name → node.
+        children: BTreeMap<String, Node>,
+    },
+}
+
+impl Node {
+    /// True for directory nodes.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, Node::Dir { .. })
+    }
+
+    fn empty_dir() -> Node {
+        Node::Dir { meta: DirMeta::default(), children: BTreeMap::new() }
+    }
+}
+
+/// Errors from [`Vfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VfsError {
+    /// The path (or one of its parents) does not exist.
+    NotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// A file exists where a directory is required (or vice versa).
+    NotADirectory {
+        /// The conflicting path.
+        path: String,
+    },
+    /// Target name already exists.
+    AlreadyExists {
+        /// The conflicting path.
+        path: String,
+    },
+    /// The path string itself is malformed.
+    BadPath {
+        /// The malformed input.
+        path: String,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound { path } => write!(f, "no such file or directory: {path}"),
+            VfsError::NotADirectory { path } => write!(f, "not a directory: {path}"),
+            VfsError::AlreadyExists { path } => write!(f, "already exists: {path}"),
+            VfsError::BadPath { path } => write!(f, "malformed path: {path}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// The virtual filesystem: a tree rooted at `/`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vfs {
+    root: Node,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+impl Vfs {
+    /// An empty filesystem containing only `/`.
+    pub fn new() -> Self {
+        Vfs { root: Node::empty_dir() }
+    }
+
+    fn canon(path: &str) -> Result<FtpPath, VfsError> {
+        path.parse().map_err(|_| VfsError::BadPath { path: path.to_owned() })
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] if any component is missing,
+    /// [`VfsError::NotADirectory`] if a file appears mid-path.
+    pub fn node(&self, path: &str) -> Result<&Node, VfsError> {
+        let p = Self::canon(path)?;
+        let mut cur = &self.root;
+        for comp in p.components() {
+            match cur {
+                Node::Dir { children, .. } => {
+                    cur = children
+                        .get(comp)
+                        .ok_or_else(|| VfsError::NotFound { path: path.to_owned() })?;
+                }
+                Node::File(_) => {
+                    return Err(VfsError::NotADirectory { path: path.to_owned() })
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    fn node_mut(&mut self, path: &str) -> Result<&mut Node, VfsError> {
+        let p = Self::canon(path)?;
+        let mut cur = &mut self.root;
+        for comp in p.components() {
+            match cur {
+                Node::Dir { children, .. } => {
+                    cur = children
+                        .get_mut(comp)
+                        .ok_or_else(|| VfsError::NotFound { path: path.to_owned() })?;
+                }
+                Node::File(_) => {
+                    return Err(VfsError::NotADirectory { path: path.to_owned() })
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.node(path).is_ok()
+    }
+
+    /// True if `path` exists and is a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        matches!(self.node(path), Ok(Node::Dir { .. }))
+    }
+
+    /// Creates a directory and all missing parents (like `mkdir -p`).
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotADirectory`] if a file blocks the path.
+    pub fn mkdir_p(&mut self, path: &str) -> Result<(), VfsError> {
+        let p = Self::canon(path)?;
+        let mut cur = &mut self.root;
+        for comp in p.components() {
+            match cur {
+                Node::Dir { children, .. } => {
+                    cur = children.entry(comp.to_owned()).or_insert_with(Node::empty_dir);
+                    if let Node::File(_) = cur {
+                        return Err(VfsError::NotADirectory { path: path.to_owned() });
+                    }
+                }
+                Node::File(_) => {
+                    return Err(VfsError::NotADirectory { path: path.to_owned() })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a directory whose parent must already exist (FTP `MKD`).
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::AlreadyExists`] if the name is taken;
+    /// [`VfsError::NotFound`]/[`VfsError::NotADirectory`] for bad parents.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), VfsError> {
+        let p = Self::canon(path)?;
+        let name = p
+            .file_name()
+            .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
+            .to_owned();
+        let parent = self.node_mut(p.parent().as_str())?;
+        match parent {
+            Node::Dir { children, .. } => {
+                if children.contains_key(&name) {
+                    return Err(VfsError::AlreadyExists { path: path.to_owned() });
+                }
+                children.insert(name, Node::empty_dir());
+                Ok(())
+            }
+            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        }
+    }
+
+    /// Adds a file, creating parent directories as needed. Overwrites an
+    /// existing file at the same path.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotADirectory`] if the target is an existing directory
+    /// or a file blocks a parent component.
+    pub fn add_file(&mut self, path: &str, meta: FileMeta) -> Result<(), VfsError> {
+        let p = Self::canon(path)?;
+        let name = p
+            .file_name()
+            .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
+            .to_owned();
+        self.mkdir_p(p.parent().as_str())?;
+        let parent = self.node_mut(p.parent().as_str())?;
+        match parent {
+            Node::Dir { children, .. } => {
+                if let Some(Node::Dir { .. }) = children.get(&name) {
+                    return Err(VfsError::NotADirectory { path: path.to_owned() });
+                }
+                children.insert(name, Node::File(meta));
+                Ok(())
+            }
+            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        }
+    }
+
+    /// Stores an upload with the *unique-suffix* quirk: if `name` exists,
+    /// the stored file becomes `name.1`, then `name.2`, … (the behavior
+    /// §VI-A uses as a world-writable indicator). Returns the actual
+    /// stored path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Vfs::add_file`] errors.
+    pub fn store_unique(&mut self, path: &str, meta: FileMeta) -> Result<String, VfsError> {
+        if !self.exists(path) {
+            self.add_file(path, meta)?;
+            return Ok(Self::canon(path)?.as_str().to_owned());
+        }
+        for n in 1u32.. {
+            let candidate = format!("{path}.{n}");
+            if !self.exists(&candidate) {
+                self.add_file(&candidate, meta)?;
+                return Ok(candidate);
+            }
+        }
+        unreachable!("u32 suffix space exhausted")
+    }
+
+    /// Removes a file or (recursively) a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] if absent; [`VfsError::BadPath`] for `/`.
+    pub fn remove(&mut self, path: &str) -> Result<(), VfsError> {
+        let p = Self::canon(path)?;
+        let name = p
+            .file_name()
+            .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
+            .to_owned();
+        let parent = self.node_mut(p.parent().as_str())?;
+        match parent {
+            Node::Dir { children, .. } => children
+                .remove(&name)
+                .map(|_| ())
+                .ok_or_else(|| VfsError::NotFound { path: path.to_owned() }),
+            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        }
+    }
+
+    /// Renames `from` to `to` (FTP `RNFR`/`RNTO`).
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] if `from` is missing,
+    /// [`VfsError::AlreadyExists`] if `to` is taken.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), VfsError> {
+        if self.exists(to) {
+            return Err(VfsError::AlreadyExists { path: to.to_owned() });
+        }
+        let pf = Self::canon(from)?;
+        let name = pf
+            .file_name()
+            .ok_or_else(|| VfsError::BadPath { path: from.to_owned() })?
+            .to_owned();
+        // Detach.
+        let node = {
+            let parent = self.node_mut(pf.parent().as_str())?;
+            match parent {
+                Node::Dir { children, .. } => children
+                    .remove(&name)
+                    .ok_or_else(|| VfsError::NotFound { path: from.to_owned() })?,
+                Node::File(_) => return Err(VfsError::NotADirectory { path: from.to_owned() }),
+            }
+        };
+        // Attach.
+        let pt = Self::canon(to)?;
+        let to_name = pt
+            .file_name()
+            .ok_or_else(|| VfsError::BadPath { path: to.to_owned() })?
+            .to_owned();
+        self.mkdir_p(pt.parent().as_str())?;
+        match self.node_mut(pt.parent().as_str())? {
+            Node::Dir { children, .. } => {
+                children.insert(to_name, node);
+                Ok(())
+            }
+            Node::File(_) => Err(VfsError::NotADirectory { path: to.to_owned() }),
+        }
+    }
+
+    /// Lists a directory's children as `(name, node)` pairs in name
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] / [`VfsError::NotADirectory`].
+    pub fn list(&self, path: &str) -> Result<Vec<(&str, &Node)>, VfsError> {
+        match self.node(path)? {
+            Node::Dir { children, .. } => {
+                Ok(children.iter().map(|(k, v)| (k.as_str(), v)).collect())
+            }
+            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        }
+    }
+
+    /// File metadata at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] if absent or a directory.
+    pub fn file(&self, path: &str) -> Result<&FileMeta, VfsError> {
+        match self.node(path)? {
+            Node::File(meta) => Ok(meta),
+            Node::Dir { .. } => Err(VfsError::NotFound { path: path.to_owned() }),
+        }
+    }
+
+    /// Mutable file metadata at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] if absent or a directory.
+    pub fn file_mut(&mut self, path: &str) -> Result<&mut FileMeta, VfsError> {
+        match self.node_mut(path)? {
+            Node::File(meta) => Ok(meta),
+            Node::Dir { .. } => Err(VfsError::NotFound { path: path.to_owned() }),
+        }
+    }
+
+    /// Total number of files in the tree.
+    pub fn file_count(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::File(_) => 1,
+                Node::Dir { children, .. } => children.values().map(walk).sum(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Total number of directories (excluding the root).
+    pub fn dir_count(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::File(_) => 0,
+                Node::Dir { children, .. } => {
+                    children.values().map(|c| if c.is_dir() { 1 + walk(c) } else { 0 }).sum()
+                }
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Depth-first visit of every node as `(path, node)`.
+    pub fn walk(&self) -> Vec<(String, &Node)> {
+        let mut out = Vec::new();
+        fn rec<'a>(prefix: &str, node: &'a Node, out: &mut Vec<(String, &'a Node)>) {
+            if let Node::Dir { children, .. } = node {
+                for (name, child) in children {
+                    let path = if prefix == "/" {
+                        format!("/{name}")
+                    } else {
+                        format!("{prefix}/{name}")
+                    };
+                    out.push((path.clone(), child));
+                    rec(&path, child, out);
+                }
+            }
+        }
+        rec("/", &self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkdir_p_and_lookup() {
+        let mut v = Vfs::new();
+        v.mkdir_p("/a/b/c").unwrap();
+        assert!(v.is_dir("/a/b/c"));
+        assert!(v.is_dir("/a"));
+        assert!(!v.exists("/a/b/c/d"));
+        // Idempotent.
+        v.mkdir_p("/a/b/c").unwrap();
+        assert_eq!(v.dir_count(), 3);
+    }
+
+    #[test]
+    fn add_and_read_file() {
+        let mut v = Vfs::new();
+        v.add_file("/pub/readme.txt", FileMeta::public(42).with_content("hello")).unwrap();
+        let f = v.file("/pub/readme.txt").unwrap();
+        assert_eq!(f.size, 5); // with_content resizes
+        assert_eq!(f.content.as_deref(), Some("hello"));
+        assert_eq!(v.file_count(), 1);
+    }
+
+    #[test]
+    fn file_blocks_directory_path() {
+        let mut v = Vfs::new();
+        v.add_file("/x", FileMeta::public(1)).unwrap();
+        assert!(matches!(v.mkdir_p("/x/y"), Err(VfsError::NotADirectory { .. })));
+        assert!(matches!(v.node("/x/y"), Err(VfsError::NotADirectory { .. })));
+    }
+
+    #[test]
+    fn mkdir_requires_parent_and_uniqueness() {
+        let mut v = Vfs::new();
+        assert!(matches!(v.mkdir("/no/parent"), Err(VfsError::NotFound { .. })));
+        v.mkdir("/top").unwrap();
+        assert!(matches!(v.mkdir("/top"), Err(VfsError::AlreadyExists { .. })));
+    }
+
+    #[test]
+    fn store_unique_appends_suffixes() {
+        let mut v = Vfs::new();
+        assert_eq!(v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap(), "/up/probe.txt");
+        assert_eq!(
+            v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap(),
+            "/up/probe.txt.1"
+        );
+        assert_eq!(
+            v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap(),
+            "/up/probe.txt.2"
+        );
+        assert_eq!(v.file_count(), 3);
+    }
+
+    #[test]
+    fn remove_file_and_dir() {
+        let mut v = Vfs::new();
+        v.add_file("/d/f1", FileMeta::public(1)).unwrap();
+        v.add_file("/d/sub/f2", FileMeta::public(1)).unwrap();
+        v.remove("/d/f1").unwrap();
+        assert!(!v.exists("/d/f1"));
+        v.remove("/d").unwrap(); // recursive
+        assert!(!v.exists("/d/sub/f2"));
+        assert!(matches!(v.remove("/d"), Err(VfsError::NotFound { .. })));
+        assert!(matches!(v.remove("/"), Err(VfsError::BadPath { .. })));
+    }
+
+    #[test]
+    fn rename_moves_subtree() {
+        let mut v = Vfs::new();
+        v.add_file("/a/b/file", FileMeta::public(9)).unwrap();
+        v.rename("/a/b", "/c/moved").unwrap();
+        assert!(v.exists("/c/moved/file"));
+        assert!(!v.exists("/a/b"));
+        assert!(matches!(v.rename("/missing", "/x"), Err(VfsError::NotFound { .. })));
+        v.add_file("/taken", FileMeta::public(1)).unwrap();
+        assert!(matches!(v.rename("/c", "/taken"), Err(VfsError::AlreadyExists { .. })));
+    }
+
+    #[test]
+    fn list_is_name_ordered() {
+        let mut v = Vfs::new();
+        v.add_file("/d/zeta", FileMeta::public(1)).unwrap();
+        v.add_file("/d/alpha", FileMeta::public(1)).unwrap();
+        v.mkdir_p("/d/beta").unwrap();
+        let names: Vec<&str> = v.list("/d").unwrap().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["alpha", "beta", "zeta"]);
+        assert!(matches!(v.list("/d/alpha"), Err(VfsError::NotADirectory { .. })));
+    }
+
+    #[test]
+    fn walk_visits_everything() {
+        let mut v = Vfs::new();
+        v.add_file("/a/f1", FileMeta::public(1)).unwrap();
+        v.add_file("/a/b/f2", FileMeta::public(1)).unwrap();
+        let paths: Vec<String> = v.walk().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["/a", "/a/b", "/a/b/f2", "/a/f1"]);
+    }
+
+    #[test]
+    fn counts() {
+        let mut v = Vfs::new();
+        v.add_file("/a/f1", FileMeta::public(1)).unwrap();
+        v.add_file("/a/b/f2", FileMeta::public(1)).unwrap();
+        v.mkdir_p("/empty/nested").unwrap();
+        assert_eq!(v.file_count(), 2);
+        assert_eq!(v.dir_count(), 4); // a, a/b, empty, empty/nested
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut v = Vfs::new();
+        assert!(matches!(v.mkdir_p("/../escape"), Err(VfsError::BadPath { .. })));
+        assert!(matches!(v.add_file("/", FileMeta::public(1)), Err(VfsError::BadPath { .. })));
+    }
+
+    #[test]
+    fn owner_display() {
+        assert_eq!(Owner::Root.to_string(), "root");
+        assert_eq!(Owner::Ftp.to_string(), "ftp");
+        assert_eq!(Owner::Anonymous.to_string(), "ftp");
+        assert_eq!(Owner::User(3).to_string(), "user3");
+    }
+
+    #[test]
+    fn file_mut_updates_in_place() {
+        let mut v = Vfs::new();
+        v.add_file("/f", FileMeta::public(1).with_owner(Owner::Anonymous)).unwrap();
+        v.file_mut("/f").unwrap().owner = Owner::Ftp;
+        assert_eq!(v.file("/f").unwrap().owner, Owner::Ftp);
+        assert!(v.file_mut("/nope").is_err());
+    }
+}

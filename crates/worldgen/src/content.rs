@@ -1,0 +1,431 @@
+//! Filesystem content generators: what the simulated servers publish.
+//!
+//! Each generator produces the *kind* of tree the paper found: hosting
+//! webroots full of scripting source (§V "Scripting Source Code"), NAS
+//! media libraries with default-named camera photos (§V "Photo
+//! Libraries"), exposed OS roots (§V "Root File Systems Exposed"),
+//! office-wide backups, and the sensitive-file classes of Table IX.
+//! File-name vocabularies match the patterns the analysis crate detects,
+//! exactly as the real study iterated between observed names and
+//! detection heuristics (§III).
+
+use ftp_proto::listing::Permissions;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simvfs::{FileMeta, Owner, Vfs};
+
+/// What a host's filesystem looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentKind {
+    /// Nothing visible (the 76% of anonymous servers exposing no data).
+    Empty,
+    /// Shared-hosting webroot: HTML, server-side scripts, `.htaccess`.
+    HostingWebroot,
+    /// Consumer NAS: photos, music, movies, personal documents.
+    NasMedia,
+    /// Printer spool: scanned documents.
+    PrinterSpool,
+    /// An exposed operating-system root.
+    OsRoot(OsKind),
+    /// Company/office backup dump: mail archives, financial records.
+    OfficeBackup,
+}
+
+/// Operating systems whose roots the study fingerprinted (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsKind {
+    /// Linux (`bin`, `var`, `boot`, `etc`).
+    Linux,
+    /// Windows (`Windows`, `Program Files`, `Users`).
+    Windows,
+    /// Mac OS X (`Applications`, `Library`, `Users`, …).
+    OsX,
+}
+
+/// Sensitive-file classes of Table IX, injectable on any tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensitiveKind {
+    /// TurboTax export files.
+    TurboTax,
+    /// Quicken data files.
+    Quicken,
+    /// KeePass/KeePassX databases.
+    KeePass,
+    /// 1Password keychains.
+    OnePassword,
+    /// SSH host private keys.
+    SshHostKey,
+    /// PuTTY client keys.
+    PuttyKey,
+    /// `*priv*.pem` key material.
+    PrivPem,
+    /// Unix `shadow` password databases.
+    Shadow,
+    /// Outlook `.pst` mailboxes.
+    Pst,
+}
+
+impl SensitiveKind {
+    /// All classes, in Table IX order.
+    pub const ALL: [SensitiveKind; 9] = [
+        SensitiveKind::TurboTax,
+        SensitiveKind::Quicken,
+        SensitiveKind::KeePass,
+        SensitiveKind::OnePassword,
+        SensitiveKind::SshHostKey,
+        SensitiveKind::PuttyKey,
+        SensitiveKind::PrivPem,
+        SensitiveKind::Shadow,
+        SensitiveKind::Pst,
+    ];
+
+    /// Representative filenames for this class (the vocabulary both the
+    /// generator and the detector share).
+    pub fn filenames(&self) -> &'static [&'static str] {
+        match self {
+            SensitiveKind::TurboTax => {
+                &["2014_return.tax2014", "family.tax2013", "export.tax", "taxes 2012.tax2012"]
+            }
+            SensitiveKind::Quicken => &["family-finances.qdf", "budget.qdf", "QDATA.QDF"],
+            SensitiveKind::KeePass => &["passwords.kdbx", "vault.kdb", "keepass-backup.kdbx"],
+            SensitiveKind::OnePassword => &["1Password.agilekeychain", "license.onepassword4"],
+            SensitiveKind::SshHostKey => {
+                &["ssh_host_rsa_key", "ssh_host_dsa_key", "ssh_host_ecdsa_key"]
+            }
+            SensitiveKind::PuttyKey => &["server-login.ppk", "aws.ppk", "mykey.ppk"],
+            SensitiveKind::PrivPem => &["server-priv.pem", "priv_key.pem", "privkey.pem"],
+            SensitiveKind::Shadow => &["shadow", "shadow.bak", "shadow-"],
+            SensitiveKind::Pst => &["archive.pst", "Outlook.pst", "mail-backup-2013.pst"],
+        }
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+const PHOTO_EVENTS: &[&str] = &[
+    "wedding", "family-reunion", "vacation-florida", "birthday-party", "graduation",
+    "christmas-2014", "new-years", "camping-trip", "baby-shower", "anniversary",
+];
+
+const MONTHS: &[&str] = &["Jan", "Feb", "Mar", "Apr", "May", "Jun"];
+
+fn mtime(rng: &mut StdRng) -> String {
+    format!("{} {:2}  201{}", pick(rng, MONTHS), rng.random_range(1..29), rng.random_range(2..6))
+}
+
+fn public_file(rng: &mut StdRng, size: u64) -> FileMeta {
+    FileMeta::public(size).with_mtime(mtime(rng))
+}
+
+/// Generates a photo library under `base`: `count` default-named camera
+/// files across per-event directories.
+pub fn add_photo_library(vfs: &mut Vfs, rng: &mut StdRng, base: &str, count: usize) {
+    let mut remaining = count;
+    let mut serial = rng.random_range(1..2000u32);
+    while remaining > 0 {
+        let year = rng.random_range(2009..2016);
+        let event = pick(rng, PHOTO_EVENTS);
+        let dir = format!("{base}/{year}/{event}");
+        let in_dir = rng.random_range(40..320).min(remaining);
+        for _ in 0..in_dir {
+            serial += 1;
+            let name = if rng.random_bool(0.7) {
+                format!("DSC_{serial:04}.JPG")
+            } else {
+                format!("IMG_{serial:04}.jpg")
+            };
+            let meta = { let size = rng.random_range(800_000..6_000_000); public_file(rng, size) };
+            let _ = vfs.add_file(&format!("{dir}/{name}"), meta);
+        }
+        remaining -= in_dir;
+    }
+}
+
+/// Adds a music/movie media collection.
+pub fn add_media_collection(vfs: &mut Vfs, rng: &mut StdRng, base: &str, songs: usize, movies: usize) {
+    const ARTISTS: &[&str] = &["The Beatles", "Daft Punk", "Miles Davis", "Nirvana", "Adele"];
+    for i in 0..songs {
+        let artist = pick(rng, ARTISTS);
+        let path = format!("{base}/music/{artist}/track{:03}.mp3", i % 20 + 1);
+        let _ = vfs.add_file(&path, { let size = rng.random_range(3_000_000..9_000_000); public_file(rng, size) });
+    }
+    const TITLES: &[&str] = &["home-video", "holiday", "movie-backup", "recital", "soccer-game"];
+    for i in 0..movies {
+        let t = pick(rng, TITLES);
+        let ext = if rng.random_bool(0.55) { "avi" } else { "mp4" };
+        let path = format!("{base}/videos/{t}-{i:02}.{ext}");
+        let _ = vfs.add_file(&path, { let size = rng.random_range(200_000_000..1_500_000_000); public_file(rng, size) });
+    }
+}
+
+/// Adds personal documents (PDF/DOC/ZIP and friends) under `base`.
+pub fn add_documents(vfs: &mut Vfs, rng: &mut StdRng, base: &str, count: usize) {
+    const NAMES: &[&str] = &[
+        "resume", "insurance-policy", "mortgage-statement", "recipes", "travel-itinerary",
+        "school-report", "manual", "newsletter", "meeting-notes", "scan",
+    ];
+    for i in 0..count {
+        let n = pick(rng, NAMES);
+        let ext = match rng.random_range(0..10) {
+            0..=3 => "pdf",
+            4..=5 => "doc",
+            6 => "zip",
+            7 => "gif",
+            8 => "png",
+            _ => "html",
+        };
+        let path = format!("{base}/documents/{n}-{i:03}.{ext}");
+        let _ = vfs.add_file(&path, { let size = rng.random_range(20_000..4_000_000); public_file(rng, size) });
+    }
+}
+
+/// Builds a shared-hosting webroot with `sites` vhosts.
+pub fn hosting_webroot(rng: &mut StdRng, sites: usize, scripting: bool) -> Vfs {
+    let mut vfs = Vfs::new();
+    const SITES: &[&str] = &["shop", "blog", "forum", "landing", "wiki", "store", "portal"];
+    for s in 0..sites {
+        let site = format!("/www/{}{s}", pick(rng, SITES));
+        let _ = vfs.add_file(&format!("{site}/index.html"), public_file(rng, 8_192));
+        let _ = vfs.add_file(&format!("{site}/style.css"), public_file(rng, 4_096));
+        if scripting {
+            let _ = vfs.add_file(&format!("{site}/.htaccess"), public_file(rng, 512));
+            let n = rng.random_range(8..60);
+            for i in 0..n {
+                let name = match rng.random_range(0..6) {
+                    0 => "index.php".to_owned(),
+                    1 => "config.php".to_owned(),
+                    2 => "db_connect.php".to_owned(),
+                    3 => format!("page{i}.php"),
+                    4 => format!("admin{i}.asp"),
+                    _ => format!("include{i}.php"),
+                };
+                let _ = vfs.add_file(
+                    &format!("{site}/app/{name}"),
+                    { let size = rng.random_range(1_000..40_000); public_file(rng, size) },
+                );
+            }
+        }
+    }
+    vfs
+}
+
+/// Builds a consumer-NAS media share.
+pub fn nas_media(rng: &mut StdRng, photos: usize, songs: usize, movies: usize, docs: usize) -> Vfs {
+    let mut vfs = Vfs::new();
+    if photos > 0 {
+        add_photo_library(&mut vfs, rng, "/share/photos", photos);
+    }
+    if songs > 0 || movies > 0 {
+        add_media_collection(&mut vfs, rng, "/share", songs, movies);
+    }
+    if docs > 0 {
+        add_documents(&mut vfs, rng, "/share", docs);
+    }
+    vfs
+}
+
+/// Builds a printer spool tree (scanned documents).
+pub fn printer_spool(rng: &mut StdRng) -> Vfs {
+    let mut vfs = Vfs::new();
+    let n = rng.random_range(0..25);
+    for i in 0..n {
+        let _ = vfs.add_file(
+            &format!("/scans/scan{i:04}.pdf"),
+            { let size = rng.random_range(100_000..2_000_000); public_file(rng, size) },
+        );
+    }
+    vfs
+}
+
+/// Builds an exposed OS root with the marker directories §V keys on.
+pub fn os_root(rng: &mut StdRng, kind: OsKind) -> Vfs {
+    let mut vfs = Vfs::new();
+    match kind {
+        OsKind::Linux => {
+            for d in ["bin", "var", "boot", "etc", "home", "usr"] {
+                vfs.mkdir_p(&format!("/{d}")).expect("static path");
+            }
+            let _ = vfs.add_file("/etc/passwd", public_file(rng, 2_048));
+            let _ = vfs.add_file(
+                "/etc/shadow",
+                FileMeta::private(718).with_owner(Owner::Root).with_mtime(mtime(rng)),
+            );
+            let _ = vfs.add_file("/etc/ssh/ssh_host_rsa_key", FileMeta::private(1_679).with_owner(Owner::Root));
+            let _ = vfs.add_file("/home/user/.bash_history", public_file(rng, 9_000));
+        }
+        OsKind::Windows => {
+            for d in ["Windows", "Program Files", "Users", "Documents and Settings"] {
+                vfs.mkdir_p(&format!("/{d}")).expect("static path");
+            }
+            let _ = vfs.add_file("/Windows/system.ini", public_file(rng, 219));
+            let _ = vfs.add_file("/Users/owner/Documents/budget.xls", public_file(rng, 88_000));
+        }
+        OsKind::OsX => {
+            for d in ["Applications", "bin", "var", "Library", "Users"] {
+                vfs.mkdir_p(&format!("/{d}")).expect("static path");
+            }
+            let _ = vfs.add_file("/Users/owner/Desktop/notes.txt", public_file(rng, 1_024));
+        }
+    }
+    vfs
+}
+
+/// Builds an office-wide backup dump (the paper found single servers
+/// with hundreds of `.pst` files and years of financial backups).
+pub fn office_backup(rng: &mut StdRng) -> Vfs {
+    let mut vfs = Vfs::new();
+    let mailboxes = rng.random_range(5..60);
+    for i in 0..mailboxes {
+        let _ = vfs.add_file(
+            &format!("/backups/mail/user{i:03}.pst"),
+            { let size = rng.random_range(50_000_000..2_000_000_000); public_file(rng, size) },
+        );
+    }
+    for year in 2010..2015 {
+        let _ = vfs.add_file(
+            &format!("/backups/finance/ledger-{year}.qdf"),
+            { let size = rng.random_range(1_000_000..30_000_000); public_file(rng, size) },
+        );
+        let _ = vfs.add_file(
+            &format!("/backups/finance/payroll-{year}.zip"),
+            { let size = rng.random_range(5_000_000..80_000_000); public_file(rng, size) },
+        );
+    }
+    vfs
+}
+
+/// Injects one Table IX sensitive-file class onto an existing tree,
+/// using the class's readable/non-readable file-count ratio to set
+/// permissions.
+pub fn inject_sensitive(
+    vfs: &mut Vfs,
+    rng: &mut StdRng,
+    kind: SensitiveKind,
+    files: usize,
+    readable_fraction: f64,
+) {
+    const SPOTS: &[&str] = &["/share/documents", "/backups", "/home/user", "/private", "/data"];
+    let spot = pick(rng, SPOTS).to_string();
+    for i in 0..files {
+        let name = pick(rng, kind.filenames()).to_string();
+        let readable = rng.random_bool(readable_fraction.clamp(0.0, 1.0));
+        let perms =
+            if readable { Permissions::public_file() } else { Permissions::private_file() };
+        let meta = FileMeta::public(rng.random_range(1_000..5_000_000))
+            .with_perms(perms)
+            .with_mtime(mtime(rng));
+        let path = if i == 0 { format!("{spot}/{name}") } else { format!("{spot}/{i}-{name}") };
+        let _ = vfs.add_file(&path, meta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn photo_library_count_and_names() {
+        let mut vfs = Vfs::new();
+        add_photo_library(&mut vfs, &mut rng(), "/share/photos", 500);
+        assert_eq!(vfs.file_count(), 500);
+        let jpgs = vfs
+            .walk()
+            .iter()
+            .filter(|(p, n)| !n.is_dir() && p.to_lowercase().ends_with(".jpg"))
+            .count();
+        assert_eq!(jpgs, 500, "all photos are jpgs");
+        // Default camera naming.
+        assert!(vfs
+            .walk()
+            .iter()
+            .any(|(p, _)| p.contains("DSC_") || p.contains("IMG_")));
+    }
+
+    #[test]
+    fn webroot_has_index_and_scripts() {
+        let vfs = hosting_webroot(&mut rng(), 3, true);
+        let paths: Vec<String> = vfs.walk().into_iter().map(|(p, _)| p).collect();
+        assert!(paths.iter().any(|p| p.ends_with("index.html")));
+        assert!(paths.iter().any(|p| p.ends_with(".htaccess")));
+        assert!(paths.iter().any(|p| p.ends_with(".php")));
+    }
+
+    #[test]
+    fn webroot_without_scripting_is_static() {
+        let vfs = hosting_webroot(&mut rng(), 2, false);
+        let paths: Vec<String> = vfs.walk().into_iter().map(|(p, _)| p).collect();
+        assert!(paths.iter().any(|p| p.ends_with("index.html")));
+        assert!(!paths.iter().any(|p| p.ends_with(".php")), "{paths:?}");
+    }
+
+    #[test]
+    fn os_roots_have_markers() {
+        let linux = os_root(&mut rng(), OsKind::Linux);
+        for d in ["/bin", "/var", "/boot", "/etc"] {
+            assert!(linux.is_dir(d), "{d}");
+        }
+        assert!(linux.file("/etc/shadow").is_ok());
+
+        let win = os_root(&mut rng(), OsKind::Windows);
+        assert!(win.is_dir("/Windows"));
+        assert!(win.is_dir("/Program Files"));
+
+        let mac = os_root(&mut rng(), OsKind::OsX);
+        assert!(mac.is_dir("/Applications"));
+        assert!(mac.is_dir("/Library"));
+    }
+
+    #[test]
+    fn sensitive_injection_sets_permissions() {
+        let mut vfs = Vfs::new();
+        inject_sensitive(&mut vfs, &mut rng(), SensitiveKind::Shadow, 10, 0.0);
+        let nonreadable = vfs
+            .walk()
+            .iter()
+            .filter(|(_, n)| match n {
+                simvfs::Node::File(m) => !m.perms.other_read(),
+                _ => false,
+            })
+            .count();
+        assert_eq!(nonreadable, 10, "0.0 readable fraction → all private");
+
+        let mut vfs2 = Vfs::new();
+        inject_sensitive(&mut vfs2, &mut rng(), SensitiveKind::Quicken, 10, 1.0);
+        assert_eq!(vfs2.file_count(), 10);
+    }
+
+    #[test]
+    fn sensitive_filenames_match_their_class() {
+        for kind in SensitiveKind::ALL {
+            assert!(!kind.filenames().is_empty(), "{kind:?}");
+        }
+        assert!(SensitiveKind::Pst.filenames().iter().all(|f| f.ends_with(".pst")));
+        assert!(SensitiveKind::SshHostKey.filenames().iter().all(|f| f.starts_with("ssh_host_")));
+    }
+
+    #[test]
+    fn office_backup_is_pst_heavy() {
+        let vfs = office_backup(&mut rng());
+        let psts = vfs
+            .walk()
+            .iter()
+            .filter(|(p, n)| !n.is_dir() && p.ends_with(".pst"))
+            .count();
+        assert!(psts >= 5);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = nas_media(&mut StdRng::seed_from_u64(3), 100, 20, 5, 10);
+        let b = nas_media(&mut StdRng::seed_from_u64(3), 100, 20, 5, 10);
+        assert_eq!(a, b);
+    }
+}

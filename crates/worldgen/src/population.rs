@@ -1,0 +1,1076 @@
+//! Population assembly: from the paper's rates to a bound, scannable
+//! simulated Internet.
+//!
+//! Generation is two-phase. Phase one draws a host plan per server —
+//! category, device, software, AS, address, behavioral flags, content
+//! archetype — honoring the joint distributions of Tables I–IX and the
+//! §VI–§IX rates. Phase two materializes the plans into `ftpd` engines
+//! bound inside a [`netsim::Simulator`], plus the non-FTP port-21
+//! population and co-hosted HTTP services. The returned [`WorldTruth`]
+//! is ground truth for validation: analyses must *measure* their numbers
+//! through the scanner and enumerator, and tests compare measurement
+//! against this truth.
+
+use crate::campaigns;
+use crate::catalog::{self, Daemon, DeviceKind, DeviceModel};
+use crate::content::{self, ContentKind, OsKind, SensitiveKind};
+use crate::rates::{self, Campaign, Category};
+use ftpd::implementations;
+use ftpd::misc::{HttpService, RawBannerService, SilentService};
+use ftpd::profile::{AnonPolicy, ServerProfile, UploadQuirk, UserReplyStyle};
+use ftpd::FtpServerEngine;
+use netsim::{AsKind, AsRegistry, Asn, Ipv4Net, Simulator};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use simtls::SimCertificate;
+use simvfs::Vfs;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Parameters of a generated world.
+#[derive(Debug, Clone)]
+pub struct PopulationSpec {
+    /// Master seed; everything is a pure function of it and the fields.
+    pub seed: u64,
+    /// Address space hosts are placed in.
+    pub space: Ipv4Net,
+    /// Number of FTP servers to generate.
+    pub ftp_servers: usize,
+    /// Documentation factor: paper count ≈ measured × scale.
+    pub scale: u64,
+    /// Multiplier applied to *rare* phenomena (world-writable servers,
+    /// campaigns, Table IX sensitive classes, OS roots, Ramnit) so small
+    /// populations still carry measurable signal. Proportions *between*
+    /// rare phenomena are preserved; EXPERIMENTS.md divides measured
+    /// counts by this boost before comparing against the paper.
+    pub rare_boost: f64,
+    /// Also generate open-port-21-but-not-FTP hosts (Table I's gap).
+    pub include_non_ftp: bool,
+    /// Bind co-hosted HTTP services (§VI-B overlap measurement).
+    pub include_http: bool,
+}
+
+impl PopulationSpec {
+    /// A small world for tests: ~`n` FTP servers in `4.0.0.0/16`.
+    pub fn small(seed: u64, n: usize) -> Self {
+        PopulationSpec {
+            seed,
+            space: Ipv4Net::new(Ipv4Addr::new(4, 0, 0, 0), 14),
+            ftp_servers: n,
+            scale: (rates::PAPER_FTP / n as f64) as u64,
+            rare_boost: 20.0,
+            include_non_ftp: true,
+            include_http: true,
+        }
+    }
+
+    /// The full-study default: paper counts divided by `scale`.
+    pub fn study(seed: u64, scale: u64) -> Self {
+        let n = (rates::PAPER_FTP / scale as f64).round() as usize;
+        PopulationSpec {
+            seed,
+            space: Ipv4Net::new(Ipv4Addr::new(4, 0, 0, 0), 12),
+            ftp_servers: n,
+            scale,
+            rare_boost: (scale as f64 / 64.0).max(1.0),
+            include_non_ftp: true,
+            include_http: true,
+        }
+    }
+}
+
+/// Everything true about one generated FTP host (ground truth).
+#[derive(Debug, Clone)]
+pub struct HostTruth {
+    /// Address.
+    pub ip: Ipv4Addr,
+    /// Owning AS.
+    pub asn: Asn,
+    /// Table II class.
+    pub category: Category,
+    /// Device model name for embedded hosts.
+    pub device: Option<&'static str>,
+    /// Device class for embedded hosts.
+    pub device_kind: Option<DeviceKind>,
+    /// Daemon family for generic/hosted hosts.
+    pub daemon: Option<Daemon>,
+    /// Anonymous access enabled.
+    pub anonymous: bool,
+    /// Anonymous write access enabled.
+    pub writable: bool,
+    /// Validates `PORT` arguments.
+    pub validates_port: bool,
+    /// Deployed behind NAT (leaks internal address via `PASV`).
+    pub nat: bool,
+    /// Supports FTPS.
+    pub ftps: bool,
+    /// FTPS required before login.
+    pub ftps_required: bool,
+    /// Certificate fingerprint when FTPS is enabled.
+    pub cert_fp: Option<u64>,
+    /// Malicious campaigns planted on this host.
+    pub campaigns: Vec<Campaign>,
+    /// Content archetype.
+    pub content: ContentKind,
+    /// Sensitive classes present (Table IX).
+    pub sensitive: Vec<SensitiveKind>,
+    /// Co-hosted HTTP service.
+    pub http: bool,
+    /// HTTP advertises server-side scripting.
+    pub scripting: bool,
+    /// Ramnit backdoor banner host.
+    pub ramnit: bool,
+    /// Oversized tree that cannot be traversed within the request cap.
+    pub deep_tree: bool,
+    /// The banner the server actually greets with (for validation).
+    pub banner: String,
+    /// The server publishes a deny-all robots.txt (honoring it hides the
+    /// host's contents from the crawler).
+    pub robots_deny_all: bool,
+    /// The server closes the control channel after this many commands
+    /// (0 = never) — the flaky-server population.
+    pub drop_after: u32,
+}
+
+/// The generated world: registry, per-host truth, and the spec.
+#[derive(Debug)]
+pub struct WorldTruth {
+    /// AS registry (frozen).
+    pub registry: AsRegistry,
+    /// One entry per FTP server.
+    pub hosts: Vec<HostTruth>,
+    /// Addresses of open-port-21-but-not-FTP hosts.
+    pub non_ftp_open: Vec<Ipv4Addr>,
+    /// The spec that produced this world.
+    pub spec: PopulationSpec,
+}
+
+impl WorldTruth {
+    /// Ground-truth count of anonymous servers.
+    pub fn anonymous_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.anonymous).count()
+    }
+
+    /// Ground-truth count of world-writable servers.
+    pub fn writable_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.writable).count()
+    }
+
+    /// Every FTP host address (scan targets for tests that skip zscan).
+    pub fn ftp_addresses(&self) -> Vec<Ipv4Addr> {
+        self.hosts.iter().map(|h| h.ip).collect()
+    }
+}
+
+struct AsSlot {
+    asn: Asn,
+    kind: AsKind,
+    prefix: Ipv4Net,
+    /// Remaining (anon, non-anon) quotas.
+    quota_anon: f64,
+    quota_other: f64,
+    next_offset: u64,
+}
+
+/// Builds the AS registry and per-AS quotas.
+fn build_ases(spec: &PopulationSpec, rng: &mut StdRng) -> (AsRegistry, Vec<AsSlot>) {
+    let n = spec.ftp_servers as f64;
+    let n_anon = n * rates::ANON_PER_FTP;
+    let mut registry = AsRegistry::new();
+    let mut slots = Vec::new();
+    let mut cursor: u64 = 0;
+    let space_base = u32::from(spec.space.network()) as u64;
+    let space_size = spec.space.size();
+
+    let mut alloc = |advertised: u64, min_hosts: u64| -> Ipv4Net {
+        // Round up to a power of two and align; cap any single AS at a
+        // sixteenth of the space, and shrink (never below what its hosts
+        // need) if the space is filling up.
+        let mut size = advertised
+            .next_power_of_two()
+            .clamp(8, (space_size / 16).max(8));
+        let floor = (min_hosts * 2).next_power_of_two().max(8);
+        loop {
+            let aligned = cursor.div_ceil(size) * size;
+            if aligned + size <= space_size {
+                cursor = aligned + size;
+                let prefix_len = 32 - size.trailing_zeros() as u8;
+                return Ipv4Net::new(Ipv4Addr::from((space_base + aligned) as u32), prefix_len);
+            }
+            assert!(
+                size > floor,
+                "address space {} too small for the population (need {} more)",
+                spec.space,
+                size
+            );
+            size /= 2;
+        }
+    };
+
+    // Named top-10 ASes (Table VI), scaled.
+    for &(asn, name, kind, adv, ftp, anon) in catalog::NAMED_ASES {
+        let asn = Asn(asn);
+        let ftp_scaled = ftp / rates::PAPER_FTP * n;
+        let anon_scaled = anon / rates::PAPER_FTP * n;
+        let adv_scaled =
+            ((adv / rates::PAPER_FTP * n) as u64).max((ftp_scaled * 2.0) as u64 + 8);
+        registry.register(asn, name, kind);
+        let prefix = alloc(adv_scaled, ftp_scaled.ceil() as u64 + 2);
+        registry.announce(asn, prefix);
+        slots.push(AsSlot {
+            asn,
+            kind,
+            prefix,
+            quota_anon: anon_scaled,
+            quota_other: ftp_scaled - anon_scaled,
+            next_offset: 0,
+        });
+    }
+    let named_ftp: f64 = catalog::NAMED_ASES.iter().map(|a| a.4).sum::<f64>() / rates::PAPER_FTP * n;
+    let named_anon: f64 =
+        catalog::NAMED_ASES.iter().map(|a| a.5).sum::<f64>() / rates::PAPER_FTP * n;
+
+    // Tail ASes: Zipf(1) FTP shares over the remainder, but a *flatter*
+    // anonymous distribution — in the paper no tail AS rivals home.pl's
+    // anonymous concentration (Table VI), even though big ISPs rival its
+    // raw FTP count.
+    let tail_count = (spec.ftp_servers / 40).max(40);
+    let harmonic: f64 = (1..=tail_count).map(|i| 1.0 / i as f64).sum();
+    let flat_harmonic: f64 = (1..=tail_count).map(|i| 1.0 / (i as f64 + 4.0)).sum();
+    let rest_ftp = (n - named_ftp).max(0.0);
+    let rest_anon = (n_anon - named_anon).max(0.0);
+    for i in 1..=tail_count {
+        let share = (1.0 / i as f64) / harmonic;
+        let anon_share = (1.0 / (i as f64 + 4.0)) / flat_harmonic;
+        let ftp_scaled = rest_ftp * share;
+        let anon_scaled = rest_anon * anon_share;
+        let kind = match rng.random_range(0..10) {
+            0..=3 => AsKind::Hosting,
+            4..=7 => AsKind::Isp,
+            8 => AsKind::Academic,
+            _ => AsKind::Other,
+        };
+        let asn = Asn(64_000 + i as u32);
+        registry.register(asn, format!("Tail-AS-{i}"), kind);
+        let adv = ((ftp_scaled * rng.random_range(2..12) as f64) as u64).max(16);
+        let prefix = alloc(adv, ftp_scaled.ceil() as u64 + 2);
+        registry.announce(asn, prefix);
+        slots.push(AsSlot {
+            asn,
+            kind,
+            prefix,
+            quota_anon: anon_scaled,
+            quota_other: (ftp_scaled - anon_scaled).max(0.0),
+            next_offset: 0,
+        });
+    }
+    registry.freeze();
+    (registry, slots)
+}
+
+/// Affinity between AS kinds and host categories, used as a weight
+/// multiplier when placing hosts (reproduces Table III's kind mix).
+fn affinity(kind: AsKind, category: Category, provider_device: bool) -> f64 {
+    match (kind, category) {
+        (AsKind::Isp, Category::Embedded) => {
+            if provider_device {
+                12.0
+            } else {
+                4.0
+            }
+        }
+        (AsKind::Hosting, Category::Embedded) => 0.05,
+        (AsKind::Hosting, Category::Hosted) => 6.0,
+        (AsKind::Isp, Category::Hosted) => 0.02,
+        (AsKind::Academic, _) => 0.7,
+        _ => 1.0,
+    }
+}
+
+fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn draw_category(rng: &mut StdRng, anon: bool) -> Category {
+    let table = if anon {
+        &rates::CLASS_ANON
+    } else {
+        // P(cat | !anon) derived from Tables I+II.
+        static DERIVED: std::sync::OnceLock<[(Category, f64); 4]> = std::sync::OnceLock::new();
+        DERIVED.get_or_init(|| {
+            let p = rates::ANON_PER_FTP;
+            let mut out = rates::CLASS_ALL;
+            for (i, (cat, all)) in rates::CLASS_ALL.iter().enumerate() {
+                let anon_p = rates::CLASS_ANON
+                    .iter()
+                    .find(|(c, _)| c == cat)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                out[i].1 = ((all - anon_p * p) / (1.0 - p)).max(0.0);
+            }
+            out
+        })
+    };
+    let weights: Vec<f64> = table.iter().map(|&(_, w)| w).collect();
+    table[weighted_index(rng, &weights)].0
+}
+
+fn draw_device(rng: &mut StdRng, anon: bool) -> &'static DeviceModel {
+    let all: Vec<&DeviceModel> =
+        catalog::CONSUMER_DEVICES.iter().chain(catalog::PROVIDER_DEVICES).collect();
+    let weights: Vec<f64> = all
+        .iter()
+        .map(|d| if anon { d.anonymous } else { (d.total - d.anonymous).max(0.0) })
+        .collect();
+    all[weighted_index(rng, &weights)]
+}
+
+fn draw_software(rng: &mut StdRng) -> (Daemon, Option<&'static str>) {
+    let weights: Vec<f64> = catalog::SOFTWARE_MIX.iter().map(|&(_, _, w)| w).collect();
+    let (d, v, _) = catalog::SOFTWARE_MIX[weighted_index(rng, &weights)];
+    (d, v)
+}
+
+/// One planned (not yet materialized) host.
+struct HostPlan {
+    truth: HostTruth,
+    banner_multiline: bool,
+    flaky: bool,
+    robots_some: bool,
+}
+
+/// Generates the simulated world inside `sim` and returns ground truth.
+///
+/// # Panics
+///
+/// Panics if `spec.space` is too small to hold the population.
+pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let (registry, mut slots) = build_ases(spec, &mut rng);
+    let n = spec.ftp_servers;
+    let n_anon = (n as f64 * rates::ANON_PER_FTP).round() as usize;
+    let boost = spec.rare_boost;
+
+    // ---- phase 1: plans ----
+    let mut plans: Vec<HostPlan> = Vec::with_capacity(n);
+    let mut used: HashSet<Ipv4Addr> = HashSet::new();
+
+    for i in 0..n {
+        let anonymous = i < n_anon;
+        let category = draw_category(&mut rng, anonymous);
+        let (device, device_kind, daemon) = match category {
+            Category::Embedded => {
+                let d = draw_device(&mut rng, anonymous);
+                (Some(d.name), Some(d.kind), None)
+            }
+            Category::Generic | Category::Hosted => {
+                let (d, _) = draw_software(&mut rng);
+                (None, None, Some(d))
+            }
+            Category::Unknown => (None, None, None),
+        };
+        // Place in an AS.
+        let provider_device = device_kind == Some(DeviceKind::ProviderCpe);
+        let weights: Vec<f64> = slots
+            .iter()
+            .map(|s| {
+                let quota = if anonymous { s.quota_anon } else { s.quota_other };
+                quota.max(0.0) * affinity(s.kind, category, provider_device)
+            })
+            .collect();
+        let slot_ix = weighted_index(&mut rng, &weights);
+        let slot = &mut slots[slot_ix];
+        if anonymous {
+            slot.quota_anon -= 1.0;
+        } else {
+            slot.quota_other -= 1.0;
+        }
+        // Sequential-with-stride placement inside the prefix.
+        let ip = loop {
+            let off = slot.next_offset % slot.prefix.size();
+            slot.next_offset = slot.next_offset.wrapping_add(rng.random_range(1..7));
+            let ip = slot.prefix.addr_at(off);
+            if used.insert(ip) {
+                break ip;
+            }
+        };
+        plans.push(HostPlan {
+            truth: HostTruth {
+                ip,
+                asn: slot.asn,
+                category,
+                device,
+                device_kind,
+                daemon,
+                anonymous,
+                writable: false,
+                validates_port: true,
+                nat: false,
+                ftps: false,
+                ftps_required: false,
+                cert_fp: None,
+                campaigns: Vec::new(),
+                content: ContentKind::Empty,
+                sensitive: Vec::new(),
+                http: false,
+                scripting: false,
+                ramnit: false,
+                deep_tree: false,
+                banner: String::new(),
+                robots_deny_all: false,
+                drop_after: 0,
+            },
+            banner_multiline: rng.random_bool(0.05),
+            flaky: rng.random_bool(0.01),
+            robots_some: anonymous
+                && rng.random_bool((rates::ROBOTS_PER_ANON * boost.min(10.0)).min(0.3)),
+        });
+    }
+
+    // ---- phase 2: correlated flags over the plan set ----
+    let homepl_asn = Asn(12_824);
+    let anon_ix: Vec<usize> = (0..n_anon).collect();
+
+    // PORT validation: all of home.pl plus pre-fix FileZilla fail; then
+    // random extras to reach the target rate among anonymous servers.
+    for p in plans.iter_mut() {
+        let old_filezilla = p.truth.daemon == Some(Daemon::FileZilla) && rng.random_bool(0.93);
+        if p.truth.asn == homepl_asn || old_filezilla {
+            p.truth.validates_port = false;
+        }
+    }
+    let target_bounce = (n_anon as f64 * rates::BOUNCE_PER_ANON).round() as usize;
+    let current: usize =
+        plans[..n_anon].iter().filter(|p| !p.truth.validates_port).count();
+    if current < target_bounce {
+        let mut candidates: Vec<usize> = anon_ix
+            .iter()
+            .copied()
+            .filter(|&i| plans[i].truth.validates_port)
+            .collect();
+        candidates.shuffle(&mut rng);
+        for &i in candidates.iter().take(target_bounce - current) {
+            plans[i].truth.validates_port = false;
+        }
+    }
+
+    // NAT: consumer-ish anonymous servers; keep the NAT∩bounce rate low
+    // as §VII-B found (4.5% of NATed vs 12.7% overall).
+    let target_nat = (n_anon as f64 * rates::NAT_PER_ANON).round() as usize;
+    let mut nat_candidates: Vec<usize> = anon_ix
+        .iter()
+        .copied()
+        .filter(|&i| plans[i].truth.category != Category::Hosted)
+        .collect();
+    nat_candidates.shuffle(&mut rng);
+    for &i in nat_candidates.iter().take(target_nat) {
+        plans[i].truth.nat = true;
+        // home.pl stays vulnerable (its default software is the cause,
+        // NAT or not); elsewhere NAT correlates with validation.
+        if plans[i].truth.asn != homepl_asn
+            && !plans[i].truth.validates_port
+            && !rng.random_bool(rates::BOUNCE_PER_NAT)
+        {
+            plans[i].truth.validates_port = true;
+        }
+    }
+
+    // World-writable.
+    let target_writable =
+        ((n_anon as f64 * rates::WRITABLE_PER_ANON * boost).round() as usize).min(n_anon);
+    let mut writable_ix: Vec<usize> = anon_ix.clone();
+    writable_ix.shuffle(&mut rng);
+    let writable_ix: Vec<usize> = writable_ix.into_iter().take(target_writable).collect();
+    for &i in &writable_ix {
+        plans[i].truth.writable = true;
+    }
+
+    // Campaigns.
+    for (campaign, paper_count, requires_writable) in rates::CAMPAIGNS {
+        let target =
+            ((rates::per_anon(paper_count) * n_anon as f64 * boost).round() as usize).max(1);
+        if requires_writable {
+            let mut pool = writable_ix.clone();
+            pool.shuffle(&mut rng);
+            for &i in pool.iter().take(target.min(pool.len())) {
+                plans[i].truth.campaigns.push(campaign);
+            }
+        } else {
+            // Holy Bible: split between writable and non-writable hosts.
+            let on_writable =
+                (target as f64 * rates::HOLY_BIBLE_WRITABLE_SHARE).round() as usize;
+            let mut pool = writable_ix.clone();
+            pool.shuffle(&mut rng);
+            for &i in pool.iter().take(on_writable.min(pool.len())) {
+                plans[i].truth.campaigns.push(campaign);
+            }
+            let mut others: Vec<usize> = anon_ix
+                .iter()
+                .copied()
+                .filter(|&i| !plans[i].truth.writable)
+                .collect();
+            others.shuffle(&mut rng);
+            for &i in others.iter().take(target - on_writable.min(pool.len())) {
+                plans[i].truth.campaigns.push(campaign);
+            }
+        }
+    }
+
+    // robots deny-all split (§IV: 5.9 K of 11.3 K robots files).
+    for p in plans.iter_mut() {
+        if p.robots_some {
+            p.truth.robots_deny_all = rng.random_bool(rates::ROBOTS_DENY_ALL);
+        }
+    }
+
+    // Content archetypes for anonymous servers.
+    for &i in &anon_ix {
+        let p = &mut plans[i];
+        let exposes = rng.random_bool(rates::ANON_EXPOSING_DATA)
+            || !p.truth.campaigns.is_empty()
+            || p.truth.writable;
+        if !exposes {
+            continue;
+        }
+        p.truth.content = match (p.truth.category, p.truth.device_kind) {
+            (Category::Hosted, _) => ContentKind::HostingWebroot,
+            (Category::Embedded, Some(DeviceKind::Printer)) => ContentKind::PrinterSpool,
+            (Category::Embedded, _) => ContentKind::NasMedia,
+            _ => match rng.random_range(0..10) {
+                0..=3 => ContentKind::HostingWebroot,
+                4..=7 => ContentKind::NasMedia,
+                8 => ContentKind::OfficeBackup,
+                _ => ContentKind::NasMedia,
+            },
+        };
+    }
+
+    // OS-root exposures (override archetype).
+    for (kind, paper_count) in [
+        (OsKind::Windows, rates::OS_ROOT_WINDOWS),
+        (OsKind::Linux, rates::OS_ROOT_LINUX),
+        (OsKind::OsX, rates::OS_ROOT_OSX),
+    ] {
+        let target = ((rates::per_anon(paper_count) * n_anon as f64 * boost).round() as usize)
+            .max(1)
+            .min(n_anon);
+        let mut pool = anon_ix.clone();
+        pool.shuffle(&mut rng);
+        for &i in pool.iter().take(target) {
+            plans[i].truth.content = ContentKind::OsRoot(kind);
+        }
+    }
+
+    // Sensitive classes (Table IX) on exposing anonymous hosts.
+    for (row, (_, servers, files, readable, nonreadable, _unk)) in
+        rates::SENSITIVE.iter().enumerate()
+    {
+        let kind = SensitiveKind::ALL[row];
+        let target = ((rates::per_anon(*servers) * n_anon as f64 * boost).round() as usize)
+            .max(1)
+            .min(n_anon);
+        let mut pool: Vec<usize> = anon_ix
+            .iter()
+            .copied()
+            .filter(|&i| plans[i].truth.content != ContentKind::Empty)
+            .collect();
+        pool.shuffle(&mut rng);
+        for &i in pool.iter().take(target) {
+            plans[i].truth.sensitive.push(kind);
+        }
+        let _ = (files, readable, nonreadable);
+    }
+
+    // Deep trees (traversal-cap population).
+    let target_deep = ((n_anon as f64 * rates::TRUNCATED_PER_ANON * boost).round() as usize)
+        .max(1)
+        .min(n_anon);
+    let mut pool = anon_ix.clone();
+    pool.shuffle(&mut rng);
+    for &i in pool.iter().take(target_deep) {
+        plans[i].truth.deep_tree = true;
+        if plans[i].truth.content == ContentKind::Empty {
+            plans[i].truth.content = ContentKind::NasMedia;
+        }
+    }
+
+    // FTPS + certificates.
+    let hosting_cert_weights: Vec<f64> =
+        catalog::HOSTING_CERTS.iter().map(|&(_, w, _)| w).collect();
+    for p in plans.iter_mut() {
+        if !rng.random_bool(rates::FTPS_PER_FTP) {
+            continue;
+        }
+        p.truth.ftps = true;
+        // FTPS-required servers refuse plaintext logins, which would
+        // contradict an anonymous-allowed host (the study's enumerator —
+        // like the paper's — never retries the login after upgrading).
+        p.truth.ftps_required = !p.truth.anonymous && rng.random_bool(rates::FTPS_REQUIRED);
+    }
+
+    // HTTP co-hosting.
+    for p in plans.iter_mut() {
+        if rng.random_bool(rates::HTTP_PER_FTP) {
+            p.truth.http = true;
+            p.truth.scripting = rng.random_bool(rates::SCRIPTING_PER_FTP / rates::HTTP_PER_FTP);
+        }
+    }
+
+    // Ramnit hosts (separate non-anonymous population).
+    let ramnit_target =
+        ((rates::RAMNIT_PER_FTP * n as f64 * boost).round() as usize).max(1).min(n - n_anon);
+    let mut nonanon: Vec<usize> = (n_anon..n).collect();
+    nonanon.shuffle(&mut rng);
+    for &i in nonanon.iter().take(ramnit_target) {
+        plans[i].truth.ramnit = true;
+    }
+
+    // ---- phase 3: materialize ----
+    let mut truths = Vec::with_capacity(n);
+    for plan in plans {
+        let profile = build_profile(&plan, &mut rng, &hosting_cert_weights);
+        let vfs = build_vfs(&plan, &mut rng);
+        let mut truth = plan.truth;
+        truth.banner = profile.banner.clone();
+        truth.drop_after = profile.drop_after_commands;
+        if let Some(ftps) = &profile.ftps {
+            truth.cert_fp = Some(ftps.cert.fingerprint());
+        }
+        let engine = FtpServerEngine::new(truth.ip, profile, vfs);
+        let id = sim.register_endpoint(Box::new(engine));
+        sim.bind(truth.ip, 21, id);
+        if truth.nat {
+            sim.set_internal_ip(
+                truth.ip,
+                Ipv4Addr::new(192, 168, rng.random_range(0..5), rng.random_range(2..250)),
+            );
+        }
+        if truth.http && spec.include_http {
+            let svc = if truth.scripting {
+                let engine_name =
+                    if rng.random_bool(0.8) { "PHP/5.4.45" } else { "ASP.NET" };
+                HttpService::new("Apache/2.2.22 (Debian)").with_powered_by(engine_name)
+            } else {
+                HttpService::new("nginx/1.2.1")
+            };
+            let hid = sim.register_endpoint(Box::new(svc));
+            sim.bind(truth.ip, 80, hid);
+        }
+        truths.push(truth);
+    }
+
+    // Non-FTP port-21 population (Table I's open-but-not-FTP gap).
+    let mut non_ftp_open = Vec::new();
+    if spec.include_non_ftp {
+        let extra = ((n as f64) * (1.0 / rates::FTP_PER_OPEN - 1.0)).round() as usize;
+        for _ in 0..extra {
+            let ip = loop {
+                let off = rng.random_range(0..spec.space.size());
+                let ip = spec.space.addr_at(off);
+                if used.insert(ip) {
+                    break ip;
+                }
+            };
+            if rng.random_bool(0.55) {
+                let id = sim.register_endpoint(Box::new(SilentService));
+                sim.bind(ip, 21, id);
+            } else {
+                let banner = if rng.random_bool(0.6) {
+                    "SSH-2.0-dropbear_2012.55"
+                } else {
+                    "HTTP/1.0 400 Bad Request"
+                };
+                let id = sim.register_endpoint(Box::new(RawBannerService::new(banner)));
+                sim.bind(ip, 21, id);
+            }
+            non_ftp_open.push(ip);
+        }
+    }
+
+    WorldTruth { registry, hosts: truths, non_ftp_open, spec: spec.clone() }
+}
+
+fn build_profile(
+    plan: &HostPlan,
+    rng: &mut StdRng,
+    hosting_cert_weights: &[f64],
+) -> ServerProfile {
+    let t = &plan.truth;
+    let mut profile = if t.ramnit {
+        implementations::ramnit()
+    } else {
+        match (t.category, t.daemon, t.device) {
+            (_, Some(Daemon::ProFtpd), _) => {
+                implementations::proftpd(version_of(plan, rng))
+            }
+            (_, Some(Daemon::VsFtpd), _) => implementations::vsftpd(version_of(plan, rng)),
+            (_, Some(Daemon::PureFtpd), _) => implementations::pure_ftpd(),
+            (_, Some(Daemon::ServU), _) => implementations::servu(version_of(plan, rng)),
+            (_, Some(Daemon::FileZilla), _) => {
+                implementations::filezilla(version_of(plan, rng))
+            }
+            (_, Some(Daemon::Iis), _) => implementations::iis(),
+            (_, Some(Daemon::WuFtpd), _) => {
+                ServerProfile::new("FTP server (Version wu-2.6.2(1)) ready.")
+            }
+            (_, Some(Daemon::Custom), _) => {
+                // Recognizable miscellaneous daemons: fingerprintable as
+                // Generic, but free of CVE-table version strings.
+                const MISC: &[&str] = &[
+                    "glFTPd 2.01 www.glftpd.com",
+                    "bftpd 3.8 ready",
+                    "NcFTPd Server (licensed copy) ready",
+                    "WS_FTP Server 7.5(1234) ready",
+                    "Titan FTP Server 10.4 ready",
+                ];
+                ServerProfile::new(MISC[rng.random_range(0..MISC.len())])
+            }
+            (Category::Unknown, _, _) => ServerProfile::new("FTP server ready."),
+            (Category::Embedded, _, Some(device)) => {
+                let model = catalog::CONSUMER_DEVICES
+                    .iter()
+                    .chain(catalog::PROVIDER_DEVICES)
+                    .find(|d| d.name == device)
+                    .expect("device from catalog");
+                implementations::embedded(model.banner)
+            }
+            _ => ServerProfile::new("FTP server ready."),
+        }
+    };
+    if t.category == Category::Hosted {
+        // Hosted deployments brand the banner with the provider.
+        profile.banner = format!("{} [shared hosting]", profile.banner);
+    }
+    if plan.banner_multiline {
+        profile.banner =
+            format!("{}\nWelcome, archive mirror online.\nAll transfers are logged", profile.banner);
+    }
+    // Listing-dialect diversity: a sliver of the wild speaks EPLF
+    // (publicfile descendants) or MLSD-style facts; the enumerator's
+    // format sniffing has to cope (§III).
+    if profile.listing_format == ftp_proto::listing::ListingFormat::Unix {
+        let roll = rng.random::<f64>();
+        if roll < 0.03 {
+            profile.listing_format = ftp_proto::listing::ListingFormat::Eplf;
+        } else if roll < 0.05 {
+            profile.listing_format = ftp_proto::listing::ListingFormat::Mlsd;
+        }
+    }
+    if t.anonymous && !t.ramnit {
+        let policy = if t.category == Category::Embedded && rng.random_bool(0.5) {
+            AnonPolicy::NoPassword
+        } else {
+            AnonPolicy::Allowed
+        };
+        profile = profile.with_anonymous(policy);
+    }
+    // A sprinkle of the "four meanings of 331" across non-anonymous hosts.
+    if !t.anonymous && !t.ramnit {
+        profile.user_reply_style = match rng.random_range(0..10) {
+            0 => UserReplyStyle::VirtualHost,
+            1 => UserReplyStyle::RejectAtUser,
+            _ => UserReplyStyle::Standard,
+        };
+    }
+    if t.writable {
+        let dir = if t.content == ContentKind::HostingWebroot { "/www" } else { "/incoming" };
+        profile = profile.with_writable(dir);
+        if rng.random_bool(0.4) {
+            profile = profile.with_upload_quirk(UploadQuirk::UniqueSuffix);
+        }
+    }
+    if !t.validates_port {
+        profile = profile.without_port_validation();
+    } else {
+        profile.validates_port = true;
+    }
+    if t.nat {
+        profile = profile.with_nat_leak();
+    }
+    if t.ftps {
+        let cert = make_cert(plan, rng, hosting_cert_weights);
+        profile = profile.with_ftps(cert, t.ftps_required);
+    }
+    if plan.flaky {
+        profile = profile.with_drop_after(rng.random_range(3..40));
+    }
+    profile
+}
+
+fn version_of(plan: &HostPlan, rng: &mut StdRng) -> &'static str {
+    // Redraw from the software mix restricted to this daemon.
+    let daemon = plan.truth.daemon.expect("daemon host");
+    let options: Vec<(Option<&'static str>, f64)> = catalog::SOFTWARE_MIX
+        .iter()
+        .filter(|(d, _, _)| *d == daemon)
+        .map(|&(_, v, w)| (v, w))
+        .collect();
+    let weights: Vec<f64> = options.iter().map(|&(_, w)| w).collect();
+    options[weighted_index(rng, &weights)].0.unwrap_or("1.0")
+}
+
+fn make_cert(plan: &HostPlan, rng: &mut StdRng, hosting_weights: &[f64]) -> SimCertificate {
+    let t = &plan.truth;
+    // Device fleets ship identical built-in certificates.
+    if let Some(device) = t.device {
+        let model = catalog::CONSUMER_DEVICES
+            .iter()
+            .chain(catalog::PROVIDER_DEVICES)
+            .find(|d| d.name == device);
+        if let Some(ix) = model.and_then(|m| m.shared_cert) {
+            let (_, _, cn) = catalog::DEVICE_CERTS[ix];
+            return SimCertificate::self_signed(cn, 0xDE50 + ix as u64);
+        }
+    }
+    // Hosting providers reuse wildcard certificates.
+    if t.category == Category::Hosted {
+        let ix = weighted_index(rng, hosting_weights);
+        let (cn, _, trusted) = catalog::HOSTING_CERTS[ix];
+        return if trusted {
+            SimCertificate::browser_trusted(cn, "CA WildWest", 0xCA00 + ix as u64)
+        } else {
+            SimCertificate::self_signed(cn, 0xCA00 + ix as u64)
+        };
+    }
+    // Everyone else: the paper found massive sharing even outside
+    // hosting — installer-default certificates ("localhost",
+    // "ftp.Serv-U.com") account for tens of thousands of servers each
+    // (Table XII). Mix defaults with per-host certificates.
+    let roll = rng.random::<f64>();
+    if roll < 0.30 {
+        // The ubiquitous OpenSSL-default "localhost" certificate.
+        SimCertificate::self_signed("localhost", 0x10CA_1057)
+    } else if roll < 0.50 {
+        // Daemon installer defaults, shared by every unconfigured install.
+        let cn = match t.daemon {
+            Some(Daemon::ServU) => "ftp.Serv-U.com",
+            Some(Daemon::ProFtpd) => "proftpd.example.default",
+            Some(Daemon::FileZilla) => "filezilla-server.default",
+            _ => "ftpd.default.local",
+        };
+        SimCertificate::self_signed(cn, 0xDEFA_0017)
+    } else {
+        let key = rng.random::<u64>();
+        if rng.random_bool(0.3) {
+            SimCertificate::self_signed(format!("host-{key:08x}.local"), key)
+        } else {
+            SimCertificate::browser_trusted(
+                format!("ftp-{key:08x}.example.net"),
+                "CA GlobalTrust",
+                key,
+            )
+        }
+    }
+}
+
+fn build_vfs(plan: &HostPlan, rng: &mut StdRng) -> Vfs {
+    let t = &plan.truth;
+    let mut vfs = match t.content {
+        ContentKind::Empty => Vfs::new(),
+        ContentKind::HostingWebroot => {
+            let sites = rng.random_range(1..6);
+            content::hosting_webroot(rng, sites, t.scripting)
+        }
+        ContentKind::NasMedia => {
+            let photos = if rng.random_bool(0.6) { rng.random_range(100..1_200) } else { 0 };
+            let songs = if rng.random_bool(0.45) { rng.random_range(50..600) } else { 0 };
+            let movies = if rng.random_bool(0.5) { rng.random_range(3..40) } else { 0 };
+            let docs = if rng.random_bool(0.5) { rng.random_range(10..120) } else { 0 };
+            content::nas_media(rng, photos, songs, movies, docs)
+        }
+        ContentKind::PrinterSpool => content::printer_spool(rng),
+        ContentKind::OsRoot(kind) => content::os_root(rng, kind),
+        ContentKind::OfficeBackup => content::office_backup(rng),
+    };
+    // Sensitive classes (Table IX): files-per-server and readability from
+    // the table's ratios.
+    for &kind in &t.sensitive {
+        let row = rates::SENSITIVE[SensitiveKind::ALL.iter().position(|&k| k == kind).expect("known kind")];
+        let (_, servers, files, readable, nonreadable, _) = row;
+        let per_server = (files / servers).max(1.0);
+        let count = rng.random_range(1..=(2.0 * per_server).ceil() as usize);
+        let readable_fraction = if readable + nonreadable > 0.0 {
+            readable / (readable + nonreadable)
+        } else {
+            1.0
+        };
+        content::inject_sensitive(&mut vfs, rng, kind, count, readable_fraction);
+    }
+    // Deep trees defeat the request cap. Shape them like what they
+    // mostly were in the wild — enormous media collections — so they
+    // feed Table VIII instead of polluting it.
+    if t.deep_tree {
+        // Enough distinct directories that PASV+LIST per directory
+        // overruns the 500-request budget (~250+ dirs), shaped like the
+        // giant photo archives the study actually hit.
+        let rolls = rng.random_range(300..500);
+        for roll in 0..rolls {
+            let per_dir = rng.random_range(8..28);
+            for i in 0..per_dir {
+                let _ = vfs.add_file(
+                    &format!("/share/photos/roll-{roll:03}/IMG_{i:04}.jpg"),
+                    simvfs::FileMeta::public(2_000_000),
+                );
+            }
+        }
+    }
+    // robots.txt (§IV rates; decided in phase 2 and recorded in truth).
+    if plan.robots_some {
+        let body = if t.robots_deny_all {
+            "User-agent: *\nDisallow: /\n".to_owned()
+        } else {
+            "User-agent: *\nDisallow: /private/\n".to_owned()
+        };
+        let _ = vfs.add_file(
+            "/robots.txt",
+            simvfs::FileMeta::public(body.len() as u64).with_content(body),
+        );
+    }
+    // Ensure writable servers have their writable directory.
+    if t.writable {
+        let dir = if t.content == ContentKind::HostingWebroot { "/www" } else { "/incoming" };
+        let _ = vfs.mkdir_p(dir);
+    }
+    // Campaign artifacts land last (on top of the writable dir).
+    let unique_suffix = rng.random_bool(0.4);
+    for &c in &t.campaigns {
+        campaigns::inject(&mut vfs, rng, c, unique_suffix && t.writable);
+    }
+    vfs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> (Simulator, WorldTruth) {
+        let mut sim = Simulator::new(5);
+        let spec = PopulationSpec::small(5, 600);
+        let truth = build(&mut sim, &spec);
+        (sim, truth)
+    }
+
+    #[test]
+    fn world_builds_with_expected_counts() {
+        let (sim, truth) = small_world();
+        assert_eq!(truth.hosts.len(), 600);
+        let anon = truth.anonymous_count();
+        let expected = (600.0 * rates::ANON_PER_FTP).round() as usize;
+        assert_eq!(anon, expected);
+        assert!(sim.host_count() >= 600);
+        assert!(!truth.non_ftp_open.is_empty());
+    }
+
+    #[test]
+    fn addresses_are_unique_and_in_space() {
+        let (_, truth) = small_world();
+        let mut seen = HashSet::new();
+        for h in &truth.hosts {
+            assert!(truth.spec.space.contains(h.ip), "{}", h.ip);
+            assert!(seen.insert(h.ip), "duplicate {}", h.ip);
+        }
+    }
+
+    #[test]
+    fn every_host_resolves_to_its_as() {
+        let (_, truth) = small_world();
+        for h in &truth.hosts {
+            assert_eq!(truth.registry.lookup(h.ip), Some(h.asn), "{}", h.ip);
+        }
+    }
+
+    #[test]
+    fn writable_rate_is_boosted_target() {
+        let (_, truth) = small_world();
+        let anon = truth.anonymous_count() as f64;
+        let expected = anon * rates::WRITABLE_PER_ANON * truth.spec.rare_boost;
+        let got = truth.writable_count() as f64;
+        assert!((got - expected).abs() <= expected * 0.5 + 2.0, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn bounce_rate_matches_target() {
+        let (_, truth) = small_world();
+        let anon: Vec<_> = truth.hosts.iter().filter(|h| h.anonymous).collect();
+        let vulnerable = anon.iter().filter(|h| !h.validates_port).count() as f64;
+        let rate = vulnerable / anon.len() as f64;
+        assert!(
+            (rate - rates::BOUNCE_PER_ANON).abs() < 0.05,
+            "bounce rate {rate} vs {}",
+            rates::BOUNCE_PER_ANON
+        );
+    }
+
+    #[test]
+    fn campaigns_mostly_on_writable_hosts() {
+        let (_, truth) = small_world();
+        for h in &truth.hosts {
+            for c in &h.campaigns {
+                if *c != Campaign::HolyBible {
+                    assert!(h.writable, "{c:?} on non-writable host");
+                }
+            }
+        }
+        let with_campaign = truth.hosts.iter().filter(|h| !h.campaigns.is_empty()).count();
+        assert!(with_campaign > 0, "boost guarantees signal");
+    }
+
+    #[test]
+    fn determinism() {
+        let build_once = || {
+            let mut sim = Simulator::new(5);
+            let spec = PopulationSpec::small(9, 300);
+            let t = build(&mut sim, &spec);
+            t.hosts.iter().map(|h| (h.ip, h.anonymous, h.writable)).collect::<Vec<_>>()
+        };
+        assert_eq!(build_once(), build_once());
+    }
+
+    #[test]
+    fn ramnit_hosts_are_not_anonymous() {
+        let (_, truth) = small_world();
+        for h in truth.hosts.iter().filter(|h| h.ramnit) {
+            assert!(!h.anonymous);
+        }
+        assert!(truth.hosts.iter().any(|h| h.ramnit), "boost guarantees at least one");
+    }
+
+    #[test]
+    fn named_ases_present_with_quotas() {
+        let (_, truth) = small_world();
+        let homepl = truth.registry.info(Asn(12_824)).expect("home.pl registered");
+        assert_eq!(homepl.kind, AsKind::Hosting);
+        // home.pl anonymous servers all fail PORT validation.
+        for h in truth.hosts.iter().filter(|h| h.asn == Asn(12_824)) {
+            assert!(!h.validates_port);
+        }
+    }
+
+    #[test]
+    fn scripting_implies_http() {
+        let (_, truth) = small_world();
+        for h in &truth.hosts {
+            if h.scripting {
+                assert!(h.http);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_trees_exist_and_are_large() {
+        let (_, truth) = small_world();
+        assert!(truth.hosts.iter().any(|h| h.deep_tree));
+    }
+}

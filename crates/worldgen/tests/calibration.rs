@@ -1,0 +1,140 @@
+//! Statistical calibration checks: at moderate population sizes the
+//! generator's ground truth must match the paper's marginal
+//! distributions within sampling error. (The pipeline-level validation
+//! in the workspace `tests/` directory then shows the *measurement*
+//! recovers this truth.)
+
+use netsim::Simulator;
+use worldgen::{build, rates, Category, PopulationSpec};
+
+fn world(_n: usize) -> &'static worldgen::WorldTruth {
+    static WORLD: std::sync::OnceLock<worldgen::WorldTruth> = std::sync::OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut sim = Simulator::new(77);
+        build(&mut sim, &PopulationSpec::small(77, 3_000))
+    })
+}
+
+/// Three-sigma binomial tolerance around an expected proportion.
+fn within_3sigma(count: usize, n: usize, p: f64) -> bool {
+    let mean = n as f64 * p;
+    let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+    (count as f64 - mean).abs() <= 3.0 * sigma + 1.0
+}
+
+#[test]
+fn anonymous_rate_calibrated() {
+    let t = world(3_000);
+    assert!(
+        within_3sigma(t.anonymous_count(), t.hosts.len(), rates::ANON_PER_FTP),
+        "{} anonymous of {}",
+        t.anonymous_count(),
+        t.hosts.len()
+    );
+}
+
+#[test]
+fn class_shares_calibrated() {
+    let t = world(3_000);
+    let n = t.hosts.len();
+    for (cat, p) in rates::CLASS_ALL {
+        let count = t.hosts.iter().filter(|h| h.category == cat).count();
+        assert!(within_3sigma(count, n, p), "{cat:?}: {count} of {n}, expected p={p}");
+    }
+}
+
+#[test]
+fn anonymous_class_shares_calibrated() {
+    let t = world(3_000);
+    let anon: Vec<_> = t.hosts.iter().filter(|h| h.anonymous).collect();
+    for (cat, p) in rates::CLASS_ANON {
+        let count = anon.iter().filter(|h| h.category == cat).count();
+        // Device-level anonymous rates perturb the Embedded cell; allow
+        // 4 sigma there.
+        let sigma = (anon.len() as f64 * p * (1.0 - p)).sqrt();
+        let slack = if cat == Category::Embedded { 4.0 } else { 3.0 };
+        assert!(
+            (count as f64 - anon.len() as f64 * p).abs() <= slack * sigma + 2.0,
+            "{cat:?}: {count} of {}, expected p={p}",
+            anon.len()
+        );
+    }
+}
+
+#[test]
+fn ftps_rate_calibrated() {
+    let t = world(3_000);
+    let count = t.hosts.iter().filter(|h| h.ftps).count();
+    assert!(within_3sigma(count, t.hosts.len(), rates::FTPS_PER_FTP), "{count}");
+}
+
+#[test]
+fn http_overlap_calibrated() {
+    let t = world(3_000);
+    let n = t.hosts.len();
+    let http = t.hosts.iter().filter(|h| h.http).count();
+    let scripting = t.hosts.iter().filter(|h| h.scripting).count();
+    assert!(within_3sigma(http, n, rates::HTTP_PER_FTP), "{http}");
+    // Scripting is a product of two draws; allow 4 sigma.
+    let p = rates::SCRIPTING_PER_FTP;
+    let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+    assert!(
+        (scripting as f64 - n as f64 * p).abs() <= 4.0 * sigma + 1.0,
+        "{scripting} of {n}"
+    );
+}
+
+#[test]
+fn bounce_rate_calibrated() {
+    let t = world(3_000);
+    let anon: Vec<_> = t.hosts.iter().filter(|h| h.anonymous).collect();
+    let vulnerable = anon.iter().filter(|h| !h.validates_port).count();
+    // The generator targets the rate exactly (two-pass assignment), so a
+    // tight tolerance applies.
+    let expected = anon.len() as f64 * rates::BOUNCE_PER_ANON;
+    assert!(
+        (vulnerable as f64 - expected).abs() <= expected * 0.15 + 2.0,
+        "{vulnerable} vs {expected}"
+    );
+}
+
+#[test]
+fn boosted_rare_classes_scale_linearly() {
+    // Doubling the boost should roughly double writable/campaign counts.
+    let base = {
+        let mut sim = Simulator::new(3);
+        let mut spec = PopulationSpec::small(3, 900);
+        spec.rare_boost = 10.0;
+        build(&mut sim, &spec)
+    };
+    let boosted = {
+        let mut sim = Simulator::new(3);
+        let mut spec = PopulationSpec::small(3, 900);
+        spec.rare_boost = 20.0;
+        build(&mut sim, &spec)
+    };
+    let b = base.writable_count().max(1) as f64;
+    let d = boosted.writable_count() as f64;
+    assert!(
+        (1.4..=2.8).contains(&(d / b)),
+        "writable {b} → {d}: boost doubling should ~double the class"
+    );
+}
+
+#[test]
+fn device_mix_matches_catalog_proportions() {
+    let t = world(3_000);
+    // Among embedded devices, QNAP (57.6 K paper) should outnumber
+    // Seagate (629 paper) by a wide margin.
+    let count = |name: &str| {
+        t.hosts.iter().filter(|h| h.device == Some(name)).count()
+    };
+    let qnap = count("QNAP Turbo NAS");
+    let seagate = count("Seagate Storage devices");
+    assert!(qnap >= 5, "QNAP fleet present: {qnap}");
+    assert!(qnap > seagate * 3, "QNAP {qnap} vs Seagate {seagate}");
+    // FRITZ!Box is the largest provider fleet.
+    let fritz = count("FRITZ!Box DSL modem");
+    let draytek = count("DrayTek Network Devices");
+    assert!(fritz > draytek, "{fritz} vs {draytek}");
+}

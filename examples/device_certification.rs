@@ -1,0 +1,45 @@
+//! §X in practice: run the proposed "CyberUL" certification suite over
+//! the scanned population and print per-device audits plus the
+//! §III-A responsible-disclosure queue.
+//!
+//! ```sh
+//! cargo run --release --example device_certification
+//! ```
+
+use analysis::{cyberul, fingerprint, notify};
+use ftp_study::{run_study, StudyConfig};
+
+fn main() {
+    let results = run_study(&StudyConfig::small(2_016, 1_000));
+
+    // Fleet-wide certification pass rate.
+    let (rate, failing) = cyberul::fleet_summary(&results.records);
+    println!("CyberUL fleet pass rate: {:.1}% of {} FTP servers\n", rate * 100.0, results.records.iter().filter(|r| r.ftp_compliant).count());
+    println!("Most common certification-blocking findings:");
+    for (check, count) in failing.iter().take(8) {
+        println!("  {count:>6}  {check}");
+    }
+
+    // One detailed audit per fingerprinted device model (first instance).
+    println!("\nPer-device audits (first instance of each model):");
+    let mut seen = std::collections::HashSet::new();
+    for r in &results.records {
+        if let Some(device) = fingerprint::device_of(r) {
+            if seen.insert(device.name) {
+                let audit = cyberul::audit(r);
+                print!("{}", audit.render(device.name));
+            }
+        }
+        if seen.len() >= 6 {
+            break;
+        }
+    }
+
+    // The notification queue the paper's team worked through.
+    let digests = notify::build_digests(&results.records, &results.truth.registry);
+    println!("\nResponsible-disclosure queue: {} networks to notify.", digests.len());
+    println!("Top three digests:\n");
+    for d in digests.iter().take(3) {
+        println!("{}", d.render());
+    }
+}

@@ -1,0 +1,41 @@
+//! §VII-B as a standalone audit: probe a population's `PORT` validation
+//! and report who can be used as a scan proxy.
+//!
+//! ```sh
+//! cargo run --release --example port_bounce_audit
+//! ```
+
+use analysis::bounce;
+use ftp_study::{run_study, StudyConfig};
+
+fn main() {
+    let mut cfg = StudyConfig::small(7, 1_500);
+    cfg.probe_http = false; // this audit only needs the FTP side
+    let results = run_study(&cfg);
+    let summary = bounce::summarize(&results.records, &results.bounce_hits);
+
+    println!("PORT-validation audit over {} anonymous servers", summary.probed);
+    println!(
+        "  accepted a third-party PORT : {} ({:.2}%; paper: 12.74%)",
+        summary.accepted,
+        summary.acceptance_rate() * 100.0
+    );
+    println!("  confirmed at our collector  : {}", summary.confirmed);
+    println!("  behind NAT (PASV leak)      : {}", summary.nat);
+    println!("  NAT + bounce (pivot risk)   : {}", summary.nat_and_vulnerable);
+    println!("  writable + bounce (classic) : {}", summary.writable_and_vulnerable);
+    println!("  FileZilla deployments       : {}", summary.filezilla_total);
+
+    // Cross-check against ground truth: the passive probe should agree
+    // with the generator's intent.
+    let truth_vulnerable = results
+        .truth
+        .hosts
+        .iter()
+        .filter(|h| h.anonymous && !h.validates_port)
+        .count();
+    println!(
+        "\nGround truth: {} anonymous servers genuinely skip validation; the probe found {}.",
+        truth_vulnerable, summary.accepted
+    );
+}

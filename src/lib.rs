@@ -1,0 +1,1 @@
+pub use ftp_study as study;

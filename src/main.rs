@@ -1,0 +1,83 @@
+//! `ftpcloud` — command-line front end for the *FTP: The Forgotten
+//! Cloud* reproduction.
+//!
+//! ```text
+//! ftpcloud study [--scale N] [--seed S]      run the full pipeline, print every table
+//! ftpcloud funnel [--servers N] [--seed S]   quick Table I funnel on a small world
+//! ftpcloud honeypot [--days D] [--pots N]    run the §VIII experiment
+//! ftpcloud certify [--servers N]             CyberUL fleet audit (§X)
+//! ftpcloud notify [--servers N]              responsible-disclosure digests (§III-A)
+//! ftpcloud verdicts [--servers N]            paper-vs-measured scoreboard
+//! ```
+
+use ftp_study::{run_study, tables, StudyConfig};
+use worldgen::PopulationSpec;
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|ix| args.get(ix + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = flag(&args, "--seed").unwrap_or(42);
+    match args.first().map(String::as_str) {
+        Some("study") => {
+            let scale = flag(&args, "--scale").unwrap_or(4_096);
+            let spec = PopulationSpec::study(seed, scale);
+            eprintln!(
+                "building 1:{scale} world ({} FTP servers) with seed {seed}…",
+                spec.ftp_servers
+            );
+            let mut cfg = StudyConfig::new(spec);
+            cfg.request_gap = netsim::SimDuration::from_millis(20);
+            let results = run_study(&cfg);
+            println!("{}", tables::full_report(&results));
+        }
+        Some("funnel") => {
+            let servers = flag(&args, "--servers").unwrap_or(800) as usize;
+            let results = run_study(&StudyConfig::small(seed, servers));
+            println!("{}", tables::table01_funnel(&results));
+        }
+        Some("honeypot") => {
+            let days = flag(&args, "--days").unwrap_or(90);
+            let pots = flag(&args, "--pots").unwrap_or(8) as usize;
+            let report = ftp_study::run_honeypot_experiment(seed, pots, days);
+            println!("{report:#?}");
+        }
+        Some("certify") => {
+            let servers = flag(&args, "--servers").unwrap_or(800) as usize;
+            let results = run_study(&StudyConfig::small(seed, servers));
+            let (rate, failing) = analysis::cyberul::fleet_summary(&results.records);
+            println!("CyberUL pass rate: {:.1}%", rate * 100.0);
+            for (check, count) in failing {
+                println!("{count:>6}  {check}");
+            }
+        }
+        Some("verdicts") => {
+            let servers = flag(&args, "--servers").unwrap_or(900) as usize;
+            let results = run_study(&StudyConfig::small(seed, servers));
+            println!("{}", ftp_study::verdicts::render(&results));
+            let (ok, approx, noise) = ftp_study::verdicts::scoreboard(&results);
+            println!("{ok} reproduced, {approx} approximate, {noise} small-N");
+        }
+        Some("notify") => {
+            let servers = flag(&args, "--servers").unwrap_or(800) as usize;
+            let results = run_study(&StudyConfig::small(seed, servers));
+            let digests =
+                analysis::notify::build_digests(&results.records, &results.truth.registry);
+            println!("{} networks require notification\n", digests.len());
+            for d in digests.iter().take(10) {
+                println!("{}", d.render());
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--servers N] [--days D] [--pots N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Ablation experiments for the design choices DESIGN.md §5 calls out.
+//!
+//! Each test toggles one methodological choice and checks that the
+//! difference it makes is the one the paper's design implies.
+
+use ftp_study::{run_study, StudyConfig};
+
+/// Ablation 4 (quirk-tolerant parsing): the hardened reply parser logs
+/// into servers the strict-RFC parser gives up on (multiline banners,
+/// jammed codes).
+#[test]
+fn strict_reply_parsing_loses_hosts() {
+    let mut tolerant_cfg = StudyConfig::small(77, 400);
+    tolerant_cfg.probe_http = false;
+    let tolerant = run_study(&tolerant_cfg);
+
+    let mut strict_cfg = StudyConfig::small(77, 400);
+    strict_cfg.probe_http = false;
+    strict_cfg.strict_replies = true;
+    let strict = run_study(&strict_cfg);
+
+    let tolerant_anon = tolerant.funnel().anonymous;
+    let strict_anon = strict.funnel().anonymous;
+    assert!(
+        strict_anon < tolerant_anon,
+        "strict parser should lose multiline-banner hosts: {strict_anon} vs {tolerant_anon}"
+    );
+    // And the loss is bounded: quirky banners are ~5% of the population.
+    assert!(strict_anon as f64 > tolerant_anon as f64 * 0.5);
+}
+
+/// Ablation (ethics): disabling robots adherence exposes more files —
+/// the enumerator honored exclusions at a measurable cost, as the paper
+/// documents (5.9 K deny-all hosts were skipped).
+#[test]
+fn robots_adherence_costs_coverage() {
+    let mut polite_cfg = StudyConfig::small(78, 400);
+    polite_cfg.probe_http = false;
+    polite_cfg.probe_bounce = false;
+    let polite = run_study(&polite_cfg);
+
+    let mut rude_cfg = StudyConfig::small(78, 400);
+    rude_cfg.probe_http = false;
+    rude_cfg.probe_bounce = false;
+    rude_cfg.respect_robots = false;
+    let rude = run_study(&rude_cfg);
+
+    let polite_files: usize = polite.records.iter().map(|r| r.files.len()).sum();
+    let rude_files: usize = rude.records.iter().map(|r| r.files.len()).sum();
+    assert!(rude_files >= polite_files, "{rude_files} vs {polite_files}");
+    // Deny-all robots hosts exist in this seed or the comparison is
+    // vacuous; detect via the measured robots stats.
+    let denials = polite.records.iter().filter(|r| r.robots.denies_all).count();
+    if denials > 0 {
+        assert!(rude_files > polite_files, "deny-all hosts existed but cost nothing");
+    }
+}
+
+/// Ablation 3 (passive writable detection): the reference-set detector
+/// is a strict lower bound on ground truth — quantified, as the paper
+/// could not do.
+#[test]
+fn passive_writable_detection_is_a_lower_bound() {
+    let mut cfg = StudyConfig::small(79, 500);
+    cfg.probe_http = false;
+    let s = run_study(&cfg);
+    let detected = analysis::writable::detect(&s.records, None);
+    let truth = s.truth.writable_count();
+    assert!(detected.servers.len() <= truth, "not a lower bound?!");
+    assert!(
+        !detected.servers.is_empty(),
+        "campaign probes should reveal some writable servers"
+    );
+}
+
+/// Ablation 2 (request cap): halving the cap truncates more hosts and
+/// observes fewer files, but never changes *which hosts* are anonymous.
+#[test]
+fn request_cap_trades_coverage_for_load() {
+    let mut big_cfg = StudyConfig::small(80, 300);
+    big_cfg.probe_http = false;
+    big_cfg.request_cap = 500;
+    let big = run_study(&big_cfg);
+
+    let mut small_cfg = StudyConfig::small(80, 300);
+    small_cfg.probe_http = false;
+    small_cfg.request_cap = 60;
+    let small = run_study(&small_cfg);
+
+    let big_files: usize = big.records.iter().map(|r| r.files.len()).sum();
+    let small_files: usize = small.records.iter().map(|r| r.files.len()).sum();
+    assert!(small_files <= big_files);
+    let big_trunc = big.records.iter().filter(|r| r.truncated).count();
+    let small_trunc = small.records.iter().filter(|r| r.truncated).count();
+    assert!(small_trunc >= big_trunc, "{small_trunc} vs {big_trunc}");
+    assert_eq!(big.funnel().anonymous, small.funnel().anonymous);
+    // Per-host request ceiling is respected everywhere.
+    assert!(small.records.iter().all(|r| r.requests_used <= 60));
+}
+
+/// The full pipeline is deterministic end to end: same seed, same world,
+/// same measurements.
+#[test]
+fn end_to_end_determinism() {
+    let mut cfg = StudyConfig::small(81, 200);
+    cfg.probe_http = false;
+    let a = run_study(&cfg);
+    let b = run_study(&cfg);
+    assert_eq!(a.records.len(), b.records.len());
+    let key = |s: &ftp_study::StudyResults| {
+        let mut v: Vec<(std::net::Ipv4Addr, bool, usize, u32)> = s
+            .records
+            .iter()
+            .map(|r| (r.ip, r.is_anonymous(), r.files.len(), r.requests_used))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(key(&a), key(&b));
+    assert_eq!(a.bounce_hits, b.bounce_hits);
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants the whole reproduction leans on.
+
+use ftp_proto::listing::{self, ListingEntry, ListingFormat, Permissions};
+use ftp_proto::reply::ReplyParser;
+use ftp_proto::{Command, FtpPath, HostPort, LineCodec, Reply, Robots};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use zscan::CyclicPermutation;
+
+proptest! {
+    /// PORT argument encoding round-trips for every address/port.
+    #[test]
+    fn hostport_roundtrip(a in 0u8.., b in 0u8.., c in 0u8.., d in 0u8.., port in 0u16..) {
+        let hp = HostPort::new(Ipv4Addr::new(a, b, c, d), port);
+        let encoded = hp.to_port_args();
+        prop_assert_eq!(encoded.parse::<HostPort>().unwrap(), hp);
+        let eprt = hp.to_eprt_args();
+        prop_assert_eq!(HostPort::parse_eprt(&eprt).unwrap(), hp);
+    }
+
+    /// PASV reply scanning finds the tuple regardless of phrasing noise.
+    #[test]
+    fn pasv_reply_extraction(a in 0u8.., b in 0u8.., c in 0u8.., d in 0u8.., port in 0u16..,
+                             prefix in "[a-zA-Z ,.]{0,30}", suffix in "[a-zA-Z ,.)]{0,20}") {
+        let hp = HostPort::new(Ipv4Addr::new(a, b, c, d), port);
+        let text = format!("{prefix}({}){suffix}", hp.to_port_args());
+        prop_assert_eq!(HostPort::parse_pasv_reply(&text).unwrap(), hp);
+    }
+
+    /// Permission bits survive the ls-mode text encoding.
+    #[test]
+    fn permissions_roundtrip(mode in 0u16..0o1000) {
+        let p = Permissions::from_mode(mode);
+        prop_assert_eq!(Permissions::parse_rwx(&p.to_rwx()).unwrap(), p);
+    }
+
+    /// Path canonicalization is idempotent and never emits `.`/`..`.
+    #[test]
+    fn path_canonicalization(segments in proptest::collection::vec("[a-zA-Z0-9._-]{1,8}", 0..8)) {
+        let raw = format!("/{}", segments.join("/"));
+        if let Ok(p) = raw.parse::<FtpPath>() {
+            let reparsed: FtpPath = p.as_str().parse().unwrap();
+            prop_assert_eq!(&reparsed, &p, "idempotent");
+            prop_assert!(p.as_str().starts_with('/'));
+            for comp in p.components() {
+                prop_assert_ne!(comp, ".");
+                prop_assert_ne!(comp, "..");
+            }
+            prop_assert_eq!(p.depth(), p.components().count());
+        }
+    }
+
+    /// join() keeps paths inside the ancestor unless absolute.
+    #[test]
+    fn path_join_confinement(base in proptest::collection::vec("[a-z]{1,5}", 1..4),
+                             rel in "[a-z]{1,6}") {
+        let base_path: FtpPath = format!("/{}", base.join("/")).parse().unwrap();
+        let joined = base_path.join(&rel).unwrap();
+        prop_assert!(joined.starts_with(&base_path));
+        prop_assert_eq!(joined.parent(), base_path);
+    }
+
+    /// A reply serialized to wire format re-parses to the same reply, no
+    /// matter how the bytes are chunked in transit.
+    #[test]
+    fn reply_wire_roundtrip_chunked(code in 100u16..600,
+                                    lines in proptest::collection::vec("[a-zA-Z0-9 .,]{0,40}", 1..5),
+                                    chunk in 1usize..7) {
+        let reply = Reply::multiline(code, lines);
+        let wire = reply.to_wire();
+        let mut codec = LineCodec::new();
+        let mut parser = ReplyParser::new();
+        let mut out = None;
+        for piece in wire.as_bytes().chunks(chunk) {
+            codec.extend(piece);
+            while let Some(line) = codec.next_line().unwrap() {
+                if let Some(r) = parser.push_line(&line).unwrap() {
+                    out = Some(r);
+                }
+            }
+        }
+        prop_assert_eq!(out.expect("complete reply"), reply);
+    }
+
+    /// Every command the wire format can print is re-parseable to an
+    /// equal value (display/parse round-trip on the safe subset).
+    #[test]
+    fn command_display_parse_roundtrip(arg in "[a-zA-Z0-9/_.-]{1,20}") {
+        for cmd in [
+            Command::User(arg.clone()),
+            Command::Cwd(arg.clone()),
+            Command::Retr(arg.clone()),
+            Command::Stor(arg.clone()),
+            Command::List(Some(arg.clone())),
+            Command::Size(arg.clone()),
+        ] {
+            let wire = cmd.to_string();
+            prop_assert_eq!(wire.parse::<Command>().unwrap(), cmd);
+        }
+    }
+
+    /// Rendered listings parse back with the same name/size/kind in
+    /// every dialect.
+    #[test]
+    fn listing_render_parse(name in "[a-zA-Z0-9_.-]{1,20}", size in 0u64..10_000_000_000,
+                            is_dir in any::<bool>()) {
+        let entry = ListingEntry {
+            name: name.clone(),
+            is_dir,
+            size: Some(size),
+            permissions: Some(Permissions::public_file()),
+            owner: Some("ftp".into()),
+            mtime: Some("Jun 18  2015".into()),
+            is_symlink: false,
+        };
+        for fmt in [ListingFormat::Unix, ListingFormat::Dos, ListingFormat::Eplf, ListingFormat::Mlsd] {
+            let line = listing::render_line(&entry, fmt);
+            let parsed = listing::parse_line(&line, fmt).unwrap().unwrap();
+            prop_assert_eq!(&parsed.name, &name, "{:?}: {}", fmt, line);
+            prop_assert_eq!(parsed.is_dir, is_dir);
+            if !is_dir {
+                prop_assert_eq!(parsed.size, Some(size));
+            }
+        }
+    }
+
+    /// The scan permutation is a bijection on every domain size.
+    #[test]
+    fn cyclic_permutation_bijective(size in 1u64..4_000, seed in any::<u64>()) {
+        let perm = CyclicPermutation::new(size, seed);
+        let mut seen = vec![false; size as usize];
+        let mut count = 0u64;
+        for v in perm.iter() {
+            prop_assert!(v < size);
+            prop_assert!(!seen[v as usize], "duplicate {v}");
+            seen[v as usize] = true;
+            count += 1;
+        }
+        prop_assert_eq!(count, size);
+    }
+
+    /// Sharding partitions the permutation losslessly.
+    #[test]
+    fn cyclic_shards_partition(size in 1u64..2_000, seed in any::<u64>(), shards in 1u64..6) {
+        let perm = CyclicPermutation::new(size, seed);
+        let mut seen = vec![false; size as usize];
+        for i in 0..shards {
+            for v in perm.shard(i, shards) {
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Robots longest-match: a more specific Allow always beats a shorter
+    /// Disallow prefix of it.
+    #[test]
+    fn robots_allow_overrides(dir in "[a-z]{1,8}", sub in "[a-z]{1,8}", file in "[a-z]{1,8}") {
+        let body = format!("User-agent: *\nDisallow: /{dir}/\nAllow: /{dir}/{sub}/\n");
+        let robots = Robots::parse(&body, "any");
+        let blocked = format!("/{dir}/{file}.x");
+        let allowed = format!("/{dir}/{sub}/{file}");
+        let elsewhere = format!("/elsewhere/{file}");
+        prop_assert!(!robots.is_allowed(&blocked));
+        prop_assert!(robots.is_allowed(&allowed));
+        prop_assert!(robots.is_allowed(&elsewhere));
+    }
+
+    /// The line codec is invariant to chunk boundaries.
+    #[test]
+    fn codec_chunking_invariance(lines in proptest::collection::vec("[a-zA-Z0-9 ]{0,30}", 1..6),
+                                 chunk in 1usize..5) {
+        let stream: String = lines.iter().map(|l| format!("{l}\r\n")).collect();
+        let mut whole = LineCodec::new();
+        whole.extend(stream.as_bytes());
+        let mut expected = Vec::new();
+        while let Some(l) = whole.next_line().unwrap() {
+            expected.push(l);
+        }
+        let mut chunked = LineCodec::new();
+        let mut got = Vec::new();
+        for piece in stream.as_bytes().chunks(chunk) {
+            chunked.extend(piece);
+            while let Some(l) = chunked.next_line().unwrap() {
+                got.push(l);
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
