@@ -14,6 +14,9 @@ pub struct Funnel {
     pub ftp_servers: u64,
     /// Hosts that allowed anonymous login.
     pub anonymous: u64,
+    /// Hosts the enumerator gave up on (hostile or dead — the funnel's
+    /// leakage row; zero on a fault-free population).
+    pub gave_up: u64,
 }
 
 impl Funnel {
@@ -21,7 +24,14 @@ impl Funnel {
     pub fn from_results(ips_scanned: u64, open_port: u64, records: &[HostRecord]) -> Self {
         let ftp_servers = records.iter().filter(|r| r.ftp_compliant).count() as u64;
         let anonymous = records.iter().filter(|r| r.is_anonymous()).count() as u64;
-        Funnel { ips_scanned, open_port, ftp_servers, anonymous }
+        let gave_up = records.iter().filter(|r| r.gave_up.is_some()).count() as u64;
+        Funnel { ips_scanned, open_port, ftp_servers, anonymous, gave_up }
+    }
+
+    /// Give-up rate per open port — how much of the population actively
+    /// resisted enumeration.
+    pub fn gave_up_rate(&self) -> f64 {
+        ratio(self.gave_up, self.open_port)
     }
 
     /// Port-21-open rate per scanned address.

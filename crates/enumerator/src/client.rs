@@ -6,9 +6,15 @@
 //! (the paper's two-requests-per-second limit) and guarded by a step
 //! timeout; a server that hangs up mid-session is recorded as having
 //! refused service and is never contacted again.
+//!
+//! Sessions are hardened against hostile hosts (DESIGN.md "Fault
+//! model"): failed connects retry on a bounded exponential backoff, a
+//! per-session wall-clock deadline backstops every other defense, and
+//! each give-up path records a [`GaveUpReason`] plus fault counters on
+//! the partial record instead of panicking or hanging.
 
 use crate::config::EnumConfig;
-use crate::record::{FileEntry, HostRecord, LoginOutcome};
+use crate::record::{FileEntry, GaveUpReason, HostRecord, LoginOutcome};
 use ftp_proto::listing::{self, ListingFormat};
 use ftp_proto::reply::ReplyParser;
 use ftp_proto::{Banner, HostPort, LineCodec, Reply, Robots};
@@ -52,6 +58,8 @@ const KIND_SEND: u64 = 0;
 const KIND_TIMEOUT: u64 = 1;
 const KIND_CONTROL: u64 = 2;
 const KIND_DATA: u64 = 3;
+const KIND_RETRY: u64 = 4;
+const KIND_DEADLINE: u64 = 5;
 
 fn token(slot: usize, gen: u32, kind: u64) -> u64 {
     ((slot as u64) << 32) | ((gen as u64 & 0xff_ffff) << 8) | kind
@@ -65,6 +73,10 @@ fn untoken(t: u64) -> (usize, u32, u64) {
 struct Session {
     ip: Ipv4Addr,
     gen: u32,
+    /// The generation at session start; the session-deadline timer is
+    /// validated against this (unlike step timers, it must survive the
+    /// constant generation bumps of a live session).
+    start_gen: u32,
     record: HostRecord,
     control: Option<ConnId>,
     codec: LineCodec,
@@ -88,6 +100,7 @@ impl Session {
         Session {
             ip,
             gen: 0,
+            start_gen: 0,
             record: HostRecord::new(ip),
             control: None,
             codec: LineCodec::new(),
@@ -170,10 +183,12 @@ impl Enumerator {
             let mut session = Session::new(ip);
             session.gen = self.slot_gens[slot];
             let gen = session.bump();
+            session.start_gen = gen;
             session.phase = Phase::Connecting;
             self.sessions[slot] = Some(session);
             self.active += 1;
             ctx.connect(self.cfg.source_ip, ip, 21, token(slot, gen, KIND_CONTROL));
+            ctx.set_timer(self.cfg.session_deadline, token(slot, gen, KIND_DEADLINE));
         }
     }
 
@@ -230,6 +245,16 @@ impl Enumerator {
     fn traversal_budget_left(&self, slot: usize) -> bool {
         let Some(s) = self.sessions[slot].as_ref() else { return false };
         s.record.requests_used + 2 + RESERVED_REQUESTS <= self.cfg.request_cap
+    }
+
+    /// Re-dials the control channel after a backoff delay.
+    fn retry_connect(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let src = self.cfg.source_ip;
+        let Some(s) = self.sessions[slot].as_mut() else { return };
+        s.phase = Phase::Connecting;
+        let gen = s.gen;
+        let ip = s.ip;
+        ctx.connect(src, ip, 21, token(slot, gen, KIND_CONTROL));
     }
 
     fn open_data_channel(&mut self, ctx: &mut Ctx<'_>, slot: usize, port: u16) {
@@ -656,9 +681,10 @@ impl Enumerator {
             Err(_) => {
                 // Garbage on the control channel: not an FTP server (or
                 // one broken beyond use).
-                let phase = self.sessions[slot].as_ref().map(|s| s.phase.clone());
-                if phase == Some(Phase::Banner) {
-                    if let Some(s) = self.sessions[slot].as_mut() {
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    s.record.faults.garbage_lines += 1;
+                    s.record.gave_up = Some(GaveUpReason::ControlGarbage);
+                    if s.phase == Phase::Banner {
                         s.record.login = LoginOutcome::NotFtp;
                     }
                 }
@@ -677,13 +703,29 @@ impl Endpoint for Enumerator {
         }
         let (slot, gen, kind) = untoken(t);
         let Some(Some(s)) = self.sessions.get(slot) else { return };
-        if s.gen != gen {
+        // The deadline timer is pinned to the session's *starting*
+        // generation; every other timer must match the current one.
+        let expected = if kind == KIND_DEADLINE { s.start_gen } else { s.gen };
+        if expected != gen {
             return; // stale timer
         }
         match kind {
             KIND_SEND => self.send_pending(ctx, slot),
             KIND_TIMEOUT => {
-                // The step stalled: treat as refusal and move on.
+                // The step stalled: give up and keep the partial record.
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    s.record.faults.step_timeouts += 1;
+                    s.record.gave_up = Some(GaveUpReason::StepTimeout);
+                }
+                self.finish(ctx, slot);
+            }
+            KIND_RETRY => self.retry_connect(ctx, slot),
+            KIND_DEADLINE => {
+                // Whole-session backstop: no single host, however
+                // hostile, may hold its slot past this bound.
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    s.record.gave_up = Some(GaveUpReason::SessionDeadline);
+                }
                 self.finish(ctx, slot);
             }
             _ => {}
@@ -710,8 +752,18 @@ impl Endpoint for Enumerator {
                 ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
             }
             (KIND_CONTROL, Err(_)) => {
-                s.record.login = LoginOutcome::Aborted;
-                self.finish(ctx, slot);
+                // Lost SYN or refused connect: retry on the backoff
+                // schedule until the budget runs out.
+                let retries_used = s.record.faults.connect_retries;
+                if let Some(delay) = self.cfg.retry.delay_for(retries_used) {
+                    s.record.faults.connect_retries += 1;
+                    let gen = s.bump();
+                    ctx.set_timer(delay, token(slot, gen, KIND_RETRY));
+                } else {
+                    s.record.login = LoginOutcome::Aborted;
+                    s.record.gave_up = Some(GaveUpReason::ConnectFailed);
+                    self.finish(ctx, slot);
+                }
             }
             (KIND_DATA, Ok(conn)) => {
                 s.data_conn = Some(conn);
@@ -746,6 +798,7 @@ impl Endpoint for Enumerator {
                 }
             }
             (KIND_DATA, Err(_)) => {
+                s.record.faults.data_conn_failures += 1;
                 s.awaiting_data_connect = false;
                 // No data channel: skip whatever needed it.
                 let phase = s.phase.clone();
@@ -778,7 +831,14 @@ impl Endpoint for Enumerator {
                     Ok(Some(line)) => lines.push(line),
                     Ok(None) => break,
                     Err(_) => {
-                        // Hostile over-long line: abort.
+                        // Hostile over-long line: abort, keeping what we
+                        // have and classifying the host if it never even
+                        // greeted properly.
+                        s.record.faults.overlong_lines += 1;
+                        s.record.gave_up = Some(GaveUpReason::OverlongLine);
+                        if s.phase == Phase::Banner {
+                            s.record.login = LoginOutcome::NotFtp;
+                        }
                         self.finish(ctx, slot);
                         return;
                     }

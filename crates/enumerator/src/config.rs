@@ -1,5 +1,6 @@
 //! Enumerator configuration.
 
+use crate::backoff::RetrySchedule;
 use ftp_proto::HostPort;
 use netsim::SimDuration;
 use std::net::Ipv4Addr;
@@ -34,6 +35,12 @@ pub struct EnumConfig {
     pub request_gap: SimDuration,
     /// Abort a step when no reply arrives within this window.
     pub step_timeout: SimDuration,
+    /// Give up on a host outright when its whole session exceeds this
+    /// wall-clock bound — the backstop that makes a run over a hostile
+    /// population finish no matter what individual hosts do.
+    pub session_deadline: SimDuration,
+    /// Backoff schedule for failed control-connection attempts.
+    pub retry: RetrySchedule,
     /// Address we control for the `PORT`-validation probe; `None`
     /// disables the probe.
     pub bounce_collector: Option<HostPort>,
@@ -64,6 +71,8 @@ impl EnumConfig {
             request_cap: 500,
             request_gap: SimDuration::from_millis(500),
             step_timeout: SimDuration::from_secs(30),
+            session_deadline: SimDuration::from_secs(900),
+            retry: RetrySchedule::default(),
             bounce_collector: None,
             user_agent: "ftp-enumerator".to_owned(),
             password: "abuse@scan-research.example.org".to_owned(),
@@ -104,6 +113,18 @@ impl EnumConfig {
         self.request_gap = gap;
         self
     }
+
+    /// Builder: set the connect-retry schedule.
+    pub fn with_retry(mut self, retry: RetrySchedule) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: set the per-session wall-clock deadline.
+    pub fn with_session_deadline(mut self, deadline: SimDuration) -> Self {
+        self.session_deadline = deadline;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +151,18 @@ mod tests {
         assert_eq!(c.bounce_collector, Some(hp));
         assert_eq!(c.request_cap, 50);
         assert_eq!(c.max_concurrent, 1, "clamped to at least one");
+    }
+
+    #[test]
+    fn default_retry_budget_fits_inside_session_deadline() {
+        // A host that times out on every connect must exhaust its retry
+        // schedule well before the session deadline would fire, so the
+        // GaveUp reason is attributed to the connect path, not the
+        // backstop.
+        let c = EnumConfig::new(Ipv4Addr::new(1, 1, 1, 1));
+        let attempts = u64::from(c.retry.max_attempts());
+        let worst =
+            c.retry.worst_case_total() + c.step_timeout.saturating_mul(attempts);
+        assert!(worst < c.session_deadline, "{worst:?} vs {:?}", c.session_deadline);
     }
 }

@@ -23,6 +23,13 @@
 //! explicit refusal of service and the session ends immediately — the
 //! paper's ethics stance (§III-A).
 //!
+//! Sessions are chaos-hardened (§III, DESIGN.md "Fault model"):
+//! connects retry on a bounded exponential [`backoff::RetrySchedule`],
+//! every step and every whole session is deadline-bounded, and hosts
+//! that defeat the enumerator produce partial records tagged with a
+//! [`record::GaveUpReason`] plus per-session [`record::FaultStats`]
+//! rather than hanging or poisoning the run.
+//!
 //! Results are [`record::HostRecord`]s: everything the analysis crate
 //! consumes. The enumerator never issues a write command; this is
 //! enforced structurally (there is no code path that sends `STOR`,
@@ -31,12 +38,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod collector;
 pub mod config;
 pub mod record;
 
+pub use backoff::RetrySchedule;
 pub use client::Enumerator;
 pub use collector::BounceCollector;
 pub use config::{EnumConfig, TraversalOrder};
-pub use record::{FileEntry, FtpsObservation, HostRecord, LoginOutcome, RobotsInfo, RunSummary};
+pub use record::{
+    FaultStats, FileEntry, FtpsObservation, GaveUpReason, HostRecord, LoginOutcome, RobotsInfo,
+    RunSummary,
+};

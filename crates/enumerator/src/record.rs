@@ -22,6 +22,53 @@ pub enum LoginOutcome {
     Aborted,
 }
 
+/// Why the enumerator unilaterally abandoned a session.
+///
+/// `None` on a [`HostRecord`] means the session ended on the
+/// enumerator's terms (orderly QUIT, or the server closed on us —
+/// see [`HostRecord::server_terminated`]). `Some` marks a partial
+/// record: everything gathered before the give-up point is retained,
+/// and the reason says which defense fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GaveUpReason {
+    /// Every connection attempt failed or timed out, retries included.
+    ConnectFailed,
+    /// A command went unanswered past the per-step deadline.
+    StepTimeout,
+    /// The whole session exceeded its wall-clock deadline.
+    SessionDeadline,
+    /// The control channel produced data no reply parser understood.
+    ControlGarbage,
+    /// An unterminated control line exceeded the codec's line limit.
+    OverlongLine,
+}
+
+/// Per-session tallies of the hostile behavior the enumerator absorbed.
+///
+/// These are the operator-facing health counters the paper's team
+/// watched while hardening their tool (§III); [`RunSummary`] aggregates
+/// them across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultStats {
+    /// Connection attempts beyond the first.
+    pub connect_retries: u32,
+    /// Steps abandoned because no reply arrived in time.
+    pub step_timeouts: u32,
+    /// Data-channel connections that failed or timed out.
+    pub data_conn_failures: u32,
+    /// Control lines rejected by the reply parser.
+    pub garbage_lines: u32,
+    /// Control lines that overran the codec's length limit.
+    pub overlong_lines: u32,
+}
+
+impl FaultStats {
+    /// True when the session saw no hostile behavior at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// What the enumerator learned from `robots.txt`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct RobotsInfo {
@@ -117,6 +164,11 @@ pub struct HostRecord {
     pub port_accepts_third_party: Option<bool>,
     /// Listing lines no parser understood.
     pub unparsed_lines: u64,
+    /// Set when the enumerator abandoned the session; the record is
+    /// partial but everything gathered before that point is kept.
+    pub gave_up: Option<GaveUpReason>,
+    /// Hostile-behavior tallies for this session.
+    pub faults: FaultStats,
 }
 
 impl HostRecord {
@@ -140,6 +192,8 @@ impl HostRecord {
             pasv_addr: None,
             port_accepts_third_party: None,
             unparsed_lines: 0,
+            gave_up: None,
+            faults: FaultStats::default(),
         }
     }
 
@@ -230,6 +284,16 @@ pub struct RunSummary {
     pub total_entries: u64,
     /// Listing lines no parser understood.
     pub unparsed_lines: u64,
+    /// Sessions the enumerator abandoned (any [`GaveUpReason`]).
+    pub gave_up: u64,
+    /// Connection attempts beyond the first, summed over hosts.
+    pub connect_retries: u64,
+    /// Steps abandoned on the per-step deadline, summed over hosts.
+    pub step_timeouts: u64,
+    /// Data-channel connect failures, summed over hosts.
+    pub data_conn_failures: u64,
+    /// Control lines rejected as garbage (parser or codec), summed.
+    pub garbage_lines: u64,
 }
 
 impl RunSummary {
@@ -256,6 +320,14 @@ impl RunSummary {
             s.total_requests += u64::from(r.requests_used);
             s.total_entries += r.files.len() as u64;
             s.unparsed_lines += r.unparsed_lines;
+            if r.gave_up.is_some() {
+                s.gave_up += 1;
+            }
+            s.connect_retries += u64::from(r.faults.connect_retries);
+            s.step_timeouts += u64::from(r.faults.step_timeouts);
+            s.data_conn_failures += u64::from(r.faults.data_conn_failures);
+            s.garbage_lines +=
+                u64::from(r.faults.garbage_lines) + u64::from(r.faults.overlong_lines);
         }
         s
     }

@@ -6,10 +6,10 @@
 //! abrupt resets — without panicking, leaking sessions, or stalling the
 //! rest of the scan.
 
-use enumerator::{EnumConfig, Enumerator};
+use enumerator::{EnumConfig, Enumerator, HostRecord};
 use ftpd::profile::{AnonPolicy, ServerProfile};
 use ftpd::FtpServerEngine;
-use netsim::{ConnId, Ctx, Endpoint, SimDuration, Simulator};
+use netsim::{ConnId, Ctx, Endpoint, FaultKind, FaultProfile, SimDuration, Simulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -121,6 +121,134 @@ proptest! {
         for n in 1..=5u8 {
             let r = records.iter().find(|r| r.ip == ip(n)).expect("record");
             prop_assert!(r.files.is_empty(), "garbage produced files: {:?}", r.files);
+        }
+    }
+}
+
+/// Binds an honest anonymous server with one public file at `addr`.
+fn bind_honest(sim: &mut Simulator, addr: Ipv4Addr) {
+    let mut vfs = Vfs::new();
+    vfs.add_file("/pub/data.txt", FileMeta::public(3).with_content("ok")).unwrap();
+    let profile = ServerProfile::new("ProFTPD 1.3.5 Server").with_anonymous(AnonPolicy::Allowed);
+    let id = sim.register_endpoint(Box::new(FtpServerEngine::new(addr, profile, vfs)));
+    sim.bind(addr, 21, id);
+}
+
+/// Enumerates `targets` against `build`-constructed worlds and returns
+/// the records. Used twice per property to assert determinism.
+fn enumerate(build: &dyn Fn(&mut Simulator) -> Vec<Ipv4Addr>) -> Vec<HostRecord> {
+    let mut sim = Simulator::new(3);
+    let targets = build(&mut sim);
+    let mut cfg = EnumConfig::new(SCANNER).with_concurrency(2);
+    cfg.step_timeout = SimDuration::from_secs(5);
+    cfg.request_gap = SimDuration::from_millis(5);
+    let (en, results) = Enumerator::new(cfg, targets);
+    let id = sim.register_endpoint(Box::new(en));
+    sim.schedule_timer(id, SimDuration::ZERO, 0);
+    sim.run();
+    let records = results.borrow().clone();
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The netsim fault layer's own shapes — garbage replies, truncated
+    /// transfers, byte-at-a-time drip-feeds, mid-session resets, broken
+    /// data channels — against real server engines: every session ends,
+    /// the clean control host enumerates fully, and the same seed
+    /// reproduces the same `HostRecord`s byte for byte.
+    #[test]
+    fn enumerator_survives_injected_fault_profiles(seed in any::<u64>()) {
+        let build = |sim: &mut Simulator| {
+            let mut targets = Vec::new();
+            for n in 1..=6u8 {
+                bind_honest(sim, ip(n));
+                sim.set_fault(ip(n), FaultProfile::sample(seed ^ u64::from(n)));
+                targets.push(ip(n));
+            }
+            // Clean control host, enumerated amid the chaos.
+            bind_honest(sim, ip(7));
+            targets.push(ip(7));
+            targets
+        };
+        let first = enumerate(&build);
+        let second = enumerate(&build);
+        prop_assert_eq!(first.len(), 7, "every target produced a record");
+        prop_assert_eq!(&first, &second, "same seed must reproduce identical records");
+        let clean = first.iter().find(|r| r.ip == ip(7)).expect("control record");
+        prop_assert!(clean.is_anonymous(), "control host lost: {:?}", clean.login);
+        prop_assert!(clean.gave_up.is_none());
+        prop_assert!(clean.faults.is_clean(), "control host saw faults: {:?}", clean.faults);
+        prop_assert!(clean.files.iter().any(|f| f.path == "/pub/data.txt"));
+    }
+
+    /// Each fault shape individually, with generated parameters: the
+    /// record degrades along the taxonomy (partial, counted, no panic)
+    /// and deterministically.
+    #[test]
+    fn fault_shapes_degrade_to_partial_records(
+        shape in 0..5usize,
+        after_sends in 1..6u32,
+        after_bytes in 0..64u64,
+        drip_ms in 300..2_000u64,
+        garbage_seed in any::<u64>(),
+        overlong in any::<bool>(),
+    ) {
+        let kind = match shape {
+            0 => FaultKind::GarbageReplies { overlong },
+            1 => FaultKind::TruncateData { after_bytes },
+            2 => FaultKind::Tarpit {
+                drip: SimDuration::from_millis(drip_ms),
+                max_bytes: 8 + after_bytes,
+            },
+            3 => FaultKind::MidSessionRst { after_sends },
+            _ => FaultKind::DataChannelBroken,
+        };
+        let build = |sim: &mut Simulator| {
+            bind_honest(sim, ip(1));
+            sim.set_fault(ip(1), FaultProfile::new(kind).with_seed(garbage_seed));
+            bind_honest(sim, ip(2));
+            vec![ip(1), ip(2)]
+        };
+        let first = enumerate(&build);
+        let second = enumerate(&build);
+        prop_assert_eq!(first.len(), 2);
+        prop_assert_eq!(&first, &second, "fault behavior must be deterministic");
+        let faulty = first.iter().find(|r| r.ip == ip(1)).expect("faulty record");
+        let clean = first.iter().find(|r| r.ip == ip(2)).expect("clean record");
+        prop_assert!(clean.is_anonymous());
+        prop_assert!(clean.faults.is_clean());
+        match kind {
+            FaultKind::GarbageReplies { .. } => {
+                // Never mistaken for a working FTP server, and the
+                // garbage is tallied.
+                prop_assert!(!faulty.is_anonymous());
+                prop_assert!(
+                    faulty.faults.garbage_lines + faulty.faults.overlong_lines > 0
+                        || faulty.faults.step_timeouts > 0,
+                    "garbage host left no trace: {:?}",
+                    faulty.faults
+                );
+            }
+            FaultKind::Tarpit { .. } => {
+                // The drip never completes a greeting line: the step
+                // deadline reaps the session.
+                prop_assert!(faulty.gave_up.is_some(), "tarpit session never reaped");
+            }
+            FaultKind::DataChannelBroken => {
+                // Control conversation works; transfers all fail.
+                prop_assert!(faulty.is_anonymous(), "control channel should work");
+                prop_assert!(faulty.files.is_empty(), "no listing could have arrived");
+                prop_assert!(faulty.faults.data_conn_failures > 0);
+            }
+            FaultKind::MidSessionRst { .. } => {
+                prop_assert!(
+                    faulty.server_terminated || faulty.gave_up.is_some(),
+                    "reset must be recorded"
+                );
+            }
+            _ => {}
         }
     }
 }

@@ -2,7 +2,7 @@
 //! enumeration → HTTP sweep, in one deterministic simulation.
 
 use crate::webprobe::{HttpObservation, WebProbe};
-use enumerator::{BounceCollector, EnumConfig, Enumerator, HostRecord};
+use enumerator::{BounceCollector, EnumConfig, Enumerator, HostRecord, RunSummary};
 use ftp_proto::HostPort;
 use netsim::{SimDuration, Simulator};
 use std::collections::{HashMap, HashSet};
@@ -60,6 +60,13 @@ impl StudyConfig {
         cfg.request_gap = SimDuration::from_millis(10);
         cfg
     }
+
+    /// Builder: make a fraction of the population hostile (see
+    /// [`worldgen::PopulationSpec::fault_fraction`]).
+    pub fn with_fault_fraction(mut self, fraction: f64) -> Self {
+        self.population = self.population.with_fault_fraction(fraction);
+        self
+    }
 }
 
 /// Everything the pipeline measured, plus ground truth for validation.
@@ -83,6 +90,12 @@ impl StudyResults {
     /// The Table I funnel, measured.
     pub fn funnel(&self) -> analysis::Funnel {
         analysis::Funnel::from_results(self.ips_scanned, self.open_port, &self.records)
+    }
+
+    /// Operational telemetry for the run: give-ups, retries, timeouts,
+    /// and the rest of the fault counters, aggregated over all records.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_records(&self.records)
     }
 }
 

@@ -24,6 +24,7 @@ pub fn table01_funnel(r: &StudyResults) -> String {
         &thousands(f.anonymous),
         &pct(f.anonymous, f.ftp_servers),
     ]);
+    t.row(["Gave up (hostile/dead)", &thousands(f.gave_up), &pct(f.gave_up, f.open_port)]);
     t.render()
 }
 

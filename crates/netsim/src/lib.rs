@@ -44,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod ip;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use fault::{FaultKind, FaultProfile};
 pub use ip::Ipv4Net;
 pub use sim::{
     ConnId, ConnectError, Ctx, Endpoint, EndpointId, FirewallPolicy, ProbeStatus, SimConfig,

@@ -18,6 +18,7 @@
 //! single-threaded; determinism comes from the totally-ordered event
 //! queue (time, then insertion sequence).
 
+use crate::fault::{garbage_reply, FaultKind, FaultProfile};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -173,6 +174,15 @@ struct Conn {
     /// Bytes transferred in each direction (initiator→responder,
     /// responder→initiator); used by bandwidth accounting and tests.
     sent: (u64, u64),
+    /// Fault-layer accounting: server replies intercepted on this
+    /// connection (drives `MidSessionRst` / `GarbageReplies` ordinals).
+    fault_sends: u32,
+    /// Fault-layer accounting: server bytes let through so far (drives
+    /// `Tarpit` / `TruncateData` budgets).
+    fault_bytes: u64,
+    /// When the tarpit's last dripped byte lands; later sends queue
+    /// behind it.
+    drip_until: SimTime,
 }
 
 #[derive(Debug)]
@@ -216,6 +226,7 @@ pub struct SimCore {
     queue: BinaryHeap<Reverse<Queued>>,
     hosts: HashMap<Ipv4Addr, Host>,
     conns: HashMap<u64, Conn>,
+    faults: HashMap<Ipv4Addr, FaultProfile>,
     next_conn: u64,
     cfg: SimConfig,
     seed: u64,
@@ -245,6 +256,89 @@ impl SimCore {
         x ^= x >> 31;
         self.cfg.base_latency + SimDuration::from_micros(x % jitter)
     }
+
+    /// Intercepts a server→initiator send on a connection whose
+    /// responder host carries `profile`. Returns `true` when the fault
+    /// layer consumed the send (delivering mangled bytes, or nothing);
+    /// `false` lets the normal path deliver it untouched.
+    ///
+    /// All randomness here is keyed on `(profile.seed, conn id, reply
+    /// ordinal)` — never the shared RNG — so faulty hosts cannot
+    /// perturb clean hosts' streams (see the `fault` module docs).
+    fn apply_send_fault(&mut self, conn: ConnId, profile: FaultProfile, bytes: &[u8]) -> bool {
+        let now = self.now;
+        let Some(c) = self.conns.get_mut(&conn.0) else { return true };
+        let on_control = c.responder_port == profile.control_port;
+        let lat = c.latency;
+        match profile.kind {
+            // Connect-time faults: established traffic is untouched
+            // (SynBlackhole never establishes; DataChannelBroken only
+            // blocks non-control SYNs).
+            FaultKind::SynBlackhole | FaultKind::DataChannelBroken => false,
+            FaultKind::MidSessionRst { after_sends } => {
+                c.fault_sends += 1;
+                if c.fault_sends > after_sends {
+                    // Abrupt reset: peer sees close, nothing more flows.
+                    c.state = ConnState::Closed;
+                    self.schedule(lat, Ev::Close { conn, to_initiator: true });
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::Tarpit { drip, max_bytes } => {
+                let budget = max_bytes.saturating_sub(c.fault_bytes) as usize;
+                let n = bytes.len().min(budget);
+                c.fault_bytes += n as u64;
+                c.sent.1 += bytes.len() as u64;
+                // Bytes drip one at a time, queued behind any previous
+                // drips still in flight; the remainder beyond the budget
+                // is swallowed (the host goes silent — never closes).
+                let start = c.drip_until.max(now);
+                for (i, &b) in bytes[..n].iter().enumerate() {
+                    let at = start + drip.saturating_mul(i as u64 + 1) + lat;
+                    self.schedule(at - now, Ev::Data { conn, to_initiator: true, bytes: vec![b] });
+                }
+                if n > 0 {
+                    let c = self.conns.get_mut(&conn.0).expect("conn present");
+                    c.drip_until = start + drip.saturating_mul(n as u64);
+                }
+                true
+            }
+            FaultKind::TruncateData { after_bytes } => {
+                if on_control {
+                    return false;
+                }
+                let budget = after_bytes.saturating_sub(c.fault_bytes) as usize;
+                let n = bytes.len().min(budget);
+                c.fault_bytes += n as u64;
+                c.sent.1 += n as u64;
+                if n > 0 {
+                    let prefix = bytes[..n].to_vec();
+                    self.schedule(lat, Ev::Data { conn, to_initiator: true, bytes: prefix });
+                }
+                if n < bytes.len() {
+                    // Cut mid-transfer: close right behind the prefix.
+                    let c = self.conns.get_mut(&conn.0).expect("conn present");
+                    if c.state != ConnState::Closed {
+                        c.state = ConnState::Closed;
+                        self.schedule(lat, Ev::Close { conn, to_initiator: true });
+                    }
+                }
+                true
+            }
+            FaultKind::GarbageReplies { overlong } => {
+                if !on_control {
+                    return false;
+                }
+                c.fault_sends += 1;
+                let junk = garbage_reply(profile.seed, conn.0, c.fault_sends, overlong);
+                c.sent.1 += junk.len() as u64;
+                self.schedule(lat, Ev::Data { conn, to_initiator: true, bytes: junk });
+                true
+            }
+        }
+    }
 }
 
 /// Handler-side API: everything an [`Endpoint`] may do to the network.
@@ -273,11 +367,22 @@ impl<'a> Ctx<'a> {
     /// half-open connections are silently dropped, as data racing a
     /// close would be on a real network.
     pub fn send(&mut self, conn: ConnId, bytes: &[u8]) {
-        let Some(c) = self.core.conns.get_mut(&conn.0) else { return };
+        let Some(c) = self.core.conns.get(&conn.0) else { return };
         if c.state != ConnState::Established {
             return;
         }
         let to_initiator = self.me != c.initiator_ep;
+        let responder_ip = c.responder_ip;
+        // Server→client traffic from a faulty host goes through the
+        // fault layer, which may mangle, delay, or swallow it.
+        if to_initiator {
+            if let Some(profile) = self.core.faults.get(&responder_ip).copied() {
+                if self.core.apply_send_fault(conn, profile, bytes) {
+                    return;
+                }
+            }
+        }
+        let Some(c) = self.core.conns.get_mut(&conn.0) else { return };
         if to_initiator {
             c.sent.1 += bytes.len() as u64;
         } else {
@@ -326,6 +431,9 @@ impl<'a> Ctx<'a> {
                 state: ConnState::SynSent,
                 latency,
                 sent: (0, 0),
+                fault_sends: 0,
+                fault_bytes: 0,
+                drip_until: SimTime::ZERO,
             },
         );
         self.core.schedule(latency, Ev::SynArrive { conn: ConnId(id) });
@@ -458,6 +566,7 @@ impl Simulator {
                 queue: BinaryHeap::new(),
                 hosts: HashMap::new(),
                 conns: HashMap::new(),
+                faults: HashMap::new(),
                 next_conn: 0,
                 cfg,
                 seed,
@@ -501,6 +610,28 @@ impl Simulator {
     /// Marks a host as NAT-deployed with the given internal address.
     pub fn set_internal_ip(&mut self, ip: Ipv4Addr, internal: Ipv4Addr) {
         self.core.hosts.entry(ip).or_insert_with(Host::new).internal_ip = Some(internal);
+    }
+
+    /// Attaches a fault profile to a host: from now on the transport
+    /// layer rewrites that host's observable behavior (see
+    /// [`crate::fault`]). Replaces any previous profile.
+    pub fn set_fault(&mut self, ip: Ipv4Addr, profile: FaultProfile) {
+        self.core.faults.insert(ip, profile);
+    }
+
+    /// Removes a host's fault profile, restoring polite behavior.
+    pub fn clear_fault(&mut self, ip: Ipv4Addr) {
+        self.core.faults.remove(&ip);
+    }
+
+    /// The fault profile attached to `ip`, if any.
+    pub fn fault_of(&self, ip: Ipv4Addr) -> Option<&FaultProfile> {
+        self.core.faults.get(&ip)
+    }
+
+    /// Number of hosts with fault profiles.
+    pub fn fault_count(&self) -> usize {
+        self.core.faults.len()
     }
 
     /// Registers application logic; returns its id for [`Simulator::bind`].
@@ -605,6 +736,18 @@ impl Simulator {
                 }
                 let (dst_ip, dst_port) = (c.responder_ip, c.responder_port);
                 let lat = c.latency;
+                // Connect-time faults: a SYN-blackholed host (or the
+                // non-control ports of a broken-data-channel host)
+                // swallows the SYN — the initiator's connect timer
+                // fires, exactly like a DropAll firewall, but probes
+                // still see the port open.
+                match self.core.faults.get(&dst_ip).map(|p| (p.kind, p.control_port)) {
+                    Some((FaultKind::SynBlackhole, _)) => return,
+                    Some((FaultKind::DataChannelBroken, control)) if dst_port != control => {
+                        return;
+                    }
+                    _ => {}
+                }
                 let verdict = match self.core.hosts.get(&dst_ip) {
                     // No host: nobody answers, the SYN is simply lost and
                     // the initiator's connect timer fires.
@@ -1076,6 +1219,246 @@ mod tests {
         sim.schedule_timer(pid, SimDuration::ZERO, 0);
         sim.run();
         assert_eq!(log.borrow().as_slice(), ["Filtered"]);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultProfile};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 9, 9, 9);
+
+    /// Server that sends a reply on connect and echoes every chunk.
+    struct ChattyServer;
+    impl Endpoint for ChattyServer {
+        fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+            ctx.send(conn, b"220 hello\r\n");
+        }
+        fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _data: &[u8]) {
+            ctx.send(conn, b"200 ok\r\n");
+        }
+    }
+
+    /// Client that connects, fires `pings` commands, and logs all it sees.
+    struct Driver {
+        log: Rc<RefCell<Vec<String>>>,
+        pings: u32,
+    }
+    impl Endpoint for Driver {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            ctx.connect(CLIENT, SERVER, token as u16, token);
+        }
+        fn on_outbound(&mut self, ctx: &mut Ctx<'_>, t: u64, r: Result<ConnId, ConnectError>) {
+            match r {
+                Ok(conn) => {
+                    self.log.borrow_mut().push(format!("up:{t}"));
+                    for _ in 0..self.pings {
+                        ctx.send(conn, b"CMD\r\n");
+                    }
+                }
+                Err(e) => self.log.borrow_mut().push(format!("err:{t}:{e}")),
+            }
+        }
+        fn on_data(&mut self, ctx: &mut Ctx<'_>, _c: ConnId, data: &[u8]) {
+            let t = ctx.now().as_micros();
+            self.log
+                .borrow_mut()
+                .push(format!("data@{t}:{}", String::from_utf8_lossy(data).escape_debug()));
+        }
+        fn on_close(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId) {
+            self.log.borrow_mut().push("close".into());
+        }
+        fn on_probe(&mut self, _ctx: &mut Ctx<'_>, _t: Ipv4Addr, _p: u16, status: ProbeStatus) {
+            self.log.borrow_mut().push(format!("probe:{status:?}"));
+        }
+    }
+
+    fn faulted_sim(kind: FaultKind, pings: u32) -> (Simulator, Rc<RefCell<Vec<String>>>) {
+        let mut sim = Simulator::with_config(
+            11,
+            SimConfig { jitter: SimDuration::ZERO, ..SimConfig::default() },
+        );
+        let sid = sim.register_endpoint(Box::new(ChattyServer));
+        sim.bind(SERVER, 21, sid);
+        sim.set_fault(SERVER, FaultProfile::new(kind).with_seed(77));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let cid = sim.register_endpoint(Box::new(Driver { log: log.clone(), pings }));
+        sim.schedule_timer(cid, SimDuration::ZERO, 21);
+        (sim, log)
+    }
+
+    #[test]
+    fn syn_blackhole_times_out_but_probes_open() {
+        let (mut sim, log) = faulted_sim(FaultKind::SynBlackhole, 0);
+        sim.run();
+        let l = log.borrow();
+        assert!(l.iter().any(|e| e.starts_with("err:21:connection timed out")), "{l:?}");
+        // Probes bypass the blackhole: the port still advertises open.
+        drop(l);
+        let (mut sim2, log2) = faulted_sim(FaultKind::SynBlackhole, 0);
+        let pid = {
+            struct P(Rc<RefCell<Vec<String>>>);
+            impl Endpoint for P {
+                fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                    ctx.probe(SERVER, 21);
+                }
+                fn on_probe(
+                    &mut self,
+                    _c: &mut Ctx<'_>,
+                    _t: Ipv4Addr,
+                    _p: u16,
+                    status: ProbeStatus,
+                ) {
+                    self.0.borrow_mut().push(format!("probe:{status:?}"));
+                }
+            }
+            sim2.register_endpoint(Box::new(P(log2.clone())))
+        };
+        sim2.schedule_timer(pid, SimDuration::ZERO, 0);
+        sim2.run();
+        assert!(log2.borrow().iter().any(|e| e == "probe:Open"), "{:?}", log2.borrow());
+    }
+
+    #[test]
+    fn mid_session_rst_cuts_after_n_replies() {
+        let (mut sim, log) = faulted_sim(FaultKind::MidSessionRst { after_sends: 2 }, 5);
+        sim.run();
+        let l = log.borrow();
+        let datas = l.iter().filter(|e| e.starts_with("data@")).count();
+        assert_eq!(datas, 2, "exactly two replies delivered: {l:?}");
+        assert!(l.iter().any(|e| e == "close"), "reset delivered as close: {l:?}");
+    }
+
+    #[test]
+    fn tarpit_drips_bytes_then_goes_silent() {
+        let kind = FaultKind::Tarpit { drip: SimDuration::from_millis(500), max_bytes: 4 };
+        let (mut sim, log) = faulted_sim(kind, 0);
+        sim.run();
+        let l = log.borrow();
+        let datas: Vec<&String> = l.iter().filter(|e| e.starts_with("data@")).collect();
+        // Banner is 11 bytes but only 4 drip through, one per event.
+        assert_eq!(datas.len(), 4, "{l:?}");
+        assert!(datas.iter().all(|e| e.ends_with("2") || e.len() > 6), "single bytes: {l:?}");
+        // Spacing: at least the 500 ms drip between consecutive bytes.
+        let times: Vec<u64> = datas
+            .iter()
+            .map(|e| e[5..e.find(':').unwrap()].parse().unwrap())
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= 500_000, "drip spacing: {times:?}");
+        }
+        assert!(!l.iter().any(|e| e == "close"), "tarpit never closes: {l:?}");
+    }
+
+    #[test]
+    fn data_channel_broken_blocks_only_other_ports() {
+        let (mut sim, log) = faulted_sim(FaultKind::DataChannelBroken, 1);
+        // Bind a "data" port on the same host.
+        struct DataSrv;
+        impl Endpoint for DataSrv {
+            fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+                ctx.send(conn, b"payload");
+            }
+        }
+        let did = sim.register_endpoint(Box::new(DataSrv));
+        sim.bind(SERVER, 50_000, did);
+        // Second driver dials the data port.
+        let log2 = Rc::new(RefCell::new(Vec::new()));
+        let c2 = sim.register_endpoint(Box::new(Driver { log: log2.clone(), pings: 0 }));
+        sim.schedule_timer(c2, SimDuration::ZERO, 50_000);
+        sim.run();
+        assert!(log.borrow().iter().any(|e| e.starts_with("up:21")), "{:?}", log.borrow());
+        assert!(
+            log2.borrow().iter().any(|e| e.starts_with("err:50000:connection timed out")),
+            "{:?}",
+            log2.borrow()
+        );
+    }
+
+    #[test]
+    fn truncate_data_cuts_transfers_but_not_control() {
+        let kind = FaultKind::TruncateData { after_bytes: 3 };
+        let (mut sim, log) = faulted_sim(kind, 1);
+        struct BigSrv;
+        impl Endpoint for BigSrv {
+            fn on_inbound(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: u16) {
+                ctx.send(conn, b"0123456789");
+            }
+        }
+        let did = sim.register_endpoint(Box::new(BigSrv));
+        sim.bind(SERVER, 50_001, did);
+        let log2 = Rc::new(RefCell::new(Vec::new()));
+        let c2 = sim.register_endpoint(Box::new(Driver { log: log2.clone(), pings: 0 }));
+        sim.schedule_timer(c2, SimDuration::ZERO, 50_001);
+        sim.run();
+        // Control channel flows untouched.
+        assert!(
+            log.borrow().iter().any(|e| e.contains("220 hello")),
+            "{:?}",
+            log.borrow()
+        );
+        // Data channel: exactly 3 bytes then close.
+        let l2 = log2.borrow();
+        assert!(l2.iter().any(|e| e.contains(":012") && !e.contains("3")), "{l2:?}");
+        assert!(l2.iter().any(|e| e == "close"), "{l2:?}");
+    }
+
+    #[test]
+    fn garbage_replies_mangle_control_deterministically() {
+        let run = || {
+            let (mut sim, log) = faulted_sim(FaultKind::GarbageReplies { overlong: false }, 2);
+            sim.run();
+            let l = log.borrow().clone();
+            l
+        };
+        let a = run();
+        assert!(a.iter().any(|e| e.starts_with("data@")), "{a:?}");
+        assert!(!a.iter().any(|e| e.contains("220 hello")), "banner replaced: {a:?}");
+        assert_eq!(a, run(), "garbage is deterministic");
+    }
+
+    #[test]
+    fn clean_hosts_unaffected_by_faults_elsewhere() {
+        // Two identical servers; faulting one must not change one byte
+        // of the other's session (determinism requirement (c) of the
+        // chaos suite).
+        let other = Ipv4Addr::new(10, 0, 0, 2);
+        let run = |with_fault: bool| {
+            let mut sim = Simulator::new(5);
+            let s1 = sim.register_endpoint(Box::new(ChattyServer));
+            sim.bind(SERVER, 21, s1);
+            let s2 = sim.register_endpoint(Box::new(ChattyServer));
+            sim.bind(other, 21, s2);
+            if with_fault {
+                sim.set_fault(SERVER, FaultProfile::sample(123));
+            }
+            struct Dialer {
+                log: Rc<RefCell<Vec<String>>>,
+            }
+            impl Endpoint for Dialer {
+                fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                    ctx.connect(CLIENT, Ipv4Addr::new(10, 0, 0, 2), 21, 1);
+                }
+                fn on_data(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, data: &[u8]) {
+                    self.log.borrow_mut().push(String::from_utf8_lossy(data).into_owned());
+                }
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let d = sim.register_endpoint(Box::new(Dialer { log: log.clone() }));
+            sim.schedule_timer(d, SimDuration::ZERO, 0);
+            // Also dial the faulted host so its behavior interleaves.
+            let log_f = Rc::new(RefCell::new(Vec::new()));
+            let df = sim.register_endpoint(Box::new(Driver { log: log_f, pings: 3 }));
+            sim.schedule_timer(df, SimDuration::ZERO, 21);
+            sim.run();
+            let l = log.borrow().clone();
+            l
+        };
+        assert_eq!(run(false), run(true));
     }
 }
 

@@ -108,7 +108,7 @@ pub fn inject(vfs: &mut Vfs, rng: &mut StdRng, campaign: Campaign, unique_suffix
             }
         }
         Campaign::Ddos => {
-            let name = DDOS_NAMES[rng.random_range(0..2)];
+            let name = DDOS_NAMES[rng.random_range(0..2usize)];
             put(
                 vfs,
                 rng,

@@ -129,7 +129,7 @@ pub fn add_photo_library(vfs: &mut Vfs, rng: &mut StdRng, base: &str, count: usi
         let year = rng.random_range(2009..2016);
         let event = pick(rng, PHOTO_EVENTS);
         let dir = format!("{base}/{year}/{event}");
-        let in_dir = rng.random_range(40..320).min(remaining);
+        let in_dir = rng.random_range(40..320usize).min(remaining);
         for _ in 0..in_dir {
             serial += 1;
             let name = if rng.random_bool(0.7) {

@@ -19,7 +19,7 @@ use ftpd::implementations;
 use ftpd::misc::{HttpService, RawBannerService, SilentService};
 use ftpd::profile::{AnonPolicy, ServerProfile, UploadQuirk, UserReplyStyle};
 use ftpd::FtpServerEngine;
-use netsim::{AsKind, AsRegistry, Asn, Ipv4Net, Simulator};
+use netsim::{AsKind, AsRegistry, Asn, FaultProfile, Ipv4Net, Simulator};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -49,6 +49,14 @@ pub struct PopulationSpec {
     pub include_non_ftp: bool,
     /// Bind co-hosted HTTP services (§VI-B overlap measurement).
     pub include_http: bool,
+    /// Fraction of the FTP population given a hostile
+    /// [`netsim::FaultProfile`] at materialization (0.0 = every host is
+    /// well-behaved). Assignment hashes `(seed, ip)` against this
+    /// threshold instead of drawing from the generation RNG, so raising
+    /// the fraction only *adds* faulty hosts: every host that is clean
+    /// at 0.5 is also clean — and behaves byte-identically — at 0.1
+    /// and 0.0. The chaos suite depends on that monotonicity.
+    pub fault_fraction: f64,
 }
 
 impl PopulationSpec {
@@ -62,6 +70,7 @@ impl PopulationSpec {
             rare_boost: 20.0,
             include_non_ftp: true,
             include_http: true,
+            fault_fraction: 0.0,
         }
     }
 
@@ -76,7 +85,15 @@ impl PopulationSpec {
             rare_boost: (scale as f64 / 64.0).max(1.0),
             include_non_ftp: true,
             include_http: true,
+            fault_fraction: 0.0,
         }
+    }
+
+    /// Sets the hostile-host fraction (see
+    /// [`fault_fraction`](PopulationSpec::fault_fraction)).
+    pub fn with_fault_fraction(mut self, fraction: f64) -> Self {
+        self.fault_fraction = fraction.clamp(0.0, 1.0);
+        self
     }
 }
 
@@ -131,6 +148,8 @@ pub struct HostTruth {
     /// The server closes the control channel after this many commands
     /// (0 = never) — the flaky-server population.
     pub drop_after: u32,
+    /// Transport-layer fault injected at this host (`None` = clean).
+    pub fault: Option<netsim::FaultKind>,
 }
 
 /// The generated world: registry, per-host truth, and the spec.
@@ -160,6 +179,11 @@ impl WorldTruth {
     /// Every FTP host address (scan targets for tests that skip zscan).
     pub fn ftp_addresses(&self) -> Vec<Ipv4Addr> {
         self.hosts.iter().map(|h| h.ip).collect()
+    }
+
+    /// Ground-truth count of hosts carrying an injected fault.
+    pub fn faulted_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.fault.is_some()).count()
     }
 }
 
@@ -431,6 +455,7 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
                 banner: String::new(),
                 robots_deny_all: false,
                 drop_after: 0,
+                fault: None,
             },
             banner_multiline: rng.random_bool(0.05),
             flaky: rng.random_bool(0.01),
@@ -651,6 +676,10 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
         let engine = FtpServerEngine::new(truth.ip, profile, vfs);
         let id = sim.register_endpoint(Box::new(engine));
         sim.bind(truth.ip, 21, id);
+        if let Some(fault) = sample_fault(spec, truth.ip) {
+            truth.fault = Some(fault.kind);
+            sim.set_fault(truth.ip, fault);
+        }
         if truth.nat {
             sim.set_internal_ip(
                 truth.ip,
@@ -700,6 +729,36 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     }
 
     WorldTruth { registry, hosts: truths, non_ftp_open, spec: spec.clone() }
+}
+
+/// Decides, independently of the generation RNG, whether `ip` is
+/// hostile under `spec` — and with which profile.
+///
+/// The per-host hash doubles as the profile seed, so a host's hostile
+/// personality is a pure function of `(world seed, ip)`, and the
+/// faulted set is monotone in `fault_fraction`: raising the fraction
+/// adds hosts without reshuffling the ones already faulted. Because
+/// nothing here touches `rng`, generation is byte-identical at every
+/// fraction — the clean-host invariant the chaos suite asserts.
+fn sample_fault(spec: &PopulationSpec, ip: Ipv4Addr) -> Option<FaultProfile> {
+    if spec.fault_fraction <= 0.0 {
+        return None;
+    }
+    // splitmix64 finalizer over (seed, ip).
+    let mut z = spec
+        .seed
+        .wrapping_add(0xFA17_1A7E_0000_0000)
+        .wrapping_add(u64::from(u32::from(ip)).rotate_left(23))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let h = z ^ (z >> 31);
+    let uniform = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    if uniform < spec.fault_fraction {
+        Some(FaultProfile::sample(h))
+    } else {
+        None
+    }
 }
 
 fn build_profile(
@@ -1036,6 +1095,54 @@ mod tests {
             t.hosts.iter().map(|h| (h.ip, h.anonymous, h.writable)).collect::<Vec<_>>()
         };
         assert_eq!(build_once(), build_once());
+    }
+
+    #[test]
+    fn fault_fraction_zero_leaves_world_clean() {
+        let (_, truth) = small_world();
+        assert_eq!(truth.faulted_count(), 0);
+        assert!(truth.hosts.iter().all(|h| h.fault.is_none()));
+    }
+
+    #[test]
+    fn fault_fraction_hits_target_rate_and_registers_in_sim() {
+        let mut sim = Simulator::new(5);
+        let spec = PopulationSpec::small(5, 600).with_fault_fraction(0.5);
+        let truth = build(&mut sim, &spec);
+        let got = truth.faulted_count() as f64;
+        assert!((got - 300.0).abs() < 60.0, "~half the hosts faulted, got {got}");
+        assert_eq!(sim.fault_count(), truth.faulted_count());
+        for h in &truth.hosts {
+            assert_eq!(h.fault, sim.fault_of(h.ip).map(|p| p.kind), "{}", h.ip);
+        }
+    }
+
+    #[test]
+    fn faulted_set_is_monotone_and_generation_is_fraction_invariant() {
+        let build_at = |fraction: f64| {
+            let mut sim = Simulator::new(5);
+            let spec = PopulationSpec::small(11, 400).with_fault_fraction(fraction);
+            build(&mut sim, &spec)
+        };
+        let clean = build_at(0.0);
+        let ten = build_at(0.1);
+        let fifty = build_at(0.5);
+        // Fault assignment never consumes the generation RNG: everything
+        // except the fault field is identical at every fraction.
+        for ((a, b), c) in clean.hosts.iter().zip(&ten.hosts).zip(&fifty.hosts) {
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.ip, c.ip);
+            assert_eq!(a.banner, b.banner);
+            assert_eq!(a.banner, c.banner);
+            assert_eq!(a.anonymous, c.anonymous);
+            assert_eq!(a.drop_after, c.drop_after);
+            // Monotone: faulted at 10% ⇒ faulted identically at 50%.
+            if let Some(k) = b.fault {
+                assert_eq!(c.fault, Some(k), "{} lost its fault at 0.5", b.ip);
+            }
+        }
+        assert!(ten.faulted_count() > 0);
+        assert!(ten.faulted_count() < fifty.faulted_count());
     }
 
     #[test]

@@ -300,7 +300,10 @@ mod tests {
         let retried = run(5);
         assert!(single < 20, "loss must bite: {single}");
         assert!(retried > single, "{retried} vs {single}");
-        assert!(retried >= 18, "retries recover most hosts: {retried}");
+        // With 5 probes at 60% loss each host is missed with p = 0.6^5
+        // ≈ 7.8%, so ~18.4 of 20 recover in expectation. Assert ≥ 16
+        // (mean - 2.5σ) to stay robust to the RNG stream.
+        assert!(retried >= 16, "retries recover most hosts: {retried}");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! ftpcloud study [--scale N] [--seed S]      run the full pipeline, print every table
-//! ftpcloud funnel [--servers N] [--seed S]   quick Table I funnel on a small world
+//! ftpcloud funnel [--servers N] [--seed S] [--faults PCT]
+//!                                            quick Table I funnel on a small world;
+//!                                            --faults makes PCT% of it hostile
 //! ftpcloud honeypot [--days D] [--pots N]    run the §VIII experiment
 //! ftpcloud certify [--servers N]             CyberUL fleet audit (§X)
 //! ftpcloud notify [--servers N]              responsible-disclosure digests (§III-A)
@@ -38,7 +40,10 @@ fn main() {
         }
         Some("funnel") => {
             let servers = flag(&args, "--servers").unwrap_or(800) as usize;
-            let results = run_study(&StudyConfig::small(seed, servers));
+            let faults = flag(&args, "--faults").unwrap_or(0);
+            let results = run_study(
+                &StudyConfig::small(seed, servers).with_fault_fraction(faults as f64 / 100.0),
+            );
             println!("{}", tables::table01_funnel(&results));
         }
         Some("honeypot") => {
@@ -75,7 +80,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--servers N] [--days D] [--pots N]"
+                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--servers N] [--faults PCT] [--days D] [--pots N]"
             );
             std::process::exit(2);
         }

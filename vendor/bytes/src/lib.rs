@@ -1,0 +1,117 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! Only [`BytesMut`] is provided, backed by a plain `Vec<u8>` — the
+//! workspace uses it as a growable byte accumulator, not for zero-copy
+//! buffer sharing, so the `Vec` representation is behaviorally
+//! equivalent for every call site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Deref, DerefMut};
+
+/// A growable byte buffer with `split_to` framing support.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Appends `src` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the buffer length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let rest = self.inner.split_off(at);
+        let head = core::mem::replace(&mut self.inner, rest);
+        BytesMut { inner: head }
+    }
+
+    /// Removes all bytes.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the buffered bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { inner: src.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BytesMut;
+
+    #[test]
+    fn split_to_partitions_buffer() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+    }
+
+    #[test]
+    fn deref_provides_slice_ops() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"a\nb");
+        assert_eq!(b.iter().position(|&c| c == b'\n'), Some(1));
+        assert_eq!(b.last(), Some(&b'b'));
+        assert_eq!(b.len(), 3);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! The case runner: deterministic, shrink-free.
+
+use rand::SeedableRng;
+
+/// RNG used to drive generation — the workspace's seeded StdRng.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — the case is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Fixed seed: property tests here are deterministic regression fuzzing.
+const RUNNER_SEED: u64 = 0x70726f_70746573;
+
+/// Runs `case` until `cfg.cases` successes, panicking on the first
+/// failure. Rejections regenerate (with a global cap so a pathological
+/// `prop_assume!` cannot spin forever).
+pub fn run<F>(cfg: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(RUNNER_SEED);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cfg.cases.saturating_mul(64).max(1024),
+                    "too many rejected cases (last: {why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property failed at case {passed}: {msg}")
+            }
+        }
+    }
+}

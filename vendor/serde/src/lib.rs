@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to mark
+//! result types as wire-ready — nothing actually serializes (there is
+//! no serde_json or bincode in the tree). These marker traits keep the
+//! derives and trait bounds compiling without the real serde machinery;
+//! when a serializer lands, this stub gets replaced by the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
