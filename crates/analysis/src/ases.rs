@@ -67,7 +67,9 @@ pub fn kind_mix_of_top(
     let n = ases_covering(tallies, metric, 0.5);
     let mut ranked: Vec<(&Asn, u64)> =
         tallies.iter().map(|(a, t)| (a, metric(t))).filter(|&(_, c)| c > 0).collect();
-    ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+    // ASN tiebreak: which AS makes the 50% cutoff at a count tie must
+    // not depend on HashMap iteration order.
+    ranked.sort_by_key(|r| (std::cmp::Reverse(r.1), *r.0));
     let mut mix = HashMap::new();
     for (asn, _) in ranked.into_iter().take(n) {
         if let Some(info) = registry.info(*asn) {

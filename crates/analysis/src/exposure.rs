@@ -46,7 +46,7 @@ pub fn extension_histogram(
             files: n,
         })
         .collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.files));
+    rows.sort_by(|a, b| b.files.cmp(&a.files).then(a.extension.cmp(&b.extension)));
     rows
 }
 

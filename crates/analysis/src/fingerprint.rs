@@ -234,7 +234,7 @@ pub fn device_breakdown(records: &[HostRecord], provider_deployed: bool) -> Vec<
     }
     let mut rows: Vec<(String, u64, u64)> =
         map.into_iter().map(|(n, (t, a))| (n.to_owned(), t, a)).collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     rows
 }
 
@@ -256,7 +256,7 @@ pub fn device_class_breakdown(records: &[HostRecord]) -> Vec<(String, u64, u64)>
     }
     let mut rows: Vec<(String, u64, u64)> =
         map.into_iter().map(|(c, (t, a))| (c.to_string(), t, a)).collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     rows
 }
 

@@ -30,6 +30,6 @@ pub mod verdicts;
 pub mod webprobe;
 
 pub use honeypot::farm::run_experiment as run_honeypot_experiment;
-pub use study::{run_study, StudyConfig, StudyResults};
+pub use study::{run_study, run_study_sharded, StudyConfig, StudyResults};
 pub use tables::full_report;
 pub use webprobe::{HttpObservation, WebProbe};

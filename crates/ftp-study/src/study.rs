@@ -1,14 +1,16 @@
 //! The end-to-end study pipeline: worldgen → host discovery →
-//! enumeration → HTTP sweep, in one deterministic simulation.
+//! enumeration → HTTP sweep, in one deterministic simulation — or in K
+//! deterministic simulations running in parallel, which merge to the
+//! same bytes (see [`run_study_sharded`]).
 
 use crate::webprobe::{HttpObservation, WebProbe};
 use enumerator::{BounceCollector, EnumConfig, Enumerator, HostRecord, RunSummary};
 use ftp_proto::HostPort;
-use netsim::{SimDuration, Simulator};
+use netsim::{shard_of, SimDuration, Simulator};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use worldgen::{PopulationSpec, WorldTruth};
-use zscan::{Blocklist, HostDiscovery, ScanConfig};
+use worldgen::{HostTruth, PopulationSpec, WorldPlan, WorldTruth};
+use zscan::{Blocklist, HashShard, HostDiscovery, ScanConfig};
 
 /// Addresses the study's own machines occupy (outside the population
 /// space).
@@ -99,14 +101,36 @@ impl StudyResults {
     }
 }
 
-/// Runs the complete pipeline.
-pub fn run_study(cfg: &StudyConfig) -> StudyResults {
-    let mut sim = Simulator::new(cfg.population.seed);
-    let truth = worldgen::build(&mut sim, &cfg.population);
+/// Everything one shard's simulation produced, before merging.
+struct ShardOutput {
+    hosts: Vec<HostTruth>,
+    non_ftp: Vec<Ipv4Addr>,
+    ips_scanned: u64,
+    open_port: u64,
+    records: Vec<HostRecord>,
+    bounce_hits: HashSet<Ipv4Addr>,
+    http: HashMap<Ipv4Addr, HttpObservation>,
+}
 
-    // Stage 1: ZMap-style host discovery over the population space.
-    let mut scan_cfg = ScanConfig::tcp21(cfg.population.space, cfg.population.seed ^ 0x5ca);
+/// Runs the three measurement stages for one shard: a private simulator
+/// holding only the hosts [`shard_of`] assigns to `index`, scanned,
+/// enumerated, and swept exactly like the single-threaded pipeline.
+///
+/// Every shard's simulator is seeded with the *master* seed — not a
+/// derived one — because per-path latency is a pure function of the
+/// simulator seed and the endpoint addresses, and merge identity
+/// requires a host to observe the same latencies whichever simulator it
+/// lands in.
+fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> ShardOutput {
+    let seed = cfg.population.seed;
+    let mut sim = Simulator::new(seed);
+    let (hosts, non_ftp) = plan.materialize(&mut sim, |ip| shard_of(seed, ip, shards) == index);
+
+    // Stage 1: ZMap-style host discovery over this shard's slice of the
+    // population space.
+    let mut scan_cfg = ScanConfig::tcp21(cfg.population.space, seed ^ 0x5ca);
     scan_cfg.blocklist = Blocklist::standard();
+    scan_cfg.hash_shard = Some(HashShard { seed, index, shards });
     let (scanner, scan_results) = HostDiscovery::new(scan_cfg);
     let sid = sim.register_endpoint(Box::new(scanner));
     sim.schedule_timer(sid, SimDuration::ZERO, 0);
@@ -135,25 +159,98 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResults {
     sim.run();
 
     // Stage 3: HTTP overlap sweep of the FTP-responsive hosts.
-    let http = if cfg.probe_http {
+    let mut http = HashMap::new();
+    if cfg.probe_http {
         let ftp_ips: Vec<Ipv4Addr> =
             records.borrow().iter().filter(|r| r.ftp_compliant).map(|r| r.ip).collect();
         let (probe, web_results) = WebProbe::new(WEB_IP, ftp_ips);
         let wid = sim.register_endpoint(Box::new(probe));
         sim.schedule_timer(wid, SimDuration::ZERO, 0);
         sim.run();
-        let out = web_results.borrow().clone();
-        out
-    } else {
-        HashMap::new()
-    };
+        http = web_results.borrow().clone();
+    }
 
     let records = records.borrow().clone();
     let bounce_hits = bounce_hits.borrow().clone();
-    StudyResults {
-        truth,
+    ShardOutput {
+        hosts,
+        non_ftp,
         ips_scanned,
         open_port: open.len() as u64,
+        records,
+        bounce_hits,
+        http,
+    }
+}
+
+/// Runs the complete pipeline single-threaded.
+///
+/// Equivalent to [`run_study_sharded`] with one shard — parallelism is
+/// a pure performance knob, never visible in the results.
+pub fn run_study(cfg: &StudyConfig) -> StudyResults {
+    run_study_sharded(cfg, 1)
+}
+
+/// Runs the complete pipeline partitioned into `shards` independent
+/// simulations, one `std::thread` worker each, and merges their outputs.
+///
+/// The merged [`StudyResults`] is **byte-identical for every shard
+/// count**, including 1: hosts, records, and non-FTP addresses are
+/// canonically ordered by IP, bounce hits and HTTP observations are
+/// unions of disjoint sets, and the scan counters are sums over a
+/// partition of the address space. This holds because every per-host
+/// outcome is a pure function of `(seed, ip)` — world materialization
+/// uses per-host RNGs, per-path latency depends only on the simulator
+/// seed and the endpoints, fault assignment hashes `(seed, ip)`, and
+/// enumeration sessions never interact across hosts.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or a shard worker panics.
+pub fn run_study_sharded(cfg: &StudyConfig, shards: u64) -> StudyResults {
+    assert!(shards > 0, "need at least one shard");
+    let plan = worldgen::plan_world(&cfg.population);
+
+    let outputs: Vec<ShardOutput> = if shards == 1 {
+        vec![run_shard(cfg, &plan, 0, 1)]
+    } else {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..shards)
+                .map(|index| {
+                    let plan = &plan;
+                    scope.spawn(move || run_shard(cfg, plan, index, shards))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("shard worker panicked")).collect()
+        })
+    };
+
+    // Merge: canonical order is by IP, counters are sums, hit sets are
+    // unions (shards are disjoint, so no deduplication is needed).
+    let mut hosts = Vec::new();
+    let mut non_ftp = Vec::new();
+    let mut ips_scanned = 0;
+    let mut open_port = 0;
+    let mut records = Vec::new();
+    let mut bounce_hits = HashSet::new();
+    let mut http = HashMap::new();
+    for out in outputs {
+        hosts.extend(out.hosts);
+        non_ftp.extend(out.non_ftp);
+        ips_scanned += out.ips_scanned;
+        open_port += out.open_port;
+        records.extend(out.records);
+        bounce_hits.extend(out.bounce_hits);
+        http.extend(out.http);
+    }
+    hosts.sort_by_key(|h| h.ip);
+    non_ftp.sort_unstable();
+    records.sort_by_key(|r| r.ip);
+
+    StudyResults {
+        truth: plan.into_truth(hosts, non_ftp),
+        ips_scanned,
+        open_port,
         records,
         bounce_hits,
         http,

@@ -152,6 +152,32 @@ impl FromStr for Ipv4Net {
     }
 }
 
+/// Deterministic shard assignment for an address: which of `shards`
+/// partitions `(seed, ip)` hashes into.
+///
+/// This is the partition key of the sharded study runner: worldgen
+/// materializes a host into exactly the shard this function names, and
+/// the scanner probes exactly the addresses this function assigns to
+/// it, so every shard simulates a self-contained slice of the world.
+/// The hash is a splitmix64 finalizer over `(seed, ip)` — a pure
+/// function of its inputs, stable across shard counts in the sense that
+/// the K-way partition is always a refinement-free re-bucketing of the
+/// same per-address hash (no RNG state, no ordering dependence).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_of(seed: u64, ip: Ipv4Addr, shards: u64) -> u64 {
+    assert!(shards > 0, "need at least one shard");
+    let mut z = seed
+        .wrapping_add(0x5AAD_0000_0000_0000)
+        .wrapping_add(u64::from(u32::from(ip)).rotate_left(17))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % shards
+}
+
 /// IANA-reserved ranges a responsible Internet-wide scan must exclude
 /// (the paper followed Durumeric et al.'s scanning recommendations).
 pub fn reserved_ranges() -> Vec<Ipv4Net> {
@@ -246,6 +272,42 @@ mod tests {
         let all: Vec<_> = n.iter().collect();
         assert_eq!(all.len(), 4);
         assert_eq!(all[3], Ipv4Addr::new(1, 2, 3, 3));
+    }
+
+    #[test]
+    fn shard_of_partitions_completely() {
+        let net: Ipv4Net = "10.10.0.0/22".parse().unwrap();
+        for shards in [1, 2, 3, 8] {
+            let mut counts = vec![0u64; shards as usize];
+            for ip in net.iter() {
+                let s = shard_of(77, ip, shards);
+                assert!(s < shards, "{ip} assigned to shard {s} of {shards}");
+                counts[s as usize] += 1;
+            }
+            assert_eq!(counts.iter().sum::<u64>(), net.size());
+            // A splitmix64 hash over a /22 should land well within 2x
+            // of the even split on every shard.
+            let fair = net.size() / shards;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(c > fair / 2 && c < fair * 2, "shard {i} got {c} of ~{fair}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_seed_sensitive() {
+        let ip = Ipv4Addr::new(203, 7, 44, 9);
+        assert_eq!(shard_of(1, ip, 8), shard_of(1, ip, 8));
+        assert_eq!(shard_of(9, ip, 1), 0, "one shard gets everything");
+        let spread: std::collections::HashSet<u64> =
+            (0..64).map(|seed| shard_of(seed, ip, 8)).collect();
+        assert!(spread.len() > 1, "seed must perturb the assignment");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_zero_shards_panics() {
+        let _ = shard_of(1, Ipv4Addr::new(1, 2, 3, 4), 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod time;
 pub mod topology;
 
 pub use fault::{FaultKind, FaultProfile};
-pub use ip::Ipv4Net;
+pub use ip::{shard_of, Ipv4Net};
 pub use sim::{
     ConnId, ConnectError, Ctx, Endpoint, EndpointId, FirewallPolicy, ProbeStatus, SimConfig,
     Simulator,

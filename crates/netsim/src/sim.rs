@@ -140,6 +140,12 @@ struct Host {
     /// RFC 1918 address this host believes it has (NAT deployment).
     internal_ip: Option<Ipv4Addr>,
     next_ephemeral: u16,
+    /// Connections attempted *to* this host so far. Fault randomness is
+    /// keyed on this instead of the global connection id: a host only
+    /// ever receives connections from its own measurement session, so
+    /// the ordinal is identical whether the host shares a simulator
+    /// with the whole population or with one shard of it.
+    conn_ordinal: u64,
 }
 
 impl Host {
@@ -149,6 +155,7 @@ impl Host {
             firewall: FirewallPolicy::default(),
             internal_ip: None,
             next_ephemeral: 49_152,
+            conn_ordinal: 0,
         }
     }
 }
@@ -183,6 +190,9 @@ struct Conn {
     /// When the tarpit's last dripped byte lands; later sends queue
     /// behind it.
     drip_until: SimTime,
+    /// The responder host's [`Host::conn_ordinal`] at connect time —
+    /// the shard-invariant key for per-connection fault randomness.
+    fault_ordinal: u64,
 }
 
 #[derive(Debug)]
@@ -232,9 +242,43 @@ pub struct SimCore {
     seed: u64,
     rng: StdRng,
     events_processed: u64,
+    /// Recycled `Ev::Data` payload buffers. Every byte in flight lives
+    /// in a `Vec<u8>` owned by its queued event; a study run moves
+    /// millions of small payloads, so dispatched buffers are returned
+    /// here and reused by the next send instead of hitting the
+    /// allocator each time. Purely an allocation cache: contents are
+    /// always overwritten before reuse, so determinism is unaffected.
+    buf_pool: Vec<Vec<u8>>,
 }
 
+/// Bounds on the [`SimCore`] buffer pool: don't hoard more buffers
+/// than a busy event queue keeps in flight, and don't retain jumbo
+/// allocations (payloads here are FTP reply lines and listings — a
+/// buffer that grew past this came from an outlier transfer).
+const BUF_POOL_MAX: usize = 1024;
+const BUF_POOL_MAX_CAPACITY: usize = 64 * 1024;
+
 impl SimCore {
+    /// A buffer holding a copy of `bytes`, reusing a pooled allocation
+    /// when one is available.
+    fn fill_buf(&mut self, bytes: &[u8]) -> Vec<u8> {
+        match self.buf_pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.extend_from_slice(bytes);
+                buf
+            }
+            None => bytes.to_vec(),
+        }
+    }
+
+    /// Returns a dispatched payload buffer to the pool.
+    fn recycle_buf(&mut self, buf: Vec<u8>) {
+        if self.buf_pool.len() < BUF_POOL_MAX && buf.capacity() <= BUF_POOL_MAX_CAPACITY {
+            self.buf_pool.push(buf);
+        }
+    }
+
     fn schedule(&mut self, delay: SimDuration, ev: Ev) {
         let at = self.now + delay;
         let seq = self.seq;
@@ -297,7 +341,8 @@ impl SimCore {
                 let start = c.drip_until.max(now);
                 for (i, &b) in bytes[..n].iter().enumerate() {
                     let at = start + drip.saturating_mul(i as u64 + 1) + lat;
-                    self.schedule(at - now, Ev::Data { conn, to_initiator: true, bytes: vec![b] });
+                    let drop_buf = self.fill_buf(&[b]);
+                    self.schedule(at - now, Ev::Data { conn, to_initiator: true, bytes: drop_buf });
                 }
                 if n > 0 {
                     let c = self.conns.get_mut(&conn.0).expect("conn present");
@@ -314,7 +359,7 @@ impl SimCore {
                 c.fault_bytes += n as u64;
                 c.sent.1 += n as u64;
                 if n > 0 {
-                    let prefix = bytes[..n].to_vec();
+                    let prefix = self.fill_buf(&bytes[..n]);
                     self.schedule(lat, Ev::Data { conn, to_initiator: true, bytes: prefix });
                 }
                 if n < bytes.len() {
@@ -332,7 +377,7 @@ impl SimCore {
                     return false;
                 }
                 c.fault_sends += 1;
-                let junk = garbage_reply(profile.seed, conn.0, c.fault_sends, overlong);
+                let junk = garbage_reply(profile.seed, c.fault_ordinal, c.fault_sends, overlong);
                 c.sent.1 += junk.len() as u64;
                 self.schedule(lat, Ev::Data { conn, to_initiator: true, bytes: junk });
                 true
@@ -389,7 +434,8 @@ impl<'a> Ctx<'a> {
             c.sent.0 += bytes.len() as u64;
         }
         let lat = c.latency;
-        self.core.schedule(lat, Ev::Data { conn, to_initiator, bytes: bytes.to_vec() });
+        let payload = self.core.fill_buf(bytes);
+        self.core.schedule(lat, Ev::Data { conn, to_initiator, bytes: payload });
     }
 
     /// Closes a connection; the peer receives `on_close` one latency
@@ -416,6 +462,18 @@ impl<'a> Ctx<'a> {
             p
         };
         let latency = self.core.latency(src_ip, dst_ip);
+        // Nonexistent destinations refuse at SynArrive and never carry
+        // fault profiles, so they don't need (or get) an ordinal — and
+        // must not be created here, or probe classification would see
+        // them.
+        let fault_ordinal = match self.core.hosts.get_mut(&dst_ip) {
+            Some(h) => {
+                let o = h.conn_ordinal;
+                h.conn_ordinal += 1;
+                o
+            }
+            None => 0,
+        };
         let id = self.core.next_conn;
         self.core.next_conn += 1;
         self.core.conns.insert(
@@ -434,6 +492,7 @@ impl<'a> Ctx<'a> {
                 fault_sends: 0,
                 fault_bytes: 0,
                 drip_until: SimTime::ZERO,
+                fault_ordinal,
             },
         );
         self.core.schedule(latency, Ev::SynArrive { conn: ConnId(id) });
@@ -572,6 +631,7 @@ impl Simulator {
                 seed,
                 rng: StdRng::seed_from_u64(seed),
                 events_processed: 0,
+                buf_pool: Vec::new(),
             },
             endpoints: Vec::new(),
         }
@@ -815,11 +875,13 @@ impl Simulator {
                 // close() only stops *new* sends; bytes already in flight
                 // were sent before the FIN and must still arrive (the
                 // Close event, queued after them, removes the record).
-                let Some(c) = self.core.conns.get(&conn.0) else { return };
-                let ep = if to_initiator { Some(c.initiator_ep) } else { c.responder_ep };
-                if let Some(ep) = ep {
-                    self.call(ep, |e, ctx| e.on_data(ctx, conn, &bytes));
+                if let Some(c) = self.core.conns.get(&conn.0) {
+                    let ep = if to_initiator { Some(c.initiator_ep) } else { c.responder_ep };
+                    if let Some(ep) = ep {
+                        self.call(ep, |e, ctx| e.on_data(ctx, conn, &bytes));
+                    }
                 }
+                self.core.recycle_buf(bytes);
             }
             Ev::Close { conn, to_initiator } => {
                 let Some(c) = self.core.conns.get(&conn.0) else { return };

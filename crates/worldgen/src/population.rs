@@ -21,7 +21,6 @@ use ftpd::profile::{AnonPolicy, ServerProfile, UploadQuirk, UserReplyStyle};
 use ftpd::FtpServerEngine;
 use netsim::{AsKind, AsRegistry, Asn, FaultProfile, Ipv4Net, Simulator};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use simtls::SimCertificate;
 use simvfs::Vfs;
@@ -98,7 +97,7 @@ impl PopulationSpec {
 }
 
 /// Everything true about one generated FTP host (ground truth).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostTruth {
     /// Address.
     pub ip: Ipv4Addr,
@@ -375,12 +374,63 @@ struct HostPlan {
     robots_some: bool,
 }
 
-/// Generates the simulated world inside `sim` and returns ground truth.
+/// What a planned non-FTP port-21 responder answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NonFtpKind {
+    Silent,
+    SshBanner,
+    HttpBanner,
+}
+
+/// The fully planned world: every decision phases 1–2 make, before any
+/// host is materialized into a simulator.
+///
+/// Planning is sequential and covers the whole population regardless of
+/// sharding, so every worker of a sharded run computes the *same* plan;
+/// materialization ([`WorldPlan::materialize`]) then instantiates any
+/// subset of it with per-host RNGs — which is what makes a K-way
+/// sharded study byte-identical to the single-simulator run.
+pub struct WorldPlan {
+    registry: AsRegistry,
+    plans: Vec<HostPlan>,
+    non_ftp: Vec<(Ipv4Addr, NonFtpKind)>,
+    spec: PopulationSpec,
+}
+
+/// Draws `k` distinct elements uniformly from `pool` with a partial
+/// Fisher–Yates pass, returning them as the (reordered) prefix.
+/// Replaces the old clone-the-pool-then-shuffle-everything pattern: no
+/// allocation, and `k` RNG draws instead of `pool.len() - 1`.
+fn draw_from<'a>(rng: &mut StdRng, pool: &'a mut [usize], k: usize) -> &'a [usize] {
+    let k = k.min(pool.len());
+    for i in 0..k {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    &pool[..k]
+}
+
+/// Per-host materialization RNG: a pure function of `(world seed, ip)`,
+/// so a host's engine, filesystem, certificate, and quirks come out
+/// identical no matter which simulator — or which shard — materializes
+/// it.
+fn host_rng(seed: u64, ip: Ipv4Addr) -> StdRng {
+    let mut z = seed
+        .wrapping_add(0x0057_0A7E_0000_0000)
+        .wrapping_add(u64::from(u32::from(ip)).rotate_left(29))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Runs phases 1–2: draws every host plan plus the non-FTP population,
+/// but binds nothing.
 ///
 /// # Panics
 ///
 /// Panics if `spec.space` is too small to hold the population.
-pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
+pub fn plan_world(spec: &PopulationSpec) -> WorldPlan {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let (registry, mut slots) = build_ases(spec, &mut rng);
     let n = spec.ftp_servers;
@@ -466,7 +516,10 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
 
     // ---- phase 2: correlated flags over the plan set ----
     let homepl_asn = Asn(12_824);
-    let anon_ix: Vec<usize> = (0..n_anon).collect();
+    // One standing index pool serves every uniform draw over the
+    // anonymous population; draws reorder it but never change its
+    // membership.
+    let mut anon_pool: Vec<usize> = (0..n_anon).collect();
 
     // PORT validation: all of home.pl plus pre-fix FileZilla fail; then
     // random extras to reach the target rate among anonymous servers.
@@ -480,13 +533,9 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     let current: usize =
         plans[..n_anon].iter().filter(|p| !p.truth.validates_port).count();
     if current < target_bounce {
-        let mut candidates: Vec<usize> = anon_ix
-            .iter()
-            .copied()
-            .filter(|&i| plans[i].truth.validates_port)
-            .collect();
-        candidates.shuffle(&mut rng);
-        for &i in candidates.iter().take(target_bounce - current) {
+        let mut candidates: Vec<usize> =
+            (0..n_anon).filter(|&i| plans[i].truth.validates_port).collect();
+        for &i in draw_from(&mut rng, &mut candidates, target_bounce - current) {
             plans[i].truth.validates_port = false;
         }
     }
@@ -494,13 +543,9 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     // NAT: consumer-ish anonymous servers; keep the NAT∩bounce rate low
     // as §VII-B found (4.5% of NATed vs 12.7% overall).
     let target_nat = (n_anon as f64 * rates::NAT_PER_ANON).round() as usize;
-    let mut nat_candidates: Vec<usize> = anon_ix
-        .iter()
-        .copied()
-        .filter(|&i| plans[i].truth.category != Category::Hosted)
-        .collect();
-    nat_candidates.shuffle(&mut rng);
-    for &i in nat_candidates.iter().take(target_nat) {
+    let mut nat_candidates: Vec<usize> =
+        (0..n_anon).filter(|&i| plans[i].truth.category != Category::Hosted).collect();
+    for &i in draw_from(&mut rng, &mut nat_candidates, target_nat) {
         plans[i].truth.nat = true;
         // home.pl stays vulnerable (its default software is the cause,
         // NAT or not); elsewhere NAT correlates with validation.
@@ -515,39 +560,33 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     // World-writable.
     let target_writable =
         ((n_anon as f64 * rates::WRITABLE_PER_ANON * boost).round() as usize).min(n_anon);
-    let mut writable_ix: Vec<usize> = anon_ix.clone();
-    writable_ix.shuffle(&mut rng);
-    let writable_ix: Vec<usize> = writable_ix.into_iter().take(target_writable).collect();
-    for &i in &writable_ix {
+    let mut writable_pool: Vec<usize> =
+        draw_from(&mut rng, &mut anon_pool, target_writable).to_vec();
+    for &i in &writable_pool {
         plans[i].truth.writable = true;
     }
 
-    // Campaigns.
+    // Campaigns: draws reuse two standing pools (writable hosts,
+    // non-writable anonymous hosts) instead of cloning and fully
+    // reshuffling a fresh pool per campaign.
+    let mut nonwritable_pool: Vec<usize> =
+        (0..n_anon).filter(|&i| !plans[i].truth.writable).collect();
     for (campaign, paper_count, requires_writable) in rates::CAMPAIGNS {
         let target =
             ((rates::per_anon(paper_count) * n_anon as f64 * boost).round() as usize).max(1);
         if requires_writable {
-            let mut pool = writable_ix.clone();
-            pool.shuffle(&mut rng);
-            for &i in pool.iter().take(target.min(pool.len())) {
+            for &i in draw_from(&mut rng, &mut writable_pool, target) {
                 plans[i].truth.campaigns.push(campaign);
             }
         } else {
             // Holy Bible: split between writable and non-writable hosts.
             let on_writable =
                 (target as f64 * rates::HOLY_BIBLE_WRITABLE_SHARE).round() as usize;
-            let mut pool = writable_ix.clone();
-            pool.shuffle(&mut rng);
-            for &i in pool.iter().take(on_writable.min(pool.len())) {
+            let drawn = on_writable.min(writable_pool.len());
+            for &i in draw_from(&mut rng, &mut writable_pool, on_writable) {
                 plans[i].truth.campaigns.push(campaign);
             }
-            let mut others: Vec<usize> = anon_ix
-                .iter()
-                .copied()
-                .filter(|&i| !plans[i].truth.writable)
-                .collect();
-            others.shuffle(&mut rng);
-            for &i in others.iter().take(target - on_writable.min(pool.len())) {
+            for &i in draw_from(&mut rng, &mut nonwritable_pool, target - drawn) {
                 plans[i].truth.campaigns.push(campaign);
             }
         }
@@ -561,8 +600,7 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     }
 
     // Content archetypes for anonymous servers.
-    for &i in &anon_ix {
-        let p = &mut plans[i];
+    for p in plans.iter_mut().take(n_anon) {
         let exposes = rng.random_bool(rates::ANON_EXPOSING_DATA)
             || !p.truth.campaigns.is_empty()
             || p.truth.writable;
@@ -591,14 +629,15 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
         let target = ((rates::per_anon(paper_count) * n_anon as f64 * boost).round() as usize)
             .max(1)
             .min(n_anon);
-        let mut pool = anon_ix.clone();
-        pool.shuffle(&mut rng);
-        for &i in pool.iter().take(target) {
+        for &i in draw_from(&mut rng, &mut anon_pool, target) {
             plans[i].truth.content = ContentKind::OsRoot(kind);
         }
     }
 
-    // Sensitive classes (Table IX) on exposing anonymous hosts.
+    // Sensitive classes (Table IX) on exposing anonymous hosts. The
+    // exposing set is fixed by now, so one pool serves every row.
+    let mut exposing_pool: Vec<usize> =
+        (0..n_anon).filter(|&i| plans[i].truth.content != ContentKind::Empty).collect();
     for (row, (_, servers, files, readable, nonreadable, _unk)) in
         rates::SENSITIVE.iter().enumerate()
     {
@@ -606,13 +645,7 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
         let target = ((rates::per_anon(*servers) * n_anon as f64 * boost).round() as usize)
             .max(1)
             .min(n_anon);
-        let mut pool: Vec<usize> = anon_ix
-            .iter()
-            .copied()
-            .filter(|&i| plans[i].truth.content != ContentKind::Empty)
-            .collect();
-        pool.shuffle(&mut rng);
-        for &i in pool.iter().take(target) {
+        for &i in draw_from(&mut rng, &mut exposing_pool, target) {
             plans[i].truth.sensitive.push(kind);
         }
         let _ = (files, readable, nonreadable);
@@ -622,9 +655,7 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     let target_deep = ((n_anon as f64 * rates::TRUNCATED_PER_ANON * boost).round() as usize)
         .max(1)
         .min(n_anon);
-    let mut pool = anon_ix.clone();
-    pool.shuffle(&mut rng);
-    for &i in pool.iter().take(target_deep) {
+    for &i in draw_from(&mut rng, &mut anon_pool, target_deep) {
         plans[i].truth.deep_tree = true;
         if plans[i].truth.content == ContentKind::Empty {
             plans[i].truth.content = ContentKind::NasMedia;
@@ -632,8 +663,6 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     }
 
     // FTPS + certificates.
-    let hosting_cert_weights: Vec<f64> =
-        catalog::HOSTING_CERTS.iter().map(|&(_, w, _)| w).collect();
     for p in plans.iter_mut() {
         if !rng.random_bool(rates::FTPS_PER_FTP) {
             continue;
@@ -657,51 +686,14 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
     let ramnit_target =
         ((rates::RAMNIT_PER_FTP * n as f64 * boost).round() as usize).max(1).min(n - n_anon);
     let mut nonanon: Vec<usize> = (n_anon..n).collect();
-    nonanon.shuffle(&mut rng);
-    for &i in nonanon.iter().take(ramnit_target) {
+    for &i in draw_from(&mut rng, &mut nonanon, ramnit_target) {
         plans[i].truth.ramnit = true;
     }
 
-    // ---- phase 3: materialize ----
-    let mut truths = Vec::with_capacity(n);
-    for plan in plans {
-        let profile = build_profile(&plan, &mut rng, &hosting_cert_weights);
-        let vfs = build_vfs(&plan, &mut rng);
-        let mut truth = plan.truth;
-        truth.banner = profile.banner.clone();
-        truth.drop_after = profile.drop_after_commands;
-        if let Some(ftps) = &profile.ftps {
-            truth.cert_fp = Some(ftps.cert.fingerprint());
-        }
-        let engine = FtpServerEngine::new(truth.ip, profile, vfs);
-        let id = sim.register_endpoint(Box::new(engine));
-        sim.bind(truth.ip, 21, id);
-        if let Some(fault) = sample_fault(spec, truth.ip) {
-            truth.fault = Some(fault.kind);
-            sim.set_fault(truth.ip, fault);
-        }
-        if truth.nat {
-            sim.set_internal_ip(
-                truth.ip,
-                Ipv4Addr::new(192, 168, rng.random_range(0..5), rng.random_range(2..250)),
-            );
-        }
-        if truth.http && spec.include_http {
-            let svc = if truth.scripting {
-                let engine_name =
-                    if rng.random_bool(0.8) { "PHP/5.4.45" } else { "ASP.NET" };
-                HttpService::new("Apache/2.2.22 (Debian)").with_powered_by(engine_name)
-            } else {
-                HttpService::new("nginx/1.2.1")
-            };
-            let hid = sim.register_endpoint(Box::new(svc));
-            sim.bind(truth.ip, 80, hid);
-        }
-        truths.push(truth);
-    }
-
-    // Non-FTP port-21 population (Table I's open-but-not-FTP gap).
-    let mut non_ftp_open = Vec::new();
+    // Non-FTP port-21 population (Table I's open-but-not-FTP gap):
+    // addresses and personalities are planned here so they partition
+    // across shards like any other host.
+    let mut non_ftp = Vec::new();
     if spec.include_non_ftp {
         let extra = ((n as f64) * (1.0 / rates::FTP_PER_OPEN - 1.0)).round() as usize;
         for _ in 0..extra {
@@ -712,23 +704,123 @@ pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
                     break ip;
                 }
             };
-            if rng.random_bool(0.55) {
-                let id = sim.register_endpoint(Box::new(SilentService));
-                sim.bind(ip, 21, id);
+            let kind = if rng.random_bool(0.55) {
+                NonFtpKind::Silent
+            } else if rng.random_bool(0.6) {
+                NonFtpKind::SshBanner
             } else {
-                let banner = if rng.random_bool(0.6) {
-                    "SSH-2.0-dropbear_2012.55"
-                } else {
-                    "HTTP/1.0 400 Bad Request"
-                };
-                let id = sim.register_endpoint(Box::new(RawBannerService::new(banner)));
-                sim.bind(ip, 21, id);
-            }
-            non_ftp_open.push(ip);
+                NonFtpKind::HttpBanner
+            };
+            non_ftp.push((ip, kind));
         }
     }
 
-    WorldTruth { registry, hosts: truths, non_ftp_open, spec: spec.clone() }
+    WorldPlan { registry, plans, non_ftp, spec: spec.clone() }
+}
+
+impl WorldPlan {
+    /// The spec this plan was drawn from.
+    pub fn spec(&self) -> &PopulationSpec {
+        &self.spec
+    }
+
+    /// Materializes into `sim` every planned host whose address passes
+    /// `keep`, returning the ground truth of that subset (in plan
+    /// order) plus the retained non-FTP addresses.
+    ///
+    /// Each host is built with its own [`host_rng`], so the subset
+    /// chosen has no effect on what any individual host looks like:
+    /// materializing the full plan in one simulator and materializing a
+    /// partition of it across K simulators yield identical hosts.
+    pub fn materialize(
+        &self,
+        sim: &mut Simulator,
+        keep: impl Fn(Ipv4Addr) -> bool,
+    ) -> (Vec<HostTruth>, Vec<Ipv4Addr>) {
+        let spec = &self.spec;
+        let hosting_cert_weights: Vec<f64> =
+            catalog::HOSTING_CERTS.iter().map(|&(_, w, _)| w).collect();
+        let mut truths = Vec::new();
+        for plan in &self.plans {
+            if !keep(plan.truth.ip) {
+                continue;
+            }
+            let mut rng = host_rng(spec.seed, plan.truth.ip);
+            let profile = build_profile(plan, &mut rng, &hosting_cert_weights);
+            let vfs = build_vfs(plan, &mut rng);
+            let mut truth = plan.truth.clone();
+            truth.banner = profile.banner.clone();
+            truth.drop_after = profile.drop_after_commands;
+            if let Some(ftps) = &profile.ftps {
+                truth.cert_fp = Some(ftps.cert.fingerprint());
+            }
+            let engine = FtpServerEngine::new(truth.ip, profile, vfs);
+            let id = sim.register_endpoint(Box::new(engine));
+            sim.bind(truth.ip, 21, id);
+            if let Some(fault) = sample_fault(spec, truth.ip) {
+                truth.fault = Some(fault.kind);
+                sim.set_fault(truth.ip, fault);
+            }
+            if truth.nat {
+                sim.set_internal_ip(
+                    truth.ip,
+                    Ipv4Addr::new(192, 168, rng.random_range(0..5), rng.random_range(2..250)),
+                );
+            }
+            if truth.http && spec.include_http {
+                let svc = if truth.scripting {
+                    let engine_name =
+                        if rng.random_bool(0.8) { "PHP/5.4.45" } else { "ASP.NET" };
+                    HttpService::new("Apache/2.2.22 (Debian)").with_powered_by(engine_name)
+                } else {
+                    HttpService::new("nginx/1.2.1")
+                };
+                let hid = sim.register_endpoint(Box::new(svc));
+                sim.bind(truth.ip, 80, hid);
+            }
+            truths.push(truth);
+        }
+        let mut non_ftp_open = Vec::new();
+        for &(ip, kind) in &self.non_ftp {
+            if !keep(ip) {
+                continue;
+            }
+            let svc: Box<dyn netsim::Endpoint> = match kind {
+                NonFtpKind::Silent => Box::new(SilentService),
+                NonFtpKind::SshBanner => {
+                    Box::new(RawBannerService::new("SSH-2.0-dropbear_2012.55"))
+                }
+                NonFtpKind::HttpBanner => {
+                    Box::new(RawBannerService::new("HTTP/1.0 400 Bad Request"))
+                }
+            };
+            let id = sim.register_endpoint(svc);
+            sim.bind(ip, 21, id);
+            non_ftp_open.push(ip);
+        }
+        (truths, non_ftp_open)
+    }
+
+    /// Assembles ground truth from (possibly merged) materialization
+    /// output.
+    pub fn into_truth(self, hosts: Vec<HostTruth>, non_ftp_open: Vec<Ipv4Addr>) -> WorldTruth {
+        WorldTruth { registry: self.registry, hosts, non_ftp_open, spec: self.spec }
+    }
+}
+
+/// Generates the simulated world inside `sim` and returns ground truth.
+///
+/// Equivalent to planning the world and materializing all of it into
+/// one simulator; the sharded study runner uses the same plan with a
+/// per-shard `keep` filter instead.
+///
+/// # Panics
+///
+/// Panics if `spec.space` is too small to hold the population.
+pub fn build(sim: &mut Simulator, spec: &PopulationSpec) -> WorldTruth {
+    let plan = plan_world(spec);
+    let (hosts, non_ftp_open) = plan.materialize(sim, |_| true);
+    plan.into_truth(hosts, non_ftp_open)
 }
 
 /// Decides, independently of the generation RNG, whether `ip` is
@@ -1143,6 +1235,36 @@ mod tests {
         }
         assert!(ten.faulted_count() > 0);
         assert!(ten.faulted_count() < fifty.faulted_count());
+    }
+
+    #[test]
+    fn sharded_materialization_matches_full_build() {
+        let spec = PopulationSpec::small(7, 300).with_fault_fraction(0.2);
+        let plan = plan_world(&spec);
+        let mut full_sim = Simulator::new(7);
+        let (full_hosts, full_non_ftp) = plan.materialize(&mut full_sim, |_| true);
+
+        let shards = 4u64;
+        let mut merged: Vec<HostTruth> = Vec::new();
+        let mut merged_non_ftp: Vec<Ipv4Addr> = Vec::new();
+        for index in 0..shards {
+            let mut sim = Simulator::new(7);
+            let (hosts, non_ftp) =
+                plan.materialize(&mut sim, |ip| netsim::ip::shard_of(7, ip, shards) == index);
+            assert!(!hosts.is_empty(), "shard {index} materialized nothing");
+            merged.extend(hosts);
+            merged_non_ftp.extend(non_ftp);
+        }
+        merged.sort_by_key(|h| h.ip);
+        merged_non_ftp.sort();
+
+        let mut full_sorted = full_hosts.clone();
+        full_sorted.sort_by_key(|h| h.ip);
+        let mut full_non_ftp_sorted = full_non_ftp.clone();
+        full_non_ftp_sorted.sort();
+
+        assert_eq!(merged, full_sorted, "per-host materialization must be shard-blind");
+        assert_eq!(merged_non_ftp, full_non_ftp_sorted);
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod scanner;
 
 pub use blocklist::Blocklist;
 pub use cyclic::CyclicPermutation;
-pub use scanner::{HostDiscovery, ScanConfig, ScanResults};
+pub use scanner::{HashShard, HostDiscovery, ScanConfig, ScanResults};

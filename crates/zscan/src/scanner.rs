@@ -3,9 +3,37 @@
 
 use crate::blocklist::Blocklist;
 use crate::cyclic::CyclicPermutation;
+use netsim::ip::shard_of;
 use netsim::{Ctx, Endpoint, Ipv4Net, ProbeStatus, SimDuration};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// Hash-based shard filter: probe only the addresses that
+/// [`netsim::ip::shard_of`] assigns to `index` of `shards` under
+/// `seed`.
+///
+/// Unlike [`ScanConfig::shard`] — which interleaves the *permutation
+/// orbit* and is the right tool for splitting one scan across
+/// machines that share a world — a hash shard selects a slice of the
+/// *address space itself*, matching how the sharded study runner
+/// partitions worldgen: each worker's scanner probes exactly the
+/// addresses whose hosts were materialized in its simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashShard {
+    /// Hash seed; must match the partitioning side (worldgen).
+    pub seed: u64,
+    /// This shard's index in `0..shards`.
+    pub index: u64,
+    /// Total shard count.
+    pub shards: u64,
+}
+
+impl HashShard {
+    /// Whether `ip` belongs to this shard.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        shard_of(self.seed, ip, self.shards) == self.index
+    }
+}
 
 /// Scanner configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +53,11 @@ pub struct ScanConfig {
     pub probes_per_target: u8,
     /// Shard `(index, count)` for distributed scans.
     pub shard: (u64, u64),
+    /// Optional hash-based address filter (see [`HashShard`]). Applied
+    /// on top of `shard`; addresses outside the hash shard are skipped
+    /// before pacing, blocklisting, or probing, so counters reflect
+    /// only this shard's slice of the space.
+    pub hash_shard: Option<HashShard>,
     /// Addresses never probed.
     pub blocklist: Blocklist,
 }
@@ -41,6 +74,7 @@ impl ScanConfig {
             seed,
             probes_per_target: 1,
             shard: (0, 1),
+            hash_shard: None,
             blocklist: Blocklist::standard(),
         }
     }
@@ -92,7 +126,12 @@ impl HostDiscovery {
     pub fn new(cfg: ScanConfig) -> (Self, std::rc::Rc<std::cell::RefCell<ScanResults>>) {
         let perm = CyclicPermutation::new(cfg.space.size(), cfg.seed);
         let (index, count) = cfg.shard;
-        let order: Vec<u64> = perm.shard(index, count).collect();
+        let space = cfg.space;
+        let hash_shard = cfg.hash_shard;
+        let order: Vec<u64> = perm
+            .shard(index, count)
+            .filter(|&ix| hash_shard.is_none_or(|hs| hs.contains(space.addr_at(ix))))
+            .collect();
         let results = std::rc::Rc::new(std::cell::RefCell::new(ScanResults::default()));
         (
             HostDiscovery {
@@ -274,6 +313,34 @@ mod tests {
             total_open += results.borrow().open.len();
         }
         assert_eq!(total_open, 20, "shards find each open host exactly once");
+    }
+
+    #[test]
+    fn hash_shards_cover_space_exactly_once() {
+        let space: Ipv4Net = "100.0.0.0/24".parse().unwrap();
+        let shards = 4u64;
+        let mut total_open = 0;
+        let mut total_probes = 0;
+        let mut seen: std::collections::HashSet<Ipv4Addr> = std::collections::HashSet::new();
+        for index in 0..shards {
+            let mut sim = Simulator::new(42);
+            build_world(&mut sim);
+            let mut cfg = ScanConfig::tcp21(space, 9);
+            cfg.blocklist = Blocklist::new();
+            cfg.hash_shard = Some(HashShard { seed: 42, index, shards });
+            let (scanner, results) = HostDiscovery::new(cfg);
+            let id = sim.register_endpoint(Box::new(scanner));
+            sim.schedule_timer(id, SimDuration::ZERO, 0);
+            sim.run();
+            let r = results.borrow();
+            total_open += r.open.len();
+            total_probes += r.probes_sent;
+            for &ip in &r.open {
+                assert!(seen.insert(ip), "{ip} discovered by two shards");
+            }
+        }
+        assert_eq!(total_open, 20, "hash shards find each open host exactly once");
+        assert_eq!(total_probes, space.size(), "hash shards probe each address exactly once");
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! Cloud* reproduction.
 //!
 //! ```text
-//! ftpcloud study [--scale N] [--seed S]      run the full pipeline, print every table
-//! ftpcloud funnel [--servers N] [--seed S] [--faults PCT]
+//! ftpcloud study [--scale N] [--seed S] [--shards K]
+//!                                            run the full pipeline, print every table;
+//!                                            --shards runs K parallel simulations whose
+//!                                            merged results are byte-identical to K=1
+//! ftpcloud funnel [--servers N] [--seed S] [--faults PCT] [--shards K]
 //!                                            quick Table I funnel on a small world;
 //!                                            --faults makes PCT% of it hostile
 //! ftpcloud honeypot [--days D] [--pots N]    run the §VIII experiment
@@ -12,7 +15,7 @@
 //! ftpcloud verdicts [--servers N]            paper-vs-measured scoreboard
 //! ```
 
-use ftp_study::{run_study, tables, StudyConfig};
+use ftp_study::{run_study, run_study_sharded, tables, StudyConfig};
 use worldgen::PopulationSpec;
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
@@ -28,21 +31,24 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("study") => {
             let scale = flag(&args, "--scale").unwrap_or(4_096);
+            let shards = flag(&args, "--shards").unwrap_or(1).max(1);
             let spec = PopulationSpec::study(seed, scale);
             eprintln!(
-                "building 1:{scale} world ({} FTP servers) with seed {seed}…",
+                "building 1:{scale} world ({} FTP servers) with seed {seed}, {shards} shard(s)…",
                 spec.ftp_servers
             );
             let mut cfg = StudyConfig::new(spec);
             cfg.request_gap = netsim::SimDuration::from_millis(20);
-            let results = run_study(&cfg);
+            let results = run_study_sharded(&cfg, shards);
             println!("{}", tables::full_report(&results));
         }
         Some("funnel") => {
             let servers = flag(&args, "--servers").unwrap_or(800) as usize;
             let faults = flag(&args, "--faults").unwrap_or(0);
-            let results = run_study(
+            let shards = flag(&args, "--shards").unwrap_or(1).max(1);
+            let results = run_study_sharded(
                 &StudyConfig::small(seed, servers).with_fault_fraction(faults as f64 / 100.0),
+                shards,
             );
             println!("{}", tables::table01_funnel(&results));
         }
@@ -80,7 +86,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--servers N] [--faults PCT] [--days D] [--pots N]"
+                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--faults PCT] [--days D] [--pots N]"
             );
             std::process::exit(2);
         }

@@ -94,6 +94,12 @@ impl BenchmarkId {
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
         BenchmarkId { label: format!("{name}/{parameter}") }
     }
+
+    /// Builds an id from the parameter alone, for benchmarks whose
+    /// group name already identifies the function.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
 }
 
 impl Display for BenchmarkId {
