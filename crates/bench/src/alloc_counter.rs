@@ -1,0 +1,95 @@
+//! A counting global allocator for allocation-budget benchmarks.
+//!
+//! Wraps [`std::alloc::System`] and counts every `alloc`/`realloc`/
+//! `alloc_zeroed` call (and the bytes it requested) in process-wide
+//! atomics. Binaries opt in by installing it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: bench::CountingAlloc = bench::CountingAlloc::new();
+//! ```
+//!
+//! The counters live in this module — not in the allocator instance — so
+//! [`reset`]/[`snapshot`] observe whichever instance a binary installed.
+//! `dealloc` is deliberately uncounted: the benchmarks track allocation
+//! *pressure* (how often the hot path hits the allocator), and frees
+//! mirror allocs one-to-one in steady state.
+//!
+//! Counting must not distort the timings it annotates, so the counters
+//! are bumped with unsynchronized load+store pairs rather than atomic
+//! read-modify-write instructions (a `lock xadd` on every allocation is
+//! a measurable tax on allocation-heavy stages). The deterministic
+//! simulation runs single-threaded, where this is exact; if several
+//! threads allocate concurrently the counters may drop increments,
+//! which is acceptable for a benchmark-pressure gauge and is why
+//! `bench-guard` only compares runs with matching `threads_available`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+#[inline(always)]
+fn bump(counter: &AtomicU64, delta: u64) {
+    // Deliberately not `fetch_add`: see the module docs.
+    counter.store(counter.load(Ordering::Relaxed).wrapping_add(delta), Ordering::Relaxed);
+}
+
+/// Counters captured by [`snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Heap allocations (including reallocations) since the last reset.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+}
+
+/// The counting allocator; see the module docs for how to install it.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Creates the allocator (const so it can be a `static`).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+// SAFETY: defers every allocation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates have no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, new_size as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Zeroes both counters.
+pub fn reset() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Reads the counters accumulated since the last [`reset`].
+pub fn snapshot() -> AllocStats {
+    AllocStats { allocs: ALLOCS.load(Ordering::Relaxed), bytes: BYTES.load(Ordering::Relaxed) }
+}

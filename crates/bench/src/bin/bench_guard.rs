@@ -1,0 +1,99 @@
+//! `cargo bench-guard` — performance regression gate.
+//!
+//! Re-runs the pipeline benchmark at the committed baseline's own
+//! configuration and fails (exit 1) when any stage regressed:
+//!
+//! - hosts/sec more than 10% below the baseline, or
+//! - allocs/op more than 5% above the baseline (only for baselines that
+//!   carry the allocation columns).
+//!
+//! ```text
+//! cargo bench-guard [--baseline PATH]
+//! ```
+//!
+//! The gate compares like with like or not at all: when the baseline was
+//! recorded on a machine with a different `threads_available`, the run
+//! is skipped (exit 0) rather than failing on hardware differences, and
+//! a missing baseline file also skips — the gate guards committed
+//! numbers, it does not create them.
+
+use bench::pipeline;
+
+#[global_allocator]
+static ALLOC: bench::CountingAlloc = bench::CountingAlloc::new();
+
+/// Throughput may drop to this fraction of baseline before failing.
+const HOSTS_PER_SEC_FLOOR: f64 = 0.90;
+/// Allocs/op may grow to this multiple of baseline before failing.
+const ALLOCS_PER_OP_CEILING: f64 = 1.05;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|ix| args.get(ix + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {
+        eprintln!("bench-guard: no baseline at {baseline_path}; skipping");
+        return;
+    };
+    let base_threads = pipeline::extract_u64(&baseline, "threads_available").unwrap_or(1);
+    let here_threads = pipeline::threads_available() as u64;
+    if base_threads != here_threads {
+        eprintln!(
+            "bench-guard: baseline recorded with threads_available={base_threads}, \
+             this machine has {here_threads}; skipping (numbers are not comparable)"
+        );
+        return;
+    }
+    let servers = pipeline::extract_u64(&baseline, "servers").unwrap_or(600) as usize;
+    let shards = pipeline::extract_u64(&baseline, "shards").unwrap_or(8).max(1);
+    let iters = pipeline::extract_u64(&baseline, "iters").unwrap_or(3) as u32;
+    let base_stages = pipeline::parse_baseline_stages(&baseline);
+    if base_stages.is_empty() {
+        eprintln!("bench-guard: baseline {baseline_path} has no stage rows; skipping");
+        return;
+    }
+
+    eprintln!("bench-guard: re-running {servers} servers, best of {iters} iters");
+    let current = pipeline::run_stages(servers, shards, iters);
+
+    let mut failures = 0u32;
+    for base in &base_stages {
+        let Some(now) = current.iter().find(|s| s.name == base.name) else {
+            eprintln!("bench-guard: stage {} missing from current run", base.name);
+            failures += 1;
+            continue;
+        };
+        let floor = base.hosts_per_sec * HOSTS_PER_SEC_FLOOR;
+        if now.hosts_per_sec < floor {
+            eprintln!(
+                "bench-guard: FAIL {}: {:.1} hosts/s < {:.1} (90% of baseline {:.1})",
+                base.name, now.hosts_per_sec, floor, base.hosts_per_sec
+            );
+            failures += 1;
+        }
+        // Baselines predating the allocation columns (or recorded with
+        // allocs_per_op = 0, i.e. without the counting allocator) carry
+        // no allocation budget to enforce.
+        if let Some(base_allocs) = base.allocs_per_op.filter(|&a| a > 0) {
+            let ceiling = base_allocs as f64 * ALLOCS_PER_OP_CEILING;
+            if now.allocs_per_op as f64 > ceiling {
+                eprintln!(
+                    "bench-guard: FAIL {}: {} allocs/op > {:.0} (105% of baseline {})",
+                    base.name, now.allocs_per_op, ceiling, base_allocs
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench-guard: {failures} regression(s) vs {baseline_path}");
+        std::process::exit(1);
+    }
+    eprintln!("bench-guard: all {} stages within budget", base_stages.len());
+}

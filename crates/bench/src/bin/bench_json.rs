@@ -11,43 +11,15 @@
 //! cargo bench-json [--servers N] [--shards K] [--iters I] [--out PATH]
 //! ```
 //!
-//! Every stage reports best-of-`iters` nanoseconds per operation and
-//! the hosts-per-second throughput that implies at the configured
-//! population size.
+//! Every stage reports best-of-`iters` nanoseconds per operation, the
+//! hosts-per-second throughput that implies at the configured population
+//! size, and — because this binary installs [`bench::CountingAlloc`] —
+//! the heap allocations and bytes one operation costs.
 
-use enumerator::{EnumConfig, Enumerator};
-use ftp_study::{run_study_sharded, StudyConfig};
-use netsim::{SimDuration, Simulator};
-use std::fmt::Write as _;
-use std::hint::black_box;
-use std::time::Instant;
-use worldgen::PopulationSpec;
-use zscan::{Blocklist, HostDiscovery, ScanConfig};
+use bench::pipeline;
 
-const SEED: u64 = 1;
-
-/// One timed pipeline stage.
-struct Stage {
-    name: &'static str,
-    /// Best-of-iters wall-clock cost of one operation, in nanoseconds.
-    ns_per_op: u128,
-    /// FTP hosts processed per second at that cost.
-    hosts_per_sec: f64,
-}
-
-/// Times `op` `iters` times and keeps the fastest run — the standard
-/// best-of-N estimator, robust against scheduler noise.
-fn time_stage<T>(name: &'static str, servers: usize, iters: u32, mut op: impl FnMut() -> T) -> Stage {
-    let mut best = u128::MAX;
-    for _ in 0..iters {
-        let start = Instant::now();
-        black_box(op());
-        best = best.min(start.elapsed().as_nanos());
-    }
-    let hosts_per_sec = servers as f64 / (best as f64 / 1e9);
-    eprintln!("{name:>24}  {best:>14} ns/op  {hosts_per_sec:>10.1} hosts/s");
-    Stage { name, ns_per_op: best, hosts_per_sec }
-}
+#[global_allocator]
+static ALLOC: bench::CountingAlloc = bench::CountingAlloc::new();
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -69,76 +41,8 @@ fn main() {
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
     eprintln!("pipeline benchmark: {servers} servers, best of {iters} iters");
-
-    let spec = PopulationSpec::small(SEED, servers);
-    let mut stages = Vec::new();
-
-    stages.push(time_stage("worldgen", servers, iters, || {
-        let mut sim = Simulator::new(SEED);
-        worldgen::build(&mut sim, &spec).hosts.len()
-    }));
-
-    stages.push(time_stage("scan", servers, iters, || {
-        let mut sim = Simulator::new(SEED);
-        let _truth = worldgen::build(&mut sim, &spec);
-        let mut cfg = ScanConfig::tcp21(spec.space, 7);
-        cfg.blocklist = Blocklist::new();
-        let (scanner, results) = HostDiscovery::new(cfg);
-        let id = sim.register_endpoint(Box::new(scanner));
-        sim.schedule_timer(id, SimDuration::ZERO, 0);
-        sim.run();
-        let n = results.borrow().open.len();
-        n
-    }));
-
-    stages.push(time_stage("enumerate", servers, iters, || {
-        let mut sim = Simulator::new(SEED);
-        let truth = worldgen::build(&mut sim, &spec);
-        let mut cfg =
-            EnumConfig::new(std::net::Ipv4Addr::new(198, 108, 0, 1)).with_concurrency(256);
-        cfg.request_gap = SimDuration::from_millis(10);
-        let (en, results) = Enumerator::new(cfg, truth.ftp_addresses());
-        let id = sim.register_endpoint(Box::new(en));
-        sim.schedule_timer(id, SimDuration::ZERO, 0);
-        sim.run();
-        let n = results.borrow().len();
-        n
-    }));
-
-    let study_cfg = StudyConfig::small(SEED, servers);
-    stages.push(time_stage("full_study_k1", servers, iters, || {
-        run_study_sharded(&study_cfg, 1).records.len()
-    }));
-
-    let sharded_name: &'static str = match shards {
-        2 => "full_study_k2",
-        4 => "full_study_k4",
-        8 => "full_study_k8",
-        16 => "full_study_k16",
-        _ => "full_study_sharded",
-    };
-    stages.push(time_stage(sharded_name, servers, iters, || {
-        run_study_sharded(&study_cfg, shards).records.len()
-    }));
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"tool\": \"cargo bench-json\",");
-    let _ = writeln!(json, "  \"servers\": {servers},");
-    let _ = writeln!(json, "  \"shards\": {shards},");
-    let _ = writeln!(json, "  \"iters\": {iters},");
-    let _ = writeln!(json, "  \"threads_available\": {},", std::thread::available_parallelism().map_or(1, usize::from));
-    json.push_str("  \"stages\": [\n");
-    for (ix, s) in stages.iter().enumerate() {
-        let comma = if ix + 1 < stages.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{ \"stage\": \"{}\", \"ns_per_op\": {}, \"hosts_per_sec\": {:.1} }}{comma}",
-            s.name, s.ns_per_op, s.hosts_per_sec
-        );
-    }
-    json.push_str("  ]\n}\n");
-
+    let stages = pipeline::run_stages(servers, shards, iters);
+    let json = pipeline::render_json(servers, shards, iters, &stages);
     std::fs::write(&out, json).expect("write benchmark report");
     eprintln!("wrote {out}");
 }

@@ -1,1 +1,16 @@
 //! Criterion benchmark targets live in `benches/`; see DESIGN.md §4 for the experiment index.
+//!
+//! This library crate additionally hosts the pieces shared by the
+//! `bench-json` and `bench-guard` binaries:
+//!
+//! - [`alloc_counter`]: a counting [`std::alloc::GlobalAlloc`] wrapper so
+//!   benchmarks report allocations per operation alongside wall-clock
+//!   time (DESIGN.md §8 "Event engine and memory model").
+//! - [`pipeline`]: the per-stage pipeline benchmark runner and its JSON
+//!   rendering, so the guard binary measures exactly what the report
+//!   binary measures.
+
+pub mod alloc_counter;
+pub mod pipeline;
+
+pub use alloc_counter::{AllocStats, CountingAlloc};

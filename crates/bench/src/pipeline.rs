@@ -1,0 +1,266 @@
+//! The per-stage pipeline benchmark: stage definitions, timing, and the
+//! `BENCH_pipeline.json` rendering shared by `bench-json` (report) and
+//! `bench-guard` (regression gate).
+//!
+//! Every stage reports best-of-`iters` nanoseconds per operation, the
+//! hosts-per-second throughput that implies at the configured population
+//! size, and — when the binary installed [`crate::CountingAlloc`] — the
+//! minimum allocations and bytes one operation cost.
+
+use crate::alloc_counter;
+use enumerator::{EnumConfig, Enumerator};
+use ftp_study::{run_study_sharded, StudyConfig};
+use netsim::{SimDuration, Simulator};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use worldgen::PopulationSpec;
+use zscan::{Blocklist, HostDiscovery, ScanConfig};
+
+/// Seed shared by every stage; pinned so reports are comparable.
+pub const SEED: u64 = 1;
+
+/// One timed pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Stage name as written to the JSON report.
+    pub name: &'static str,
+    /// Best-of-iters wall-clock cost of one operation, in nanoseconds.
+    pub ns_per_op: u128,
+    /// FTP hosts processed per second at that cost.
+    pub hosts_per_sec: f64,
+    /// Fewest heap allocations one operation performed (0 when the
+    /// binary did not install the counting allocator).
+    pub allocs_per_op: u64,
+    /// Bytes requested by those allocations.
+    pub bytes_per_op: u64,
+}
+
+/// Times `op` `iters` times, keeping the fastest run — the standard
+/// best-of-N estimator, robust against scheduler noise — and the lowest
+/// allocation count (the workload is deterministic, so iterations only
+/// differ by lazy-init effects in the first run).
+fn time_stage<T>(
+    name: &'static str,
+    servers: usize,
+    iters: u32,
+    mut op: impl FnMut() -> T,
+) -> StageResult {
+    let mut best = u128::MAX;
+    let mut best_allocs = u64::MAX;
+    let mut best_bytes = u64::MAX;
+    for _ in 0..iters {
+        alloc_counter::reset();
+        let start = Instant::now();
+        black_box(op());
+        let elapsed = start.elapsed().as_nanos();
+        let stats = alloc_counter::snapshot();
+        best = best.min(elapsed);
+        best_allocs = best_allocs.min(stats.allocs);
+        best_bytes = best_bytes.min(stats.bytes);
+    }
+    let hosts_per_sec = servers as f64 / (best as f64 / 1e9);
+    eprintln!(
+        "{name:>24}  {best:>14} ns/op  {hosts_per_sec:>10.1} hosts/s  {best_allocs:>10} allocs/op"
+    );
+    StageResult {
+        name,
+        ns_per_op: best,
+        hosts_per_sec,
+        allocs_per_op: best_allocs,
+        bytes_per_op: best_bytes,
+    }
+}
+
+/// JSON stage name for the K-sharded study run.
+pub fn sharded_stage_name(shards: u64) -> &'static str {
+    match shards {
+        2 => "full_study_k2",
+        4 => "full_study_k4",
+        8 => "full_study_k8",
+        16 => "full_study_k16",
+        _ => "full_study_sharded",
+    }
+}
+
+/// Runs every pipeline stage and returns the per-stage results.
+pub fn run_stages(servers: usize, shards: u64, iters: u32) -> Vec<StageResult> {
+    let spec = PopulationSpec::small(SEED, servers);
+    let mut stages = Vec::new();
+
+    stages.push(time_stage("worldgen", servers, iters, || {
+        let mut sim = Simulator::new(SEED);
+        worldgen::build(&mut sim, &spec).hosts.len()
+    }));
+
+    stages.push(time_stage("scan", servers, iters, || {
+        let mut sim = Simulator::new(SEED);
+        let _truth = worldgen::build(&mut sim, &spec);
+        let mut cfg = ScanConfig::tcp21(spec.space, 7);
+        cfg.blocklist = Blocklist::new();
+        let (scanner, results) = HostDiscovery::new(cfg);
+        let id = sim.register_endpoint(Box::new(scanner));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        sim.run();
+        let n = results.borrow().open.len();
+        n
+    }));
+
+    stages.push(time_stage("enumerate", servers, iters, || {
+        let mut sim = Simulator::new(SEED);
+        let truth = worldgen::build(&mut sim, &spec);
+        let mut cfg =
+            EnumConfig::new(std::net::Ipv4Addr::new(198, 108, 0, 1)).with_concurrency(256);
+        cfg.request_gap = SimDuration::from_millis(10);
+        let (en, results) = Enumerator::new(cfg, truth.ftp_addresses());
+        let id = sim.register_endpoint(Box::new(en));
+        sim.schedule_timer(id, SimDuration::ZERO, 0);
+        sim.run();
+        let n = results.borrow().len();
+        n
+    }));
+
+    let study_cfg = StudyConfig::small(SEED, servers);
+    stages.push(time_stage("full_study_k1", servers, iters, || {
+        run_study_sharded(&study_cfg, 1).records.len()
+    }));
+
+    stages.push(time_stage(sharded_stage_name(shards), servers, iters, || {
+        run_study_sharded(&study_cfg, shards).records.len()
+    }));
+
+    stages
+}
+
+/// Threads the OS reports available (1 when unknown); recorded so
+/// cross-machine reports are never compared as regressions.
+pub fn threads_available() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Renders the `BENCH_pipeline.json` document.
+pub fn render_json(servers: usize, shards: u64, iters: u32, stages: &[StageResult]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"tool\": \"cargo bench-json\",");
+    let _ = writeln!(json, "  \"servers\": {servers},");
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"threads_available\": {},", threads_available());
+    json.push_str("  \"stages\": [\n");
+    for (ix, s) in stages.iter().enumerate() {
+        let comma = if ix + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"stage\": \"{}\", \"ns_per_op\": {}, \"hosts_per_sec\": {:.1}, \
+             \"allocs_per_op\": {}, \"bytes_per_op\": {} }}{comma}",
+            s.name, s.ns_per_op, s.hosts_per_sec, s.allocs_per_op, s.bytes_per_op
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Pulls an integer field (`"key": 123`) out of a benchmark report.
+///
+/// Hand-rolled extraction: the workspace vendors no JSON parser, and the
+/// report format is machine-written on a single line per field.
+pub fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A stage row parsed back out of a committed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineStage {
+    /// Stage name.
+    pub name: String,
+    /// Hosts-per-second throughput recorded in the baseline.
+    pub hosts_per_sec: f64,
+    /// Allocations per op, when the baseline has the column.
+    pub allocs_per_op: Option<u64>,
+}
+
+/// Parses the `stages` array of a committed `BENCH_pipeline.json`.
+pub fn parse_baseline_stages(json: &str) -> Vec<BaselineStage> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = extract_str(line, "stage") else { continue };
+        let Some(hosts) = extract_f64(line, "hosts_per_sec") else { continue };
+        out.push(BaselineStage {
+            name: name.to_owned(),
+            hosts_per_sec: hosts,
+            allocs_per_op: extract_u64(line, "allocs_per_op"),
+        });
+    }
+    out
+}
+
+fn extract_str<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "tool": "cargo bench-json",
+  "servers": 600,
+  "threads_available": 4,
+  "stages": [
+    { "stage": "worldgen", "ns_per_op": 100, "hosts_per_sec": 2013.8 },
+    { "stage": "enumerate", "ns_per_op": 200, "hosts_per_sec": 1035.8, "allocs_per_op": 77, "bytes_per_op": 12 }
+  ]
+}"#;
+
+    #[test]
+    fn extracts_scalars() {
+        assert_eq!(extract_u64(SAMPLE, "servers"), Some(600));
+        assert_eq!(extract_u64(SAMPLE, "threads_available"), Some(4));
+        assert_eq!(extract_u64(SAMPLE, "missing"), None);
+    }
+
+    #[test]
+    fn parses_stage_rows_with_and_without_alloc_columns() {
+        let stages = parse_baseline_stages(SAMPLE);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "worldgen");
+        assert!((stages[0].hosts_per_sec - 2013.8).abs() < 1e-9);
+        assert_eq!(stages[0].allocs_per_op, None);
+        assert_eq!(stages[1].allocs_per_op, Some(77));
+    }
+
+    #[test]
+    fn render_roundtrips_through_the_parser() {
+        let stages = [StageResult {
+            name: "worldgen",
+            ns_per_op: 5,
+            hosts_per_sec: 120.0,
+            allocs_per_op: 9,
+            bytes_per_op: 1024,
+        }];
+        let json = render_json(600, 8, 3, &stages);
+        let parsed = parse_baseline_stages(&json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].allocs_per_op, Some(9));
+        assert_eq!(extract_u64(&json, "servers"), Some(600));
+    }
+}

@@ -20,6 +20,7 @@ use ftp_proto::reply::ReplyParser;
 use ftp_proto::{Banner, HostPort, LineCodec, Reply, Robots};
 use netsim::{ConnId, ConnectError, Ctx, Endpoint};
 use simtls::SimCertificate;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
@@ -40,8 +41,10 @@ enum Phase {
     Pass,
     RobotsPasv,
     RobotsRetr,
-    TravPasv { dir: String, depth: usize },
-    TravList { dir: String, depth: usize },
+    // Directories are `Rc<str>` so the per-reply `phase.clone()` on the
+    // traversal hot path bumps a refcount instead of copying the path.
+    TravPasv { dir: Rc<str>, depth: usize },
+    TravList { dir: Rc<str>, depth: usize },
     Syst,
     Help,
     Feat,
@@ -82,7 +85,7 @@ struct Session {
     codec: LineCodec,
     parser: ReplyParser,
     phase: Phase,
-    pending: Option<(String, Phase)>,
+    pending: Option<(Cow<'static, str>, Phase)>,
     data_conn: Option<ConnId>,
     data_buf: Vec<u8>,
     data_closed: bool,
@@ -90,8 +93,8 @@ struct Session {
     got_final_reply: bool,
     last_331_text: String,
     robots: Robots,
-    queue: VecDeque<(String, usize)>,
-    visited: HashSet<String>,
+    queue: VecDeque<(Rc<str>, usize)>,
+    visited: HashSet<Rc<str>>,
     listing_hint: ListingFormat,
 }
 
@@ -142,6 +145,11 @@ pub struct Enumerator {
     conns: HashMap<ConnId, (usize, bool)>,
     results: EnumResults,
     active: usize,
+    /// Reused wire buffer for `"{line}\r\n"` command rendering.
+    send_buf: Vec<u8>,
+    /// Reused decoded-line strings for [`Enumerator::on_data`]; grows to
+    /// the largest burst seen, then steady-state decoding is alloc-free.
+    line_pool: Vec<String>,
 }
 
 impl Enumerator {
@@ -159,6 +167,8 @@ impl Enumerator {
                 conns: HashMap::new(),
                 results: results.clone(),
                 active: 0,
+                send_buf: Vec::new(),
+                line_pool: Vec::new(),
             },
             results,
         )
@@ -216,13 +226,19 @@ impl Enumerator {
     /// Queues `line` to be sent after the rate-limit gap, then moves to
     /// `next`. Returns `false` (and does nothing) when the request budget
     /// is exhausted.
-    fn queue_cmd(&mut self, ctx: &mut Ctx<'_>, slot: usize, line: String, next: Phase) -> bool {
+    fn queue_cmd(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: usize,
+        line: impl Into<Cow<'static, str>>,
+        next: Phase,
+    ) -> bool {
         let gap = self.cfg.request_gap;
         let Some(s) = self.sessions[slot].as_mut() else { return false };
         if s.record.requests_used >= self.cfg.request_cap {
             return false;
         }
-        s.pending = Some((line, next));
+        s.pending = Some((line.into(), next));
         let gen = s.bump();
         ctx.set_timer(gap, token(slot, gen, KIND_SEND));
         true
@@ -236,8 +252,11 @@ impl Enumerator {
         s.record.requests_used += 1;
         s.phase = next;
         s.got_final_reply = false;
-        ctx.send(control, format!("{line}\r\n").as_bytes());
         let gen = s.gen;
+        self.send_buf.clear();
+        self.send_buf.extend_from_slice(line.as_bytes());
+        self.send_buf.extend_from_slice(b"\r\n");
+        ctx.send(control, &self.send_buf);
         ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
     }
 
@@ -272,17 +291,18 @@ impl Enumerator {
 
     fn begin_post_login(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         // Anonymous session established: fetch robots.txt first.
-        if !self.queue_cmd(ctx, slot, "PASV".into(), Phase::RobotsPasv) {
+        if !self.queue_cmd(ctx, slot, "PASV", Phase::RobotsPasv) {
             self.begin_extras(ctx, slot);
         }
     }
 
     fn begin_traversal(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         if let Some(s) = self.sessions[slot].as_mut() {
+            let root: Rc<str> = Rc::from("/");
             s.queue.clear();
-            s.queue.push_back(("/".to_owned(), 0));
+            s.queue.push_back((root.clone(), 0));
             s.visited.clear();
-            s.visited.insert("/".to_owned());
+            s.visited.insert(root);
         }
         self.next_dir(ctx, slot);
     }
@@ -302,11 +322,16 @@ impl Enumerator {
             // Listing a directory fetches its contents, so match robots
             // rules against the container form ("/backup/"), as Google's
             // crawler does.
-            let as_container = if dir.ends_with('/') { dir.clone() } else { format!("{dir}/") };
             if self.cfg.respect_robots
                 && !self.sessions[slot]
                     .as_ref()
-                    .map(|s| s.robots.is_allowed(&as_container))
+                    .map(|s| {
+                        if dir.ends_with('/') {
+                            s.robots.is_allowed(&dir)
+                        } else {
+                            s.robots.is_allowed(&format!("{dir}/"))
+                        }
+                    })
                     .unwrap_or(true)
             {
                 continue;
@@ -318,7 +343,7 @@ impl Enumerator {
                 self.begin_extras(ctx, slot);
                 return;
             }
-            if self.queue_cmd(ctx, slot, "PASV".into(), Phase::TravPasv { dir, depth }) {
+            if self.queue_cmd(ctx, slot, "PASV", Phase::TravPasv { dir, depth }) {
                 return;
             }
             // Budget refused the PASV; wrap up.
@@ -331,7 +356,7 @@ impl Enumerator {
     }
 
     fn begin_extras(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
-        if !self.queue_cmd(ctx, slot, "SYST".into(), Phase::Syst) {
+        if !self.queue_cmd(ctx, slot, "SYST", Phase::Syst) {
             self.begin_quit(ctx, slot);
         }
     }
@@ -352,14 +377,14 @@ impl Enumerator {
 
     fn begin_tls(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         if self.cfg.collect_certs
-            && self.queue_cmd(ctx, slot, "AUTH TLS".into(), Phase::AuthTls) {
+            && self.queue_cmd(ctx, slot, "AUTH TLS", Phase::AuthTls) {
                 return;
             }
         self.begin_quit(ctx, slot);
     }
 
     fn begin_quit(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
-        if !self.queue_cmd(ctx, slot, "QUIT".into(), Phase::Quit) {
+        if !self.queue_cmd(ctx, slot, "QUIT", Phase::Quit) {
             self.finish(ctx, slot);
         }
     }
@@ -380,7 +405,8 @@ impl Enumerator {
                 if success {
                     let (robots, present, denies_all) = {
                         let s = self.sessions[slot].as_ref().expect("session live");
-                        let body = String::from_utf8_lossy(&s.data_buf).into_owned();
+                        // Borrowed `Cow` unless the body held invalid UTF-8.
+                        let body = String::from_utf8_lossy(&s.data_buf);
                         let robots = Robots::parse(&body, &self.cfg.user_agent);
                         let denies = robots.denies_everything();
                         (robots, true, denies)
@@ -414,8 +440,12 @@ impl Enumerator {
     fn ingest_listing(&mut self, slot: usize, dir: &str, depth: usize) {
         let max_depth = self.cfg.max_depth;
         let Some(s) = self.sessions[slot].as_mut() else { return };
-        let body = String::from_utf8_lossy(&s.data_buf).into_owned();
-        let (entries, failures) = listing::parse_body(&body, s.listing_hint);
+        // Entries own their strings, so the body borrow ends at the parse
+        // and never forces an owned copy of the raw transfer bytes.
+        let (entries, failures) = {
+            let body = String::from_utf8_lossy(&s.data_buf);
+            listing::parse_body(&body, s.listing_hint)
+        };
         s.record.unparsed_lines += failures as u64;
         // Adopt the format of the first successful parse as the hint.
         for e in entries {
@@ -427,18 +457,21 @@ impl Enumerator {
             } else {
                 format!("{dir}/{}", e.name)
             };
+            let descend = e.is_dir && !e.is_symlink && depth < max_depth;
+            if descend {
+                let shared: Rc<str> = Rc::from(path.as_str());
+                if s.visited.insert(shared.clone()) {
+                    s.queue.push_back((shared, depth + 1));
+                }
+            }
             s.record.files.push(FileEntry {
-                path: path.clone(),
+                path,
                 is_dir: e.is_dir,
                 size: e.size,
                 readability: e.readability(),
-                owner: e.owner.clone(),
+                owner: e.owner,
                 other_writable: e.permissions.map(|p| p.other_write()),
             });
-            if e.is_dir && !e.is_symlink && depth < max_depth && s.visited.insert(path.clone())
-            {
-                s.queue.push_back((path, depth + 1));
-            }
         }
     }
 
@@ -482,7 +515,7 @@ impl Enumerator {
                             s.record.login = LoginOutcome::SkippedBannerForbids;
                         }
                         self.begin_tls(ctx, slot);
-                    } else if !self.queue_cmd(ctx, slot, "USER anonymous".into(), Phase::User) {
+                    } else if !self.queue_cmd(ctx, slot, "USER anonymous", Phase::User) {
                         self.begin_quit(ctx, slot);
                     }
                 } else {
@@ -574,7 +607,7 @@ impl Enumerator {
                         s.record.syst = Some(reply.full_text());
                     }
                 }
-                if !self.queue_cmd(ctx, slot, "HELP".into(), Phase::Help) {
+                if !self.queue_cmd(ctx, slot, "HELP", Phase::Help) {
                     self.begin_quit(ctx, slot);
                 }
             }
@@ -584,18 +617,20 @@ impl Enumerator {
                         s.record.help = Some(reply.full_text());
                     }
                 }
-                if !self.queue_cmd(ctx, slot, "FEAT".into(), Phase::Feat) {
+                if !self.queue_cmd(ctx, slot, "FEAT", Phase::Feat) {
                     self.begin_quit(ctx, slot);
                 }
             }
             Phase::Feat => {
                 if let Some(s) = self.sessions[slot].as_mut() {
-                    if code == 211 && reply.lines().len() > 2 {
-                        s.record.feat =
-                            reply.lines()[1..reply.lines().len() - 1].to_vec();
+                    // Parse the reply's lines exactly once; a FEAT body is
+                    // "211-Features:" / one line per feature / "211 End".
+                    let lines = reply.lines();
+                    if code == 211 && lines.len() > 2 {
+                        s.record.feat = lines[1..lines.len() - 1].to_vec();
                     }
                 }
-                if !self.queue_cmd(ctx, slot, "SITE HELP".into(), Phase::Site) {
+                if !self.queue_cmd(ctx, slot, "SITE HELP", Phase::Site) {
                     self.begin_quit(ctx, slot);
                 }
             }
@@ -614,7 +649,7 @@ impl Enumerator {
                     }
                     // Trigger the actual bounce so the collector can
                     // confirm the connection.
-                    if !self.queue_cmd(ctx, slot, "LIST /".into(), Phase::PortList) {
+                    if !self.queue_cmd(ctx, slot, "LIST /", Phase::PortList) {
                         self.begin_tls(ctx, slot);
                     }
                 } else {
@@ -634,7 +669,10 @@ impl Enumerator {
                     if let Some(s) = self.sessions[slot].as_mut() {
                         s.record.ftps.supported = true;
                         if let Some(c) = s.control {
-                            ctx.send(c, format!("{}\r\n", simtls::CLIENT_HELLO).as_bytes());
+                            self.send_buf.clear();
+                            self.send_buf.extend_from_slice(simtls::CLIENT_HELLO.as_bytes());
+                            self.send_buf.extend_from_slice(b"\r\n");
+                            ctx.send(c, &self.send_buf);
                         }
                         s.phase = Phase::TlsHello;
                         let gen = s.gen;
@@ -776,16 +814,16 @@ impl Endpoint for Enumerator {
                         if !self.queue_cmd(
                             ctx,
                             slot,
-                            "RETR robots.txt".into(),
+                            "RETR robots.txt",
                             Phase::RobotsRetr,
                         ) => {
                             self.begin_extras(ctx, slot);
                         }
                     Phase::TravPasv { dir, depth } => {
-                        let cmd = if dir == "/" {
-                            "LIST /".to_owned()
+                        let cmd: Cow<'static, str> = if &*dir == "/" {
+                            Cow::Borrowed("LIST /")
                         } else {
-                            format!("LIST {dir}")
+                            Cow::Owned(format!("LIST {dir}"))
                         };
                         if !self.queue_cmd(ctx, slot, cmd, Phase::TravList { dir, depth }) {
                             if let Some(s) = self.sessions[slot].as_mut() {
@@ -820,16 +858,26 @@ impl Endpoint for Enumerator {
             }
             return;
         }
-        let mut lines = Vec::new();
+        // Decode into pooled strings: the batch must be fully framed
+        // before dispatch (an over-long line aborts the whole batch), and
+        // the pool makes steady-state decoding allocation-free.
+        let mut lines = std::mem::take(&mut self.line_pool);
+        let mut n = 0;
         let owner_ip;
-        {
-            let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+        let framed_ok = {
+            let Some(Some(s)) = self.sessions.get_mut(slot) else {
+                self.line_pool = lines;
+                return;
+            };
             owner_ip = s.ip;
             s.codec.extend(data);
             loop {
-                match s.codec.next_line() {
-                    Ok(Some(line)) => lines.push(line),
-                    Ok(None) => break,
+                if n == lines.len() {
+                    lines.push(String::new());
+                }
+                match s.codec.next_line_into(&mut lines[n]) {
+                    Ok(true) => n += 1,
+                    Ok(false) => break true,
                     Err(_) => {
                         // Hostile over-long line: abort, keeping what we
                         // have and classifying the host if it never even
@@ -839,14 +887,18 @@ impl Endpoint for Enumerator {
                         if s.phase == Phase::Banner {
                             s.record.login = LoginOutcome::NotFtp;
                         }
-                        self.finish(ctx, slot);
-                        return;
+                        break false;
                     }
                 }
             }
+        };
+        if !framed_ok {
+            self.finish(ctx, slot);
+            self.line_pool = lines;
+            return;
         }
-        for line in lines {
-            self.on_control_line(ctx, slot, &line);
+        for line in &lines[..n] {
+            self.on_control_line(ctx, slot, line);
             // The session may have finished mid-loop — and the slot may
             // already be re-occupied by a *different* host's session.
             // Leftover lines belong to the dead session; never leak them.
@@ -858,6 +910,7 @@ impl Endpoint for Enumerator {
                 break;
             }
         }
+        self.line_pool = lines;
     }
 
     fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {

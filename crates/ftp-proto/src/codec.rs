@@ -65,22 +65,47 @@ impl LineCodec {
     /// Returns [`ProtoError::LineTooLong`] when more than [`MAX_LINE`]
     /// bytes accumulate without a terminator.
     pub fn next_line(&mut self) -> Result<Option<String>, ProtoError> {
-        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-            let mut line: Vec<u8> = self.buf.split_to(pos + 1).to_vec();
-            // Drop trailing \n and optional \r.
-            line.pop();
-            if line.last() == Some(&b'\r') {
-                line.pop();
+        let mut line = String::new();
+        Ok(self.next_line_into(&mut line)?.then_some(line))
+    }
+
+    /// Like [`LineCodec::next_line`], but decodes into a caller-provided
+    /// buffer instead of allocating a fresh `String` per line.
+    ///
+    /// `out` is cleared first; returns `Ok(true)` when a complete line
+    /// was decoded into it. The hot-loop callers (server engine,
+    /// enumerator) reuse one buffer across every line of a session, so
+    /// a clean ASCII line — the overwhelmingly common case — costs no
+    /// allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::LineTooLong`] when more than [`MAX_LINE`]
+    /// bytes accumulate without a terminator.
+    pub fn next_line_into(&mut self, out: &mut String) -> Result<bool, ProtoError> {
+        out.clear();
+        let Some(pos) = self.buf.iter().position(|&b| b == b'\n') else {
+            if self.buf.len() > MAX_LINE {
+                let len = self.buf.len();
+                self.buf.clear();
+                return Err(ProtoError::LineTooLong { len });
             }
-            let cleaned = strip_iac(&line);
-            return Ok(Some(String::from_utf8_lossy(&cleaned).into_owned()));
+            return Ok(false);
+        };
+        // Drop the trailing \n and optional \r.
+        let mut line = &self.buf[..pos];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
         }
-        if self.buf.len() > MAX_LINE {
-            let len = self.buf.len();
-            self.buf.clear();
-            return Err(ProtoError::LineTooLong { len });
+        if line.contains(&IAC) {
+            let cleaned = strip_iac(line);
+            out.push_str(&String::from_utf8_lossy(&cleaned));
+        } else {
+            // Borrowed `Cow` unless the line held invalid UTF-8.
+            out.push_str(&String::from_utf8_lossy(line));
         }
-        Ok(None)
+        self.buf.advance(pos + 1);
+        Ok(true)
     }
 
     /// Drains any trailing unterminated data (used at connection close —

@@ -92,29 +92,27 @@ impl Permissions {
     /// Renders the nine-character `rwxr-xr-x` suffix of a mode string.
     pub fn to_rwx(&self) -> String {
         let mut s = String::with_capacity(9);
-        for shift in [6u16, 3, 0] {
-            let trio = (self.bits >> shift) & 0o7;
-            s.push(if trio & 0o4 != 0 { 'r' } else { '-' });
-            s.push(if trio & 0o2 != 0 { 'w' } else { '-' });
-            s.push(if trio & 0o1 != 0 { 'x' } else { '-' });
-        }
+        let _ = fmt::Write::write_fmt(&mut s, format_args!("{self}"));
         s
     }
 
     /// Parses the nine-character `rwx` triple-group; returns `None` on
     /// unexpected characters (setuid `s`/`t` letters are accepted).
     pub fn parse_rwx(s: &str) -> Option<Self> {
-        let chars: Vec<char> = s.chars().collect();
-        if chars.len() != 9 {
+        // Mode strings are ASCII; a multi-byte character can never match
+        // an expected letter, so byte-wise inspection rejects exactly the
+        // same inputs a char-wise scan would.
+        let bytes = s.as_bytes();
+        if bytes.len() != 9 {
             return None;
         }
         let mut bits = 0u16;
-        for (i, &c) in chars.iter().enumerate() {
-            let expected = ['r', 'w', 'x'][i % 3];
+        for (i, &c) in bytes.iter().enumerate() {
+            let expected = [b'r', b'w', b'x'][i % 3];
             let set = match c {
-                '-' => false,
-                's' | 't' if expected == 'x' => true,
-                'S' | 'T' if expected == 'x' => false,
+                b'-' => false,
+                b's' | b't' if expected == b'x' => true,
+                b'S' | b'T' if expected == b'x' => false,
                 c if c == expected => true,
                 _ => return None,
             };
@@ -128,7 +126,14 @@ impl Permissions {
 
 impl fmt::Display for Permissions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_rwx())
+        use fmt::Write as _;
+        for shift in [6u16, 3, 0] {
+            let trio = (self.bits >> shift) & 0o7;
+            f.write_char(if trio & 0o4 != 0 { 'r' } else { '-' })?;
+            f.write_char(if trio & 0o2 != 0 { 'w' } else { '-' })?;
+            f.write_char(if trio & 0o1 != 0 { 'x' } else { '-' })?;
+        }
+        Ok(())
     }
 }
 
@@ -455,23 +460,71 @@ fn parse_mlsd(line: &str) -> Option<ListingEntry> {
     })
 }
 
+/// A borrowed view of a listing entry, for rendering without building an
+/// owned [`ListingEntry`] first — the simulated servers render straight
+/// from their VFS metadata through this.
+#[derive(Debug, Clone, Copy)]
+pub struct ListingEntryRef<'a> {
+    /// File or directory name (final component only).
+    pub name: &'a str,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Size in bytes when known.
+    pub size: Option<u64>,
+    /// UNIX permissions when known.
+    pub permissions: Option<Permissions>,
+    /// Owner name when known.
+    pub owner: Option<&'a str>,
+    /// Modification-time text when known.
+    pub mtime: Option<&'a str>,
+}
+
+impl ListingEntry {
+    /// The borrowed view of this entry, as [`render_line_into`] takes.
+    pub fn as_entry_ref(&self) -> ListingEntryRef<'_> {
+        ListingEntryRef {
+            name: &self.name,
+            is_dir: self.is_dir,
+            size: self.size,
+            permissions: self.permissions,
+            owner: self.owner.as_deref(),
+            mtime: self.mtime.as_deref(),
+        }
+    }
+}
+
 /// Renders a listing line in the given format — used by the simulated
 /// servers so the enumerator parses realistic output it did not itself
 /// produce.
 pub fn render_line(entry: &ListingEntry, format: ListingFormat) -> String {
+    let mut out = String::new();
+    render_line_into(entry.as_entry_ref(), format, &mut out);
+    out
+}
+
+/// Appends one rendered listing line (no trailing CRLF) to `out`.
+///
+/// This is the allocation-free path behind [`render_line`]: the hot
+/// server loop renders whole directory bodies into one reused buffer.
+pub fn render_line_into(entry: ListingEntryRef<'_>, format: ListingFormat, out: &mut String) {
+    use fmt::Write as _;
     match format {
         ListingFormat::Unix => {
             let perms = entry.permissions.unwrap_or_else(Permissions::public_file);
             let t = if entry.is_dir { 'd' } else { '-' };
-            let owner = entry.owner.as_deref().unwrap_or("ftp");
+            let owner = entry.owner.unwrap_or("ftp");
             let size = entry.size.unwrap_or(if entry.is_dir { 4096 } else { 0 });
-            let mtime = entry.mtime.as_deref().unwrap_or("Jun 18  2015");
-            format!("{t}{perms}   1 {owner:<8} {owner:<8} {size:>12} {mtime} {}", entry.name)
+            let mtime = entry.mtime.unwrap_or("Jun 18  2015");
+            let _ = write!(
+                out,
+                "{t}{perms}   1 {owner:<8} {owner:<8} {size:>12} {mtime} {}",
+                entry.name
+            );
         }
         ListingFormat::Dos => {
             // Only reuse the entry's mtime when it is already DOS-shaped;
             // a UNIX "Jun 18  2015" string would render an unparseable line.
-            let mtime = match entry.mtime.as_deref() {
+            let mtime = match entry.mtime {
                 Some(m)
                     if m.split_whitespace().next().map(looks_like_dos_date).unwrap_or(false) =>
                 {
@@ -480,27 +533,27 @@ pub fn render_line(entry: &ListingEntry, format: ListingFormat) -> String {
                 _ => "06-18-15 09:43AM",
             };
             if entry.is_dir {
-                format!("{mtime}       <DIR>          {}", entry.name)
+                let _ = write!(out, "{mtime}       <DIR>          {}", entry.name);
             } else {
-                format!("{mtime} {:>20} {}", entry.size.unwrap_or(0), entry.name)
+                let _ = write!(out, "{mtime} {:>20} {}", entry.size.unwrap_or(0), entry.name);
             }
         }
         ListingFormat::Eplf => {
-            let mut facts = String::from("+");
-            if entry.is_dir {
-                facts.push_str("/,");
-            } else {
-                facts.push_str("r,");
-            }
+            out.push('+');
+            out.push_str(if entry.is_dir { "/," } else { "r," });
             if let Some(s) = entry.size {
-                facts.push_str(&format!("s{s},"));
+                let _ = write!(out, "s{s},");
             }
-            format!("{facts}\t{}", entry.name)
+            out.push('\t');
+            out.push_str(entry.name);
         }
         ListingFormat::Mlsd => {
             let t = if entry.is_dir { "dir" } else { "file" };
-            let size = entry.size.map(|s| format!("size={s};")).unwrap_or_default();
-            format!("type={t};{size}modify=20150618094300; {}", entry.name)
+            let _ = write!(out, "type={t};");
+            if let Some(s) = entry.size {
+                let _ = write!(out, "size={s};");
+            }
+            let _ = write!(out, "modify=20150618094300; {}", entry.name);
         }
     }
 }

@@ -116,6 +116,17 @@ impl FromStr for FtpPath {
         if s.contains('\0') || s.contains('\r') || s.contains('\n') {
             return Err(ProtoError::bad_path(s));
         }
+        // Fast path: input that is already in canonical form (absolute,
+        // no empty/`.`/`..` segments, no trailing slash) round-trips as a
+        // single copy instead of a segment stack plus a re-join. Server
+        // and client hot paths overwhelmingly re-parse canonical output.
+        if s.len() > 1
+            && s.starts_with('/')
+            && !s.ends_with('/')
+            && s[1..].split('/').all(|seg| !seg.is_empty() && seg != "." && seg != "..")
+        {
+            return Ok(FtpPath { inner: s.to_owned() });
+        }
         let mut stack: Vec<&str> = Vec::new();
         for seg in s.split('/') {
             match seg {

@@ -158,17 +158,18 @@ impl Reply {
     /// Serializes to wire format (CRLF line endings, RFC 959 multiline
     /// framing).
     pub fn to_wire(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
         if self.lines.len() == 1 {
-            out.push_str(&format!("{} {}\r\n", self.code, self.lines[0]));
+            let _ = write!(out, "{} {}\r\n", self.code, self.lines[0]);
         } else {
             for (i, l) in self.lines.iter().enumerate() {
                 if i + 1 == self.lines.len() {
-                    out.push_str(&format!("{} {}\r\n", self.code, l));
+                    let _ = write!(out, "{} {}\r\n", self.code, l);
                 } else if i == 0 {
-                    out.push_str(&format!("{}-{}\r\n", self.code, l));
+                    let _ = write!(out, "{}-{}\r\n", self.code, l);
                 } else {
-                    out.push_str(&format!(" {l}\r\n"));
+                    let _ = write!(out, " {l}\r\n");
                 }
             }
         }

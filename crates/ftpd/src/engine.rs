@@ -3,15 +3,41 @@
 
 use crate::profile::{AnonPolicy, ServerProfile, UploadQuirk, UserReplyStyle};
 use ftp_proto::command::{AuthMechanism, Command};
-use ftp_proto::listing::{self, ListingEntry};
+use ftp_proto::listing::{self, ListingEntryRef};
 use ftp_proto::{FtpPath, HostPort, LineCodec, Reply};
 use netsim::{ConnId, ConnectError, Ctx, Endpoint};
 use simvfs::{FileMeta, Node, Owner, Vfs};
 use std::collections::HashMap;
+use std::fmt::{self, Write as _};
 use std::net::Ipv4Addr;
 
 /// Pure-FTPd's distinctive refusal for unapproved anonymous uploads.
 pub const NEEDS_APPROVAL_TEXT: &str = "This file has been uploaded by an anonymous user. It has not yet been approved for downloading by the site administrators.";
+
+/// Stack capacity for rendering one reply line; covers every fixed
+/// engine reply with room to spare. Longer dynamic replies fall back to
+/// a heap render.
+const REPLY_STACK: usize = 512;
+
+/// `fmt::Write` into a fixed stack buffer; errors (instead of
+/// truncating) when full so callers can fall back to the heap.
+struct StackWriter<'a> {
+    buf: &'a mut [u8],
+    len: usize,
+}
+
+impl fmt::Write for StackWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let bytes = s.as_bytes();
+        let end = self.len + bytes.len();
+        if end > self.buf.len() {
+            return Err(fmt::Error);
+        }
+        self.buf[self.len..end].copy_from_slice(bytes);
+        self.len = end;
+        Ok(())
+    }
+}
 
 /// A queued data-channel operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,12 +133,65 @@ pub struct FtpServerEngine {
     out_tokens: HashMap<u64, ConnId>,
     next_token: u64,
     stats: EngineStats,
+    /// Welcome banner, pre-rendered to wire bytes at construction —
+    /// sent verbatim to every new control session instead of re-cloning
+    /// and re-splitting the profile's banner per connection.
+    banner_wire: Vec<u8>,
+    /// `211` FEAT reply wire bytes; empty when the profile advertises no
+    /// features (the 502 path).
+    feat_wire: Vec<u8>,
+    /// `214` HELP reply wire bytes; empty when the profile has none.
+    help_wire: Vec<u8>,
+    /// `211` STAT reply wire bytes (fixed text).
+    stat_wire: Vec<u8>,
+    /// Rendered `LIST` bodies keyed by directory path, valid for
+    /// `list_cache_gen`. Directories are re-listed by every enumerator
+    /// visit but mutate only on uploads, so bodies are rendered once
+    /// and invalidated wholesale when [`Vfs::generation`] moves.
+    list_cache: HashMap<String, String>,
+    list_cache_gen: u64,
+    /// Scratch for synthesized RETR payloads (files without content).
+    payload_scratch: Vec<u8>,
+    /// Scratch for decoding control-channel lines (one per engine, not
+    /// one `String` per line).
+    line_scratch: String,
 }
 
 impl FtpServerEngine {
     /// Creates an engine for the host at `ip` publishing `vfs` with the
     /// given behavior profile.
     pub fn new(ip: Ipv4Addr, profile: ServerProfile, vfs: Vfs) -> Self {
+        let banner_wire = if profile.banner.contains('\n') {
+            // Multiline welcome banner (common on mirrors and corporate
+            // servers; the enumerator's hardened parser must cope).
+            let lines: Vec<String> = profile.banner.lines().map(str::to_owned).collect();
+            Reply::multiline(220u16, lines).to_wire().into_bytes()
+        } else {
+            Reply::new(220u16, profile.banner.as_str()).to_wire().into_bytes()
+        };
+        let feat_wire = if profile.feat_lines.is_empty() {
+            Vec::new()
+        } else {
+            let mut lines = vec!["Features:".to_owned()];
+            lines.extend(profile.feat_lines.iter().cloned());
+            lines.push("End".to_owned());
+            Reply::multiline(211u16, lines).to_wire().into_bytes()
+        };
+        let help_wire = if profile.help_lines.is_empty() {
+            Vec::new()
+        } else {
+            let mut lines = profile.help_lines.clone();
+            if lines.len() == 1 {
+                lines.push("Help OK.".to_owned());
+            }
+            Reply::multiline(214u16, lines).to_wire().into_bytes()
+        };
+        let stat_wire = Reply::multiline(
+            211u16,
+            vec!["FTP server status:".to_owned(), "End of status".to_owned()],
+        )
+        .to_wire()
+        .into_bytes();
         FtpServerEngine {
             ip,
             profile,
@@ -123,6 +202,14 @@ impl FtpServerEngine {
             out_tokens: HashMap::new(),
             next_token: 1,
             stats: EngineStats::default(),
+            banner_wire,
+            feat_wire,
+            help_wire,
+            stat_wire,
+            list_cache: HashMap::new(),
+            list_cache_gen: 0,
+            payload_scratch: Vec::new(),
+            line_scratch: String::new(),
         }
     }
 
@@ -141,14 +228,28 @@ impl FtpServerEngine {
         self.stats
     }
 
+    /// Sends a single-line reply, rendered on the stack — the per-reply
+    /// `Reply` + wire-`String` allocations of the old path dominated the
+    /// engine's profile. Replies longer than [`REPLY_STACK`] (rare: only
+    /// pathological profile text) fall back to the heap renderer.
     fn reply(ctx: &mut Ctx<'_>, conn: ConnId, code: u16, text: &str) {
-        let r = Reply::new(code, text);
-        ctx.send(conn, r.to_wire().as_bytes());
+        Self::reply_fmt(ctx, conn, code, format_args!("{text}"));
     }
 
-    fn reply_multi(ctx: &mut Ctx<'_>, conn: ConnId, code: u16, lines: Vec<String>) {
-        let r = Reply::multiline(code, lines);
-        ctx.send(conn, r.to_wire().as_bytes());
+    /// [`Self::reply`] for formatted text: renders `"{code} {args}\r\n"`
+    /// into a stack buffer without allocating.
+    fn reply_fmt(ctx: &mut Ctx<'_>, conn: ConnId, code: u16, args: fmt::Arguments<'_>) {
+        let mut stack = [0u8; REPLY_STACK];
+        let mut w = StackWriter { buf: &mut stack, len: 0 };
+        if write!(w, "{code:03} {args}\r\n").is_ok() {
+            let len = w.len;
+            ctx.send(conn, &stack[..len]);
+        } else {
+            // Overflowed the stack buffer: render on the heap. Same
+            // bytes, just slower.
+            let r = Reply::new(code, args.to_string());
+            ctx.send(conn, r.to_wire().as_bytes());
+        }
     }
 
     fn resolve(&self, session: &Session, arg: &str) -> Option<FtpPath> {
@@ -170,43 +271,52 @@ impl FtpServerEngine {
     }
 
     fn render_listing(&self, path: &FtpPath) -> Option<String> {
+        use fmt::Write as _;
         let children = self.vfs.list(path.as_str()).ok()?;
         let mut body = String::new();
+        // One owner scratch reused across the loop: `Owner` is an enum,
+        // so rendering it is the only per-entry string work left.
+        let mut owner = String::new();
         for (name, node) in children {
-            let entry = match node {
-                Node::File(meta) => ListingEntry {
-                    name: name.to_owned(),
-                    is_dir: false,
-                    size: Some(meta.size),
-                    permissions: Some(meta.perms),
-                    owner: Some(meta.owner.to_string()),
-                    mtime: Some(meta.mtime.clone()),
-                    is_symlink: false,
-                },
-                Node::Dir { meta, .. } => ListingEntry {
-                    name: name.to_owned(),
-                    is_dir: true,
-                    size: Some(4096),
-                    permissions: Some(meta.perms),
-                    owner: Some(meta.owner.to_string()),
-                    mtime: Some(meta.mtime.clone()),
-                    is_symlink: false,
-                },
+            let (is_dir, size, perms, node_owner, mtime) = match node {
+                Node::File(meta) => {
+                    (false, Some(meta.size), meta.perms, &meta.owner, meta.mtime.as_str())
+                }
+                Node::Dir { meta, .. } => {
+                    (true, Some(4096), meta.perms, &meta.owner, meta.mtime.as_str())
+                }
             };
-            body.push_str(&listing::render_line(&entry, self.profile.listing_format));
+            owner.clear();
+            let _ = write!(owner, "{node_owner}");
+            listing::render_line_into(
+                ListingEntryRef {
+                    name,
+                    is_dir,
+                    size,
+                    permissions: Some(perms),
+                    owner: Some(&owner),
+                    mtime: Some(mtime),
+                },
+                self.profile.listing_format,
+                &mut body,
+            );
             body.push_str("\r\n");
         }
         Some(body)
     }
 
-    fn file_payload(meta: &FileMeta) -> Vec<u8> {
-        match &meta.content {
-            Some(c) => c.clone().into_bytes(),
-            None => {
-                let n = meta.size.min(2048) as usize;
-                vec![b'A'; n]
-            }
+    /// The rendered `LIST` body for `path`, from the cache when the VFS
+    /// is unchanged since it was rendered.
+    fn listing_body(&mut self, path: &FtpPath) -> Option<&str> {
+        if self.vfs.generation() != self.list_cache_gen {
+            self.list_cache.clear();
+            self.list_cache_gen = self.vfs.generation();
         }
+        if !self.list_cache.contains_key(path.as_str()) {
+            let body = self.render_listing(path)?;
+            self.list_cache.insert(path.as_str().to_owned(), body);
+        }
+        self.list_cache.get(path.as_str()).map(String::as_str)
     }
 
     /// Executes a transfer on an established data connection, then closes
@@ -220,34 +330,45 @@ impl FtpServerEngine {
     ) {
         match transfer {
             Transfer::List(path) => {
-                match self.render_listing(&path) {
+                let ok = match self.listing_body(&path) {
                     Some(body) => {
                         ctx.send(data_conn, body.as_bytes());
-                        ctx.close(data_conn);
-                        self.forget_data_conn(ctx, control, data_conn);
-                        Self::reply(ctx, control, 226, "Transfer complete.");
+                        true
                     }
-                    None => {
-                        ctx.close(data_conn);
-                        self.forget_data_conn(ctx, control, data_conn);
-                        Self::reply(ctx, control, 550, "Failed to open directory.");
-                    }
+                    None => false,
+                };
+                ctx.close(data_conn);
+                self.forget_data_conn(ctx, control, data_conn);
+                if ok {
+                    Self::reply(ctx, control, 226, "Transfer complete.");
+                } else {
+                    Self::reply(ctx, control, 550, "Failed to open directory.");
                 }
             }
             Transfer::Retr(path) => {
-                let payload = self.vfs.file(path.as_str()).map(Self::file_payload);
-                match payload {
-                    Ok(bytes) => {
-                        ctx.send(data_conn, &bytes);
-                        ctx.close(data_conn);
-                        self.forget_data_conn(ctx, control, data_conn);
-                        Self::reply(ctx, control, 226, "Transfer complete.");
+                // Send straight from the VFS (or a reused scratch for
+                // synthesized bodies) — no per-RETR payload clone.
+                let ok = match self.vfs.file(path.as_str()) {
+                    Ok(meta) => {
+                        match &meta.content {
+                            Some(c) => ctx.send(data_conn, c.as_bytes()),
+                            None => {
+                                let n = meta.size.min(2048) as usize;
+                                self.payload_scratch.clear();
+                                self.payload_scratch.resize(n, b'A');
+                                ctx.send(data_conn, &self.payload_scratch);
+                            }
+                        }
+                        true
                     }
-                    Err(_) => {
-                        ctx.close(data_conn);
-                        self.forget_data_conn(ctx, control, data_conn);
-                        Self::reply(ctx, control, 550, "Failed to open file.");
-                    }
+                    Err(_) => false,
+                };
+                ctx.close(data_conn);
+                self.forget_data_conn(ctx, control, data_conn);
+                if ok {
+                    Self::reply(ctx, control, 226, "Transfer complete.");
+                } else {
+                    Self::reply(ctx, control, 550, "Failed to open file.");
                 }
             }
             Transfer::Stor(path) => {
@@ -385,50 +506,29 @@ impl FtpServerEngine {
                 self.cleanup(ctx, conn);
             }
             Command::Noop => Self::reply(ctx, conn, 200, "NOOP ok."),
-            Command::Syst => {
-                let syst = self.profile.syst.clone();
-                Self::reply(ctx, conn, 215, &syst);
-            }
+            Command::Syst => Self::reply(ctx, conn, 215, &self.profile.syst),
             Command::Type(_) => Self::reply(ctx, conn, 200, "Type set."),
             Command::Mode(_) => Self::reply(ctx, conn, 200, "Mode set."),
             Command::Stru(_) => Self::reply(ctx, conn, 200, "Structure set."),
             Command::Feat => {
-                if self.profile.feat_lines.is_empty() {
+                if self.feat_wire.is_empty() {
                     Self::reply(ctx, conn, 502, "Command not implemented.");
                 } else {
-                    let mut lines = vec!["Features:".to_owned()];
-                    lines.extend(self.profile.feat_lines.iter().cloned());
-                    lines.push("End".to_owned());
-                    Self::reply_multi(ctx, conn, 211, lines);
+                    ctx.send(conn, &self.feat_wire);
                 }
             }
             Command::Help(_) => {
-                if self.profile.help_lines.is_empty() {
+                if self.help_wire.is_empty() {
                     Self::reply(ctx, conn, 502, "Command not implemented.");
                 } else {
-                    let mut lines = self.profile.help_lines.clone();
-                    if lines.len() == 1 {
-                        lines.push("Help OK.".to_owned());
-                    }
-                    Self::reply_multi(ctx, conn, 214, lines);
+                    ctx.send(conn, &self.help_wire);
                 }
             }
-            Command::Site(arg) => match &self.profile.site_reply {
-                Some(text) => {
-                    let text = text.clone();
-                    let _ = arg;
-                    Self::reply(ctx, conn, 200, &text);
-                }
+            Command::Site(_) => match &self.profile.site_reply {
+                Some(text) => Self::reply(ctx, conn, 200, text),
                 None => Self::reply(ctx, conn, 502, "SITE command not implemented."),
             },
-            Command::Stat(_) => {
-                Self::reply_multi(
-                    ctx,
-                    conn,
-                    211,
-                    vec!["FTP server status:".to_owned(), "End of status".to_owned()],
-                );
-            }
+            Command::Stat(_) => ctx.send(conn, &self.stat_wire),
             Command::Auth(mech) => self.cmd_auth(ctx, conn, mech),
             Command::Pbsz(_) => Self::reply(ctx, conn, 200, "PBSZ=0"),
             Command::Prot(_) => Self::reply(ctx, conn, 200, "Protection level set."),
@@ -439,8 +539,8 @@ impl FtpServerEngine {
                 Self::reply(ctx, conn, 530, "Please login with USER and PASS.");
             }
             Command::Pwd => {
-                let cwd = self.sessions[&conn].cwd.clone();
-                Self::reply(ctx, conn, 257, &format!("\"{cwd}\" is the current directory"));
+                let cwd = &self.sessions[&conn].cwd;
+                Self::reply_fmt(ctx, conn, 257, format_args!("\"{cwd}\" is the current directory"));
             }
             Command::Cwd(arg) => {
                 let target = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
@@ -584,7 +684,7 @@ impl FtpServerEngine {
                 Self::reply(ctx, conn, 202, "Command superfluous.")
             }
             Command::Other(verb, _) => {
-                Self::reply(ctx, conn, 500, &format!("'{verb}': command not understood."));
+                Self::reply_fmt(ctx, conn, 500, format_args!("'{verb}': command not understood."));
             }
             // `Command` is #[non_exhaustive]; future variants degrade to
             // "not implemented" rather than breaking the engine.
@@ -711,19 +811,35 @@ impl FtpServerEngine {
             s.data = DataState::PasvListening { port, pending: None };
             self.pasv_ports.insert(port, conn);
             if extended {
-                Self::reply(ctx, conn, 229, &format!("Entering Extended Passive Mode (|||{port}|)"));
+                Self::reply_fmt(
+                    ctx,
+                    conn,
+                    229,
+                    format_args!("Entering Extended Passive Mode (|||{port}|)"),
+                );
             } else {
                 let advertised = if self.profile.pasv_advertises_internal {
                     ctx.internal_ip_of(self.ip).unwrap_or(self.ip)
                 } else {
                     self.ip
                 };
-                let hp = HostPort::new(advertised, port);
-                Self::reply(
+                // Same bytes as `HostPort::to_port_args`, without the
+                // intermediate `String` — PASV is sent once per
+                // directory visited, making this a hot reply.
+                let o = advertised.octets();
+                Self::reply_fmt(
                     ctx,
                     conn,
                     227,
-                    &format!("Entering Passive Mode ({}).", hp.to_port_args()),
+                    format_args!(
+                        "Entering Passive Mode ({},{},{},{},{},{}).",
+                        o[0],
+                        o[1],
+                        o[2],
+                        o[3],
+                        port >> 8,
+                        port & 0xff
+                    ),
                 );
             }
         }
@@ -781,15 +897,7 @@ impl Endpoint for FtpServerEngine {
         let peer_ip = ctx.peer_of(conn).map(|(ip, _)| ip).unwrap_or(Ipv4Addr::UNSPECIFIED);
         self.sessions.insert(conn, Session::new(peer_ip));
         self.stats.sessions += 1;
-        let banner = self.profile.banner.clone();
-        if banner.contains('\n') {
-            // Multiline welcome banner (common on mirrors and corporate
-            // servers; the enumerator's hardened parser must cope).
-            let lines: Vec<String> = banner.lines().map(str::to_owned).collect();
-            Self::reply_multi(ctx, conn, 220, lines);
-        } else {
-            Self::reply(ctx, conn, 220, &banner);
-        }
+        ctx.send(conn, &self.banner_wire);
     }
 
     fn on_outbound(&mut self, ctx: &mut Ctx<'_>, token: u64, result: Result<ConnId, ConnectError>) {
@@ -829,41 +937,26 @@ impl Endpoint for FtpServerEngine {
             }
             return;
         }
-        // Control-channel bytes.
-        let mut lines = Vec::new();
+        // Control-channel bytes: decode and dispatch one line at a time
+        // through a single reused scratch buffer. The session (and its
+        // codec) may be dropped by a handler (QUIT / 421), so the
+        // session is re-looked-up each iteration.
         {
             let Some(s) = self.sessions.get_mut(&conn) else { return };
             s.codec.extend(data);
-            while let Ok(Some(line)) = s.codec.next_line() {
-                lines.push(line);
-            }
         }
-        for line in lines {
-            // Simulated TLS handshake interleaves with command lines.
-            if line.starts_with('\u{1}') {
-                let awaiting =
-                    self.sessions.get(&conn).map(|s| s.awaiting_tls_hello).unwrap_or(false);
-                if awaiting && line.starts_with(simtls::CLIENT_HELLO) {
-                    if let Some(ftps) = &self.profile.ftps {
-                        let hello = ftps.cert.to_server_hello();
-                        ctx.send(conn, format!("{hello}\r\n").as_bytes());
-                        if let Some(s) = self.sessions.get_mut(&conn) {
-                            s.tls = true;
-                            s.awaiting_tls_hello = false;
-                        }
-                        self.stats.tls_handshakes += 1;
-                    }
-                }
-                continue;
-            }
-            match line.parse::<Command>() {
-                Ok(cmd) => self.handle_command(ctx, conn, cmd),
-                Err(_) => Self::reply(ctx, conn, 500, "Syntax error, command unrecognized."),
-            }
-            // The session may have been dropped (QUIT / 421).
-            if !self.sessions.contains_key(&conn) {
+        loop {
+            let mut line = std::mem::take(&mut self.line_scratch);
+            let got = match self.sessions.get_mut(&conn) {
+                Some(s) => matches!(s.codec.next_line_into(&mut line), Ok(true)),
+                None => false,
+            };
+            if !got {
+                self.line_scratch = line;
                 break;
             }
+            self.dispatch_control_line(ctx, conn, &line);
+            self.line_scratch = line;
         }
     }
 
@@ -881,5 +974,31 @@ impl Endpoint for FtpServerEngine {
             return;
         }
         self.cleanup(ctx, conn);
+    }
+}
+
+impl FtpServerEngine {
+    /// Handles one decoded control-channel line.
+    fn dispatch_control_line(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, line: &str) {
+        // Simulated TLS handshake interleaves with command lines.
+        if line.starts_with('\u{1}') {
+            let awaiting = self.sessions.get(&conn).map(|s| s.awaiting_tls_hello).unwrap_or(false);
+            if awaiting && line.starts_with(simtls::CLIENT_HELLO) {
+                if let Some(ftps) = &self.profile.ftps {
+                    let hello = ftps.cert.to_server_hello();
+                    ctx.send(conn, format!("{hello}\r\n").as_bytes());
+                    if let Some(s) = self.sessions.get_mut(&conn) {
+                        s.tls = true;
+                        s.awaiting_tls_hello = false;
+                    }
+                    self.stats.tls_handshakes += 1;
+                }
+            }
+            return;
+        }
+        match line.parse::<Command>() {
+            Ok(cmd) => self.handle_command(ctx, conn, cmd),
+            Err(_) => Self::reply(ctx, conn, 500, "Syntax error, command unrecognized."),
+        }
     }
 }

@@ -49,6 +49,7 @@ pub mod ip;
 pub mod sim;
 pub mod time;
 pub mod topology;
+mod wheel;
 
 pub use fault::{FaultKind, FaultProfile};
 pub use ip::{shard_of, Ipv4Net};

@@ -20,10 +20,10 @@
 
 use crate::fault::{garbage_reply, FaultKind, FaultProfile};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Entry, TimerWheel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -206,34 +206,11 @@ enum Ev {
     ProbeResult { ep: EndpointId, target: Ipv4Addr, port: u16, status: ProbeStatus },
 }
 
-struct Queued {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// Shared simulator state reachable from handlers via [`Ctx`].
 pub struct SimCore {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Queued>>,
+    queue: TimerWheel<Ev>,
     hosts: HashMap<Ipv4Addr, Host>,
     conns: HashMap<u64, Conn>,
     faults: HashMap<Ipv4Addr, FaultProfile>,
@@ -283,7 +260,7 @@ impl SimCore {
         let at = self.now + delay;
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, ev }));
+        self.queue.insert(Entry { at, seq, ev });
     }
 
     /// Stable per-path one-way latency.
@@ -622,7 +599,7 @@ impl Simulator {
             core: SimCore {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: TimerWheel::new(),
                 hosts: HashMap::new(),
                 conns: HashMap::new(),
                 faults: HashMap::new(),
@@ -747,7 +724,7 @@ impl Simulator {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(q)) = self.core.queue.pop() else { return false };
+        let Some(q) = self.core.queue.pop() else { return false };
         self.core.now = q.at;
         self.core.events_processed += 1;
         self.dispatch(q.ev);
@@ -761,11 +738,16 @@ impl Simulator {
 
     /// Runs until the queue is empty or the clock passes `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(q)) = self.core.queue.peek() {
+        while let Some(q) = self.core.queue.pop() {
             if q.at > deadline {
+                // Not due yet: re-file unchanged (same `at` and `seq`,
+                // so its pop position is preserved).
+                self.core.queue.insert(q);
                 break;
             }
-            self.step();
+            self.core.now = q.at;
+            self.core.events_processed += 1;
+            self.dispatch(q.ev);
         }
         if self.core.now < deadline {
             self.core.now = deadline;

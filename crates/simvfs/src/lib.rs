@@ -207,9 +207,13 @@ impl fmt::Display for VfsError {
 impl std::error::Error for VfsError {}
 
 /// The virtual filesystem: a tree rooted at `/`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Vfs {
     root: Node,
+    /// Bumped on every successful mutation. Callers caching data derived
+    /// from the tree (e.g. rendered `LIST` bodies) compare generations
+    /// to invalidate in O(1) instead of re-walking.
+    generation: u64,
 }
 
 impl Default for Vfs {
@@ -218,14 +222,45 @@ impl Default for Vfs {
     }
 }
 
+/// Equality compares tree *content* only: two filesystems with the same
+/// nodes are equal regardless of how many mutations produced them.
+impl PartialEq for Vfs {
+    fn eq(&self, other: &Self) -> bool {
+        self.root == other.root
+    }
+}
+impl Eq for Vfs {}
+
 impl Vfs {
     /// An empty filesystem containing only `/`.
     pub fn new() -> Self {
-        Vfs { root: Node::empty_dir() }
+        Vfs { root: Node::empty_dir(), generation: 0 }
+    }
+
+    /// Mutation counter; changes whenever the tree may have changed.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn canon(path: &str) -> Result<FtpPath, VfsError> {
         path.parse().map_err(|_| VfsError::BadPath { path: path.to_owned() })
+    }
+
+    /// True if `path` is already in the canonical form [`canon`] would
+    /// produce, so lookups can walk its segments without allocating a
+    /// parsed path first. Control bytes disqualify (they must surface as
+    /// [`VfsError::BadPath`] through the slow path).
+    fn is_canonical(path: &str) -> bool {
+        path == "/"
+            || (path.len() > 1
+                && path.starts_with('/')
+                && !path.ends_with('/')
+                && path[1..].split('/').all(|seg| {
+                    !seg.is_empty()
+                        && seg != "."
+                        && seg != ".."
+                        && !seg.bytes().any(|b| matches!(b, 0 | b'\r' | b'\n'))
+                }))
     }
 
     /// Looks up a node.
@@ -235,9 +270,19 @@ impl Vfs {
     /// [`VfsError::NotFound`] if any component is missing,
     /// [`VfsError::NotADirectory`] if a file appears mid-path.
     pub fn node(&self, path: &str) -> Result<&Node, VfsError> {
+        if Self::is_canonical(path) {
+            return Self::descend(&self.root, path.split('/').filter(|s| !s.is_empty()), path);
+        }
         let p = Self::canon(path)?;
-        let mut cur = &self.root;
-        for comp in p.components() {
+        Self::descend(&self.root, p.components(), path)
+    }
+
+    fn descend<'t, 'p>(
+        mut cur: &'t Node,
+        comps: impl Iterator<Item = &'p str>,
+        path: &str,
+    ) -> Result<&'t Node, VfsError> {
+        for comp in comps {
             match cur {
                 Node::Dir { children, .. } => {
                     cur = children
@@ -253,9 +298,19 @@ impl Vfs {
     }
 
     fn node_mut(&mut self, path: &str) -> Result<&mut Node, VfsError> {
+        if Self::is_canonical(path) {
+            return Self::descend_mut(&mut self.root, path.split('/').filter(|s| !s.is_empty()), path);
+        }
         let p = Self::canon(path)?;
-        let mut cur = &mut self.root;
-        for comp in p.components() {
+        Self::descend_mut(&mut self.root, p.components(), path)
+    }
+
+    fn descend_mut<'t, 'p>(
+        mut cur: &'t mut Node,
+        comps: impl Iterator<Item = &'p str>,
+        path: &str,
+    ) -> Result<&'t mut Node, VfsError> {
+        for comp in comps {
             match cur {
                 Node::Dir { children, .. } => {
                     cur = children
@@ -291,7 +346,12 @@ impl Vfs {
         for comp in p.components() {
             match cur {
                 Node::Dir { children, .. } => {
-                    cur = children.entry(comp.to_owned()).or_insert_with(Node::empty_dir);
+                    // Key is cloned only when the directory is actually
+                    // created; re-traversing existing trees stays free.
+                    if !children.contains_key(comp) {
+                        children.insert(comp.to_owned(), Node::empty_dir());
+                    }
+                    cur = children.get_mut(comp).expect("ensured above");
                     if let Node::File(_) = cur {
                         return Err(VfsError::NotADirectory { path: path.to_owned() });
                     }
@@ -301,6 +361,7 @@ impl Vfs {
                 }
             }
         }
+        self.generation += 1;
         Ok(())
     }
 
@@ -317,7 +378,7 @@ impl Vfs {
             .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
             .to_owned();
         let parent = self.node_mut(p.parent().as_str())?;
-        match parent {
+        let res = match parent {
             Node::Dir { children, .. } => {
                 if children.contains_key(&name) {
                     return Err(VfsError::AlreadyExists { path: path.to_owned() });
@@ -326,7 +387,11 @@ impl Vfs {
                 Ok(())
             }
             Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        };
+        if res.is_ok() {
+            self.generation += 1;
         }
+        res
     }
 
     /// Adds a file, creating parent directories as needed. Overwrites an
@@ -337,23 +402,36 @@ impl Vfs {
     /// [`VfsError::NotADirectory`] if the target is an existing directory
     /// or a file blocks a parent component.
     pub fn add_file(&mut self, path: &str, meta: FileMeta) -> Result<(), VfsError> {
+        // One parse and one walk: missing parents are created in the same
+        // descent that places the file, so the hot worldgen insert path
+        // never re-parses the parent or re-traverses existing prefixes.
         let p = Self::canon(path)?;
-        let name = p
-            .file_name()
-            .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
-            .to_owned();
-        self.mkdir_p(p.parent().as_str())?;
-        let parent = self.node_mut(p.parent().as_str())?;
-        match parent {
-            Node::Dir { children, .. } => {
-                if let Some(Node::Dir { .. }) = children.get(&name) {
+        if p.file_name().is_none() {
+            return Err(VfsError::BadPath { path: path.to_owned() });
+        }
+        let mut cur = &mut self.root;
+        let mut comps = p.components().peekable();
+        while let Some(comp) = comps.next() {
+            let children = match cur {
+                Node::Dir { children, .. } => children,
+                Node::File(_) => {
+                    return Err(VfsError::NotADirectory { path: path.to_owned() })
+                }
+            };
+            if comps.peek().is_none() {
+                if let Some(Node::Dir { .. }) = children.get(comp) {
                     return Err(VfsError::NotADirectory { path: path.to_owned() });
                 }
-                children.insert(name, Node::File(meta));
-                Ok(())
+                children.insert(comp.to_owned(), Node::File(meta));
+                self.generation += 1;
+                return Ok(());
             }
-            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+            if !children.contains_key(comp) {
+                children.insert(comp.to_owned(), Node::empty_dir());
+            }
+            cur = children.get_mut(comp).expect("ensured above");
         }
+        unreachable!("file_name() guaranteed a final component")
     }
 
     /// Stores an upload with the *unique-suffix* quirk: if `name` exists,
@@ -391,13 +469,17 @@ impl Vfs {
             .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
             .to_owned();
         let parent = self.node_mut(p.parent().as_str())?;
-        match parent {
+        let res = match parent {
             Node::Dir { children, .. } => children
                 .remove(&name)
                 .map(|_| ())
                 .ok_or_else(|| VfsError::NotFound { path: path.to_owned() }),
             Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        };
+        if res.is_ok() {
+            self.generation += 1;
         }
+        res
     }
 
     /// Renames `from` to `to` (FTP `RNFR`/`RNTO`).
@@ -432,13 +514,17 @@ impl Vfs {
             .ok_or_else(|| VfsError::BadPath { path: to.to_owned() })?
             .to_owned();
         self.mkdir_p(pt.parent().as_str())?;
-        match self.node_mut(pt.parent().as_str())? {
+        let res = match self.node_mut(pt.parent().as_str())? {
             Node::Dir { children, .. } => {
                 children.insert(to_name, node);
                 Ok(())
             }
             Node::File(_) => Err(VfsError::NotADirectory { path: to.to_owned() }),
+        };
+        if res.is_ok() {
+            self.generation += 1;
         }
+        res
     }
 
     /// Lists a directory's children as `(name, node)` pairs in name
@@ -474,6 +560,9 @@ impl Vfs {
     ///
     /// [`VfsError::NotFound`] if absent or a directory.
     pub fn file_mut(&mut self, path: &str) -> Result<&mut FileMeta, VfsError> {
+        // Conservative: the caller receives mutable access, so any
+        // cached derived data must be considered stale.
+        self.generation += 1;
         match self.node_mut(path)? {
             Node::File(meta) => Ok(meta),
             Node::Dir { .. } => Err(VfsError::NotFound { path: path.to_owned() }),

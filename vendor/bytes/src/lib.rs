@@ -44,6 +44,17 @@ impl BytesMut {
         BytesMut { inner: head }
     }
 
+    /// Discards the first `cnt` bytes without allocating (the real
+    /// crate's `Buf::advance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt` exceeds the buffer length.
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.inner.len(), "advance out of bounds");
+        self.inner.drain(..cnt);
+    }
+
     /// Removes all bytes.
     pub fn clear(&mut self) {
         self.inner.clear();
