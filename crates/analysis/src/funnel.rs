@@ -21,11 +21,52 @@ pub struct Funnel {
 
 impl Funnel {
     /// Builds the funnel from scan counters and enumeration records.
+    ///
+    /// Stage counts must shrink monotonically down the funnel; a
+    /// violation means the pipeline double-counted or dropped a stage,
+    /// so it is surfaced as a structured [`obs::diag!`] warning (and a
+    /// `debug_assert!` in debug builds) rather than silently rendered
+    /// into Table I.
     pub fn from_results(ips_scanned: u64, open_port: u64, records: &[HostRecord]) -> Self {
         let ftp_servers = records.iter().filter(|r| r.ftp_compliant).count() as u64;
         let anonymous = records.iter().filter(|r| r.is_anonymous()).count() as u64;
         let gave_up = records.iter().filter(|r| r.gave_up.is_some()).count() as u64;
-        Funnel { ips_scanned, open_port, ftp_servers, anonymous, gave_up }
+        let funnel = Funnel { ips_scanned, open_port, ftp_servers, anonymous, gave_up };
+        let violations = funnel.invariant_violations();
+        if !violations.is_empty() {
+            obs::counter(obs::Counter::FunnelInvariantViolations, violations.len() as u64);
+            for v in &violations {
+                obs::diag!("warning: funnel invariant violated: {v} ({funnel:?})");
+            }
+            debug_assert!(
+                violations.is_empty(),
+                "funnel stages must be monotonic: {violations:?} in {funnel:?}"
+            );
+        }
+        funnel
+    }
+
+    /// Checks the funnel's monotonicity invariants, returning a
+    /// description of every stage pair that is out of order (empty on a
+    /// well-formed funnel). Exposed so tests can probe hand-built
+    /// funnels without tripping the `debug_assert!` in
+    /// [`Funnel::from_results`].
+    #[must_use]
+    pub fn invariant_violations(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.open_port > self.ips_scanned {
+            v.push("open_port > ips_scanned");
+        }
+        if self.ftp_servers > self.open_port {
+            v.push("ftp_servers > open_port");
+        }
+        if self.anonymous > self.ftp_servers {
+            v.push("anonymous > ftp_servers");
+        }
+        if self.gave_up > self.open_port {
+            v.push("gave_up > open_port");
+        }
+        v
     }
 
     /// Give-up rate per open port — how much of the population actively
@@ -92,5 +133,34 @@ mod tests {
         assert_eq!(f.open_rate(), 0.0);
         assert_eq!(f.ftp_rate(), 0.0);
         assert_eq!(f.anonymous_rate(), 0.0);
+    }
+
+    #[test]
+    fn invariants_hold_on_well_formed_funnel() {
+        let f = Funnel {
+            ips_scanned: 1000,
+            open_port: 100,
+            ftp_servers: 80,
+            anonymous: 8,
+            gave_up: 20,
+        };
+        assert!(f.invariant_violations().is_empty());
+        assert!(Funnel::default().invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn invariants_flag_non_monotonic_stages() {
+        let f = Funnel {
+            ips_scanned: 10,
+            open_port: 100,
+            ftp_servers: 80,
+            anonymous: 90,
+            gave_up: 200,
+        };
+        let v = f.invariant_violations();
+        assert_eq!(
+            v,
+            vec!["open_port > ips_scanned", "anonymous > ftp_servers", "gave_up > open_port"]
+        );
     }
 }

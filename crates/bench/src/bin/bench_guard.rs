@@ -5,7 +5,11 @@
 //!
 //! - hosts/sec more than 10% below the baseline, or
 //! - allocs/op more than 5% above the baseline (only for baselines that
-//!   carry the allocation columns).
+//!   carry the allocation columns), or
+//! - any behavior counter in the baseline's `metrics` block differs
+//!   from the current run — those counts (connects, replies, retries…)
+//!   are a pure function of the pinned seed, so they are compared
+//!   exactly: a mismatch is a behavior change hiding in a perf PR.
 //!
 //! ```text
 //! cargo bench-guard [--baseline PATH]
@@ -28,6 +32,7 @@ const HOSTS_PER_SEC_FLOOR: f64 = 0.90;
 const ALLOCS_PER_OP_CEILING: f64 = 1.05;
 
 fn main() {
+    obs::diag_to_stderr();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let baseline_path = args
         .iter()
@@ -86,6 +91,39 @@ fn main() {
                     "bench-guard: FAIL {}: {} allocs/op > {:.0} (105% of baseline {})",
                     base.name, now.allocs_per_op, ceiling, base_allocs
                 );
+                failures += 1;
+            }
+        }
+    }
+
+    // Behavior-count gate: baselines carrying a metrics block pin the
+    // exact event counts the study produces at the benchmark seed.
+    let base_metrics = pipeline::parse_baseline_metrics(&baseline);
+    if !base_metrics.is_empty() {
+        match pipeline::behavior_metrics(servers) {
+            Some(now) => {
+                let current: Vec<(String, u64)> = obs::Counter::ALL
+                    .iter()
+                    .map(|c| (c.name().to_owned(), now.counter(*c)))
+                    .collect();
+                for (name, base_value) in &base_metrics {
+                    match current.iter().find(|(n, _)| n == name) {
+                        Some((_, now_value)) if now_value == base_value => {}
+                        Some((_, now_value)) => {
+                            eprintln!(
+                                "bench-guard: FAIL metric {name}: {now_value} != baseline {base_value}"
+                            );
+                            failures += 1;
+                        }
+                        None => {
+                            eprintln!("bench-guard: metric {name} missing from current build");
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+            None => {
+                eprintln!("bench-guard: baseline has metrics but this build collected none");
                 failures += 1;
             }
         }

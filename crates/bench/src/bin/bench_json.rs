@@ -29,6 +29,7 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
 }
 
 fn main() {
+    obs::diag_to_stderr();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let servers = flag(&args, "--servers").unwrap_or(600) as usize;
     let shards = flag(&args, "--shards").unwrap_or(8).max(1);
@@ -42,7 +43,8 @@ fn main() {
 
     eprintln!("pipeline benchmark: {servers} servers, best of {iters} iters");
     let stages = pipeline::run_stages(servers, shards, iters);
-    let json = pipeline::render_json(servers, shards, iters, &stages);
+    let metrics = pipeline::behavior_metrics(servers);
+    let json = pipeline::render_json(servers, shards, iters, &stages, metrics.as_ref());
     std::fs::write(&out, json).expect("write benchmark report");
     eprintln!("wrote {out}");
 }

@@ -10,6 +10,8 @@
 //!   rendering, so the guard binary measures exactly what the report
 //!   binary measures.
 
+#![warn(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod alloc_counter;
 pub mod pipeline;
 

@@ -60,7 +60,7 @@ fn time_stage<T>(
         best_bytes = best_bytes.min(stats.bytes);
     }
     let hosts_per_sec = servers as f64 / (best as f64 / 1e9);
-    eprintln!(
+    obs::diag!(
         "{name:>24}  {best:>14} ns/op  {hosts_per_sec:>10.1} hosts/s  {best_allocs:>10} allocs/op"
     );
     StageResult {
@@ -125,11 +125,30 @@ pub fn run_stages(servers: usize, shards: u64, iters: u32) -> Vec<StageResult> {
         run_study_sharded(&study_cfg, 1).records.len()
     }));
 
+    // Same study with every observability collector on — the delta
+    // against full_study_k1 is the cost of the instrumentation layer
+    // (rendered as obs_overhead_pct in the report).
+    let mut obs_cfg = study_cfg.clone();
+    obs_cfg.obs = obs::ObsConfig::all();
+    stages.push(time_stage("full_study_k1_obs", servers, iters, || {
+        run_study_sharded(&obs_cfg, 1).records.len()
+    }));
+
     stages.push(time_stage(sharded_stage_name(shards), servers, iters, || {
         run_study_sharded(&study_cfg, shards).records.len()
     }));
 
     stages
+}
+
+/// Runs the study once with metrics collection on and returns the
+/// snapshot: the run's behavior fingerprint. Connect, reply, retry, …
+/// counts are a pure function of the seed, so the guard compares them
+/// *exactly* — any drift is a behavior change, not timing noise.
+pub fn behavior_metrics(servers: usize) -> Option<obs::MetricsSnapshot> {
+    let mut cfg = StudyConfig::small(SEED, servers);
+    cfg.obs = obs::ObsConfig { metrics: true, trace: false, profile: false };
+    run_study_sharded(&cfg, 1).obs.map(|r| r.metrics)
 }
 
 /// Threads the OS reports available (1 when unknown); recorded so
@@ -139,7 +158,19 @@ pub fn threads_available() -> usize {
 }
 
 /// Renders the `BENCH_pipeline.json` document.
-pub fn render_json(servers: usize, shards: u64, iters: u32, stages: &[StageResult]) -> String {
+///
+/// When `metrics` is given, the report gains a `metrics` block of
+/// behavior counters (one `"name": value` pair per line, matching the
+/// hand-rolled extraction below) and, when both `full_study_k1` and
+/// `full_study_k1_obs` stages are present, an `obs_overhead_pct` field
+/// with the relative cost of full instrumentation.
+pub fn render_json(
+    servers: usize,
+    shards: u64,
+    iters: u32,
+    stages: &[StageResult],
+    metrics: Option<&obs::MetricsSnapshot>,
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"tool\": \"cargo bench-json\",");
@@ -147,6 +178,14 @@ pub fn render_json(servers: usize, shards: u64, iters: u32, stages: &[StageResul
     let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"iters\": {iters},");
     let _ = writeln!(json, "  \"threads_available\": {},", threads_available());
+    let base = stages.iter().find(|s| s.name == "full_study_k1");
+    let with_obs = stages.iter().find(|s| s.name == "full_study_k1_obs");
+    if let (Some(base), Some(with_obs)) = (base, with_obs) {
+        if base.ns_per_op > 0 {
+            let pct = (with_obs.ns_per_op as f64 / base.ns_per_op as f64 - 1.0) * 100.0;
+            let _ = writeln!(json, "  \"obs_overhead_pct\": {pct:.1},");
+        }
+    }
     json.push_str("  \"stages\": [\n");
     for (ix, s) in stages.iter().enumerate() {
         let comma = if ix + 1 < stages.len() { "," } else { "" };
@@ -157,8 +196,38 @@ pub fn render_json(servers: usize, shards: u64, iters: u32, stages: &[StageResul
             s.name, s.ns_per_op, s.hosts_per_sec, s.allocs_per_op, s.bytes_per_op
         );
     }
-    json.push_str("  ]\n}\n");
+    match metrics {
+        Some(m) => {
+            json.push_str("  ],\n");
+            json.push_str("  \"metrics\": {\n");
+            for (ix, c) in obs::Counter::ALL.iter().enumerate() {
+                let comma = if ix + 1 < obs::Counter::ALL.len() { "," } else { "" };
+                let _ = writeln!(json, "    \"{}\": {}{comma}", c.name(), m.counter(*c));
+            }
+            json.push_str("  }\n}\n");
+        }
+        None => json.push_str("  ]\n}\n"),
+    }
     json
+}
+
+/// Parses the `metrics` behavior block back out of a committed report
+/// as `(counter name, value)` pairs; empty when the report has none.
+pub fn parse_baseline_metrics(json: &str) -> Vec<(String, u64)> {
+    let Some(at) = json.find("\"metrics\": {") else { return Vec::new() };
+    let mut out = Vec::new();
+    for line in json[at..].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('}') {
+            break;
+        }
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some(q) = rest.find('"') else { continue };
+        let name = &rest[..q];
+        let Some(value) = extract_u64(line, name) else { continue };
+        out.push((name.to_owned(), value));
+    }
+    out
 }
 
 /// Pulls an integer field (`"key": 123`) out of a benchmark report.
@@ -257,10 +326,38 @@ mod tests {
             allocs_per_op: 9,
             bytes_per_op: 1024,
         }];
-        let json = render_json(600, 8, 3, &stages);
+        let json = render_json(600, 8, 3, &stages, None);
         let parsed = parse_baseline_stages(&json);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].allocs_per_op, Some(9));
         assert_eq!(extract_u64(&json, "servers"), Some(600));
+        assert!(parse_baseline_metrics(&json).is_empty());
+    }
+
+    #[test]
+    fn metrics_block_roundtrips_through_the_parser() {
+        let mut snapshot = obs::MetricsSnapshot::default();
+        snapshot.counters[obs::Counter::Connects as usize] = 42;
+        let json = render_json(600, 8, 3, &[], Some(&snapshot));
+        let metrics = parse_baseline_metrics(&json);
+        assert_eq!(metrics.len(), obs::Counter::ALL.len());
+        assert!(metrics.contains(&("connects".to_owned(), 42)));
+        assert!(metrics.contains(&("replies_total".to_owned(), 0)));
+        // The stage parser must not trip over the metrics block.
+        assert!(parse_baseline_stages(&json).is_empty());
+    }
+
+    #[test]
+    fn overhead_pct_rendered_when_both_stages_present() {
+        let stage = |name, ns| StageResult {
+            name,
+            ns_per_op: ns,
+            hosts_per_sec: 1.0,
+            allocs_per_op: 0,
+            bytes_per_op: 0,
+        };
+        let stages = [stage("full_study_k1", 100), stage("full_study_k1_obs", 125)];
+        let json = render_json(600, 8, 3, &stages, None);
+        assert!(json.contains("\"obs_overhead_pct\": 25.0,"), "{json}");
     }
 }

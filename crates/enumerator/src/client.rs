@@ -96,6 +96,9 @@ struct Session {
     queue: VecDeque<(Rc<str>, usize)>,
     visited: HashSet<Rc<str>>,
     listing_hint: ListingFormat,
+    /// Sim time (µs) when the session's first connect was issued; only
+    /// read by the observability layer for the session-latency histogram.
+    started_us: u64,
 }
 
 impl Session {
@@ -120,6 +123,7 @@ impl Session {
             queue: VecDeque::new(),
             visited: HashSet::new(),
             listing_hint: ListingFormat::Unix,
+            started_us: 0,
         }
     }
 
@@ -195,8 +199,13 @@ impl Enumerator {
             let gen = session.bump();
             session.start_gen = gen;
             session.phase = Phase::Connecting;
+            session.started_us = ctx.now().as_micros();
             self.sessions[slot] = Some(session);
             self.active += 1;
+            if obs::enabled() {
+                obs::counter(obs::Counter::SessionsStarted, 1);
+                obs::gauge_max(obs::Gauge::MaxActiveSessions, self.active as u64);
+            }
             ctx.connect(self.cfg.source_ip, ip, 21, token(slot, gen, KIND_CONTROL));
             ctx.set_timer(self.cfg.session_deadline, token(slot, gen, KIND_DEADLINE));
         }
@@ -216,6 +225,22 @@ impl Enumerator {
         if let Some(d) = session.data_conn.take() {
             self.conns.remove(&d);
             ctx.close(d);
+        }
+        if obs::enabled() {
+            obs::counter(obs::Counter::SessionsFinished, 1);
+            let sim_us = ctx.now().as_micros().saturating_sub(session.started_us);
+            obs::observe(obs::Hist::SessionSimUs, sim_us);
+            obs::observe(obs::Hist::SessionRequests, u64::from(session.record.requests_used));
+            if let Some(reason) = session.record.gave_up {
+                obs::counter(obs::Counter::GaveUps, 1);
+                obs::event!(
+                    "enum.gave_up",
+                    ip = session.ip,
+                    reason = reason.label(),
+                    requests = session.record.requests_used,
+                    sim_us = sim_us,
+                );
+            }
         }
         self.results.borrow_mut().push(session.record);
         self.free_slots.push(slot);
@@ -394,6 +419,9 @@ impl Enumerator {
     fn transfer_complete(&mut self, ctx: &mut Ctx<'_>, slot: usize, success: bool) {
         let phase = {
             let Some(s) = self.sessions[slot].as_mut() else { return };
+            if obs::enabled() && success {
+                obs::observe(obs::Hist::TransferBytes, s.data_buf.len() as u64);
+            }
             if let Some(d) = s.data_conn.take() {
                 self.conns.remove(&d);
                 ctx.close(d);
@@ -487,6 +515,10 @@ impl Enumerator {
         }
         let code = reply.code().value();
         let preliminary = reply.code().is_positive_preliminary();
+        if obs::enabled() {
+            obs::counter(obs::Counter::RepliesTotal, 1);
+            obs::counter(obs::reply_class_counter(code), 1);
+        }
         let phase = {
             let Some(s) = self.sessions[slot].as_mut() else { return };
             // A reply ends the step-timeout window.
@@ -751,6 +783,9 @@ impl Endpoint for Enumerator {
             KIND_SEND => self.send_pending(ctx, slot),
             KIND_TIMEOUT => {
                 // The step stalled: give up and keep the partial record.
+                if obs::enabled() {
+                    obs::counter(obs::Counter::StepTimeouts, 1);
+                }
                 if let Some(s) = self.sessions[slot].as_mut() {
                     s.record.faults.step_timeouts += 1;
                     s.record.gave_up = Some(GaveUpReason::StepTimeout);
@@ -792,9 +827,22 @@ impl Endpoint for Enumerator {
             (KIND_CONTROL, Err(_)) => {
                 // Lost SYN or refused connect: retry on the backoff
                 // schedule until the budget runs out.
+                if obs::enabled() {
+                    obs::counter(obs::Counter::ConnectFailures, 1);
+                }
                 let retries_used = s.record.faults.connect_retries;
                 if let Some(delay) = self.cfg.retry.delay_for(retries_used) {
                     s.record.faults.connect_retries += 1;
+                    if obs::enabled() {
+                        obs::counter(obs::Counter::ConnectRetries, 1);
+                        obs::counter(obs::Counter::BackoffWaitUs, delay.as_micros());
+                        obs::event!(
+                            "enum.retry",
+                            ip = s.ip,
+                            attempt = s.record.faults.connect_retries,
+                            backoff_us = delay.as_micros(),
+                        );
+                    }
                     let gen = s.bump();
                     ctx.set_timer(delay, token(slot, gen, KIND_RETRY));
                 } else {
@@ -836,6 +884,9 @@ impl Endpoint for Enumerator {
                 }
             }
             (KIND_DATA, Err(_)) => {
+                if obs::enabled() {
+                    obs::counter(obs::Counter::ConnectFailures, 1);
+                }
                 s.record.faults.data_conn_failures += 1;
                 s.awaiting_data_connect = false;
                 // No data channel: skip whatever needed it.
@@ -853,6 +904,9 @@ impl Endpoint for Enumerator {
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
         let Some(&(slot, is_data)) = self.conns.get(&conn) else { return };
         if is_data {
+            if obs::enabled() {
+                obs::counter(obs::Counter::ListingBytes, data.len() as u64);
+            }
             if let Some(Some(s)) = self.sessions.get_mut(slot) {
                 s.data_buf.extend_from_slice(data);
             }

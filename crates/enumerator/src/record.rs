@@ -43,6 +43,20 @@ pub enum GaveUpReason {
     OverlongLine,
 }
 
+impl GaveUpReason {
+    /// Stable snake_case tag for structured diagnostics and traces.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            GaveUpReason::ConnectFailed => "connect_failed",
+            GaveUpReason::StepTimeout => "step_timeout",
+            GaveUpReason::SessionDeadline => "session_deadline",
+            GaveUpReason::ControlGarbage => "control_garbage",
+            GaveUpReason::OverlongLine => "overlong_line",
+        }
+    }
+}
+
 /// Per-session tallies of the hostile behavior the enumerator absorbed.
 ///
 /// These are the operator-facing health counters the paper's team

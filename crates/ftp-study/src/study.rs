@@ -39,6 +39,11 @@ pub struct StudyConfig {
     /// Inter-command gap; the paper's 2 req/s is 500 ms, but simulated
     /// time is free so the default keeps it faithful.
     pub request_gap: SimDuration,
+    /// Observability collection switches. Default-off, which guarantees
+    /// the study output stays byte-identical to an uninstrumented run;
+    /// any flag set installs a per-shard [`obs::Recorder`] whose merged
+    /// [`obs::Report`] lands in [`StudyResults::obs`].
+    pub obs: obs::ObsConfig,
 }
 
 impl StudyConfig {
@@ -53,6 +58,7 @@ impl StudyConfig {
             respect_robots: true,
             strict_replies: false,
             request_gap: SimDuration::from_millis(500),
+            obs: obs::ObsConfig::default(),
         }
     }
 
@@ -86,6 +92,11 @@ pub struct StudyResults {
     pub bounce_hits: HashSet<Ipv4Addr>,
     /// HTTP sweep results.
     pub http: HashMap<Ipv4Addr, HttpObservation>,
+    /// Merged observability report (metrics, span stats, trace) when
+    /// [`StudyConfig::obs`] requested any collection; `None` otherwise.
+    /// Lives outside the measured result fields so enabling it cannot
+    /// perturb them.
+    pub obs: Option<obs::Report>,
 }
 
 impl StudyResults {
@@ -110,6 +121,7 @@ struct ShardOutput {
     records: Vec<HostRecord>,
     bounce_hits: HashSet<Ipv4Addr>,
     http: HashMap<Ipv4Addr, HttpObservation>,
+    obs: Option<obs::Report>,
 }
 
 /// Runs the three measurement stages for one shard: a private simulator
@@ -122,9 +134,20 @@ struct ShardOutput {
 /// requires a host to observe the same latencies whichever simulator it
 /// lands in.
 fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> ShardOutput {
+    if cfg.obs.any() {
+        obs::install(Box::new(obs::CollectingRecorder::new(index, cfg.obs.trace)));
+    }
+    let shard_span = obs::span!("shard.run");
+    // The recorder stamps every line with the shard index, so events
+    // only carry what the envelope does not.
+    obs::event!("shard.start", shards = shards);
+
     let seed = cfg.population.seed;
     let mut sim = Simulator::new(seed);
-    let (hosts, non_ftp) = plan.materialize(&mut sim, |ip| shard_of(seed, ip, shards) == index);
+    let (hosts, non_ftp) = {
+        let _span = obs::span!("stage.worldgen");
+        plan.materialize(&mut sim, |ip| shard_of(seed, ip, shards) == index)
+    };
 
     // Stage 1: ZMap-style host discovery over this shard's slice of the
     // population space.
@@ -134,11 +157,15 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
     let (scanner, scan_results) = HostDiscovery::new(scan_cfg);
     let sid = sim.register_endpoint(Box::new(scanner));
     sim.schedule_timer(sid, SimDuration::ZERO, 0);
-    sim.run();
+    {
+        let _span = obs::span!("stage.scan");
+        sim.run();
+    }
     let (open, ips_scanned) = {
         let r = scan_results.borrow();
         (r.open.clone(), r.probes_sent)
     };
+    obs::event!("shard.stage", stage = "scan", open_port = open.len());
 
     // Stage 2: enumerate every responsive host.
     let (collector, bounce_hits) = BounceCollector::new();
@@ -156,7 +183,11 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
     let (enumerator, records) = Enumerator::new(enum_cfg, open.clone());
     let eid = sim.register_endpoint(Box::new(enumerator));
     sim.schedule_timer(eid, SimDuration::ZERO, 0);
-    sim.run();
+    {
+        let _span = obs::span!("stage.enumerate");
+        sim.run();
+    }
+    obs::event!("shard.stage", stage = "enumerate", records = records.borrow().len());
 
     // Stage 3: HTTP overlap sweep of the FTP-responsive hosts.
     let mut http = HashMap::new();
@@ -166,12 +197,28 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
         let (probe, web_results) = WebProbe::new(WEB_IP, ftp_ips);
         let wid = sim.register_endpoint(Box::new(probe));
         sim.schedule_timer(wid, SimDuration::ZERO, 0);
-        sim.run();
+        {
+            let _span = obs::span!("stage.webprobe");
+            sim.run();
+        }
         http = web_results.borrow().clone();
     }
 
     let records = records.borrow().clone();
     let bounce_hits = bounce_hits.borrow().clone();
+    if obs::enabled() {
+        // Harvest the timer wheel's unconditionally-maintained stats into
+        // the recorder at shard end; the wheel itself never calls obs.
+        let ws = sim.wheel_stats();
+        obs::counter(obs::Counter::WheelInserts, ws.inserts);
+        obs::counter(obs::Counter::WheelCascades, ws.cascades);
+        obs::counter(obs::Counter::WheelCascadedEntries, ws.cascaded_entries);
+        obs::gauge_max(obs::Gauge::WheelMaxOccupancy, ws.max_occupancy);
+        obs::counter(obs::Counter::HttpObservations, http.len() as u64);
+        obs::event!("shard.done", records = records.len(), sim_us = sim.now().as_micros());
+    }
+    drop(shard_span);
+    let obs_report = obs::uninstall().map(|r| r.finish());
     ShardOutput {
         hosts,
         non_ftp,
@@ -180,6 +227,7 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
         records,
         bounce_hits,
         http,
+        obs: obs_report,
     }
 }
 
@@ -227,6 +275,9 @@ pub fn run_study_sharded(cfg: &StudyConfig, shards: u64) -> StudyResults {
 
     // Merge: canonical order is by IP, counters are sums, hit sets are
     // unions (shards are disjoint, so no deduplication is needed).
+    // Timed with wall clock only — the merge runs outside any simulator,
+    // so there is no sim time to attribute to it.
+    let merge_start = std::time::Instant::now();
     let mut hosts = Vec::new();
     let mut non_ftp = Vec::new();
     let mut ips_scanned = 0;
@@ -234,6 +285,7 @@ pub fn run_study_sharded(cfg: &StudyConfig, shards: u64) -> StudyResults {
     let mut records = Vec::new();
     let mut bounce_hits = HashSet::new();
     let mut http = HashMap::new();
+    let mut obs_report: Option<obs::Report> = None;
     for out in outputs {
         hosts.extend(out.hosts);
         non_ftp.extend(out.non_ftp);
@@ -242,10 +294,21 @@ pub fn run_study_sharded(cfg: &StudyConfig, shards: u64) -> StudyResults {
         records.extend(out.records);
         bounce_hits.extend(out.bounce_hits);
         http.extend(out.http);
+        if let Some(shard_report) = out.obs {
+            // Shard reports arrive in index order (outputs is built in
+            // spawn order), so the merged trace is deterministic.
+            match obs_report.as_mut() {
+                Some(merged) => merged.absorb(shard_report),
+                None => obs_report = Some(shard_report),
+            }
+        }
     }
     hosts.sort_by_key(|h| h.ip);
     non_ftp.sort_unstable();
     records.sort_by_key(|r| r.ip);
+    if let Some(report) = obs_report.as_mut() {
+        report.add_span("study.merge", 0, merge_start.elapsed().as_nanos() as u64);
+    }
 
     StudyResults {
         truth: plan.into_truth(hosts, non_ftp),
@@ -254,6 +317,7 @@ pub fn run_study_sharded(cfg: &StudyConfig, shards: u64) -> StudyResults {
         records,
         bounce_hits,
         http,
+        obs: obs_report,
     }
 }
 

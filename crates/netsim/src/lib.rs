@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod fault;
 pub mod ip;
@@ -59,3 +60,4 @@ pub use sim::{
 };
 pub use time::{SimDuration, SimTime};
 pub use topology::{AsKind, AsRegistry, Asn};
+pub use wheel::WheelStats;

@@ -20,7 +20,7 @@
 
 use crate::fault::{garbage_reply, FaultKind, FaultProfile};
 use crate::time::{SimDuration, SimTime};
-use crate::wheel::{Entry, TimerWheel};
+use crate::wheel::{Entry, TimerWheel, WheelStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -193,6 +193,28 @@ struct Conn {
     /// The responder host's [`Host::conn_ordinal`] at connect time —
     /// the shard-invariant key for per-connection fault randomness.
     fault_ordinal: u64,
+}
+
+/// Publishes sim time and per-kind dispatch counters to the
+/// observability layer. One branch on the thread-local fast flag when a
+/// recorder is installed; folds to nothing in builds without the `obs`
+/// `enabled` feature.
+#[inline]
+fn obs_note_dispatch(at: SimTime, ev: &Ev) {
+    if obs::enabled() {
+        obs::set_sim_now(at.as_micros());
+        obs::counter(obs::Counter::SimEvents, 1);
+        let kind = match ev {
+            Ev::Data { .. } => obs::Counter::EvData,
+            Ev::Timer { .. } => obs::Counter::EvTimer,
+            Ev::ProbeResult { .. } => obs::Counter::EvProbe,
+            Ev::Close { .. } => obs::Counter::EvClose,
+            Ev::SynArrive { .. } | Ev::ConnectResult { .. } | Ev::ConnectTimeout { .. } => {
+                obs::Counter::EvConnect
+            }
+        };
+        obs::counter(kind, 1);
+    }
 }
 
 #[derive(Debug)]
@@ -432,6 +454,9 @@ impl<'a> Ctx<'a> {
     /// controls) to `dst`. The result arrives via
     /// [`Endpoint::on_outbound`] carrying `token`.
     pub fn connect(&mut self, src_ip: Ipv4Addr, dst_ip: Ipv4Addr, dst_port: u16, token: u64) {
+        if obs::enabled() {
+            obs::counter(obs::Counter::Connects, 1);
+        }
         let src_port = {
             let host = self.core.hosts.entry(src_ip).or_insert_with(Host::new);
             let p = host.next_ephemeral;
@@ -480,6 +505,9 @@ impl<'a> Ctx<'a> {
     /// Sends a stateless SYN probe (ZMap-style host discovery). The
     /// answer arrives via [`Endpoint::on_probe`].
     pub fn probe(&mut self, target: Ipv4Addr, port: u16) {
+        if obs::enabled() {
+            obs::counter(obs::Counter::ProbesSent, 1);
+        }
         let lost = self.core.cfg.probe_loss > 0.0
             && self.core.rng.random::<f64>() < self.core.cfg.probe_loss;
         let status = if lost {
@@ -624,6 +652,12 @@ impl Simulator {
         self.core.events_processed
     }
 
+    /// Lifetime timer-wheel statistics (inserts, cascades, peak
+    /// occupancy) for this simulator's event queue.
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.core.queue.stats()
+    }
+
     /// Registers a host (idempotent).
     pub fn add_host(&mut self, ip: Ipv4Addr) {
         self.core.hosts.entry(ip).or_insert_with(Host::new);
@@ -727,6 +761,7 @@ impl Simulator {
         let Some(q) = self.core.queue.pop() else { return false };
         self.core.now = q.at;
         self.core.events_processed += 1;
+        obs_note_dispatch(q.at, &q.ev);
         self.dispatch(q.ev);
         true
     }
@@ -747,6 +782,7 @@ impl Simulator {
             }
             self.core.now = q.at;
             self.core.events_processed += 1;
+            obs_note_dispatch(q.at, &q.ev);
             self.dispatch(q.ev);
         }
         if self.core.now < deadline {

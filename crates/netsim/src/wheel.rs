@@ -100,6 +100,24 @@ impl<T> Level<T> {
     }
 }
 
+/// Occupancy and cascade statistics for one wheel's lifetime.
+///
+/// Maintained unconditionally — a handful of integer adds per
+/// insert/cascade, invisible next to the filing arithmetic — so the
+/// observability layer can read them at end of run without putting any
+/// recorder call (or feature gate) inside the wheel's hot loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Entries filed via [`TimerWheel::insert`].
+    pub inserts: u64,
+    /// Cascade passes (a level-`l > 0` slot drained and re-filed).
+    pub cascades: u64,
+    /// Entries moved during cascade passes.
+    pub cascaded_entries: u64,
+    /// Peak simultaneous occupancy across all stores.
+    pub max_occupancy: u64,
+}
+
 /// Hierarchical timer wheel ordered by `(at, seq)`.
 pub(crate) struct TimerWheel<T> {
     /// High-water mark in µs: every entry in `levels` has `at ≥ cursor`.
@@ -121,6 +139,8 @@ pub(crate) struct TimerWheel<T> {
     now_q: VecDeque<Entry<T>>,
     /// True when `now_q` needs a sort before its next pop.
     now_dirty: bool,
+    /// Lifetime occupancy/cascade statistics (see [`WheelStats`]).
+    stats: WheelStats,
 }
 
 impl<T> Default for TimerWheel<T> {
@@ -140,7 +160,13 @@ impl<T> TimerWheel<T> {
             cascade_buf: Vec::new(),
             now_q: VecDeque::new(),
             now_dirty: false,
+            stats: WheelStats::default(),
         }
+    }
+
+    /// Lifetime statistics for this wheel.
+    pub fn stats(&self) -> WheelStats {
+        self.stats
     }
 
     /// Total stored entries.
@@ -158,6 +184,8 @@ impl<T> TimerWheel<T> {
         } else {
             self.place(entry);
         }
+        self.stats.inserts += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.len() as u64);
     }
 
     /// Files an entry into `levels` — or into the now queue when its
@@ -288,6 +316,8 @@ impl<T> TimerWheel<T> {
             std::mem::swap(&mut self.levels[level].slots[idx], &mut drained);
             self.levels[level].occupied &= !(1u64 << idx);
             self.in_levels -= drained.len();
+            self.stats.cascades += 1;
+            self.stats.cascaded_entries += drained.len() as u64;
             for entry in drained.drain(..) {
                 self.place(entry);
             }

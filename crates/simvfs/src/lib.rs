@@ -28,6 +28,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 use ftp_proto::listing::Permissions;
 use ftp_proto::FtpPath;
@@ -270,6 +271,9 @@ impl Vfs {
     /// [`VfsError::NotFound`] if any component is missing,
     /// [`VfsError::NotADirectory`] if a file appears mid-path.
     pub fn node(&self, path: &str) -> Result<&Node, VfsError> {
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsOps, 1);
+        }
         if Self::is_canonical(path) {
             return Self::descend(&self.root, path.split('/').filter(|s| !s.is_empty()), path);
         }
@@ -341,6 +345,9 @@ impl Vfs {
     ///
     /// [`VfsError::NotADirectory`] if a file blocks the path.
     pub fn mkdir_p(&mut self, path: &str) -> Result<(), VfsError> {
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsOps, 1);
+        }
         let p = Self::canon(path)?;
         let mut cur = &mut self.root;
         for comp in p.components() {
@@ -402,6 +409,9 @@ impl Vfs {
     /// [`VfsError::NotADirectory`] if the target is an existing directory
     /// or a file blocks a parent component.
     pub fn add_file(&mut self, path: &str, meta: FileMeta) -> Result<(), VfsError> {
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsOps, 1);
+        }
         // One parse and one walk: missing parents are created in the same
         // descent that places the file, so the hot worldgen insert path
         // never re-parses the parent or re-traverses existing prefixes.
@@ -534,6 +544,9 @@ impl Vfs {
     ///
     /// [`VfsError::NotFound`] / [`VfsError::NotADirectory`].
     pub fn list(&self, path: &str) -> Result<Vec<(&str, &Node)>, VfsError> {
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsOps, 1);
+        }
         match self.node(path)? {
             Node::Dir { children, .. } => {
                 Ok(children.iter().map(|(k, v)| (k.as_str(), v)).collect())

@@ -737,6 +737,7 @@ impl WorldPlan {
         sim: &mut Simulator,
         keep: impl Fn(Ipv4Addr) -> bool,
     ) -> (Vec<HostTruth>, Vec<Ipv4Addr>) {
+        let _span = obs::span!("worldgen.materialize");
         let spec = &self.spec;
         let hosting_cert_weights: Vec<f64> =
             catalog::HOSTING_CERTS.iter().map(|&(_, w, _)| w).collect();
@@ -797,6 +798,17 @@ impl WorldPlan {
             let id = sim.register_endpoint(svc);
             sim.bind(ip, 21, id);
             non_ftp_open.push(ip);
+        }
+        if obs::enabled() {
+            obs::counter(
+                obs::Counter::HostsMaterialized,
+                (truths.len() + non_ftp_open.len()) as u64,
+            );
+            obs::event!(
+                "worldgen.materialized",
+                ftp_hosts = truths.len(),
+                non_ftp_hosts = non_ftp_open.len(),
+            );
         }
         (truths, non_ftp_open)
     }

@@ -203,6 +203,16 @@ impl Endpoint for HostDiscovery {
                 ProbeStatus::Closed => r.closed += 1,
                 ProbeStatus::Filtered => r.filtered += 1,
             }
+            if obs::enabled() && self.done && self.outstanding.is_empty() {
+                obs::event!(
+                    "zscan.sweep_done",
+                    open = r.open.len(),
+                    closed = r.closed,
+                    filtered = r.filtered,
+                    probes_sent = r.probes_sent,
+                    blocked = r.blocked,
+                );
+            }
         }
     }
 }

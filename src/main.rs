@@ -3,10 +3,14 @@
 //!
 //! ```text
 //! ftpcloud study [--scale N] [--seed S] [--shards K]
+//!                [--trace OUT.jsonl] [--metrics OUT.json] [--profile]
 //!                                            run the full pipeline, print every table;
 //!                                            --shards runs K parallel simulations whose
-//!                                            merged results are byte-identical to K=1
+//!                                            merged results are byte-identical to K=1;
+//!                                            --trace/--metrics/--profile turn on the
+//!                                            observability layer (never changes results)
 //! ftpcloud funnel [--servers N] [--seed S] [--faults PCT] [--shards K]
+//!                [--trace OUT.jsonl] [--metrics OUT.json] [--profile]
 //!                                            quick Table I funnel on a small world;
 //!                                            --faults makes PCT% of it hostile
 //! ftpcloud honeypot [--days D] [--pots N]    run the §VIII experiment
@@ -25,13 +29,69 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|ix| args.get(ix + 1))
+        .map(String::as_str)
+}
+
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses the three observability flags shared by `study` and `funnel`
+/// into the paths to write plus the pipeline-facing [`obs::ObsConfig`].
+fn obs_flags<'a>(args: &'a [String]) -> (Option<&'a str>, Option<&'a str>, bool, obs::ObsConfig) {
+    let trace = str_flag(args, "--trace");
+    let metrics = str_flag(args, "--metrics");
+    let profile = switch(args, "--profile");
+    let cfg = obs::ObsConfig {
+        // A metrics file is always worth collecting alongside a trace;
+        // the snapshot rides in the same recorder for free.
+        metrics: metrics.is_some() || trace.is_some() || profile,
+        trace: trace.is_some(),
+        profile,
+    };
+    (trace, metrics, profile, cfg)
+}
+
+/// Writes the requested observability sinks out of a finished study.
+fn write_obs_outputs(
+    report: Option<&obs::Report>,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+    profile: bool,
+) {
+    let Some(report) = report else { return };
+    if let Some(path) = trace {
+        if let Err(e) = std::fs::write(path, report.trace_jsonl()) {
+            eprintln!("warning: could not write trace {path}: {e}");
+        } else {
+            eprintln!("trace written to {path} ({} lines)", report.trace.len());
+        }
+    }
+    if let Some(path) = metrics {
+        if let Err(e) = std::fs::write(path, report.metrics.render_json()) {
+            eprintln!("warning: could not write metrics {path}: {e}");
+        } else {
+            eprintln!("metrics snapshot written to {path}");
+        }
+    }
+    if profile {
+        println!("{}", report.render_profile());
+    }
+}
+
 fn main() {
+    obs::diag_to_stderr();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = flag(&args, "--seed").unwrap_or(42);
     match args.first().map(String::as_str) {
         Some("study") => {
             let scale = flag(&args, "--scale").unwrap_or(4_096);
             let shards = flag(&args, "--shards").unwrap_or(1).max(1);
+            let (trace, metrics, profile, obs_cfg) = obs_flags(&args);
             let spec = PopulationSpec::study(seed, scale);
             eprintln!(
                 "building 1:{scale} world ({} FTP servers) with seed {seed}, {shards} shard(s)…",
@@ -39,18 +99,22 @@ fn main() {
             );
             let mut cfg = StudyConfig::new(spec);
             cfg.request_gap = netsim::SimDuration::from_millis(20);
+            cfg.obs = obs_cfg;
             let results = run_study_sharded(&cfg, shards);
             println!("{}", tables::full_report(&results));
+            write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
         }
         Some("funnel") => {
             let servers = flag(&args, "--servers").unwrap_or(800) as usize;
             let faults = flag(&args, "--faults").unwrap_or(0);
             let shards = flag(&args, "--shards").unwrap_or(1).max(1);
-            let results = run_study_sharded(
-                &StudyConfig::small(seed, servers).with_fault_fraction(faults as f64 / 100.0),
-                shards,
-            );
+            let (trace, metrics, profile, obs_cfg) = obs_flags(&args);
+            let mut cfg =
+                StudyConfig::small(seed, servers).with_fault_fraction(faults as f64 / 100.0);
+            cfg.obs = obs_cfg;
+            let results = run_study_sharded(&cfg, shards);
             println!("{}", tables::table01_funnel(&results));
+            write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
         }
         Some("honeypot") => {
             let days = flag(&args, "--days").unwrap_or(90);
@@ -86,7 +150,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--faults PCT] [--days D] [--pots N]"
+                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--faults PCT] [--days D] [--pots N] [--trace OUT.jsonl] [--metrics OUT.json] [--profile]"
             );
             std::process::exit(2);
         }

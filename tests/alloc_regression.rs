@@ -83,11 +83,32 @@ fn enumeration_stays_under_allocation_budget() {
     let per_host = total / SERVERS as u64;
     // Measured ~3.8k allocs/host after the zero-copy pass; the ceiling
     // is pinned at roughly 2x that (counts are deterministic, so the
-    // headroom covers code drift, not machine noise).
+    // headroom covers code drift, not machine noise). The obs feature
+    // is compiled into this test build, so the ceiling also proves that
+    // instrumentation with no recorder installed costs nothing on the
+    // per-event path.
     const CEILING: u64 = 7_500;
     assert!(
         per_host <= CEILING,
         "allocation budget blown: {per_host} allocs/host (total {total} for {SERVERS} hosts), \
          ceiling {CEILING}"
+    );
+
+    // Recorder neutrality: installing a recorder for one run and
+    // removing it must leave the disabled path exactly where it was —
+    // the same behavior and the same allocation count as the baseline.
+    obs::install(Box::new(obs::CollectingRecorder::new(0, false)));
+    let (recorded, _with_recorder_allocs) = enumerate_world();
+    assert_eq!(recorded, warmup_records, "recorder must not change behavior");
+    let report = obs::uninstall().expect("recorder installed").finish();
+    assert!(
+        report.metrics.counter(obs::Counter::SimEvents) > 0,
+        "recorder observed the run"
+    );
+    let (after_records, after_allocs) = enumerate_world();
+    assert_eq!(after_records, warmup_records, "behavior stable after uninstall");
+    assert_eq!(
+        after_allocs, total,
+        "allocation count with the recorder uninstalled must match the baseline exactly"
     );
 }
