@@ -24,6 +24,7 @@
 //! | [`cyberul`] | §X's proposed device-certification suite |
 //! | [`notify`] | §III-A's responsible-disclosure workflow |
 //! | [`report`] | paper-style table rendering |
+//! | [`stream`] | bounded-memory aggregation for streamed studies |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +41,9 @@ pub mod funnel;
 pub mod ftps;
 pub mod notify;
 pub mod report;
+pub mod stream;
 pub mod writable;
 
 pub use fingerprint::{classify, Classification, DeviceClass};
 pub use funnel::Funnel;
+pub use stream::StreamingAggregate;

@@ -73,6 +73,20 @@ fn main() {
             failures += 1;
             continue;
         };
+        // Shard-scaling stages measure parallelism; on a single thread
+        // the shards serialize and any comparison is hardware noise,
+        // not a regression (ROADMAP item 5).
+        if pipeline::is_shard_scaling_stage(&base.name) {
+            let base_stage_threads = base.threads_available.unwrap_or(base_threads);
+            if base_stage_threads == 1 || now.threads_available == 1 {
+                eprintln!(
+                    "bench-guard: skipping shard-scaling stage {} (threads_available: \
+                     baseline {base_stage_threads}, here {})",
+                    base.name, now.threads_available
+                );
+                continue;
+            }
+        }
         let floor = base.hosts_per_sec * HOSTS_PER_SEC_FLOOR;
         if now.hosts_per_sec < floor {
             eprintln!(

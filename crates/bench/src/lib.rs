@@ -15,4 +15,4 @@
 pub mod alloc_counter;
 pub mod pipeline;
 
-pub use alloc_counter::{AllocStats, CountingAlloc};
+pub use alloc_counter::{peak_growth_since_reset, reset, snapshot, AllocStats, CountingAlloc};

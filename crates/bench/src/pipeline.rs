@@ -9,7 +9,7 @@
 
 use crate::alloc_counter;
 use enumerator::{EnumConfig, Enumerator};
-use ftp_study::{run_study_sharded, StudyConfig};
+use ftp_study::{run_study_sharded, run_study_streamed, StreamOptions, StreamOutcome, StudyConfig};
 use netsim::{SimDuration, Simulator};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -34,6 +34,15 @@ pub struct StageResult {
     pub allocs_per_op: u64,
     /// Bytes requested by those allocations.
     pub bytes_per_op: u64,
+    /// Smallest peak heap growth (live-bytes high-water mark above the
+    /// pre-op level) any iteration saw — the allocator's-eye peak RSS
+    /// of one operation. 0 without the counting allocator.
+    pub peak_bytes_per_op: u64,
+    /// Threads the OS reported available when this stage ran. Stages
+    /// whose throughput depends on real parallelism (the sharded study
+    /// runs) are only comparable across reports when this matches and
+    /// exceeds 1.
+    pub threads_available: usize,
 }
 
 /// Times `op` `iters` times, keeping the fastest run — the standard
@@ -49,6 +58,7 @@ fn time_stage<T>(
     let mut best = u128::MAX;
     let mut best_allocs = u64::MAX;
     let mut best_bytes = u64::MAX;
+    let mut best_peak = u64::MAX;
     for _ in 0..iters {
         alloc_counter::reset();
         let start = Instant::now();
@@ -58,6 +68,7 @@ fn time_stage<T>(
         best = best.min(elapsed);
         best_allocs = best_allocs.min(stats.allocs);
         best_bytes = best_bytes.min(stats.bytes);
+        best_peak = best_peak.min(alloc_counter::peak_growth_since_reset());
     }
     let hosts_per_sec = servers as f64 / (best as f64 / 1e9);
     obs::diag!(
@@ -69,6 +80,8 @@ fn time_stage<T>(
         hosts_per_sec,
         allocs_per_op: best_allocs,
         bytes_per_op: best_bytes,
+        peak_bytes_per_op: best_peak,
+        threads_available: threads_available(),
     }
 }
 
@@ -138,6 +151,17 @@ pub fn run_stages(servers: usize, shards: u64, iters: u32) -> Vec<StageResult> {
         run_study_sharded(&study_cfg, shards).records.len()
     }));
 
+    // The streamed runner over the same world, in 8 batches: its
+    // peak_bytes_per_op column is the memory story (O(batch), not
+    // O(world)), its ns_per_op the streaming overhead.
+    let stream_opts = StreamOptions::new(servers.div_ceil(8).max(1));
+    stages.push(time_stage("stream_study", servers, iters, || {
+        match run_study_streamed(&study_cfg, &stream_opts) {
+            Ok(StreamOutcome::Complete(results)) => results.aggregate.summary.hosts,
+            _ => 0,
+        }
+    }));
+
     stages
 }
 
@@ -192,8 +216,15 @@ pub fn render_json(
         let _ = writeln!(
             json,
             "    {{ \"stage\": \"{}\", \"ns_per_op\": {}, \"hosts_per_sec\": {:.1}, \
-             \"allocs_per_op\": {}, \"bytes_per_op\": {} }}{comma}",
-            s.name, s.ns_per_op, s.hosts_per_sec, s.allocs_per_op, s.bytes_per_op
+             \"allocs_per_op\": {}, \"bytes_per_op\": {}, \"peak_bytes_per_op\": {}, \
+             \"threads_available\": {} }}{comma}",
+            s.name,
+            s.ns_per_op,
+            s.hosts_per_sec,
+            s.allocs_per_op,
+            s.bytes_per_op,
+            s.peak_bytes_per_op,
+            s.threads_available
         );
     }
     match metrics {
@@ -251,6 +282,10 @@ pub struct BaselineStage {
     pub hosts_per_sec: f64,
     /// Allocations per op, when the baseline has the column.
     pub allocs_per_op: Option<u64>,
+    /// Peak heap growth per op, when the baseline has the column.
+    pub peak_bytes_per_op: Option<u64>,
+    /// Threads available when the baseline stage ran, when recorded.
+    pub threads_available: Option<u64>,
 }
 
 /// Parses the `stages` array of a committed `BENCH_pipeline.json`.
@@ -263,9 +298,21 @@ pub fn parse_baseline_stages(json: &str) -> Vec<BaselineStage> {
             name: name.to_owned(),
             hosts_per_sec: hosts,
             allocs_per_op: extract_u64(line, "allocs_per_op"),
+            peak_bytes_per_op: extract_u64(line, "peak_bytes_per_op"),
+            threads_available: extract_u64(line, "threads_available"),
         });
     }
     out
+}
+
+/// True for stages whose throughput measures *parallel scaling* — the
+/// multi-shard study runs. Their numbers are meaningless on a
+/// single-thread machine (the shards serialize), so the regression
+/// guard skips their comparisons when either the baseline stage or the
+/// current run saw `threads_available == 1` (ROADMAP item 5).
+pub fn is_shard_scaling_stage(name: &str) -> bool {
+    name == "full_study_sharded"
+        || (name.starts_with("full_study_k") && name != "full_study_k1" && name != "full_study_k1_obs")
 }
 
 fn extract_str<'a>(json: &'a str, key: &str) -> Option<&'a str> {
@@ -325,11 +372,15 @@ mod tests {
             hosts_per_sec: 120.0,
             allocs_per_op: 9,
             bytes_per_op: 1024,
+            peak_bytes_per_op: 2048,
+            threads_available: 4,
         }];
         let json = render_json(600, 8, 3, &stages, None);
         let parsed = parse_baseline_stages(&json);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].allocs_per_op, Some(9));
+        assert_eq!(parsed[0].peak_bytes_per_op, Some(2048));
+        assert_eq!(parsed[0].threads_available, Some(4));
         assert_eq!(extract_u64(&json, "servers"), Some(600));
         assert!(parse_baseline_metrics(&json).is_empty());
     }
@@ -348,6 +399,17 @@ mod tests {
     }
 
     #[test]
+    fn shard_scaling_stage_classifier() {
+        assert!(is_shard_scaling_stage("full_study_k2"));
+        assert!(is_shard_scaling_stage("full_study_k8"));
+        assert!(is_shard_scaling_stage("full_study_sharded"));
+        assert!(!is_shard_scaling_stage("full_study_k1"));
+        assert!(!is_shard_scaling_stage("full_study_k1_obs"));
+        assert!(!is_shard_scaling_stage("stream_study"));
+        assert!(!is_shard_scaling_stage("worldgen"));
+    }
+
+    #[test]
     fn overhead_pct_rendered_when_both_stages_present() {
         let stage = |name, ns| StageResult {
             name,
@@ -355,6 +417,8 @@ mod tests {
             hosts_per_sec: 1.0,
             allocs_per_op: 0,
             bytes_per_op: 0,
+            peak_bytes_per_op: 0,
+            threads_available: 1,
         };
         let stages = [stage("full_study_k1", 100), stage("full_study_k1_obs", 125)];
         let json = render_json(600, 8, 3, &stages, None);

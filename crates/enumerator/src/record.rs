@@ -315,35 +315,61 @@ impl RunSummary {
     pub fn from_records(records: &[HostRecord]) -> Self {
         let mut s = RunSummary::default();
         for r in records {
-            s.hosts += 1;
-            if r.ftp_compliant {
-                s.ftp += 1;
-            }
-            if r.is_anonymous() {
-                s.anonymous += 1;
-            }
-            if r.server_terminated {
-                s.server_terminated += 1;
-            }
-            if r.truncated {
-                s.truncated += 1;
-            }
-            if r.login == LoginOutcome::Aborted {
-                s.aborted += 1;
-            }
-            s.total_requests += u64::from(r.requests_used);
-            s.total_entries += r.files.len() as u64;
-            s.unparsed_lines += r.unparsed_lines;
-            if r.gave_up.is_some() {
-                s.gave_up += 1;
-            }
-            s.connect_retries += u64::from(r.faults.connect_retries);
-            s.step_timeouts += u64::from(r.faults.step_timeouts);
-            s.data_conn_failures += u64::from(r.faults.data_conn_failures);
-            s.garbage_lines +=
-                u64::from(r.faults.garbage_lines) + u64::from(r.faults.overlong_lines);
+            s.fold(r);
         }
         s
+    }
+
+    /// Folds one record into the summary. Every field is a plain sum,
+    /// so fold order is irrelevant and [`RunSummary::absorb`]-merging
+    /// per-batch summaries equals one summary over all records — the
+    /// law the streaming study runner relies on.
+    pub fn fold(&mut self, r: &HostRecord) {
+        self.hosts += 1;
+        if r.ftp_compliant {
+            self.ftp += 1;
+        }
+        if r.is_anonymous() {
+            self.anonymous += 1;
+        }
+        if r.server_terminated {
+            self.server_terminated += 1;
+        }
+        if r.truncated {
+            self.truncated += 1;
+        }
+        if r.login == LoginOutcome::Aborted {
+            self.aborted += 1;
+        }
+        self.total_requests += u64::from(r.requests_used);
+        self.total_entries += r.files.len() as u64;
+        self.unparsed_lines += r.unparsed_lines;
+        if r.gave_up.is_some() {
+            self.gave_up += 1;
+        }
+        self.connect_retries += u64::from(r.faults.connect_retries);
+        self.step_timeouts += u64::from(r.faults.step_timeouts);
+        self.data_conn_failures += u64::from(r.faults.data_conn_failures);
+        self.garbage_lines +=
+            u64::from(r.faults.garbage_lines) + u64::from(r.faults.overlong_lines);
+    }
+
+    /// Adds another summary field-by-field (commutative, associative).
+    pub fn absorb(&mut self, other: &RunSummary) {
+        self.hosts += other.hosts;
+        self.ftp += other.ftp;
+        self.anonymous += other.anonymous;
+        self.server_terminated += other.server_terminated;
+        self.truncated += other.truncated;
+        self.aborted += other.aborted;
+        self.total_requests += other.total_requests;
+        self.total_entries += other.total_entries;
+        self.unparsed_lines += other.unparsed_lines;
+        self.gave_up += other.gave_up;
+        self.connect_retries += other.connect_retries;
+        self.step_timeouts += other.step_timeouts;
+        self.data_conn_failures += other.data_conn_failures;
+        self.garbage_lines += other.garbage_lines;
     }
 
     /// Mean commands per contacted host.
@@ -386,5 +412,23 @@ mod summary_tests {
         let s = RunSummary::from_records(&[]);
         assert_eq!(s.hosts, 0);
         assert_eq!(s.mean_requests(), 0.0);
+    }
+
+    #[test]
+    fn absorb_of_splits_equals_whole() {
+        let mut a = HostRecord::new(Ipv4Addr::new(1, 1, 1, 1));
+        a.ftp_compliant = true;
+        a.requests_used = 10;
+        a.faults.garbage_lines = 3;
+        let mut b = HostRecord::new(Ipv4Addr::new(1, 1, 1, 2));
+        b.requests_used = 2;
+        b.unparsed_lines = 5;
+        let mut c = HostRecord::new(Ipv4Addr::new(1, 1, 1, 3));
+        c.truncated = true;
+        let whole = RunSummary::from_records(&[a.clone(), b.clone(), c.clone()]);
+        // Any batch split, any merge order.
+        let mut merged = RunSummary::from_records(&[c]);
+        merged.absorb(&RunSummary::from_records(&[a, b]));
+        assert_eq!(merged, whole);
     }
 }

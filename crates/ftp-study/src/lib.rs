@@ -25,12 +25,18 @@
 #![warn(missing_docs)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod checkpoint;
+pub mod stream;
 pub mod study;
 pub mod tables;
 pub mod verdicts;
 pub mod webprobe;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use honeypot::farm::run_experiment as run_honeypot_experiment;
+pub use stream::{
+    aggregate_of, run_study_streamed, StreamError, StreamOptions, StreamOutcome, StreamResults,
+};
 pub use study::{run_study, run_study_sharded, StudyConfig, StudyResults};
-pub use tables::full_report;
+pub use tables::{full_report, stream_report};
 pub use webprobe::{HttpObservation, WebProbe};

@@ -1,0 +1,335 @@
+//! Streaming study runner: bounded-memory batches with checkpoint/resume.
+//!
+//! The legacy runner ([`crate::study::run_study_sharded`]) materializes a
+//! shard's entire host slice and keeps every [`enumerator::HostRecord`]
+//! until the end — O(world) RSS, which caps study size. This runner
+//! splits each shard's address space into `batches` hash-partitioned
+//! sub-slices (the [`netsim::ip::batch_of`] axis, independent of the
+//! shard axis), runs the full scan → enumerate → HTTP-sweep pipeline on
+//! one batch at a time in a **fresh simulator**, folds the batch's
+//! records into a constant-size [`StreamingAggregate`], and drops
+//! everything else. Peak memory is O(batch), regardless of world size.
+//!
+//! Correctness rests on the same purity argument as sharding: every
+//! per-host outcome is a pure function of `(seed, ip)`, so a host
+//! observes identical behavior whichever simulator it lands in, and the
+//! `(shard, batch)` grid partitions the space exactly. The
+//! equivalence test suite checks byte-identity of the rendered report
+//! against the in-memory path at several batch sizes, shard counts, and
+//! fault fractions.
+//!
+//! With a checkpoint directory set, each shard persists its aggregate
+//! and next-batch cursor after every batch ([`crate::checkpoint`]); a
+//! later invocation with the same parameters resumes where it stopped
+//! and produces a byte-identical final report. The "RNG cursor" is just
+//! the batch index — per-host RNGs derive from `(seed, ip)`, so there is
+//! no generator state to save.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::study::{run_partition, StudyConfig, StudyResults};
+use analysis::StreamingAggregate;
+use netsim::Simulator;
+use std::fmt;
+use std::path::PathBuf;
+use worldgen::{PopulationSpec, WorldPlan};
+use zscan::{HashBatch, HashShard};
+
+/// Streaming-specific knobs, on top of a [`StudyConfig`].
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Target hosts per batch; the batch count is
+    /// `ceil(planned_hosts / batch_size)` (hash partitioning makes the
+    /// realized batch populations approximately, not exactly, this
+    /// size).
+    pub batch_size: usize,
+    /// Shard (worker thread) count, exactly as in the legacy runner.
+    pub shards: u64,
+    /// Where to persist per-shard checkpoints; `None` disables
+    /// checkpointing (and therefore resume).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Test hook simulating a crash: each shard stops cleanly after
+    /// executing this many batches *in this invocation* (checkpoints
+    /// already written stay on disk). `None` runs to completion.
+    pub interrupt_after_batches: Option<u64>,
+}
+
+impl StreamOptions {
+    /// Single-shard streaming with the given batch size and no
+    /// checkpointing.
+    pub fn new(batch_size: usize) -> Self {
+        StreamOptions { batch_size, shards: 1, checkpoint_dir: None, interrupt_after_batches: None }
+    }
+}
+
+/// Why a streamed study could not run.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Invalid options (zero batch size or shard count).
+    Config(String),
+    /// Checkpoint load/store failure (corruption, I/O, config mismatch).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Config(why) => write!(f, "invalid streaming options: {why}"),
+            StreamError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<CheckpointError> for StreamError {
+    fn from(e: CheckpointError) -> Self {
+        StreamError::Checkpoint(e)
+    }
+}
+
+/// A completed streamed study.
+#[derive(Debug, Clone)]
+pub struct StreamResults {
+    /// The merged aggregate over every `(shard, batch)` cell.
+    pub aggregate: StreamingAggregate,
+    /// The population the study ran over (for report scale/boost lines).
+    pub spec: PopulationSpec,
+    /// Shard count the run used.
+    pub shards: u64,
+    /// Batch count per shard.
+    pub batches: u64,
+}
+
+/// Outcome of [`run_study_streamed`].
+#[derive(Debug)]
+pub enum StreamOutcome {
+    /// Every shard folded every batch. Boxed: the aggregate is a
+    /// kilobyte-scale struct and the enum travels by value.
+    Complete(Box<StreamResults>),
+    /// The interrupt hook fired first. `next_batches[i]` is shard `i`'s
+    /// resume cursor; with a checkpoint directory, rerunning with
+    /// identical parameters continues from exactly there.
+    Interrupted {
+        /// Per-shard next-batch cursors at the stop point.
+        next_batches: Vec<u64>,
+    },
+}
+
+/// Fingerprint over every parameter that affects study results, binding
+/// checkpoints to their exact invocation. Floats enter as IEEE-754 bit
+/// patterns so the string is deterministic.
+pub fn config_fingerprint(cfg: &StudyConfig, shards: u64, batches: u64, batch_size: usize) -> u64 {
+    let p = &cfg.population;
+    let canon = format!(
+        "seed={} space={:?} ftp_servers={} scale={} rare_boost={:016x} \
+         include_non_ftp={} include_http={} fault={:016x} request_cap={} concurrency={} \
+         probe_bounce={} probe_http={} respect_robots={} strict_replies={} \
+         request_gap={:?} shards={shards} batches={batches} batch_size={batch_size}",
+        p.seed,
+        p.space,
+        p.ftp_servers,
+        p.scale,
+        p.rare_boost.to_bits(),
+        p.include_non_ftp,
+        p.include_http,
+        p.fault_fraction.to_bits(),
+        cfg.request_cap,
+        cfg.concurrency,
+        cfg.probe_bounce,
+        cfg.probe_http,
+        cfg.respect_robots,
+        cfg.strict_replies,
+        cfg.request_gap,
+    );
+    crate::checkpoint::fnv1a(canon.as_bytes())
+}
+
+/// One shard's run: its aggregate and where it stopped.
+struct ShardRun {
+    aggregate: StreamingAggregate,
+    next_batch: u64,
+}
+
+fn run_stream_shard(
+    cfg: &StudyConfig,
+    plan: &WorldPlan,
+    index: u64,
+    shards: u64,
+    batches: u64,
+    fingerprint: u64,
+    opts: &StreamOptions,
+) -> Result<ShardRun, StreamError> {
+    let seed = cfg.population.seed;
+
+    // Resume from a checkpoint when one exists and matches this exact
+    // configuration; otherwise start fresh.
+    let (mut aggregate, start_batch) = match &opts.checkpoint_dir {
+        Some(dir) => match Checkpoint::load(dir, index)? {
+            Some(ckpt) => {
+                if ckpt.config != fingerprint || ckpt.shards != shards || ckpt.batches != batches
+                {
+                    return Err(CheckpointError::ConfigMismatch {
+                        found: ckpt.config,
+                        expected: fingerprint,
+                    }
+                    .into());
+                }
+                (ckpt.aggregate, ckpt.next_batch)
+            }
+            None => (StreamingAggregate::default(), 0),
+        },
+        None => (StreamingAggregate::default(), 0),
+    };
+
+    for (executed, batch) in (start_batch..batches).enumerate() {
+        if opts.interrupt_after_batches.is_some_and(|limit| executed as u64 >= limit) {
+            return Ok(ShardRun { aggregate, next_batch: batch });
+        }
+
+        // A fresh simulator per batch: batch teardown is simply dropping
+        // it, so nothing from this batch survives to the next.
+        let mut sim = Simulator::new(seed);
+        // Materialized ground truth is folded into the sim and
+        // immediately dropped — the streaming path never holds a host
+        // vector.
+        let _ = plan.materialize_slice(&mut sim, (index, shards), (batch, batches));
+        let out = run_partition(
+            cfg,
+            &mut sim,
+            Some(HashShard { seed, index, shards }),
+            Some(HashBatch { seed, index: batch, batches }),
+        );
+
+        aggregate.fold_scan(out.ips_scanned, out.open_port);
+        for r in &out.records {
+            aggregate.fold_record(r, out.bounce_hits.contains(&r.ip), Some(plan.registry()));
+        }
+        for o in out.http.values() {
+            aggregate.fold_http(o.powered_by.is_some());
+        }
+
+        if let Some(dir) = &opts.checkpoint_dir {
+            Checkpoint {
+                config: fingerprint,
+                shard: index,
+                shards,
+                batches,
+                next_batch: batch + 1,
+                aggregate: aggregate.clone(),
+            }
+            .save(dir)?;
+        }
+    }
+    Ok(ShardRun { aggregate, next_batch: batches })
+}
+
+/// Runs the study in bounded-memory streaming mode.
+///
+/// Partitions the world into `opts.shards × ceil(hosts/batch_size)`
+/// hash cells, pipelines each shard's batches sequentially through a
+/// per-batch simulator, and merges the per-shard aggregates in shard
+/// order. The merged report is byte-identical for every batch size and
+/// shard count, and — via checkpoints — across interrupt/resume cycles.
+pub fn run_study_streamed(
+    cfg: &StudyConfig,
+    opts: &StreamOptions,
+) -> Result<StreamOutcome, StreamError> {
+    if opts.batch_size == 0 {
+        return Err(StreamError::Config("batch size must be at least 1".into()));
+    }
+    if opts.shards == 0 {
+        return Err(StreamError::Config("need at least one shard".into()));
+    }
+
+    let plan = worldgen::plan_world(&cfg.population);
+    let batches = (plan.planned_host_count() as u64).div_ceil(opts.batch_size as u64).max(1);
+    let fingerprint = config_fingerprint(cfg, opts.shards, batches, opts.batch_size);
+
+    let runs: Vec<Result<ShardRun, StreamError>> = if opts.shards == 1 {
+        vec![run_stream_shard(cfg, &plan, 0, 1, batches, fingerprint, opts)]
+    } else {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..opts.shards)
+                .map(|index| {
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        run_stream_shard(cfg, plan, index, opts.shards, batches, fingerprint, opts)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("stream shard worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut aggregate = StreamingAggregate::default();
+    let mut next_batches = Vec::with_capacity(runs.len());
+    let mut complete = true;
+    for run in runs {
+        let run = run?;
+        next_batches.push(run.next_batch);
+        if run.next_batch < batches {
+            complete = false;
+        }
+        aggregate.merge(&run.aggregate);
+    }
+    if !complete {
+        return Ok(StreamOutcome::Interrupted { next_batches });
+    }
+    Ok(StreamOutcome::Complete(Box::new(StreamResults {
+        aggregate,
+        spec: cfg.population.clone(),
+        shards: opts.shards,
+        batches,
+    })))
+}
+
+/// Builds the streaming aggregate from legacy in-memory results with a
+/// single pass over the record vector — the bridge the equivalence
+/// tests (and the legacy CLI path) use to compare both pipelines'
+/// reports byte for byte.
+pub fn aggregate_of(results: &StudyResults) -> StreamingAggregate {
+    let mut agg = StreamingAggregate::default();
+    agg.fold_scan(results.ips_scanned, results.open_port);
+    for r in &results.records {
+        agg.fold_record(r, results.bounce_hits.contains(&r.ip), Some(&results.truth.registry));
+    }
+    for o in results.http.values() {
+        agg.fold_http(o.powered_by.is_some());
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_options_are_rejected() {
+        let cfg = StudyConfig::small(3, 20);
+        assert!(matches!(
+            run_study_streamed(&cfg, &StreamOptions { batch_size: 0, ..StreamOptions::new(1) }),
+            Err(StreamError::Config(_))
+        ));
+        let mut opts = StreamOptions::new(8);
+        opts.shards = 0;
+        assert!(matches!(run_study_streamed(&cfg, &opts), Err(StreamError::Config(_))));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let cfg = StudyConfig::small(3, 20);
+        let base = config_fingerprint(&cfg, 2, 5, 16);
+        assert_eq!(base, config_fingerprint(&cfg, 2, 5, 16));
+        assert_ne!(base, config_fingerprint(&cfg, 3, 5, 16));
+        assert_ne!(base, config_fingerprint(&cfg, 2, 6, 16));
+        assert_ne!(base, config_fingerprint(&cfg, 2, 5, 17));
+        let mut other = cfg.clone();
+        other.request_cap += 1;
+        assert_ne!(base, config_fingerprint(&other, 2, 5, 16));
+        let faulty = cfg.clone().with_fault_fraction(0.25);
+        assert_ne!(base, config_fingerprint(&faulty, 2, 5, 16));
+    }
+}

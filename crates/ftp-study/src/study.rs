@@ -10,7 +10,7 @@ use netsim::{shard_of, SimDuration, Simulator};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use worldgen::{HostTruth, PopulationSpec, WorldPlan, WorldTruth};
-use zscan::{Blocklist, HashShard, HostDiscovery, ScanConfig};
+use zscan::{Blocklist, HashBatch, HashShard, HostDiscovery, ScanConfig};
 
 /// Addresses the study's own machines occupy (outside the population
 /// space).
@@ -124,36 +124,44 @@ struct ShardOutput {
     obs: Option<obs::Report>,
 }
 
-/// Runs the three measurement stages for one shard: a private simulator
-/// holding only the hosts [`shard_of`] assigns to `index`, scanned,
-/// enumerated, and swept exactly like the single-threaded pipeline.
-///
-/// Every shard's simulator is seeded with the *master* seed — not a
-/// derived one — because per-path latency is a pure function of the
-/// simulator seed and the endpoint addresses, and merge identity
-/// requires a host to observe the same latencies whichever simulator it
-/// lands in.
-fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> ShardOutput {
-    if cfg.obs.any() {
-        obs::install(Box::new(obs::CollectingRecorder::new(index, cfg.obs.trace)));
-    }
-    let shard_span = obs::span!("shard.run");
-    // The recorder stamps every line with the shard index, so events
-    // only carry what the envelope does not.
-    obs::event!("shard.start", shards = shards);
+/// What one partition's measurement stages produced: the per-host
+/// records and counters for whatever slice of the address space the
+/// scan filters admitted. Shared by the legacy sharded runner (one
+/// partition per shard) and the streaming runner (one partition per
+/// `(shard, batch)` cell).
+pub(crate) struct PartitionOutput {
+    /// Addresses probed by host discovery inside this partition.
+    pub(crate) ips_scanned: u64,
+    /// Hosts answering on TCP/21.
+    pub(crate) open_port: u64,
+    /// Per-host enumeration records.
+    pub(crate) records: Vec<HostRecord>,
+    /// Server addresses whose bounced connections reached the collector.
+    pub(crate) bounce_hits: HashSet<Ipv4Addr>,
+    /// HTTP sweep observations.
+    pub(crate) http: HashMap<Ipv4Addr, HttpObservation>,
+}
 
+/// Runs the three measurement stages — ZMap-style discovery,
+/// enumeration, HTTP sweep — against a simulator that already holds the
+/// partition's hosts. `hash_shard`/`hash_batch` restrict discovery to
+/// the same slice the caller materialized; the caller owns recorder
+/// installation (the streaming path installs none, so the `obs` macros
+/// are no-ops there).
+pub(crate) fn run_partition(
+    cfg: &StudyConfig,
+    sim: &mut Simulator,
+    hash_shard: Option<HashShard>,
+    hash_batch: Option<HashBatch>,
+) -> PartitionOutput {
     let seed = cfg.population.seed;
-    let mut sim = Simulator::new(seed);
-    let (hosts, non_ftp) = {
-        let _span = obs::span!("stage.worldgen");
-        plan.materialize(&mut sim, |ip| shard_of(seed, ip, shards) == index)
-    };
 
-    // Stage 1: ZMap-style host discovery over this shard's slice of the
+    // Stage 1: host discovery over this partition's slice of the
     // population space.
     let mut scan_cfg = ScanConfig::tcp21(cfg.population.space, seed ^ 0x5ca);
     scan_cfg.blocklist = Blocklist::standard();
-    scan_cfg.hash_shard = Some(HashShard { seed, index, shards });
+    scan_cfg.hash_shard = hash_shard;
+    scan_cfg.hash_batch = hash_batch;
     let (scanner, scan_results) = HostDiscovery::new(scan_cfg);
     let sid = sim.register_endpoint(Box::new(scanner));
     sim.schedule_timer(sid, SimDuration::ZERO, 0);
@@ -206,6 +214,36 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
 
     let records = records.borrow().clone();
     let bounce_hits = bounce_hits.borrow().clone();
+    PartitionOutput { ips_scanned, open_port: open.len() as u64, records, bounce_hits, http }
+}
+
+/// Runs the three measurement stages for one shard: a private simulator
+/// holding only the hosts [`shard_of`] assigns to `index`, scanned,
+/// enumerated, and swept exactly like the single-threaded pipeline.
+///
+/// Every shard's simulator is seeded with the *master* seed — not a
+/// derived one — because per-path latency is a pure function of the
+/// simulator seed and the endpoint addresses, and merge identity
+/// requires a host to observe the same latencies whichever simulator it
+/// lands in.
+fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> ShardOutput {
+    if cfg.obs.any() {
+        obs::install(Box::new(obs::CollectingRecorder::new(index, cfg.obs.trace)));
+    }
+    let shard_span = obs::span!("shard.run");
+    // The recorder stamps every line with the shard index, so events
+    // only carry what the envelope does not.
+    obs::event!("shard.start", shards = shards);
+
+    let seed = cfg.population.seed;
+    let mut sim = Simulator::new(seed);
+    let (hosts, non_ftp) = {
+        let _span = obs::span!("stage.worldgen");
+        plan.materialize(&mut sim, |ip| shard_of(seed, ip, shards) == index)
+    };
+
+    let out = run_partition(cfg, &mut sim, Some(HashShard { seed, index, shards }), None);
+
     if obs::enabled() {
         // Harvest the timer wheel's unconditionally-maintained stats into
         // the recorder at shard end; the wheel itself never calls obs.
@@ -214,19 +252,19 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
         obs::counter(obs::Counter::WheelCascades, ws.cascades);
         obs::counter(obs::Counter::WheelCascadedEntries, ws.cascaded_entries);
         obs::gauge_max(obs::Gauge::WheelMaxOccupancy, ws.max_occupancy);
-        obs::counter(obs::Counter::HttpObservations, http.len() as u64);
-        obs::event!("shard.done", records = records.len(), sim_us = sim.now().as_micros());
+        obs::counter(obs::Counter::HttpObservations, out.http.len() as u64);
+        obs::event!("shard.done", records = out.records.len(), sim_us = sim.now().as_micros());
     }
     drop(shard_span);
     let obs_report = obs::uninstall().map(|r| r.finish());
     ShardOutput {
         hosts,
         non_ftp,
-        ips_scanned,
-        open_port: open.len() as u64,
-        records,
-        bounce_hits,
-        http,
+        ips_scanned: out.ips_scanned,
+        open_port: out.open_port,
+        records: out.records,
+        bounce_hits: out.bounce_hits,
+        http: out.http,
         obs: obs_report,
     }
 }

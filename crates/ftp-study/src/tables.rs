@@ -4,9 +4,12 @@
 //! [`full_report`] concatenates them all — this is what the
 //! `full_study` example and the benchmark harness print.
 
-use crate::study::StudyResults;
 use analysis::report::{pct, thousands, Table};
+use analysis::stream::{CAMPAIGN_ORDER, CLASS_ORDER, DEVICE_CLASS_ORDER, REQUEST_BUCKETS};
+use analysis::StreamingAggregate;
 use analysis::{ases, bounce, campaigns, cve, exposure, fingerprint, ftps, writable};
+use crate::study::StudyResults;
+use worldgen::PopulationSpec;
 
 /// Table I: the discovery funnel.
 pub fn table01_funnel(r: &StudyResults) -> String {
@@ -421,5 +424,288 @@ pub fn full_report(r: &StudyResults) -> String {
         out.push_str(&section);
         out.push('\n');
     }
+    out
+}
+
+/// Label for one log₂ request-histogram bucket.
+fn hist_label(i: usize) -> String {
+    match i {
+        0 => "0".to_owned(),
+        1 => "1".to_owned(),
+        i if i == REQUEST_BUCKETS - 1 => format!("{}+", 1u64 << (i - 1)),
+        i => format!("{}–{}", 1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// Sorts `(name, total, anonymous)` device rows the way the legacy
+/// tables do: by total descending, then name ascending, zero rows
+/// dropped.
+fn device_rows(rows: Vec<(String, u64, u64)>) -> Vec<(String, u64, u64)> {
+    let mut rows: Vec<_> = rows.into_iter().filter(|&(_, total, _)| total > 0).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+/// The streamed-mode study report, rendered purely from the
+/// bounded-memory [`StreamingAggregate`] (plus the population spec for
+/// the scale/boost header).
+///
+/// Deliberately a function of the aggregate's *measured* fields only —
+/// never of the shard/batch geometry or the `batches` bookkeeping
+/// counter — so a streamed run, a resumed run, and a legacy in-memory
+/// run bridged through [`crate::stream::aggregate_of`] all render
+/// byte-identical text. Tables that need per-host state unbounded in
+/// world size (per-AS tallies, certificate dedup, device/exposure
+/// cross-products) are listed as omitted at the end.
+pub fn stream_report(agg: &StreamingAggregate, spec: &PopulationSpec) -> String {
+    let scale = spec.scale;
+    let boost = spec.rare_boost;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FTP: THE FORGOTTEN CLOUD — reproduction run (streamed)\n\
+         population scale 1:{scale} (multiply counts by {scale} for paper scale);\n\
+         rare-phenomenon boost {boost:.0}x (divide rare counts by {boost:.0} first)\n\n"
+    ));
+
+    // Table I.
+    let f = agg.funnel();
+    let mut t = Table::new("TABLE I. GENERAL METRICS FROM FTP ENUMERATION");
+    t.row(["IPs scanned", &thousands(f.ips_scanned), ""]);
+    t.row(["Open port 21", &thousands(f.open_port), &pct(f.open_port, f.ips_scanned)]);
+    t.row(["FTP servers", &thousands(f.ftp_servers), &pct(f.ftp_servers, f.open_port)]);
+    t.row([
+        "Anonymous FTP servers",
+        &thousands(f.anonymous),
+        &pct(f.anonymous, f.ftp_servers),
+    ]);
+    t.row(["Gave up (hostile/dead)", &thousands(f.gave_up), &pct(f.gave_up, f.open_port)]);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Table II.
+    let total = agg.class_total();
+    let total_anon = agg.class_total_anon();
+    let mut t = Table::new("TABLE II. BREAKOUT OF SERVERS IN EACH CATEGORY")
+        .headers(["Server Classification", "All FTP Servers", "Anonymous FTP Servers"]);
+    for (class, &(all, anon)) in CLASS_ORDER.iter().zip(agg.classes.iter()) {
+        t.row([
+            class.to_string(),
+            format!("{} {}", thousands(all), pct(all, total)),
+            format!("{} {}", thousands(anon), pct(anon, total_anon)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Table IV.
+    let rows = device_rows(
+        DEVICE_CLASS_ORDER
+            .iter()
+            .zip(agg.device_classes.iter())
+            .map(|(class, &(total, anon))| (class.to_string(), total, anon))
+            .collect(),
+    );
+    let mut t = Table::new("TABLE IV. CLASSES OF EMBEDDED DEVICES")
+        .headers(["Device Type", "All FTP", "Anonymous FTP"]);
+    for (class, total, anon) in rows {
+        t.row([class, thousands(total), thousands(anon)]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Tables V and VII.
+    for (provider, caption) in [
+        (true, "TABLE V. COMMON PROVIDER DEPLOYED DEVICES"),
+        (false, "TABLE VII. SAMPLE OF EMBEDDED SERVER DEVICES THAT ARE DEPLOYED AS STANDALONE"),
+    ] {
+        let rows = device_rows(
+            agg.devices
+                .iter()
+                .filter(|&(_, &(_, _, p))| p == provider)
+                .map(|(name, &(total, anon, _))| (name.clone(), total, anon))
+                .collect(),
+        );
+        let mut t = Table::new(caption).headers(["Device", "# Found", "# Anonymous"]);
+        for (name, found, anon) in rows {
+            t.row([name, thousands(found), format!("{} {}", thousands(anon), pct(anon, found))]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // Table VIII.
+    let mut ext_rows: Vec<(&String, u64, u64)> =
+        agg.extensions.iter().map(|(e, &(files, servers))| (e, files, servers)).collect();
+    ext_rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut t = Table::new("TABLE VIII. MOST COMMON FILE EXTENSIONS ACROSS KNOWN SOHO DEVICES")
+        .headers(["Extension", "# Files", "# Servers"]);
+    for (ext, files, servers) in ext_rows.into_iter().take(10) {
+        t.row([
+            format!(".{ext}"),
+            thousands(files),
+            format!("{} {}", thousands(servers), pct(servers, agg.soho_servers)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Table IX.
+    let mut t = Table::new("TABLE IX. EXAMPLES OF SENSITIVE EXPOSURE VIA ANONYMOUS FTP").headers([
+        "File",
+        "# Servers",
+        "# Files",
+        "# Readable",
+        "# Non-readable",
+        "# Unk-readable",
+    ]);
+    for (class, row) in exposure::SensitiveClass::ALL.iter().zip(agg.sensitive.iter()) {
+        t.row([
+            class.label().to_owned(),
+            thousands(row.servers),
+            thousands(row.files),
+            thousands(row.readable),
+            thousands(row.non_readable),
+            thousands(row.unk_readable),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Table XI.
+    let mut t = Table::new("TABLE XI. NUMBER OF SERVERS VULNERABLE TO CVES").headers([
+        "Implementation",
+        "Vulnerability",
+        "CVSS Score",
+        "Number IPs",
+    ]);
+    for (rule, _, _) in cve::rules() {
+        let count = agg.cves.get(rule.id).copied().unwrap_or(0);
+        t.row([
+            rule.family_name.to_owned(),
+            rule.id.to_owned(),
+            format!("{:.1}", rule.cvss),
+            thousands(count),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Request-depth histogram (streamed bonus: the batch pipeline keeps
+    // it for free, where the legacy path would need the record vector).
+    let mut t = Table::new("ENUMERATION REQUESTS PER HOST (log2 buckets)")
+        .headers(["Requests", "# Hosts"]);
+    for (i, &n) in agg.requests_hist.iter().enumerate() {
+        if n > 0 {
+            t.row([hist_label(i), thousands(n)]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // §VI.
+    let mut t = Table::new("SECTION VI. MALICIOUS USE (measured)").headers(["Metric", "Value"]);
+    t.row([
+        "World-writable servers (reference set)".to_owned(),
+        format!(
+            "{} in {} ASes",
+            thousands(agg.writable_servers),
+            agg.writable_asns.len()
+        ),
+    ]);
+    let campaign_label = |c: campaigns::CampaignClass| match c {
+        campaigns::CampaignClass::Ftpchk3 => "ftpchk3 campaign servers",
+        campaigns::CampaignClass::Rat => "RAT servers (reference-set sourced)",
+        campaigns::CampaignClass::Ddos => "UDP DDoS script servers",
+        campaigns::CampaignClass::HolyBible => "Holy Bible SEO servers",
+        campaigns::CampaignClass::KeygenFlier => "Keygen-flier servers",
+        campaigns::CampaignClass::Warez => "WaReZ transport servers",
+        campaigns::CampaignClass::Ramnit => "Ramnit-banner servers",
+    };
+    for (class, &count) in CAMPAIGN_ORDER.iter().zip(agg.campaigns.iter()) {
+        if *class == campaigns::CampaignClass::HolyBible {
+            let share = if agg.hb_total == 0 {
+                0.0
+            } else {
+                agg.hb_writable as f64 / agg.hb_total as f64
+            };
+            t.row([
+                campaign_label(*class).to_owned(),
+                format!("{} ({:.2}% also writable)", thousands(count), share * 100.0),
+            ]);
+        } else {
+            t.row([campaign_label(*class).to_owned(), thousands(count)]);
+        }
+    }
+    let ftp_total = agg.summary.ftp;
+    t.row([
+        "FTP hosts also serving HTTP".to_owned(),
+        format!("{} {}", thousands(agg.http_both), pct(agg.http_both, ftp_total)),
+    ]);
+    t.row([
+        "FTP hosts with server-side scripting".to_owned(),
+        format!("{} {}", thousands(agg.http_scripting), pct(agg.http_scripting, ftp_total)),
+    ]);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // §VII-B.
+    let s = &agg.bounce;
+    let mut t = Table::new("SECTION VII-B. PORT BOUNCING (measured)").headers(["Metric", "Value"]);
+    t.row([
+        "Anonymous servers failing PORT validation".to_owned(),
+        format!("{} ({:.2}% of probed)", thousands(s.accepted), s.acceptance_rate() * 100.0),
+    ]);
+    t.row(["…confirmed at collector".to_owned(), thousands(s.confirmed)]);
+    t.row(["Servers behind NAT".to_owned(), thousands(s.nat)]);
+    t.row(["NAT + invalid PORT".to_owned(), thousands(s.nat_and_vulnerable)]);
+    t.row(["Writable + invalid PORT".to_owned(), thousands(s.writable_and_vulnerable)]);
+    t.row(["FileZilla servers observed".to_owned(), thousands(s.filezilla_total)]);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // §IX (certificate *uniqueness* needs whole-world state; omitted).
+    let mut t = Table::new("SECTION IX. FTPS IMPACT (measured)").headers(["Metric", "Value"]);
+    t.row([
+        "FTP servers supporting FTPS".to_owned(),
+        format!("{} {}", thousands(agg.ftps_supported), pct(agg.ftps_supported, ftp_total)),
+    ]);
+    t.row(["FTPS required before login".to_owned(), thousands(agg.ftps_required)]);
+    t.row([
+        "Certificates collected".to_owned(),
+        format!("{} (uniqueness not tracked in streamed mode)", thousands(agg.certs_seen)),
+    ]);
+    let self_signed_share = if agg.certs_seen == 0 {
+        0.0
+    } else {
+        agg.certs_self_signed as f64 / agg.certs_seen as f64
+    };
+    t.row([
+        "Self-signed certificates".to_owned(),
+        format!("{:.1}%", self_signed_share * 100.0),
+    ]);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Operational telemetry, folded for free by the aggregate.
+    let sm = &agg.summary;
+    let mut t = Table::new("ENUMERATION TELEMETRY (measured)").headers(["Metric", "Value"]);
+    t.row(["Hosts contacted".to_owned(), thousands(sm.hosts)]);
+    t.row(["Sessions aborted".to_owned(), thousands(sm.aborted)]);
+    t.row(["Server-terminated sessions".to_owned(), thousands(sm.server_terminated)]);
+    t.row(["Request-cap truncations".to_owned(), thousands(sm.truncated)]);
+    t.row(["Connect retries".to_owned(), thousands(sm.connect_retries)]);
+    t.row(["Step timeouts".to_owned(), thousands(sm.step_timeouts)]);
+    t.row(["Data-channel failures".to_owned(), thousands(sm.data_conn_failures)]);
+    t.row(["Garbage control lines".to_owned(), thousands(sm.garbage_lines)]);
+    t.row(["Mean requests per host".to_owned(), format!("{:.2}", sm.mean_requests())]);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    out.push_str(
+        "Omitted in streamed mode (state unbounded in world size): Table III and Table VI \
+         (per-AS tallies), Figure 1 (AS CDF), Table X (exposure × device cross-product), \
+         Table XII and Table XIII (certificate deduplication), §X CyberUL fleet audit, \
+         §III-A notification queue. Run without --batch-size for the full report.\n",
+    );
     out
 }

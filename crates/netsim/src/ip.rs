@@ -178,6 +178,35 @@ pub fn shard_of(seed: u64, ip: Ipv4Addr, shards: u64) -> u64 {
     (z ^ (z >> 31)) % shards
 }
 
+/// Deterministic batch assignment for an address: which of `batches`
+/// sequential slices `(seed, ip)` hashes into.
+///
+/// This is the partition key of the *streaming* study runner, the
+/// second axis of the `(shard, batch)` grid: a shard walks its batches
+/// in order, materializing and simulating only the addresses whose
+/// batch index matches, so memory is bounded by the batch population
+/// rather than the shard population. The salt differs from
+/// [`shard_of`]'s on purpose — with a shared salt the two partitions
+/// would be the *same* hash re-bucketed, making `shard i ∩ batch j`
+/// empty whenever `i ≠ j` for equal counts instead of an even grid.
+/// Like [`shard_of`], this is a pure function of its inputs, so the
+/// union of all batches of all shards reconstructs the whole world
+/// independent of visit order.
+///
+/// # Panics
+///
+/// Panics if `batches` is zero.
+pub fn batch_of(seed: u64, ip: Ipv4Addr, batches: u64) -> u64 {
+    assert!(batches > 0, "need at least one batch");
+    let mut z = seed
+        .wrapping_add(0xBA7C_0000_0000_0000)
+        .wrapping_add(u64::from(u32::from(ip)).rotate_left(23))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % batches
+}
+
 /// IANA-reserved ranges a responsible Internet-wide scan must exclude
 /// (the paper followed Durumeric et al.'s scanning recommendations).
 pub fn reserved_ranges() -> Vec<Ipv4Net> {
@@ -308,6 +337,48 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn shard_of_zero_shards_panics() {
         let _ = shard_of(1, Ipv4Addr::new(1, 2, 3, 4), 0);
+    }
+
+    #[test]
+    fn batch_of_partitions_completely() {
+        let net: Ipv4Net = "10.10.0.0/22".parse().unwrap();
+        for batches in [1, 2, 7, 16] {
+            let mut counts = vec![0u64; batches as usize];
+            for ip in net.iter() {
+                let b = batch_of(77, ip, batches);
+                assert!(b < batches, "{ip} assigned to batch {b} of {batches}");
+                counts[b as usize] += 1;
+            }
+            assert_eq!(counts.iter().sum::<u64>(), net.size());
+            let fair = net.size() / batches;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(c > fair / 2 && c < fair * 2, "batch {i} got {c} of ~{fair}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_and_shard_axes_are_independent() {
+        // The (shard, batch) grid must be a real product partition: with
+        // equal counts every cell should be populated, which fails if the
+        // two hashes share a salt (then cell (i, j) is empty for i ≠ j).
+        let net: Ipv4Net = "10.10.0.0/20".parse().unwrap();
+        let k = 4u64;
+        let mut cells = vec![0u64; (k * k) as usize];
+        for ip in net.iter() {
+            let s = shard_of(9, ip, k);
+            let b = batch_of(9, ip, k);
+            cells[(s * k + b) as usize] += 1;
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            assert!(c > 0, "grid cell {i} empty: shard/batch hashes are correlated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch")]
+    fn batch_of_zero_batches_panics() {
+        let _ = batch_of(1, Ipv4Addr::new(1, 2, 3, 4), 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod topology;
 mod wheel;
 
 pub use fault::{FaultKind, FaultProfile};
-pub use ip::{shard_of, Ipv4Net};
+pub use ip::{batch_of, shard_of, Ipv4Net};
 pub use sim::{
     ConnId, ConnectError, Ctx, Endpoint, EndpointId, FirewallPolicy, ProbeStatus, SimConfig,
     Simulator,

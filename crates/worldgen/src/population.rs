@@ -88,6 +88,30 @@ impl PopulationSpec {
         }
     }
 
+    /// A world sized by server count rather than scale factor: exactly
+    /// `n` FTP servers in an address space grown to fit them.
+    ///
+    /// `study(seed, scale)` pins the space at a /12, which caps the
+    /// population around a quarter-million hosts; streaming runs ask
+    /// for the population directly (`--servers 1000000`), so this
+    /// constructor picks the smallest prefix whose size is at least 4×
+    /// the server count — room for the non-FTP port-21 population and
+    /// the AS allocator's alignment slack.
+    pub fn sized(seed: u64, n: usize) -> Self {
+        let need = (n as u64).saturating_mul(4).next_power_of_two().max(1 << 18);
+        let prefix_len = 32 - need.trailing_zeros() as u8;
+        PopulationSpec {
+            seed,
+            space: Ipv4Net::new(Ipv4Addr::new(4, 0, 0, 0), prefix_len),
+            ftp_servers: n,
+            scale: (rates::PAPER_FTP / n as f64).max(1.0) as u64,
+            rare_boost: ((rates::PAPER_FTP / n as f64) / 64.0).max(1.0),
+            include_non_ftp: true,
+            include_http: true,
+            fault_fraction: 0.0,
+        }
+    }
+
     /// Sets the hostile-host fraction (see
     /// [`fault_fraction`](PopulationSpec::fault_fraction)).
     pub fn with_fault_fraction(mut self, fraction: f64) -> Self {
@@ -724,6 +748,47 @@ impl WorldPlan {
         &self.spec
     }
 
+    /// The frozen AS registry of the planned world.
+    ///
+    /// Streaming consumers resolve addresses to ASes per batch without
+    /// ever assembling a [`WorldTruth`], so the registry has to be
+    /// reachable from the plan itself.
+    pub fn registry(&self) -> &AsRegistry {
+        &self.registry
+    }
+
+    /// Total number of planned port-21 responders (FTP plus non-FTP).
+    ///
+    /// The streaming study runner derives its batch count from this:
+    /// `ceil(planned_host_count / batch_size)`, identical on every
+    /// shard, so checkpoints agree on the batch grid.
+    pub fn planned_host_count(&self) -> usize {
+        self.plans.len() + self.non_ftp.len()
+    }
+
+    /// Materializes one `(shard, batch)` grid cell: the planned hosts
+    /// that [`netsim::ip::shard_of`] assigns to `shard.0` of `shard.1`
+    /// *and* [`netsim::ip::batch_of`] assigns to `batch.0` of
+    /// `batch.1`, under this plan's world seed.
+    ///
+    /// This is [`WorldPlan::materialize`] with the streaming runner's
+    /// composed keep-filter: batches are hash-partitions just like
+    /// shards, so the union over the grid rebuilds the full world and
+    /// each cell's hosts are byte-identical to their full-build
+    /// selves.
+    pub fn materialize_slice(
+        &self,
+        sim: &mut Simulator,
+        shard: (u64, u64),
+        batch: (u64, u64),
+    ) -> (Vec<HostTruth>, Vec<Ipv4Addr>) {
+        let seed = self.spec.seed;
+        self.materialize(sim, |ip| {
+            netsim::ip::shard_of(seed, ip, shard.1) == shard.0
+                && netsim::ip::batch_of(seed, ip, batch.1) == batch.0
+        })
+    }
+
     /// Materializes into `sim` every planned host whose address passes
     /// `keep`, returning the ground truth of that subset (in plan
     /// order) plus the retained non-FTP addresses.
@@ -1277,6 +1342,51 @@ mod tests {
 
         assert_eq!(merged, full_sorted, "per-host materialization must be shard-blind");
         assert_eq!(merged_non_ftp, full_non_ftp_sorted);
+    }
+
+    #[test]
+    fn batched_materialization_matches_full_build() {
+        // The (shard, batch) grid unions back to the whole world, cell
+        // by cell, with every host byte-identical to its full-build
+        // self — the foundation of the streaming runner.
+        let spec = PopulationSpec::small(7, 200).with_fault_fraction(0.2);
+        let plan = plan_world(&spec);
+        assert_eq!(plan.planned_host_count(), plan.plans.len() + plan.non_ftp.len());
+        let mut full_sim = Simulator::new(7);
+        let (mut full_hosts, mut full_non_ftp) = plan.materialize(&mut full_sim, |_| true);
+        full_hosts.sort_by_key(|h| h.ip);
+        full_non_ftp.sort();
+
+        let (shards, batches) = (2u64, 5u64);
+        let mut merged: Vec<HostTruth> = Vec::new();
+        let mut merged_non_ftp: Vec<Ipv4Addr> = Vec::new();
+        let mut cells_hit = 0;
+        for s in 0..shards {
+            for b in 0..batches {
+                let mut sim = Simulator::new(7);
+                let (hosts, non_ftp) =
+                    plan.materialize_slice(&mut sim, (s, shards), (b, batches));
+                if !hosts.is_empty() {
+                    cells_hit += 1;
+                }
+                merged.extend(hosts);
+                merged_non_ftp.extend(non_ftp);
+            }
+        }
+        merged.sort_by_key(|h| h.ip);
+        merged_non_ftp.sort();
+        assert!(cells_hit > shards as usize, "batching must actually split the shards");
+        assert_eq!(merged, full_hosts, "grid materialization must be cell-blind");
+        assert_eq!(merged_non_ftp, full_non_ftp);
+    }
+
+    #[test]
+    fn sized_spec_fits_requested_population() {
+        let spec = PopulationSpec::sized(3, 300_000);
+        assert_eq!(spec.ftp_servers, 300_000);
+        assert!(spec.space.size() >= 4 * 300_000, "space {} too small", spec.space);
+        let small = PopulationSpec::sized(3, 100);
+        assert!(small.space.size() >= 1 << 18);
     }
 
     #[test]

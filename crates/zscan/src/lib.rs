@@ -28,4 +28,4 @@ pub mod scanner;
 
 pub use blocklist::Blocklist;
 pub use cyclic::CyclicPermutation;
-pub use scanner::{HashShard, HostDiscovery, ScanConfig, ScanResults};
+pub use scanner::{HashBatch, HashShard, HostDiscovery, ScanConfig, ScanResults};

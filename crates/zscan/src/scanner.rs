@@ -3,7 +3,7 @@
 
 use crate::blocklist::Blocklist;
 use crate::cyclic::CyclicPermutation;
-use netsim::ip::shard_of;
+use netsim::ip::{batch_of, shard_of};
 use netsim::{Ctx, Endpoint, Ipv4Net, ProbeStatus, SimDuration};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -35,6 +35,35 @@ impl HashShard {
     }
 }
 
+/// Hash-based batch filter: probe only the addresses that
+/// [`netsim::ip::batch_of`] assigns to `index` of `batches` under
+/// `seed`.
+///
+/// The streaming study runner sweeps a shard's address slice in
+/// sequential batches — one bounded simulator lifetime per batch — and
+/// this filter is the scan-side half of that partition (worldgen's
+/// batched materialization is the other). It composes with
+/// [`HashShard`]: an address is probed when *both* filters accept it,
+/// so the `(shard, batch)` grid covers the space exactly once. Note
+/// this is unrelated to [`ScanConfig::batch`], which is the pacing
+/// burst size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashBatch {
+    /// Hash seed; must match the partitioning side (worldgen).
+    pub seed: u64,
+    /// This batch's index in `0..batches`.
+    pub index: u64,
+    /// Total batch count.
+    pub batches: u64,
+}
+
+impl HashBatch {
+    /// Whether `ip` belongs to this batch.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        batch_of(self.seed, ip, self.batches) == self.index
+    }
+}
+
 /// Scanner configuration.
 #[derive(Debug, Clone)]
 pub struct ScanConfig {
@@ -58,6 +87,10 @@ pub struct ScanConfig {
     /// before pacing, blocklisting, or probing, so counters reflect
     /// only this shard's slice of the space.
     pub hash_shard: Option<HashShard>,
+    /// Optional hash-based batch filter (see [`HashBatch`]); composed
+    /// with `hash_shard`, selecting one cell of the `(shard, batch)`
+    /// grid for streamed studies.
+    pub hash_batch: Option<HashBatch>,
     /// Addresses never probed.
     pub blocklist: Blocklist,
 }
@@ -75,6 +108,7 @@ impl ScanConfig {
             probes_per_target: 1,
             shard: (0, 1),
             hash_shard: None,
+            hash_batch: None,
             blocklist: Blocklist::standard(),
         }
     }
@@ -128,9 +162,14 @@ impl HostDiscovery {
         let (index, count) = cfg.shard;
         let space = cfg.space;
         let hash_shard = cfg.hash_shard;
+        let hash_batch = cfg.hash_batch;
         let order: Vec<u64> = perm
             .shard(index, count)
-            .filter(|&ix| hash_shard.is_none_or(|hs| hs.contains(space.addr_at(ix))))
+            .filter(|&ix| {
+                let ip = space.addr_at(ix);
+                hash_shard.is_none_or(|hs| hs.contains(ip))
+                    && hash_batch.is_none_or(|hb| hb.contains(ip))
+            })
             .collect();
         let results = std::rc::Rc::new(std::cell::RefCell::new(ScanResults::default()));
         (
@@ -351,6 +390,40 @@ mod tests {
         }
         assert_eq!(total_open, 20, "hash shards find each open host exactly once");
         assert_eq!(total_probes, space.size(), "hash shards probe each address exactly once");
+    }
+
+    #[test]
+    fn shard_batch_grid_covers_space_exactly_once() {
+        // One scan per (shard, batch) cell: the union must equal one
+        // unsharded sweep, with no address probed twice — the coverage
+        // contract the streaming study runner builds on.
+        let space: Ipv4Net = "100.0.0.0/24".parse().unwrap();
+        let (shards, batches) = (2u64, 3u64);
+        let mut total_open = 0;
+        let mut total_probes = 0;
+        let mut seen: std::collections::HashSet<Ipv4Addr> = std::collections::HashSet::new();
+        for index in 0..shards {
+            for b in 0..batches {
+                let mut sim = Simulator::new(42);
+                build_world(&mut sim);
+                let mut cfg = ScanConfig::tcp21(space, 9);
+                cfg.blocklist = Blocklist::new();
+                cfg.hash_shard = Some(HashShard { seed: 42, index, shards });
+                cfg.hash_batch = Some(HashBatch { seed: 42, index: b, batches });
+                let (scanner, results) = HostDiscovery::new(cfg);
+                let id = sim.register_endpoint(Box::new(scanner));
+                sim.schedule_timer(id, SimDuration::ZERO, 0);
+                sim.run();
+                let r = results.borrow();
+                total_open += r.open.len();
+                total_probes += r.probes_sent;
+                for &ip in &r.open {
+                    assert!(seen.insert(ip), "{ip} discovered by two grid cells");
+                }
+            }
+        }
+        assert_eq!(total_open, 20, "grid cells find each open host exactly once");
+        assert_eq!(total_probes, space.size(), "grid cells probe each address exactly once");
     }
 
     #[test]

@@ -2,11 +2,20 @@
 //! Cloud* reproduction.
 //!
 //! ```text
-//! ftpcloud study [--scale N] [--seed S] [--shards K]
+//! ftpcloud study [--scale N] [--servers N] [--seed S] [--shards K]
+//!                [--batch-size B] [--checkpoint-dir DIR] [--resume DIR]
 //!                [--trace OUT.jsonl] [--metrics OUT.json] [--profile]
 //!                                            run the full pipeline, print every table;
-//!                                            --shards runs K parallel simulations whose
-//!                                            merged results are byte-identical to K=1;
+//!                                            --servers sizes the world by host count
+//!                                            (e.g. --servers 1000000) instead of paper
+//!                                            scale; --shards runs K parallel simulations
+//!                                            whose merged results are byte-identical to
+//!                                            K=1; --batch-size streams the study through
+//!                                            B-host batches with O(batch) memory and
+//!                                            prints the streamed report; --checkpoint-dir
+//!                                            persists per-shard progress after every
+//!                                            batch, and --resume continues from such a
+//!                                            directory to a byte-identical report;
 //!                                            --trace/--metrics/--profile turn on the
 //!                                            observability layer (never changes results)
 //! ftpcloud funnel [--servers N] [--seed S] [--faults PCT] [--shards K]
@@ -19,7 +28,10 @@
 //! ftpcloud verdicts [--servers N]            paper-vs-measured scoreboard
 //! ```
 
-use ftp_study::{run_study, run_study_sharded, tables, StudyConfig};
+use ftp_study::{
+    run_study, run_study_sharded, run_study_streamed, tables, StreamOptions, StreamOutcome,
+    StudyConfig,
+};
 use worldgen::PopulationSpec;
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
@@ -91,18 +103,63 @@ fn main() {
         Some("study") => {
             let scale = flag(&args, "--scale").unwrap_or(4_096);
             let shards = flag(&args, "--shards").unwrap_or(1).max(1);
+            let batch_size = flag(&args, "--batch-size");
+            let checkpoint_dir = str_flag(&args, "--checkpoint-dir");
+            let resume = str_flag(&args, "--resume");
             let (trace, metrics, profile, obs_cfg) = obs_flags(&args);
-            let spec = PopulationSpec::study(seed, scale);
+
+            // --servers sizes the world directly (the million-host
+            // entry point); --scale keeps the paper-ratio sizing.
+            let spec = match flag(&args, "--servers") {
+                Some(n) => PopulationSpec::sized(seed, n as usize),
+                None => PopulationSpec::study(seed, scale),
+            };
             eprintln!(
-                "building 1:{scale} world ({} FTP servers) with seed {seed}, {shards} shard(s)…",
+                "building world with {} FTP servers, seed {seed}, {shards} shard(s)…",
                 spec.ftp_servers
             );
             let mut cfg = StudyConfig::new(spec);
             cfg.request_gap = netsim::SimDuration::from_millis(20);
             cfg.obs = obs_cfg;
-            let results = run_study_sharded(&cfg, shards);
-            println!("{}", tables::full_report(&results));
-            write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
+
+            let Some(batch_size) = batch_size else {
+                if checkpoint_dir.is_some() || resume.is_some() {
+                    eprintln!("--checkpoint-dir/--resume need --batch-size (streamed mode)");
+                    std::process::exit(2);
+                }
+                let results = run_study_sharded(&cfg, shards);
+                println!("{}", tables::full_report(&results));
+                write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
+                return;
+            };
+
+            // Streamed mode: bounded memory, no record vector — and no
+            // observability recorder (its spans are per-partition).
+            if trace.is_some() || metrics.is_some() || profile {
+                eprintln!("note: --trace/--metrics/--profile are ignored in streamed mode");
+            }
+            let opts = StreamOptions {
+                shards,
+                checkpoint_dir: checkpoint_dir.or(resume).map(std::path::PathBuf::from),
+                ..StreamOptions::new(batch_size as usize)
+            };
+            match run_study_streamed(&cfg, &opts) {
+                Ok(StreamOutcome::Complete(results)) => {
+                    println!("{}", tables::stream_report(&results.aggregate, &results.spec));
+                    eprintln!(
+                        "streamed {} shard(s) × {} batch(es) of ≤{} hosts",
+                        results.shards, results.batches, batch_size
+                    );
+                }
+                Ok(StreamOutcome::Interrupted { next_batches }) => {
+                    eprintln!("study interrupted; per-shard resume cursors: {next_batches:?}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         Some("funnel") => {
             let servers = flag(&args, "--servers").unwrap_or(800) as usize;
@@ -150,7 +207,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--faults PCT] [--days D] [--pots N] [--trace OUT.jsonl] [--metrics OUT.json] [--profile]"
+                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--batch-size B] [--checkpoint-dir DIR] [--resume DIR] [--faults PCT] [--days D] [--pots N] [--trace OUT.jsonl] [--metrics OUT.json] [--profile]"
             );
             std::process::exit(2);
         }

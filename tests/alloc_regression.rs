@@ -1,53 +1,41 @@
-//! Allocation-budget regression test (DESIGN.md §8).
+//! Allocation-budget regression tests (DESIGN.md §8).
 //!
-//! Enumerates a fixed 50-host world under a counting global allocator
-//! and pins the allocations-per-host cost. The zero-copy work in the
-//! server engine, enumerator, and codec (pooled reply buffers, cached
-//! LIST bodies, reused line strings) is what keeps this number low; a
-//! change that reintroduces per-event or per-reply heap churn fails
-//! here long before it shows up on a wall clock.
+//! Installs [`bench::CountingAlloc`] — the same counting global
+//! allocator the pipeline benchmarks use — and pins two memory
+//! invariants:
 //!
-//! The ceiling is deliberately loose (~2x the measured cost) so it only
-//! trips on structural regressions — an accidental `format!` or
-//! `to_owned` in a per-reply path multiplies the count, it doesn't nudge
-//! it.
+//! 1. **Allocation pressure.** Enumerating a fixed 50-host world costs
+//!    a bounded number of allocations per host. The zero-copy work in
+//!    the server engine, enumerator, and codec (pooled reply buffers,
+//!    cached LIST bodies, reused line strings) is what keeps this low;
+//!    a change that reintroduces per-event or per-reply heap churn
+//!    fails here long before it shows up on a wall clock.
+//! 2. **Peak live bytes.** A streamed study's live-heap high-water mark
+//!    stays a fraction of the in-memory path's on the same world. This
+//!    is the streaming pipeline's whole reason to exist — O(batch)
+//!    instead of O(world) residency — expressed as a comparative
+//!    ceiling so it holds on any machine and at any build profile.
+//!
+//! Ceilings are deliberately loose (~2x the measured cost) so they only
+//! trip on structural regressions — an accidental `format!` in a
+//! per-reply path multiplies the count, it doesn't nudge it.
+//!
+//! The allocator's counters are process-wide and the bumps are
+//! unsynchronized load+store pairs (see `bench::alloc_counter`), so the
+//! tests serialize on a mutex and only measure single-threaded runs.
 
 use enumerator::{EnumConfig, Enumerator};
+use ftp_study::{run_study, run_study_streamed, StreamOptions, StreamOutcome, StudyConfig};
 use netsim::{SimDuration, Simulator};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use worldgen::PopulationSpec;
 
-/// Counts every allocator hit (alloc, realloc, alloc_zeroed).
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: defers to `System` for all memory operations; the counter has
-// no effect on the returned memory.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-}
-
 #[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
+static ALLOC: bench::CountingAlloc = bench::CountingAlloc::new();
+
+/// Serializes the tests in this binary: they share the allocator's
+/// process-wide counters.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
 
 const SEED: u64 = 1;
 const SERVERS: usize = 50;
@@ -64,15 +52,17 @@ fn enumerate_world() -> (usize, u64) {
     let (en, results) = Enumerator::new(cfg, truth.ftp_addresses());
     let id = sim.register_endpoint(Box::new(en));
     sim.schedule_timer(id, SimDuration::ZERO, 0);
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = bench::snapshot().allocs;
     sim.run();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let allocs = bench::snapshot().allocs - before;
     let n = results.borrow().len();
     (n, allocs)
 }
 
 #[test]
 fn enumeration_stays_under_allocation_budget() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
     // First run pays one-time lazy initialization; measure the second.
     let (warmup_records, _) = enumerate_world();
     assert!(warmup_records > 0, "world produced no records");
@@ -110,5 +100,50 @@ fn enumeration_stays_under_allocation_budget() {
     assert_eq!(
         after_allocs, total,
         "allocation count with the recorder uninstalled must match the baseline exactly"
+    );
+}
+
+/// Peak-live-bytes ceiling for the streaming pipeline: on the same
+/// world, a streamed run's live-heap high-water mark must stay well
+/// under the in-memory path's, which holds every `HostRecord` (file
+/// listings included) until the end. One shard on both sides — the
+/// counter bumps are unsynchronized.
+#[test]
+fn streamed_study_peak_heap_stays_bounded() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let cfg = StudyConfig::small(SEED, 150);
+
+    // Warm both paths once so lazy initialization doesn't count.
+    let warm = run_study(&cfg);
+    assert!(!warm.records.is_empty());
+    drop(warm);
+
+    bench::reset();
+    let results = run_study(&cfg);
+    let legacy_peak = bench::peak_growth_since_reset();
+    assert!(!results.records.is_empty());
+    drop(results);
+
+    // 8 batches: small enough that the record vector never forms,
+    // large enough that per-batch overhead stays secondary.
+    let opts = StreamOptions::new(25);
+    bench::reset();
+    let outcome = run_study_streamed(&cfg, &opts).expect("streamed study runs");
+    let streamed_peak = bench::peak_growth_since_reset();
+    match outcome {
+        StreamOutcome::Complete(r) => assert!(r.aggregate.summary.hosts > 0),
+        StreamOutcome::Interrupted { .. } => panic!("no interrupt requested"),
+    }
+
+    assert!(streamed_peak > 0, "allocator saw no streamed allocations — counter broken?");
+    // The measured ratio is ~0.2 in release and well under 0.5 in
+    // debug; 0.7 is the structural-regression tripwire (e.g. batching
+    // silently re-accumulating records).
+    let ceiling = (legacy_peak as f64 * 0.7) as u64;
+    assert!(
+        streamed_peak <= ceiling,
+        "streamed peak heap {streamed_peak} B exceeds {ceiling} B \
+         (70% of in-memory peak {legacy_peak} B) — streaming is no longer bounded-memory"
     );
 }

@@ -1,12 +1,96 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants the whole reproduction leans on.
 
+use analysis::StreamingAggregate;
 use ftp_proto::listing::{self, ListingEntry, ListingFormat, Permissions};
 use ftp_proto::reply::ReplyParser;
 use ftp_proto::{Command, FtpPath, HostPort, LineCodec, Reply, Robots};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 use zscan::CyclicPermutation;
+
+/// A synthetic [`StreamingAggregate`] delta built from a flat pool of
+/// counts and a list of map keys, touching every merge shape: plain
+/// counters, fixed-order count arrays, keyed maps, the AS set, and the
+/// request histogram. Counts are drawn from the pool cyclically; the
+/// `provider` flag of a device entry is a pure function of the device
+/// name — exactly as in real folds, where it derives from the
+/// fingerprint database — which is the property that makes map merging
+/// order-insensitive.
+fn synth_aggregate(nums: &[u64], names: &[String]) -> StreamingAggregate {
+    let mut cursor = 0usize;
+    let mut next = || {
+        let v = nums.get(cursor % nums.len().max(1)).copied().unwrap_or(0);
+        cursor += 1;
+        v
+    };
+    let mut agg = StreamingAggregate::default();
+    agg.fold_scan(next(), next());
+    agg.fold_http(next() % 2 == 0);
+    agg.summary.hosts = next();
+    agg.summary.ftp = next();
+    agg.summary.total_requests = next();
+    for slot in agg.classes.iter_mut() {
+        *slot = (next(), next());
+    }
+    for slot in agg.device_classes.iter_mut() {
+        *slot = (next(), next());
+    }
+    for slot in agg.campaigns.iter_mut() {
+        *slot = next();
+    }
+    agg.hb_total = next();
+    agg.hb_writable = next();
+    agg.bounce.probed = next();
+    agg.bounce.accepted = next();
+    agg.ftps_supported = next();
+    agg.certs_seen = next();
+    agg.writable_servers = next();
+    agg.soho_servers = next();
+    for row in agg.sensitive.iter_mut() {
+        row.servers = next();
+        row.files = next();
+        row.readable = next();
+    }
+    for slot in agg.requests_hist.iter_mut() {
+        *slot = next();
+    }
+    for name in names {
+        let provider = name.len() % 2 == 0;
+        let e = agg.devices.entry(name.clone()).or_insert((0, 0, provider));
+        e.0 += next();
+        e.1 += next();
+        let x = agg.extensions.entry(name.clone()).or_default();
+        x.0 += next();
+        x.1 += next();
+        *agg.cves.entry(format!("CVE-{name}")).or_default() += next();
+        agg.writable_asns.insert((next() % 200) as u32);
+    }
+    agg
+}
+
+fn merged(parts: &[&StreamingAggregate]) -> StreamingAggregate {
+    let mut out = StreamingAggregate::default();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+/// Splits a flat pool into `k` aggregates, chunk by chunk.
+fn synth_parts(nums: &[u64], names: &[String], k: usize) -> Vec<StreamingAggregate> {
+    let num_step = nums.len().div_ceil(k).max(1);
+    let name_step = names.len().div_ceil(k).max(1);
+    (0..k)
+        .map(|i| {
+            let lo = (i * num_step).min(nums.len());
+            let hi = ((i + 1) * num_step).min(nums.len());
+            let nlo = (i * name_step).min(names.len());
+            let nhi = ((i + 1) * name_step).min(names.len());
+            synth_aggregate(&nums[lo..hi], &names[nlo..nhi])
+        })
+        .collect()
+}
 
 proptest! {
     /// PORT argument encoding round-trips for every address/port.
@@ -166,6 +250,68 @@ proptest! {
         prop_assert!(!robots.is_allowed(&blocked));
         prop_assert!(robots.is_allowed(&allowed));
         prop_assert!(robots.is_allowed(&elsewhere));
+    }
+
+    /// StreamingAggregate merge is associative: folding shard deltas
+    /// pairwise in any grouping gives the same total. This is what lets
+    /// the streaming runner merge per-shard aggregates that are
+    /// themselves merges of per-batch folds.
+    #[test]
+    fn aggregate_merge_associative(nums in proptest::collection::vec(0u64..1 << 40, 9..60),
+                                   names in proptest::collection::vec("[a-z]{1,6}", 0..9)) {
+        let parts = synth_parts(&nums, &names, 3);
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+        let left = merged(&[&merged(&[a, b]), c]);
+        let right = merged(&[a, &merged(&[b, c])]);
+        prop_assert_eq!(left, right);
+    }
+
+    /// StreamingAggregate merge is order-insensitive: every permutation
+    /// of the same deltas produces an identical aggregate, so batch and
+    /// shard completion order can never leak into the report.
+    #[test]
+    fn aggregate_merge_order_insensitive(nums in proptest::collection::vec(0u64..1 << 40, 8..64),
+                                         names in proptest::collection::vec("[a-z]{1,6}", 0..10),
+                                         k in 1usize..5, rot in 0usize..5,
+                                         i in 0usize..5, j in 0usize..5) {
+        let parts = synth_parts(&nums, &names, k);
+        let refs: Vec<&StreamingAggregate> = parts.iter().collect();
+        let forward = merged(&refs);
+
+        let mut reordered = refs.clone();
+        let rot = rot % reordered.len();
+        reordered.rotate_left(rot);
+        let (i, j) = (i % reordered.len(), j % reordered.len());
+        reordered.swap(i, j);
+        prop_assert_eq!(&merged(&reordered), &forward, "rotation+swap changed the merge");
+
+        let mut reversed = refs;
+        reversed.reverse();
+        prop_assert_eq!(&merged(&reversed), &forward, "reversal changed the merge");
+    }
+
+    /// The empty aggregate is the merge identity (modulo nothing: even
+    /// the bookkeeping fields of a default aggregate are zero).
+    #[test]
+    fn aggregate_merge_identity(nums in proptest::collection::vec(0u64..1 << 40, 4..40),
+                                names in proptest::collection::vec("[a-z]{1,6}", 0..8)) {
+        let a = synth_aggregate(&nums, &names);
+        let mut left = StreamingAggregate::default();
+        left.merge(&a);
+        prop_assert_eq!(&left, &a, "left identity");
+        let mut right = a.clone();
+        right.merge(&StreamingAggregate::default());
+        prop_assert_eq!(&right, &a, "right identity");
+    }
+
+    /// Checkpoint encoding round-trips every aggregate the strategy can
+    /// produce — maps with awkward keys included.
+    #[test]
+    fn aggregate_encode_decode_roundtrip(nums in proptest::collection::vec(0u64..1 << 40, 4..40),
+                                         names in proptest::collection::vec("[a-z]{1,6}", 0..8)) {
+        let a = synth_aggregate(&nums, &names);
+        let decoded = StreamingAggregate::decode(&a.encode());
+        prop_assert_eq!(decoded.as_ref(), Ok(&a));
     }
 
     /// The line codec is invariant to chunk boundaries.
