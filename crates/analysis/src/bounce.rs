@@ -123,7 +123,8 @@ mod tests {
             readability: Readability::Readable,
             owner: None,
             other_writable: None,
-        }];
+        }]
+        .into();
         let mut safe = rec([1, 0, 0, 2]);
         safe.port_accepts_third_party = Some(false);
         let mut nat_vuln = rec([1, 0, 0, 3]);

@@ -1,7 +1,7 @@
 //! Malicious-campaign detection (§VI-B/C): each detector keys on the
 //! names, markers, and co-location signals the paper describes.
 
-use crate::writable;
+use crate::{ci, writable};
 use enumerator::HostRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -35,55 +35,55 @@ const DDOS_NAMES: &[&str] = &["history.php", "phzltoxn.php"];
 
 /// Flier names (the campaign's PDF/PS advertisements).
 fn is_flier(name: &str) -> bool {
-    let lower = name.to_ascii_lowercase();
-    (lower.ends_with(".pdf") || lower.ends_with(".ps"))
-        && (lower.contains("crack") || lower.contains("keygen"))
+    (ci::ends_with(name, ".pdf") || ci::ends_with(name, ".ps"))
+        && (ci::contains(name, "crack") || ci::contains(name, "keygen"))
 }
 
 /// The WaReZ directory-name signature: 12 digits (YYMMDDHHMMSS) plus a
 /// trailing `p` (§VI-C).
 pub fn is_warez_dir(name: &str) -> bool {
     name.len() == 13
-        && name.ends_with('p')
+        && (name.ends_with('p') || name.ends_with('P'))
         && name[..12].chars().all(|c| c.is_ascii_digit())
 }
 
-/// Detects the campaigns present on a single host.
+/// Detects the campaigns present on a single host. All name matching
+/// folds ASCII case in place — no per-file lowercase copies.
 pub fn campaigns_of(record: &HostRecord) -> HashSet<CampaignClass> {
     let mut out = HashSet::new();
     if record
         .banner
         .as_deref()
-        .map(|b| b.to_ascii_lowercase().contains("rmnetwork ftp"))
+        .map(|b| ci::contains(b, "rmnetwork ftp"))
         .unwrap_or(false)
     {
         out.insert(CampaignClass::Ramnit);
     }
     let writable_evidence = writable::appears_writable(record);
     for f in &record.files {
-        let name = f.name().to_ascii_lowercase();
+        let name = f.name();
         if f.is_dir {
-            if is_warez_dir(&name) {
+            if is_warez_dir(name) {
                 out.insert(CampaignClass::Warez);
             }
             continue;
         }
-        if name.starts_with("ftpchk3.") {
+        if ci::starts_with(name, "ftpchk3.") {
             out.insert(CampaignClass::Ftpchk3);
         }
-        if DDOS_NAMES.contains(&name.as_str()) {
+        if DDOS_NAMES.iter().any(|d| name.eq_ignore_ascii_case(d)) {
             out.insert(CampaignClass::Ddos);
         }
-        if name == "holy-bible.html" {
+        if name.eq_ignore_ascii_case("holy-bible.html") {
             out.insert(CampaignClass::HolyBible);
         }
-        if is_flier(&name) {
+        if is_flier(name) {
             out.insert(CampaignClass::KeygenFlier);
         }
         // RATs only count when sourceable to FTP writes (reference set
         // co-location), mirroring the paper's conservative 724-server
         // figure.
-        if writable_evidence && RAT_NAMES.contains(&name.as_str()) {
+        if writable_evidence && RAT_NAMES.iter().any(|r| name.eq_ignore_ascii_case(r)) {
             out.insert(CampaignClass::Rat);
         }
     }
@@ -148,7 +148,8 @@ mod tests {
                 owner: None,
                 other_writable: None,
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into();
         r
     }
 

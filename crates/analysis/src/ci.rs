@@ -1,0 +1,54 @@
+//! Allocation-free ASCII case-insensitive string matchers.
+//!
+//! The classifiers in this crate run over every file of every record —
+//! hundreds of thousands of names per study. Lower-casing each name
+//! first (`to_ascii_lowercase`) costs a heap allocation per file per
+//! pass; these helpers compare in place instead. ASCII-only folding is
+//! the right equivalence here: the vocabularies being matched (`shadow`,
+//! `IMG_`, `ftpchk3`, …) are all ASCII, and non-ASCII bytes never fold
+//! into them.
+
+/// True when `s` starts with `prefix`, ignoring ASCII case.
+pub(crate) fn starts_with(s: &str, prefix: &str) -> bool {
+    s.len() >= prefix.len() && s.as_bytes()[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+}
+
+/// True when `s` ends with `suffix`, ignoring ASCII case.
+pub(crate) fn ends_with(s: &str, suffix: &str) -> bool {
+    s.len() >= suffix.len()
+        && s.as_bytes()[s.len() - suffix.len()..].eq_ignore_ascii_case(suffix.as_bytes())
+}
+
+/// True when `s` contains `needle`, ignoring ASCII case.
+///
+/// Byte-window scan: fine for the short needles the classifiers use.
+pub(crate) fn contains(s: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if s.len() < needle.len() {
+        return false;
+    }
+    s.as_bytes()
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_ascii_case_only() {
+        assert!(starts_with("DSC_0001.JPG", "dsc_"));
+        assert!(!starts_with("DS", "dsc_"));
+        assert!(ends_with("photo.JpEg", ".jpeg"));
+        assert!(!ends_with("g", ".jpeg"));
+        assert!(contains("My1PASSWORD.backup", "1password"));
+        assert!(contains("x", ""));
+        assert!(!contains("x", "xy"));
+        // Multi-byte UTF-8 never matches an ASCII needle byte-wise.
+        assert!(!contains("naïve", "I"));
+        assert!(contains("naïve", "na"));
+    }
+}

@@ -2,8 +2,9 @@
 //! detection, photo libraries, OS roots, scripting source, and the
 //! device breakout (Tables VIII, IX, X).
 
+use crate::ci;
 use crate::fingerprint::{self, DeviceClass};
-use enumerator::{FileEntry, HostRecord};
+use enumerator::{FileEntryRef, HostRecord};
 use ftp_proto::listing::Readability;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -28,12 +29,24 @@ pub fn extension_histogram(
     let mut files: HashMap<String, u64> = HashMap::new();
     let mut servers: HashMap<String, u64> = HashMap::new();
     for r in records.iter().filter(|r| filter(r)) {
-        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        // Borrowed seen-set: extensions live in the record's arena, so
+        // per-record dedup costs no String clones.
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for f in r.files.iter().filter(|f| !f.is_dir) {
             if let Some(ext) = f.extension() {
-                *files.entry(ext.clone()).or_default() += 1;
-                if seen.insert(ext.clone()) {
-                    *servers.entry(ext).or_default() += 1;
+                match files.get_mut(ext) {
+                    Some(n) => *n += 1,
+                    None => {
+                        files.insert(ext.to_owned(), 1);
+                    }
+                }
+                if seen.insert(ext) {
+                    match servers.get_mut(ext) {
+                        Some(n) => *n += 1,
+                        None => {
+                            servers.insert(ext.to_owned(), 1);
+                        }
+                    }
                 }
             }
         }
@@ -112,8 +125,11 @@ impl SensitiveClass {
     }
 
     /// Classifies one file by name.
-    pub fn of(entry: &FileEntry) -> Option<SensitiveClass> {
-        let name = entry.name().to_ascii_lowercase();
+    ///
+    /// Allocation-free: the table precomputes lowercase extensions, and
+    /// name comparisons fold ASCII case in place.
+    pub fn of(entry: FileEntryRef<'_>) -> Option<SensitiveClass> {
+        let name = entry.name();
         let ext = entry.extension().unwrap_or_default();
         if ext.starts_with("tax") {
             return Some(SensitiveClass::TurboTax);
@@ -124,20 +140,28 @@ impl SensitiveClass {
         if ext == "kdb" || ext == "kdbx" {
             return Some(SensitiveClass::KeePass);
         }
-        if name.contains("agilekeychain") || ext.starts_with("onepassword") || name.contains("1password")
+        if ci::contains(name, "agilekeychain")
+            || ext.starts_with("onepassword")
+            || ci::contains(name, "1password")
         {
             return Some(SensitiveClass::OnePassword);
         }
-        if name.starts_with("ssh_host_") && name.contains("key") && !name.ends_with(".pub") {
+        if ci::starts_with(name, "ssh_host_")
+            && ci::contains(name, "key")
+            && !ci::ends_with(name, ".pub")
+        {
             return Some(SensitiveClass::SshHostKey);
         }
         if ext == "ppk" {
             return Some(SensitiveClass::PuttyKey);
         }
-        if ext == "pem" && name.contains("priv") {
+        if ext == "pem" && ci::contains(name, "priv") {
             return Some(SensitiveClass::PrivPem);
         }
-        if name == "shadow" || name.starts_with("shadow.") || name.starts_with("shadow-") {
+        if name.eq_ignore_ascii_case("shadow")
+            || ci::starts_with(name, "shadow.")
+            || ci::starts_with(name, "shadow-")
+        {
             return Some(SensitiveClass::Shadow);
         }
         if ext == "pst" {
@@ -197,10 +221,12 @@ pub fn is_photo_library(record: &HostRecord, threshold: usize) -> bool {
         .files
         .iter()
         .filter(|f| {
-            let n = f.name().to_ascii_uppercase();
+            let n = f.name();
             !f.is_dir
-                && (n.starts_with("DSC_") || n.starts_with("DSC0") || n.starts_with("IMG_"))
-                && (n.ends_with(".JPG") || n.ends_with(".JPEG"))
+                && (ci::starts_with(n, "DSC_")
+                    || ci::starts_with(n, "DSC0")
+                    || ci::starts_with(n, "IMG_"))
+                && (ci::ends_with(n, ".JPG") || ci::ends_with(n, ".JPEG"))
         })
         .count()
         >= threshold
@@ -267,7 +293,7 @@ pub fn scripting_exposure(records: &[HostRecord]) -> ScriptExposure {
                 ht += 1;
             }
             if matches!(
-                f.extension().as_deref(),
+                f.extension(),
                 Some("php" | "asp" | "aspx" | "cgi" | "pl" | "jsp" | "php3" | "php5")
             ) {
                 sc += 1;
@@ -331,10 +357,10 @@ pub fn device_breakout(
         if os_root_of(r).is_some() {
             mark(ExposureClass::RootFilesystem);
         }
-        let has_scripts = r.files.iter().any(|f| {
-            !f.is_dir
-                && matches!(f.extension().as_deref(), Some("php" | "asp" | "aspx" | "cgi"))
-        });
+        let has_scripts = r
+            .files
+            .iter()
+            .any(|f| !f.is_dir && matches!(f.extension(), Some("php" | "asp" | "aspx" | "cgi")));
         if has_scripts {
             mark(ExposureClass::ScriptingSource);
         }
@@ -345,7 +371,7 @@ pub fn device_breakout(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use enumerator::LoginOutcome;
+    use enumerator::{FileEntry, FileTable, LoginOutcome};
     use std::net::Ipv4Addr;
 
     fn entry(path: &str, is_dir: bool, readability: Readability) -> FileEntry {
@@ -363,8 +389,13 @@ mod tests {
         let mut r = HostRecord::new(Ipv4Addr::new(9, 9, 9, 9));
         r.ftp_compliant = true;
         r.login = LoginOutcome::Anonymous;
-        r.files = files;
+        r.files = files.into();
         r
+    }
+
+    fn classify(path: &str) -> Option<SensitiveClass> {
+        let t: FileTable = vec![entry(path, false, Readability::Readable)].into();
+        SensitiveClass::of(t.get(0))
     }
 
     #[test]
@@ -381,13 +412,11 @@ mod tests {
             ("/mail/archive.pst", SensitiveClass::Pst),
         ];
         for (path, class) in cases {
-            let e = entry(path, false, Readability::Readable);
-            assert_eq!(SensitiveClass::of(&e), Some(class), "{path}");
+            assert_eq!(classify(path), Some(class), "{path}");
         }
         // Negatives.
         for path in ["/a/photo.jpg", "/a/ssh_host_rsa_key.pub", "/a/ca-cert.pem", "/a/shadowplay.mp4"] {
-            let e = entry(path, false, Readability::Readable);
-            assert_eq!(SensitiveClass::of(&e), None, "{path}");
+            assert_eq!(classify(path), None, "{path}");
         }
     }
 

@@ -33,6 +33,7 @@
 pub mod ases;
 pub mod bounce;
 pub mod campaigns;
+mod ci;
 pub mod cve;
 pub mod cyberul;
 pub mod exposure;

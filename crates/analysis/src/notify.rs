@@ -187,7 +187,8 @@ mod tests {
                 owner: None,
                 other_writable: None,
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into();
         r
     }
 

@@ -195,13 +195,22 @@ impl StreamingAggregate {
         // Table VIII (exposure.rs): SOHO extension histogram.
         if exposure::is_soho(r) {
             self.soho_servers += 1;
-            let mut seen: BTreeSet<String> = BTreeSet::new();
+            // Extensions are borrowed straight from the record's file
+            // table; only a first-ever-seen extension allocates a key.
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
             for f in r.files.iter().filter(|f| !f.is_dir) {
                 if let Some(ext) = f.extension() {
-                    let e = self.extensions.entry(ext.clone()).or_default();
-                    e.0 += 1;
-                    if seen.insert(ext) {
-                        e.1 += 1;
+                    let new_server = seen.insert(ext);
+                    match self.extensions.get_mut(ext) {
+                        Some(e) => {
+                            e.0 += 1;
+                            if new_server {
+                                e.1 += 1;
+                            }
+                        }
+                        None => {
+                            self.extensions.insert(ext.to_owned(), (1, 1));
+                        }
                     }
                 }
             }
@@ -729,7 +738,8 @@ mod tests {
             entry("/up/sjutd.txt", false, Readability::Readable),
             entry("/up/shell.php", false, Readability::Readable),
             entry("/incoming/150618094301p", true, Readability::Readable),
-        ];
+        ]
+        .into();
         nas.pasv_addr = Some(HostPort::new(Ipv4Addr::new(192, 168, 0, 9), 50_000));
         nas.port_accepts_third_party = Some(true);
         records.push(nas);
@@ -745,7 +755,7 @@ mod tests {
         generic.ftps.required_before_login = true;
         generic.ftps.cert = Some(simtls::SimCertificate::self_signed("localhost", 7));
         generic.port_accepts_third_party = Some(false);
-        generic.files = vec![entry("/w/Holy-Bible.html", false, Readability::Readable)];
+        generic.files = vec![entry("/w/Holy-Bible.html", false, Readability::Readable)].into();
         records.push(generic);
 
         // FileZilla host, hosting cert, not anonymous.

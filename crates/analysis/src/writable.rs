@@ -20,15 +20,19 @@ pub const REFERENCE_NAMES: &[&str] =
 /// True when `name` is a reference-set file, including the
 /// unique-suffix variants (`sjutd.txt.1`, `sjutd.txt.2`, …).
 pub fn is_reference_name(name: &str) -> bool {
-    let lower = name.to_ascii_lowercase();
+    let bytes = name.as_bytes();
     for base in REFERENCE_NAMES {
-        if lower == *base {
+        if name.eq_ignore_ascii_case(base) {
             return true;
         }
-        if let Some(rest) = lower.strip_prefix(&format!("{base}.")) {
-            if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
-                return true;
-            }
+        // `base` + `.` + a non-empty digit trail, compared in place —
+        // this runs per file per record, so no lowercase copies.
+        if name.len() > base.len() + 1
+            && crate::ci::starts_with(name, base)
+            && bytes[base.len()] == b'.'
+            && bytes[base.len() + 1..].iter().all(u8::is_ascii_digit)
+        {
+            return true;
         }
     }
     false
@@ -89,7 +93,8 @@ mod tests {
                 owner: None,
                 other_writable: None,
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into();
         r
     }
 

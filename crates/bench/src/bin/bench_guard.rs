@@ -64,7 +64,7 @@ fn main() {
     }
 
     eprintln!("bench-guard: re-running {servers} servers, best of {iters} iters");
-    let current = pipeline::run_stages(servers, shards, iters);
+    let current = pipeline::run_stages(servers, shards, iters).stages;
 
     let mut failures = 0u32;
     for base in &base_stages {

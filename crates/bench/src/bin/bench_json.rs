@@ -9,12 +9,21 @@
 //!
 //! ```text
 //! cargo bench-json [--servers N] [--shards K] [--iters I] [--out PATH]
+//!                  [--threads N]
 //! ```
 //!
 //! Every stage reports best-of-`iters` nanoseconds per operation, the
 //! hosts-per-second throughput that implies at the configured population
 //! size, and — because this binary installs [`bench::CountingAlloc`] —
 //! the heap allocations and bytes one operation costs.
+//!
+//! `--threads N` pins the `threads_available` label recorded in the
+//! report instead of asking the OS — the knob behind the
+//! `cargo bench-json-mt` multi-thread profile (a second baseline,
+//! `BENCH_pipeline_mt.json`, maintained on multi-core boxes so the
+//! `full_study_k8` shard-scaling stage is measured somewhere real).
+//! bench-guard keys its comparisons on that label, so mislabeling a
+//! report only makes the guard skip it, never mis-fail it.
 
 use bench::pipeline;
 
@@ -40,11 +49,21 @@ fn main() {
         .and_then(|ix| args.get(ix + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    if let Some(threads) = flag(&args, "--threads").filter(|&n| n > 0) {
+        pipeline::set_threads_override(threads as usize);
+    }
 
     eprintln!("pipeline benchmark: {servers} servers, best of {iters} iters");
-    let stages = pipeline::run_stages(servers, shards, iters);
+    let run = pipeline::run_stages(servers, shards, iters);
     let metrics = pipeline::behavior_metrics(servers);
-    let json = pipeline::render_json(servers, shards, iters, &stages, metrics.as_ref());
+    let json = pipeline::render_json(
+        servers,
+        shards,
+        iters,
+        &run.stages,
+        Some(&run.obs_overhead),
+        metrics.as_ref(),
+    );
     std::fs::write(&out, json).expect("write benchmark report");
     eprintln!("wrote {out}");
 }

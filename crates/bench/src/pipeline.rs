@@ -45,6 +45,52 @@ pub struct StageResult {
     pub threads_available: usize,
 }
 
+/// One timed-and-counted execution of a stage operation.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    ns: u128,
+    allocs: u64,
+    bytes: u64,
+    peak: u64,
+}
+
+impl Sample {
+    const MAX: Sample = Sample { ns: u128::MAX, allocs: u64::MAX, bytes: u64::MAX, peak: u64::MAX };
+
+    fn keep_min(&mut self, other: Sample) {
+        self.ns = self.ns.min(other.ns);
+        self.allocs = self.allocs.min(other.allocs);
+        self.bytes = self.bytes.min(other.bytes);
+        self.peak = self.peak.min(other.peak);
+    }
+}
+
+fn sample_once<T>(op: impl FnOnce() -> T) -> Sample {
+    alloc_counter::reset();
+    let start = Instant::now();
+    black_box(op());
+    let ns = start.elapsed().as_nanos();
+    let stats = alloc_counter::snapshot();
+    Sample { ns, allocs: stats.allocs, bytes: stats.bytes, peak: alloc_counter::peak_growth_since_reset() }
+}
+
+fn stage_of(name: &'static str, servers: usize, best: Sample) -> StageResult {
+    let hosts_per_sec = servers as f64 / (best.ns as f64 / 1e9);
+    let (ns, allocs) = (best.ns, best.allocs);
+    obs::diag!(
+        "{name:>24}  {ns:>14} ns/op  {hosts_per_sec:>10.1} hosts/s  {allocs:>10} allocs/op"
+    );
+    StageResult {
+        name,
+        ns_per_op: best.ns,
+        hosts_per_sec,
+        allocs_per_op: best.allocs,
+        bytes_per_op: best.bytes,
+        peak_bytes_per_op: best.peak,
+        threads_available: threads_available(),
+    }
+}
+
 /// Times `op` `iters` times, keeping the fastest run — the standard
 /// best-of-N estimator, robust against scheduler noise — and the lowest
 /// allocation count (the workload is deterministic, so iterations only
@@ -55,33 +101,45 @@ fn time_stage<T>(
     iters: u32,
     mut op: impl FnMut() -> T,
 ) -> StageResult {
-    let mut best = u128::MAX;
-    let mut best_allocs = u64::MAX;
-    let mut best_bytes = u64::MAX;
-    let mut best_peak = u64::MAX;
+    let mut best = Sample::MAX;
     for _ in 0..iters {
-        alloc_counter::reset();
-        let start = Instant::now();
-        black_box(op());
-        let elapsed = start.elapsed().as_nanos();
-        let stats = alloc_counter::snapshot();
-        best = best.min(elapsed);
-        best_allocs = best_allocs.min(stats.allocs);
-        best_bytes = best_bytes.min(stats.bytes);
-        best_peak = best_peak.min(alloc_counter::peak_growth_since_reset());
+        best.keep_min(sample_once(&mut op));
     }
-    let hosts_per_sec = servers as f64 / (best as f64 / 1e9);
-    obs::diag!(
-        "{name:>24}  {best:>14} ns/op  {hosts_per_sec:>10.1} hosts/s  {best_allocs:>10} allocs/op"
-    );
-    StageResult {
-        name,
-        ns_per_op: best,
-        hosts_per_sec,
-        allocs_per_op: best_allocs,
-        bytes_per_op: best_bytes,
-        peak_bytes_per_op: best_peak,
-        threads_available: threads_available(),
+    stage_of(name, servers, best)
+}
+
+/// The observability layer's measured cost, from interleaved pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverhead {
+    /// Median per-pair overhead in percent, clamped at zero.
+    pub pct: f64,
+    /// True when the raw median was ≤ 0: the instrumentation cost sits
+    /// below the run-to-run noise floor and the reported 0.0 means
+    /// "unmeasurably small", not "free".
+    pub noise_floor: bool,
+}
+
+impl ObsOverhead {
+    /// Reduces per-pair overhead ratios (`obs_ns / base_ns − 1`) to the
+    /// report figure: the paired median, clamped at zero. Back-to-back
+    /// best-of comparisons regularly went negative on noisy machines;
+    /// pairing cancels slow drift and the median rejects outlier pairs.
+    pub fn from_ratios(mut ratios: Vec<f64>) -> ObsOverhead {
+        if ratios.is_empty() {
+            return ObsOverhead { pct: 0.0, noise_floor: true };
+        }
+        ratios.sort_by(f64::total_cmp);
+        let n = ratios.len();
+        let median = if n % 2 == 1 {
+            ratios[n / 2]
+        } else {
+            (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+        };
+        if median <= 0.0 {
+            ObsOverhead { pct: 0.0, noise_floor: true }
+        } else {
+            ObsOverhead { pct: median * 100.0, noise_floor: false }
+        }
     }
 }
 
@@ -96,8 +154,18 @@ pub fn sharded_stage_name(shards: u64) -> &'static str {
     }
 }
 
+/// Everything one benchmark pass produced: the per-stage results plus
+/// the paired observability-overhead measurement.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Per-stage timings in execution order.
+    pub stages: Vec<StageResult>,
+    /// Paired `full_study_k1` vs `full_study_k1_obs` overhead.
+    pub obs_overhead: ObsOverhead,
+}
+
 /// Runs every pipeline stage and returns the per-stage results.
-pub fn run_stages(servers: usize, shards: u64, iters: u32) -> Vec<StageResult> {
+pub fn run_stages(servers: usize, shards: u64, iters: u32) -> PipelineRun {
     let spec = PopulationSpec::small(SEED, servers);
     let mut stages = Vec::new();
 
@@ -133,19 +201,30 @@ pub fn run_stages(servers: usize, shards: u64, iters: u32) -> Vec<StageResult> {
         n
     }));
 
+    // The un- and fully-instrumented study runs are *interleaved* in
+    // base/obs pairs, and the overhead figure is the median of the
+    // per-pair ratios: slow drift (thermal, cache, allocator state)
+    // hits both halves of a pair equally and cancels, where the old
+    // back-to-back best-of comparison regularly reported negative
+    // overhead on noisy machines.
     let study_cfg = StudyConfig::small(SEED, servers);
-    stages.push(time_stage("full_study_k1", servers, iters, || {
-        run_study_sharded(&study_cfg, 1).records.len()
-    }));
-
-    // Same study with every observability collector on — the delta
-    // against full_study_k1 is the cost of the instrumentation layer
-    // (rendered as obs_overhead_pct in the report).
     let mut obs_cfg = study_cfg.clone();
     obs_cfg.obs = obs::ObsConfig::all();
-    stages.push(time_stage("full_study_k1_obs", servers, iters, || {
-        run_study_sharded(&obs_cfg, 1).records.len()
-    }));
+    let mut base_best = Sample::MAX;
+    let mut obs_best = Sample::MAX;
+    let mut ratios = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let base = sample_once(|| run_study_sharded(&study_cfg, 1).records.len());
+        let obs = sample_once(|| run_study_sharded(&obs_cfg, 1).records.len());
+        if base.ns > 0 {
+            ratios.push(obs.ns as f64 / base.ns as f64 - 1.0);
+        }
+        base_best.keep_min(base);
+        obs_best.keep_min(obs);
+    }
+    let obs_overhead = ObsOverhead::from_ratios(ratios);
+    stages.push(stage_of("full_study_k1", servers, base_best));
+    stages.push(stage_of("full_study_k1_obs", servers, obs_best));
 
     stages.push(time_stage(sharded_stage_name(shards), servers, iters, || {
         run_study_sharded(&study_cfg, shards).records.len()
@@ -162,7 +241,7 @@ pub fn run_stages(servers: usize, shards: u64, iters: u32) -> Vec<StageResult> {
         }
     }));
 
-    stages
+    PipelineRun { stages, obs_overhead }
 }
 
 /// Runs the study once with metrics collection on and returns the
@@ -175,24 +254,43 @@ pub fn behavior_metrics(servers: usize) -> Option<obs::MetricsSnapshot> {
     run_study_sharded(&cfg, 1).obs.map(|r| r.metrics)
 }
 
+/// `--threads` override; 0 means "ask the OS".
+static THREADS_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Pins the thread count recorded in reports (and compared by the
+/// guard) instead of asking the OS. The shard workers are spawned
+/// one-per-shard regardless; this labels the report's hardware profile
+/// so e.g. a multi-core box can maintain `BENCH_pipeline_mt.json` at a
+/// declared core count while single-core boxes skip it.
+pub fn set_threads_override(n: usize) {
+    THREADS_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Threads the OS reports available (1 when unknown); recorded so
-/// cross-machine reports are never compared as regressions.
+/// cross-machine reports are never compared as regressions. A
+/// [`set_threads_override`] value wins over OS detection.
 pub fn threads_available() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    match THREADS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
 }
 
 /// Renders the `BENCH_pipeline.json` document.
 ///
 /// When `metrics` is given, the report gains a `metrics` block of
 /// behavior counters (one `"name": value` pair per line, matching the
-/// hand-rolled extraction below) and, when both `full_study_k1` and
-/// `full_study_k1_obs` stages are present, an `obs_overhead_pct` field
-/// with the relative cost of full instrumentation.
+/// hand-rolled extraction below). When `obs_overhead` is given, the
+/// report gains an `obs_overhead_pct` field with the paired-median
+/// cost of full instrumentation, plus an `obs_overhead_note` of
+/// `"noise_floor"` when the measured cost was indistinguishable from
+/// zero (clamped rather than reported negative).
 pub fn render_json(
     servers: usize,
     shards: u64,
     iters: u32,
     stages: &[StageResult],
+    obs_overhead: Option<&ObsOverhead>,
     metrics: Option<&obs::MetricsSnapshot>,
 ) -> String {
     let mut json = String::new();
@@ -202,12 +300,10 @@ pub fn render_json(
     let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"iters\": {iters},");
     let _ = writeln!(json, "  \"threads_available\": {},", threads_available());
-    let base = stages.iter().find(|s| s.name == "full_study_k1");
-    let with_obs = stages.iter().find(|s| s.name == "full_study_k1_obs");
-    if let (Some(base), Some(with_obs)) = (base, with_obs) {
-        if base.ns_per_op > 0 {
-            let pct = (with_obs.ns_per_op as f64 / base.ns_per_op as f64 - 1.0) * 100.0;
-            let _ = writeln!(json, "  \"obs_overhead_pct\": {pct:.1},");
+    if let Some(o) = obs_overhead {
+        let _ = writeln!(json, "  \"obs_overhead_pct\": {:.1},", o.pct);
+        if o.noise_floor {
+            let _ = writeln!(json, "  \"obs_overhead_note\": \"noise_floor\",");
         }
     }
     json.push_str("  \"stages\": [\n");
@@ -375,7 +471,7 @@ mod tests {
             peak_bytes_per_op: 2048,
             threads_available: 4,
         }];
-        let json = render_json(600, 8, 3, &stages, None);
+        let json = render_json(600, 8, 3, &stages, None, None);
         let parsed = parse_baseline_stages(&json);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].allocs_per_op, Some(9));
@@ -389,7 +485,7 @@ mod tests {
     fn metrics_block_roundtrips_through_the_parser() {
         let mut snapshot = obs::MetricsSnapshot::default();
         snapshot.counters[obs::Counter::Connects as usize] = 42;
-        let json = render_json(600, 8, 3, &[], Some(&snapshot));
+        let json = render_json(600, 8, 3, &[], None, Some(&snapshot));
         let metrics = parse_baseline_metrics(&json);
         assert_eq!(metrics.len(), obs::Counter::ALL.len());
         assert!(metrics.contains(&("connects".to_owned(), 42)));
@@ -410,18 +506,40 @@ mod tests {
     }
 
     #[test]
-    fn overhead_pct_rendered_when_both_stages_present() {
-        let stage = |name, ns| StageResult {
-            name,
-            ns_per_op: ns,
-            hosts_per_sec: 1.0,
-            allocs_per_op: 0,
-            bytes_per_op: 0,
-            peak_bytes_per_op: 0,
-            threads_available: 1,
-        };
-        let stages = [stage("full_study_k1", 100), stage("full_study_k1_obs", 125)];
-        let json = render_json(600, 8, 3, &stages, None);
+    fn overhead_rendered_from_paired_measurement() {
+        let overhead = ObsOverhead { pct: 25.0, noise_floor: false };
+        let json = render_json(600, 8, 3, &[], Some(&overhead), None);
         assert!(json.contains("\"obs_overhead_pct\": 25.0,"), "{json}");
+        assert!(!json.contains("obs_overhead_note"), "{json}");
+
+        let clamped = ObsOverhead { pct: 0.0, noise_floor: true };
+        let json = render_json(600, 8, 3, &[], Some(&clamped), None);
+        assert!(json.contains("\"obs_overhead_pct\": 0.0,"), "{json}");
+        assert!(json.contains("\"obs_overhead_note\": \"noise_floor\","), "{json}");
+    }
+
+    #[test]
+    fn overhead_median_is_paired_and_outlier_resistant() {
+        // Odd count: the middle ratio wins, so one outlier pair (the
+        // 3.0× run) cannot drag the estimate.
+        let o = ObsOverhead::from_ratios(vec![0.10, 3.0, 0.04]);
+        assert!(!o.noise_floor);
+        assert!((o.pct - 10.0).abs() < 1e-9, "{}", o.pct);
+
+        // Even count: mean of the two middle ratios.
+        let o = ObsOverhead::from_ratios(vec![0.02, 0.06, 0.04, 0.08]);
+        assert!((o.pct - 5.0).abs() < 1e-9, "{}", o.pct);
+    }
+
+    #[test]
+    fn overhead_clamps_negative_medians_to_the_noise_floor() {
+        let o = ObsOverhead::from_ratios(vec![-0.03, -0.01, 0.02]);
+        assert_eq!(o.pct, 0.0);
+        assert!(o.noise_floor);
+
+        // No samples at all also reads as "unmeasurable".
+        let o = ObsOverhead::from_ratios(Vec::new());
+        assert_eq!(o.pct, 0.0);
+        assert!(o.noise_floor);
     }
 }

@@ -14,7 +14,7 @@
 //! the partial record instead of panicking or hanging.
 
 use crate::config::EnumConfig;
-use crate::record::{FileEntry, GaveUpReason, HostRecord, LoginOutcome};
+use crate::record::{GaveUpReason, HostRecord, LoginOutcome};
 use ftp_proto::listing::{self, ListingFormat};
 use ftp_proto::reply::ReplyParser;
 use ftp_proto::{Banner, HostPort, LineCodec, Reply, Robots};
@@ -480,26 +480,24 @@ impl Enumerator {
             if e.name == "." || e.name == ".." {
                 continue;
             }
-            let path = if dir == "/" {
-                format!("/{}", e.name)
-            } else {
-                format!("{dir}/{}", e.name)
-            };
-            let descend = e.is_dir && !e.is_symlink && depth < max_depth;
-            if descend {
-                let shared: Rc<str> = Rc::from(path.as_str());
+            // The joined path is written straight into the record's
+            // columnar arena — no per-entry String materializes here.
+            s.record.files.push_parts(
+                dir,
+                &e.name,
+                e.is_dir,
+                e.size,
+                e.readability(),
+                e.owner.as_deref(),
+                e.permissions.map(|p| p.other_write()),
+            );
+            if e.is_dir && !e.is_symlink && depth < max_depth {
+                let path = s.record.files.last_path().unwrap_or_default();
+                let shared: Rc<str> = Rc::from(path);
                 if s.visited.insert(shared.clone()) {
                     s.queue.push_back((shared, depth + 1));
                 }
             }
-            s.record.files.push(FileEntry {
-                path,
-                is_dir: e.is_dir,
-                size: e.size,
-                readability: e.readability(),
-                owner: e.owner,
-                other_writable: e.permissions.map(|p| p.other_write()),
-            });
         }
     }
 

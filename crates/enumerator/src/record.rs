@@ -126,6 +126,241 @@ impl FileEntry {
     }
 }
 
+/// A borrowed view of one [`FileTable`] row.
+///
+/// `Copy`, and every string accessor returns a slice tied to the
+/// *table's* lifetime (`self` is taken by value), so callers can hold
+/// names and extensions in borrowed seen-sets while iterating.
+#[derive(Debug, Clone, Copy)]
+pub struct FileEntryRef<'a> {
+    /// Full canonical path.
+    pub path: &'a str,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Size, when the listing exposed it.
+    pub size: Option<u64>,
+    /// The paper's three-way readability classification.
+    pub readability: Readability,
+    /// Owner column, when exposed (`ftp`, `root`, …).
+    pub owner: Option<&'a str>,
+    /// All-users write bit, when permissions were exposed.
+    pub other_writable: Option<bool>,
+    name: &'a str,
+    ext: &'a str,
+}
+
+impl<'a> FileEntryRef<'a> {
+    /// The file's name (final path component).
+    pub fn name(self) -> &'a str {
+        self.name
+    }
+
+    /// Lower-cased extension without the dot, if any — precomputed at
+    /// insertion time, so this is a slice lookup, not an allocation.
+    pub fn extension(self) -> Option<&'a str> {
+        if self.ext.is_empty() {
+            None
+        } else {
+            Some(self.ext)
+        }
+    }
+}
+
+/// Struct-of-arrays storage for a host's observed files.
+///
+/// The AoS form (`Vec<FileEntry>`) cost four-plus heap allocations per
+/// row (path `String`, optional owner `String`, and a fresh lowercase
+/// `String` per `extension()` call in every analysis pass). This table
+/// stores all paths in one arena string with end offsets, interns the
+/// handful of distinct owner names per host, and precomputes lowercase
+/// extensions into a side arena — row access hands out [`FileEntryRef`]
+/// slices and never allocates.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileTable {
+    /// Every path, concatenated; row `i` is `paths[path_end[i-1]..path_end[i]]`.
+    paths: String,
+    path_end: Vec<u32>,
+    /// Byte offset into `paths` where row `i`'s final component begins.
+    name_start: Vec<u32>,
+    /// Lower-cased extensions, concatenated; zero-length slice = none.
+    ext_buf: String,
+    ext_end: Vec<u32>,
+    is_dir: Vec<bool>,
+    size: Vec<Option<u64>>,
+    readability: Vec<Readability>,
+    /// Index into `owners`, or `u32::MAX` for "owner column absent".
+    owner_ix: Vec<u32>,
+    owners: Vec<String>,
+    other_writable: Vec<Option<bool>>,
+}
+
+impl FileTable {
+    /// Number of rows (files and directories).
+    pub fn len(&self) -> usize {
+        self.path_end.len()
+    }
+
+    /// True when no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.path_end.is_empty()
+    }
+
+    /// Appends a row from its parts without materializing the joined
+    /// path: `dir` + `/` + `name` is written straight into the arena.
+    /// Canonical directories never end in `/` except the root itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_parts(
+        &mut self,
+        dir: &str,
+        name: &str,
+        is_dir: bool,
+        size: Option<u64>,
+        readability: Readability,
+        owner: Option<&str>,
+        other_writable: Option<bool>,
+    ) {
+        if dir != "/" {
+            self.paths.push_str(dir);
+        }
+        self.paths.push('/');
+        let name_start = self.paths.len() as u32;
+        self.paths.push_str(name);
+        self.finish_row(name_start, is_dir, size, readability, owner, other_writable);
+    }
+
+    /// Appends an owned [`FileEntry`] (construction and test paths; the
+    /// enumerator's hot path uses [`FileTable::push_parts`]).
+    pub fn push(&mut self, e: FileEntry) {
+        let name_rel = e.path.rfind('/').map_or(0, |i| i + 1);
+        self.paths.push_str(&e.path);
+        let name_start = (self.paths.len() - (e.path.len() - name_rel)) as u32;
+        self.finish_row(
+            name_start,
+            e.is_dir,
+            e.size,
+            e.readability,
+            e.owner.as_deref(),
+            e.other_writable,
+        );
+    }
+
+    fn finish_row(
+        &mut self,
+        name_start: u32,
+        is_dir: bool,
+        size: Option<u64>,
+        readability: Readability,
+        owner: Option<&str>,
+        other_writable: Option<bool>,
+    ) {
+        self.path_end.push(self.paths.len() as u32);
+        self.name_start.push(name_start);
+        let name = &self.paths[name_start as usize..];
+        if let Some(dot) = name.rfind('.') {
+            if dot != 0 && dot + 1 != name.len() {
+                self.ext_buf.extend(name[dot + 1..].chars().map(|c| c.to_ascii_lowercase()));
+            }
+        }
+        self.ext_end.push(self.ext_buf.len() as u32);
+        self.is_dir.push(is_dir);
+        self.size.push(size);
+        self.readability.push(readability);
+        let owner_ix = match owner {
+            None => u32::MAX,
+            // Hosts expose a handful of distinct owners at most, so a
+            // linear probe beats a hash map here.
+            Some(o) => match self.owners.iter().position(|have| have == o) {
+                Some(i) => i as u32,
+                None => {
+                    self.owners.push(o.to_owned());
+                    (self.owners.len() - 1) as u32
+                }
+            },
+        };
+        self.owner_ix.push(owner_ix);
+        self.other_writable.push(other_writable);
+    }
+
+    /// The row at `ix`. Panics when out of bounds, like slice indexing.
+    pub fn get(&self, ix: usize) -> FileEntryRef<'_> {
+        let path_start = if ix == 0 { 0 } else { self.path_end[ix - 1] as usize };
+        let path_end = self.path_end[ix] as usize;
+        let ext_start = if ix == 0 { 0 } else { self.ext_end[ix - 1] as usize };
+        FileEntryRef {
+            path: &self.paths[path_start..path_end],
+            name: &self.paths[self.name_start[ix] as usize..path_end],
+            ext: &self.ext_buf[ext_start..self.ext_end[ix] as usize],
+            is_dir: self.is_dir[ix],
+            size: self.size[ix],
+            readability: self.readability[ix],
+            owner: match self.owner_ix[ix] {
+                u32::MAX => None,
+                i => Some(self.owners[i as usize].as_str()),
+            },
+            other_writable: self.other_writable[ix],
+        }
+    }
+
+    /// Iterates rows as borrowed [`FileEntryRef`] views.
+    pub fn iter(&self) -> FileTableIter<'_> {
+        FileTableIter { table: self, ix: 0 }
+    }
+
+    /// The most recently pushed path, if any — lets the traversal loop
+    /// build its visited/queue keys without re-joining the path.
+    pub fn last_path(&self) -> Option<&str> {
+        let ix = self.len().checked_sub(1)?;
+        let start = if ix == 0 { 0 } else { self.path_end[ix - 1] as usize };
+        Some(&self.paths[start..self.path_end[ix] as usize])
+    }
+}
+
+/// Borrowing iterator over [`FileTable`] rows.
+#[derive(Debug, Clone)]
+pub struct FileTableIter<'a> {
+    table: &'a FileTable,
+    ix: usize,
+}
+
+impl<'a> Iterator for FileTableIter<'a> {
+    type Item = FileEntryRef<'a>;
+
+    fn next(&mut self) -> Option<FileEntryRef<'a>> {
+        if self.ix >= self.table.len() {
+            return None;
+        }
+        let row = self.table.get(self.ix);
+        self.ix += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.table.len() - self.ix;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for FileTableIter<'_> {}
+
+impl<'a> IntoIterator for &'a FileTable {
+    type Item = FileEntryRef<'a>;
+    type IntoIter = FileTableIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<Vec<FileEntry>> for FileTable {
+    fn from(entries: Vec<FileEntry>) -> Self {
+        let mut t = FileTable::default();
+        for e in entries {
+            t.push(e);
+        }
+        t
+    }
+}
+
 /// FTPS observation for one host.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct FtpsObservation {
@@ -150,8 +385,8 @@ pub struct HostRecord {
     pub login: LoginOutcome,
     /// robots.txt findings (only meaningful after login).
     pub robots: RobotsInfo,
-    /// Every file and directory observed.
-    pub files: Vec<FileEntry>,
+    /// Every file and directory observed, in columnar form.
+    pub files: FileTable,
     /// Traversal stopped at the request cap (the paper's 26.7 K
     /// ">500 requests" population).
     pub truncated: bool,
@@ -194,7 +429,7 @@ impl HostRecord {
             ftp_compliant: false,
             login: LoginOutcome::Aborted,
             robots: RobotsInfo::default(),
-            files: Vec::new(),
+            files: FileTable::default(),
             truncated: false,
             server_terminated: false,
             requests_used: 0,
@@ -252,6 +487,70 @@ mod tests {
         assert_eq!(entry("/x/.hidden", false).extension(), None);
         assert_eq!(entry("/x/trailing.", false).extension(), None);
         assert_eq!(entry("/a/b.tar.gz", false).extension().as_deref(), Some("gz"));
+    }
+
+    #[test]
+    fn table_roundtrips_entries() {
+        let entries = vec![
+            FileEntry {
+                path: "/pub/photos/DSC_0001.JPG".to_owned(),
+                is_dir: false,
+                size: Some(120),
+                readability: Readability::Readable,
+                owner: Some("ftp".to_owned()),
+                other_writable: Some(false),
+            },
+            entry("/pub", true),
+            FileEntry {
+                path: "/etc/shadow".to_owned(),
+                is_dir: false,
+                size: None,
+                readability: Readability::NonReadable,
+                owner: Some("root".to_owned()),
+                other_writable: None,
+            },
+            entry("/root-file", false),
+        ];
+        let t = FileTable::from(entries.clone());
+        assert_eq!(t.len(), entries.len());
+        for (row, e) in t.iter().zip(&entries) {
+            assert_eq!(row.path, e.path);
+            assert_eq!(row.name(), e.name());
+            assert_eq!(row.extension(), e.extension().as_deref());
+            assert_eq!(row.is_dir, e.is_dir);
+            assert_eq!(row.size, e.size);
+            assert_eq!(row.readability, e.readability);
+            assert_eq!(row.owner, e.owner.as_deref());
+            assert_eq!(row.other_writable, e.other_writable);
+        }
+        assert_eq!(t.last_path(), Some("/root-file"));
+    }
+
+    #[test]
+    fn push_parts_matches_push() {
+        let mut by_parts = FileTable::default();
+        by_parts.push_parts("/", "readme.TXT", false, Some(3), Readability::Readable, None, None);
+        by_parts.push_parts("/pub", "inner", true, None, Readability::Unknown, Some("ftp"), None);
+        by_parts.push_parts("/pub/inner", ".hidden", false, None, Readability::Unknown, None, None);
+        let mut by_push = FileTable::default();
+        by_push.push(entry("/readme.TXT", false));
+        by_push.push(entry("/pub/inner", true));
+        by_push.push(entry("/pub/inner/.hidden", false));
+        let parts: Vec<(String, String, Option<String>)> = by_parts
+            .iter()
+            .map(|r| {
+                (r.path.to_owned(), r.name().to_owned(), r.extension().map(str::to_owned))
+            })
+            .collect();
+        let pushed: Vec<(String, String, Option<String>)> = by_push
+            .iter()
+            .map(|r| {
+                (r.path.to_owned(), r.name().to_owned(), r.extension().map(str::to_owned))
+            })
+            .collect();
+        assert_eq!(parts, pushed);
+        assert_eq!(parts[0], ("/readme.TXT".to_owned(), "readme.TXT".to_owned(), Some("txt".to_owned())));
+        assert_eq!(parts[2].2, None, ".hidden has no extension");
     }
 
     #[test]

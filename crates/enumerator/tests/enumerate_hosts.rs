@@ -61,7 +61,7 @@ fn enumerates_anonymous_server_fully() {
     assert!(r.ftp_compliant);
     assert_eq!(r.login, LoginOutcome::Anonymous);
     assert!(r.banner.as_deref().unwrap().contains("ProFTPD"));
-    let paths: Vec<&str> = r.files.iter().map(|f| f.path.as_str()).collect();
+    let paths: Vec<&str> = r.files.iter().map(|f| f.path).collect();
     assert!(paths.contains(&"/pub"), "{paths:?}");
     assert!(paths.contains(&"/pub/readme.txt"), "{paths:?}");
     assert!(paths.contains(&"/pub/photos/DSC_0001.JPG"), "{paths:?}");
@@ -108,7 +108,7 @@ fn respects_robots_partial_exclusion() {
     let r = &records[0];
     assert!(r.robots.present);
     assert!(!r.robots.denies_all);
-    let paths: Vec<&str> = r.files.iter().map(|f| f.path.as_str()).collect();
+    let paths: Vec<&str> = r.files.iter().map(|f| f.path).collect();
     assert!(paths.contains(&"/pub/readme.txt"));
     // The /backup dir entry is listed (it appears in /'s listing) but its
     // contents are never traversed.

@@ -6,9 +6,14 @@
 //! splits each shard's address space into `batches` hash-partitioned
 //! sub-slices (the [`netsim::ip::batch_of`] axis, independent of the
 //! shard axis), runs the full scan → enumerate → HTTP-sweep pipeline on
-//! one batch at a time in a **fresh simulator**, folds the batch's
+//! one batch at a time in a **reset simulator** (one arena per shard,
+//! [`netsim::Simulator::reset`] between batches — byte-identical to a
+//! fresh one, but reusing its allocation caches), folds the batch's
 //! records into a constant-size [`StreamingAggregate`], and drops
 //! everything else. Peak memory is O(batch), regardless of world size.
+//! Per-shard setup runs once, not per cell: the plan is bucketed by
+//! batch in a single pass ([`worldgen::WorldPlan::bucket_shard`]) and
+//! the scan permutation orbit is walked once and split per batch.
 //!
 //! Correctness rests on the same purity argument as sharding: every
 //! per-host outcome is a pure function of `(seed, ip)`, so a host
@@ -32,7 +37,7 @@ use netsim::Simulator;
 use std::fmt;
 use std::path::PathBuf;
 use worldgen::{PopulationSpec, WorldPlan};
-use zscan::{HashBatch, HashShard};
+use zscan::{Blocklist, HashBatch, HashShard, ScanConfig};
 
 /// Streaming-specific knobs, on top of a [`StudyConfig`].
 #[derive(Debug, Clone)]
@@ -98,6 +103,12 @@ pub struct StreamResults {
     pub shards: u64,
     /// Batch count per shard.
     pub batches: u64,
+    /// Merged observability report when [`StudyConfig::obs`] requested
+    /// any collection; `None` otherwise. Shard reports merge in index
+    /// order, exactly as the in-memory runner's do. Reports are not
+    /// checkpointed: a resumed run's report covers only the batches the
+    /// resuming invocation executed.
+    pub obs: Option<obs::Report>,
 }
 
 /// Outcome of [`run_study_streamed`].
@@ -144,12 +155,17 @@ pub fn config_fingerprint(cfg: &StudyConfig, shards: u64, batches: u64, batch_si
     crate::checkpoint::fnv1a(canon.as_bytes())
 }
 
-/// One shard's run: its aggregate and where it stopped.
+/// One shard's run: its aggregate, where it stopped, and what the
+/// observability layer (if enabled) collected along the way.
 struct ShardRun {
     aggregate: StreamingAggregate,
     next_batch: u64,
+    obs: Option<obs::Report>,
 }
 
+/// Installs the shard's recorder (when configured), runs the batch
+/// loop, and always uninstalls — errors included — so a failed shard
+/// never leaks a recorder into the worker thread.
 fn run_stream_shard(
     cfg: &StudyConfig,
     plan: &WorldPlan,
@@ -159,6 +175,25 @@ fn run_stream_shard(
     fingerprint: u64,
     opts: &StreamOptions,
 ) -> Result<ShardRun, StreamError> {
+    if cfg.obs.any() {
+        obs::install(Box::new(obs::CollectingRecorder::new(index, cfg.obs.trace)));
+    }
+    let result = stream_shard_batches(cfg, plan, index, shards, batches, fingerprint, opts);
+    let report = obs::uninstall().map(|r| r.finish());
+    result.map(|(aggregate, next_batch)| ShardRun { aggregate, next_batch, obs: report })
+}
+
+fn stream_shard_batches(
+    cfg: &StudyConfig,
+    plan: &WorldPlan,
+    index: u64,
+    shards: u64,
+    batches: u64,
+    fingerprint: u64,
+    opts: &StreamOptions,
+) -> Result<(StreamingAggregate, u64), StreamError> {
+    let shard_span = obs::span!("shard.run");
+    obs::event!("shard.start", shards = shards);
     let seed = cfg.population.seed;
 
     // Resume from a checkpoint when one exists and matches this exact
@@ -181,23 +216,53 @@ fn run_stream_shard(
         None => (StreamingAggregate::default(), 0),
     };
 
+    // Per-shard state hoisted out of the batch loop: one simulator arena
+    // reset between batches (retaining its allocation caches), the plan
+    // bucketed by batch in a single pass, and the scan permutation orbit
+    // walked once and split per batch — each of which the first streaming
+    // cut paid for from scratch at every `(shard, batch)` cell.
+    let mut sim = Simulator::new(seed);
+    let buckets = plan.bucket_shard((index, shards), batches);
+    let shard_order = {
+        let mut sc = ScanConfig::tcp21(cfg.population.space, seed ^ 0x5ca);
+        sc.blocklist = Blocklist::standard();
+        sc.hash_shard = Some(HashShard { seed, index, shards });
+        sc.materialize_order()
+    };
+    let space = cfg.population.space;
+
     for (executed, batch) in (start_batch..batches).enumerate() {
         if opts.interrupt_after_batches.is_some_and(|limit| executed as u64 >= limit) {
-            return Ok(ShardRun { aggregate, next_batch: batch });
+            harvest_shard_obs(&sim);
+            drop(shard_span);
+            return Ok((aggregate, batch));
         }
 
-        // A fresh simulator per batch: batch teardown is simply dropping
-        // it, so nothing from this batch survives to the next.
-        let mut sim = Simulator::new(seed);
+        // Reset gives a byte-identical blank simulator: batch teardown
+        // is the reset, so nothing observable survives to the next
+        // batch (endpoints and queue cleared, RNG re-seeded).
+        sim.reset(seed);
         // Materialized ground truth is folded into the sim and
         // immediately dropped — the streaming path never holds a host
         // vector.
-        let _ = plan.materialize_slice(&mut sim, (index, shards), (batch, batches));
+        {
+            let _span = obs::span!("stage.worldgen");
+            let _ = plan.materialize_bucket(&mut sim, &buckets, batch);
+        }
+        let hash_batch = HashBatch { seed, index: batch, batches };
+        // Filtering the shard's orbit preserves relative order, so this
+        // equals the order a per-cell `materialize_order` would produce.
+        let batch_order: Vec<u64> = shard_order
+            .iter()
+            .copied()
+            .filter(|&ix| hash_batch.contains(space.addr_at(ix)))
+            .collect();
         let out = run_partition(
             cfg,
             &mut sim,
             Some(HashShard { seed, index, shards }),
-            Some(HashBatch { seed, index: batch, batches }),
+            Some(hash_batch),
+            Some(batch_order),
         );
 
         aggregate.fold_scan(out.ips_scanned, out.open_port);
@@ -206,6 +271,10 @@ fn run_stream_shard(
         }
         for o in out.http.values() {
             aggregate.fold_http(o.powered_by.is_some());
+        }
+        if obs::enabled() {
+            obs::counter(obs::Counter::HttpObservations, out.http.len() as u64);
+            obs::event!("batch.done", batch = batch, records = out.records.len());
         }
 
         if let Some(dir) = &opts.checkpoint_dir {
@@ -220,7 +289,25 @@ fn run_stream_shard(
             .save(dir)?;
         }
     }
-    Ok(ShardRun { aggregate, next_batch: batches })
+    harvest_shard_obs(&sim);
+    drop(shard_span);
+    Ok((aggregate, batches))
+}
+
+/// Harvests the simulator's unconditionally-maintained wheel statistics
+/// into the installed recorder, mirroring the in-memory runner's
+/// shard-end harvest. Wheel stats accumulate across [`Simulator::reset`]
+/// by design, so one harvest at shard end covers every batch.
+fn harvest_shard_obs(sim: &Simulator) {
+    if !obs::enabled() {
+        return;
+    }
+    let ws = sim.wheel_stats();
+    obs::counter(obs::Counter::WheelInserts, ws.inserts);
+    obs::counter(obs::Counter::WheelCascades, ws.cascades);
+    obs::counter(obs::Counter::WheelCascadedEntries, ws.cascaded_entries);
+    obs::gauge_max(obs::Gauge::WheelMaxOccupancy, ws.max_occupancy);
+    obs::event!("shard.done", sim_us = sim.now().as_micros());
 }
 
 /// Runs the study in bounded-memory streaming mode.
@@ -264,7 +351,9 @@ pub fn run_study_streamed(
         })
     };
 
+    let merge_start = std::time::Instant::now();
     let mut aggregate = StreamingAggregate::default();
+    let mut obs_report: Option<obs::Report> = None;
     let mut next_batches = Vec::with_capacity(runs.len());
     let mut complete = true;
     for run in runs {
@@ -274,15 +363,27 @@ pub fn run_study_streamed(
             complete = false;
         }
         aggregate.merge(&run.aggregate);
+        if let Some(shard_report) = run.obs {
+            // Shard reports arrive in index order (runs is built in
+            // spawn order), so the merged trace is deterministic.
+            match obs_report.as_mut() {
+                Some(merged) => merged.absorb(shard_report),
+                None => obs_report = Some(shard_report),
+            }
+        }
     }
     if !complete {
         return Ok(StreamOutcome::Interrupted { next_batches });
+    }
+    if let Some(report) = obs_report.as_mut() {
+        report.add_span("study.merge", 0, merge_start.elapsed().as_nanos() as u64);
     }
     Ok(StreamOutcome::Complete(Box::new(StreamResults {
         aggregate,
         spec: cfg.population.clone(),
         shards: opts.shards,
         batches,
+        obs: obs_report,
     })))
 }
 

@@ -44,6 +44,12 @@ pub struct StudyConfig {
     /// any flag set installs a per-shard [`obs::Recorder`] whose merged
     /// [`obs::Report`] lands in [`StudyResults::obs`].
     pub obs: obs::ObsConfig,
+    /// Schedule every discovery probe as its own simulator event instead
+    /// of the default one-batch-per-pacing-tick drain (see
+    /// [`zscan::ScanConfig::per_probe_events`]). Results are
+    /// byte-identical either way; the regression suite flips this to
+    /// prove it.
+    pub per_probe_events: bool,
 }
 
 impl StudyConfig {
@@ -59,6 +65,7 @@ impl StudyConfig {
             strict_replies: false,
             request_gap: SimDuration::from_millis(500),
             obs: obs::ObsConfig::default(),
+            per_probe_events: false,
         }
     }
 
@@ -145,14 +152,17 @@ pub(crate) struct PartitionOutput {
 /// Runs the three measurement stages — ZMap-style discovery,
 /// enumeration, HTTP sweep — against a simulator that already holds the
 /// partition's hosts. `hash_shard`/`hash_batch` restrict discovery to
-/// the same slice the caller materialized; the caller owns recorder
-/// installation (the streaming path installs none, so the `obs` macros
-/// are no-ops there).
+/// the same slice the caller materialized; `scan_order`, when given, is
+/// that slice's precomputed permutation order (the streaming runner
+/// walks the orbit once per shard and splits it per batch) and must
+/// match what the filters would have produced. The caller owns recorder
+/// installation.
 pub(crate) fn run_partition(
     cfg: &StudyConfig,
     sim: &mut Simulator,
     hash_shard: Option<HashShard>,
     hash_batch: Option<HashBatch>,
+    scan_order: Option<Vec<u64>>,
 ) -> PartitionOutput {
     let seed = cfg.population.seed;
 
@@ -162,7 +172,11 @@ pub(crate) fn run_partition(
     scan_cfg.blocklist = Blocklist::standard();
     scan_cfg.hash_shard = hash_shard;
     scan_cfg.hash_batch = hash_batch;
-    let (scanner, scan_results) = HostDiscovery::new(scan_cfg);
+    scan_cfg.per_probe_events = cfg.per_probe_events;
+    let (scanner, scan_results) = match scan_order {
+        Some(order) => HostDiscovery::with_order(scan_cfg, order),
+        None => HostDiscovery::new(scan_cfg),
+    };
     let sid = sim.register_endpoint(Box::new(scanner));
     sim.schedule_timer(sid, SimDuration::ZERO, 0);
     {
@@ -170,9 +184,10 @@ pub(crate) fn run_partition(
         sim.run();
     }
     let (open, ips_scanned) = {
-        let r = scan_results.borrow();
-        (r.open.clone(), r.probes_sent)
+        let mut r = scan_results.borrow_mut();
+        (std::mem::take(&mut r.open), r.probes_sent)
     };
+    let open_port = open.len() as u64;
     obs::event!("shard.stage", stage = "scan", open_port = open.len());
 
     // Stage 2: enumerate every responsive host.
@@ -188,7 +203,7 @@ pub(crate) fn run_partition(
     if cfg.probe_bounce {
         enum_cfg = enum_cfg.with_bounce_probe(HostPort::new(COLLECTOR_IP, COLLECTOR_PORT));
     }
-    let (enumerator, records) = Enumerator::new(enum_cfg, open.clone());
+    let (enumerator, records) = Enumerator::new(enum_cfg, open);
     let eid = sim.register_endpoint(Box::new(enumerator));
     sim.schedule_timer(eid, SimDuration::ZERO, 0);
     {
@@ -209,12 +224,16 @@ pub(crate) fn run_partition(
             let _span = obs::span!("stage.webprobe");
             sim.run();
         }
-        http = web_results.borrow().clone();
+        http = std::mem::take(&mut *web_results.borrow_mut());
     }
 
-    let records = records.borrow().clone();
-    let bounce_hits = bounce_hits.borrow().clone();
-    PartitionOutput { ips_scanned, open_port: open.len() as u64, records, bounce_hits, http }
+    // Move the stage outputs out of their shared handles instead of
+    // cloning: the endpoints holding the other ends are spent (their
+    // simulations drained) and are dropped with the simulator or its
+    // next reset.
+    let records = std::mem::take(&mut *records.borrow_mut());
+    let bounce_hits = std::mem::take(&mut *bounce_hits.borrow_mut());
+    PartitionOutput { ips_scanned, open_port, records, bounce_hits, http }
 }
 
 /// Runs the three measurement stages for one shard: a private simulator
@@ -242,7 +261,7 @@ fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> Sh
         plan.materialize(&mut sim, |ip| shard_of(seed, ip, shards) == index)
     };
 
-    let out = run_partition(cfg, &mut sim, Some(HashShard { seed, index, shards }), None);
+    let out = run_partition(cfg, &mut sim, Some(HashShard { seed, index, shards }), None, None);
 
     if obs::enabled() {
         // Harvest the timer wheel's unconditionally-maintained stats into

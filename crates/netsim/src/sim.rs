@@ -204,16 +204,19 @@ fn obs_note_dispatch(at: SimTime, ev: &Ev) {
     if obs::enabled() {
         obs::set_sim_now(at.as_micros());
         obs::counter(obs::Counter::SimEvents, 1);
-        let kind = match ev {
-            Ev::Data { .. } => obs::Counter::EvData,
-            Ev::Timer { .. } => obs::Counter::EvTimer,
-            Ev::ProbeResult { .. } => obs::Counter::EvProbe,
-            Ev::Close { .. } => obs::Counter::EvClose,
+        let (kind, n) = match ev {
+            Ev::Data { .. } => (obs::Counter::EvData, 1),
+            Ev::Timer { .. } => (obs::Counter::EvTimer, 1),
+            Ev::ProbeResult { .. } => (obs::Counter::EvProbe, 1),
+            // One queue entry, many probe completions: the counter keeps
+            // meaning "probe results delivered".
+            Ev::ProbeBatch { results, .. } => (obs::Counter::EvProbe, results.len() as u64),
+            Ev::Close { .. } => (obs::Counter::EvClose, 1),
             Ev::SynArrive { .. } | Ev::ConnectResult { .. } | Ev::ConnectTimeout { .. } => {
-                obs::Counter::EvConnect
+                (obs::Counter::EvConnect, 1)
             }
         };
-        obs::counter(kind, 1);
+        obs::counter(kind, n);
     }
 }
 
@@ -226,6 +229,10 @@ enum Ev {
     Close { conn: ConnId, to_initiator: bool },
     Timer { ep: EndpointId, token: u64 },
     ProbeResult { ep: EndpointId, target: Ipv4Addr, port: u16, status: ProbeStatus },
+    /// Several probe completions sharing one deadline, delivered as one
+    /// queue entry (see [`Ctx::probe_batch`]); `on_probe` fires per
+    /// element in vec order, which is the probes' call order.
+    ProbeBatch { ep: EndpointId, port: u16, results: Vec<(Ipv4Addr, ProbeStatus)> },
 }
 
 /// Shared simulator state reachable from handlers via [`Ctx`].
@@ -248,6 +255,12 @@ pub struct SimCore {
     /// allocator each time. Purely an allocation cache: contents are
     /// always overwritten before reuse, so determinism is unaffected.
     buf_pool: Vec<Vec<u8>>,
+    /// Recycled `Ev::ProbeBatch` payload vectors (same contract as
+    /// `buf_pool`: allocation cache only).
+    probe_pool: Vec<Vec<(Ipv4Addr, ProbeStatus)>>,
+    /// Scratch for [`Ctx::probe_batch`]'s delay grouping:
+    /// `(delay µs, call index, target, status)`.
+    probe_scratch: Vec<(u64, u32, Ipv4Addr, ProbeStatus)>,
 }
 
 /// Bounds on the [`SimCore`] buffer pool: don't hoard more buffers
@@ -276,6 +289,51 @@ impl SimCore {
         if self.buf_pool.len() < BUF_POOL_MAX && buf.capacity() <= BUF_POOL_MAX_CAPACITY {
             self.buf_pool.push(buf);
         }
+    }
+
+    /// An empty probe-batch payload vector, pooled when available.
+    fn take_probe_group(&mut self) -> Vec<(Ipv4Addr, ProbeStatus)> {
+        self.probe_pool.pop().map_or_else(Vec::new, |mut v| {
+            v.clear();
+            v
+        })
+    }
+
+    /// Returns a dispatched probe-batch payload to the pool.
+    fn recycle_probe_group(&mut self, group: Vec<(Ipv4Addr, ProbeStatus)>) {
+        if self.probe_pool.len() < BUF_POOL_MAX {
+            self.probe_pool.push(group);
+        }
+    }
+
+    /// Classifies a SYN probe against `target:port` and picks its answer
+    /// delay. Draws the shared RNG once when probe loss is configured —
+    /// exactly one draw per probe, in call order, so the per-probe and
+    /// batched scheduling paths consume an identical RNG stream.
+    fn probe_outcome(&mut self, target: Ipv4Addr, port: u16) -> (ProbeStatus, SimDuration) {
+        let lost = self.cfg.probe_loss > 0.0 && self.rng.random::<f64>() < self.cfg.probe_loss;
+        let status = if lost {
+            ProbeStatus::Filtered
+        } else {
+            match self.hosts.get(&target) {
+                None => ProbeStatus::Filtered,
+                Some(h) => match (h.bound.contains_key(&port), h.firewall) {
+                    (_, FirewallPolicy::DropAll) => ProbeStatus::Filtered,
+                    (true, _) => ProbeStatus::Open,
+                    (false, FirewallPolicy::RejectUnbound) => ProbeStatus::Closed,
+                    (false, FirewallPolicy::DropUnbound) => ProbeStatus::Filtered,
+                },
+            }
+        };
+        let delay = match status {
+            ProbeStatus::Filtered => self.cfg.probe_timeout,
+            _ => {
+                // Round trip on the real path (seeded per path).
+                let lat = self.latency(Ipv4Addr::UNSPECIFIED, target);
+                lat + lat
+            }
+        };
+        (status, delay)
     }
 
     fn schedule(&mut self, delay: SimDuration, ev: Ev) {
@@ -508,31 +566,63 @@ impl<'a> Ctx<'a> {
         if obs::enabled() {
             obs::counter(obs::Counter::ProbesSent, 1);
         }
-        let lost = self.core.cfg.probe_loss > 0.0
-            && self.core.rng.random::<f64>() < self.core.cfg.probe_loss;
-        let status = if lost {
-            ProbeStatus::Filtered
-        } else {
-            match self.core.hosts.get(&target) {
-                None => ProbeStatus::Filtered,
-                Some(h) => match (h.bound.contains_key(&port), h.firewall) {
-                    (_, FirewallPolicy::DropAll) => ProbeStatus::Filtered,
-                    (true, _) => ProbeStatus::Open,
-                    (false, FirewallPolicy::RejectUnbound) => ProbeStatus::Closed,
-                    (false, FirewallPolicy::DropUnbound) => ProbeStatus::Filtered,
-                },
-            }
-        };
         let ep = self.me;
-        let delay = match status {
-            ProbeStatus::Filtered => self.core.cfg.probe_timeout,
-            _ => {
-                // Round trip on the real path (seeded per path).
-                let lat = self.core.latency(Ipv4Addr::UNSPECIFIED, target);
-                lat + lat
-            }
-        };
+        let (status, delay) = self.core.probe_outcome(target, port);
         self.core.schedule(delay, Ev::ProbeResult { ep, target, port, status });
+    }
+
+    /// Sends one SYN probe per element of `targets` (repeats allowed —
+    /// a scanner retrying each address K times lists it K times), as if
+    /// by that many [`Ctx::probe`] calls, but schedules same-deadline
+    /// answers as a single [`Endpoint::on_probe`]-per-element batch
+    /// event instead of one queue entry each.
+    ///
+    /// Ordering-observable behavior is byte-identical to the per-probe
+    /// path: RNG draws happen per target in slice order, callbacks for
+    /// a shared deadline fire in slice order, and distinct deadlines
+    /// within one call can never tie at the same instant (they differ
+    /// by construction), so grouping only collapses entries whose
+    /// relative order was already fixed by call order. The win is for
+    /// sweeps where most probes share the fixed `probe_timeout`
+    /// deadline: a 512-probe pacing tick collapses from 512 wheel
+    /// entries to one (plus one per distinct answered-path latency).
+    pub fn probe_batch(&mut self, targets: &[Ipv4Addr], port: u16) {
+        if obs::enabled() {
+            obs::counter(obs::Counter::ProbesSent, targets.len() as u64);
+        }
+        let ep = self.me;
+        let mut scratch = std::mem::take(&mut self.core.probe_scratch);
+        scratch.clear();
+        for (idx, &target) in targets.iter().enumerate() {
+            let (status, delay) = self.core.probe_outcome(target, port);
+            scratch.push((delay.as_micros(), idx as u32, target, status));
+        }
+        // Group by delay; the call index keeps the sort deterministic
+        // and preserves call order within each group. Group-to-group
+        // schedule order is unobservable: their deadlines all differ.
+        scratch.sort_unstable_by_key(|&(delay, idx, _, _)| (delay, idx));
+        let mut i = 0;
+        while i < scratch.len() {
+            let delay = scratch[i].0;
+            let mut j = i + 1;
+            while j < scratch.len() && scratch[j].0 == delay {
+                j += 1;
+            }
+            if j - i == 1 {
+                let (_, _, target, status) = scratch[i];
+                self.core.schedule(
+                    SimDuration::from_micros(delay),
+                    Ev::ProbeResult { ep, target, port, status },
+                );
+            } else {
+                let mut results = self.core.take_probe_group();
+                results.extend(scratch[i..j].iter().map(|&(_, _, target, status)| (target, status)));
+                self.core
+                    .schedule(SimDuration::from_micros(delay), Ev::ProbeBatch { ep, port, results });
+            }
+            i = j;
+        }
+        self.core.probe_scratch = scratch;
     }
 
     /// Binds an ephemeral port on `host_ip` to this endpoint (for `PASV`
@@ -600,6 +690,9 @@ impl<'a> Ctx<'a> {
 pub struct Simulator {
     core: SimCore,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    /// Reused same-instant batch buffer for [`Simulator::run`]'s drain
+    /// loop (see [`TimerWheel::pop_batch`]); empty between runs.
+    drain_buf: Vec<Entry<Ev>>,
 }
 
 impl fmt::Debug for Simulator {
@@ -637,9 +730,43 @@ impl Simulator {
                 rng: StdRng::seed_from_u64(seed),
                 events_processed: 0,
                 buf_pool: Vec::new(),
+                probe_pool: Vec::new(),
+                probe_scratch: Vec::new(),
             },
             endpoints: Vec::new(),
+            drain_buf: Vec::new(),
         }
+    }
+
+    /// Rewinds this simulator to the state [`Simulator::with_config`]
+    /// would produce for `seed` and the current config, but keeps every
+    /// allocation cache and container capacity (timer-wheel slots,
+    /// payload pools, host/connection tables, the drain buffer). A
+    /// caller running many bounded simulations back to back — the
+    /// streaming study runner's `(shard, batch)` grid — reuses one
+    /// arena instead of rebuilding it per cell.
+    ///
+    /// Behavior from a reset simulator is byte-identical to a fresh
+    /// one: every piece of state consulted by the event loop (clock,
+    /// sequence counter, RNG, hosts, connections, faults, endpoints) is
+    /// cleared; what survives is reusable capacity whose contents are
+    /// always overwritten before use. Timer-wheel statistics
+    /// ([`Simulator::wheel_stats`]) intentionally keep accumulating
+    /// across resets — they describe the arena's lifetime, which is
+    /// what a per-shard observability harvest wants.
+    pub fn reset(&mut self, seed: u64) {
+        self.core.now = SimTime::ZERO;
+        self.core.seq = 0;
+        self.core.queue.reset();
+        self.core.hosts.clear();
+        self.core.conns.clear();
+        self.core.faults.clear();
+        self.core.next_conn = 0;
+        self.core.seed = seed;
+        self.core.rng = StdRng::seed_from_u64(seed);
+        self.core.events_processed = 0;
+        self.endpoints.clear();
+        self.drain_buf.clear();
     }
 
     /// Current simulated time.
@@ -767,8 +894,30 @@ impl Simulator {
     }
 
     /// Runs until the event queue is exhausted.
+    ///
+    /// Drains the queue in same-instant batches: one
+    /// [`TimerWheel::pop_batch`] pulls every entry sharing the earliest
+    /// deadline (already `(at, seq)`-ordered), then dispatches them
+    /// back to back. Events a handler schedules at the current instant
+    /// carry larger sequence numbers than everything in the drained
+    /// batch, so they correctly run in the *next* batch — dispatch
+    /// order is exactly [`Simulator::step`]'s.
     pub fn run(&mut self) {
-        while self.step() {}
+        let mut batch = std::mem::take(&mut self.drain_buf);
+        loop {
+            debug_assert!(batch.is_empty());
+            self.core.queue.pop_batch(&mut batch);
+            if batch.is_empty() {
+                break;
+            }
+            for entry in batch.drain(..) {
+                self.core.now = entry.at;
+                self.core.events_processed += 1;
+                obs_note_dispatch(entry.at, &entry.ev);
+                self.dispatch(entry.ev);
+            }
+        }
+        self.drain_buf = batch;
     }
 
     /// Runs until the queue is empty or the clock passes `deadline`.
@@ -914,6 +1063,21 @@ impl Simulator {
             }
             Ev::ProbeResult { ep, target, port, status } => {
                 self.call(ep, |e, ctx| e.on_probe(ctx, target, port, status));
+            }
+            Ev::ProbeBatch { ep, port, results } => {
+                // One endpoint detach for the whole batch; `on_probe`
+                // fires per element in vec order (= probe call order).
+                let slot = ep.0 as usize;
+                if let Some(mut boxed) = self.endpoints.get_mut(slot).and_then(Option::take) {
+                    {
+                        let mut ctx = Ctx { core: &mut self.core, me: ep };
+                        for &(target, status) in &results {
+                            boxed.on_probe(&mut ctx, target, port, status);
+                        }
+                    }
+                    self.endpoints[slot] = Some(boxed);
+                }
+                self.core.recycle_probe_group(results);
             }
         }
     }

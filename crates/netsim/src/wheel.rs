@@ -169,6 +169,27 @@ impl<T> TimerWheel<T> {
         self.stats
     }
 
+    /// Empties the wheel and rewinds the cursor to 0 while keeping
+    /// every allocation (slot vectors, heaps, scratch buffers) for
+    /// reuse. Statistics are *not* cleared — they describe the wheel's
+    /// lifetime across resets (see [`crate::Simulator::reset`]).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.in_levels = 0;
+        for level in &mut self.levels {
+            if level.occupied != 0 {
+                for slot in &mut level.slots {
+                    slot.clear();
+                }
+                level.occupied = 0;
+            }
+        }
+        self.front.clear();
+        self.overflow.clear();
+        self.now_q.clear();
+        self.now_dirty = false;
+    }
+
     /// Total stored entries.
     pub fn len(&self) -> usize {
         self.front.len() + self.in_levels + self.now_q.len() + self.overflow.len()
@@ -227,6 +248,42 @@ impl<T> TimerWheel<T> {
             self.now_dirty = false;
         }
         self.now_q.pop_front()
+    }
+
+    /// Drains the earliest entry *and every other entry sharing its
+    /// instant* into `out`, in `(at, seq)` order — the batch analogue of
+    /// calling [`TimerWheel::pop`] until the instant changes, without
+    /// paying the slot-search machinery per entry.
+    ///
+    /// Soundness: once [`TimerWheel::pop`] returns an entry at instant
+    /// `t`, every remaining entry at `t` is already buffered — either in
+    /// the front heap (when the popped entry came from there: wheel
+    /// entries are `≥ cursor > t` and overflow entries are in later
+    /// epochs) or in the now queue (the level-0 drain moves a whole
+    /// same-`at` slot there, and coarser slots tying on the slot start
+    /// cascade down first) — so a linear drain of those two stores is a
+    /// complete same-instant batch.
+    ///
+    /// `out` is appended to (not cleared), so a caller can reuse one
+    /// buffer across drains.
+    pub fn pop_batch(&mut self, out: &mut Vec<Entry<T>>) {
+        let Some(first) = self.pop() else { return };
+        let at = first.at;
+        out.push(first);
+        while let Some(Reverse(peek)) = self.front.peek() {
+            if peek.at != at {
+                break;
+            }
+            let Reverse(entry) = self.front.pop().expect("peeked entry");
+            out.push(entry);
+        }
+        // Every now-queue entry shares one instant (== the cursor), so
+        // checking the front suffices even while the queue is unsorted.
+        if self.now_q.front().is_some_and(|e| e.at == at) {
+            while let Some(entry) = self.pop_now() {
+                out.push(entry);
+            }
+        }
     }
 
     /// Removes and returns the earliest entry by `(at, seq)`.
@@ -480,6 +537,73 @@ mod tests {
         assert_eq!(wheel.pop().map(|e| e.seq), Some(n));
         assert_eq!(wheel.pop().map(|e| e.seq), Some(n + 1));
         assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn pop_batch_matches_pop_until_instant_changes() {
+        // pop_batch must yield exactly the same stream as repeated
+        // pop(), chunked at instant boundaries — including across the
+        // front-heap, now-queue, and overflow paths.
+        let build = || {
+            let mut wheel = TimerWheel::new();
+            let mut lcg = Lcg(77);
+            for seq in 0..4_000u64 {
+                // Heavy instant collisions plus a few overflow horizons.
+                let at = match lcg.next() % 10 {
+                    0..=6 => (lcg.next() % 50) * 1_000,
+                    7..=8 => lcg.next() % 5_000_000,
+                    _ => (1 << 37) + lcg.next() % 1_000,
+                };
+                wheel.insert(entry(at, seq));
+            }
+            wheel
+        };
+        let mut reference = build();
+        let mut batched = build();
+        let mut ref_stream = Vec::new();
+        while let Some(e) = reference.pop() {
+            ref_stream.push((e.at.as_micros(), e.seq));
+        }
+        let mut got_stream = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            batched.pop_batch(&mut buf);
+            if buf.is_empty() {
+                break;
+            }
+            let at = buf[0].at;
+            assert!(buf.iter().all(|e| e.at == at), "batch spans instants");
+            got_stream.extend(buf.iter().map(|e| (e.at.as_micros(), e.seq)));
+        }
+        assert_eq!(got_stream, ref_stream);
+        assert_eq!(batched.len(), 0);
+    }
+
+    #[test]
+    fn reset_empties_and_reuses_cleanly() {
+        let mut wheel = TimerWheel::new();
+        for seq in 0..100u64 {
+            wheel.insert(entry(seq * 17, seq));
+        }
+        wheel.insert(entry(1 << 40, 100)); // overflow
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(1)); // cursor → 17
+        wheel.insert(entry(1, 101)); // behind the cursor: front heap
+        let inserts_before = wheel.stats().inserts;
+        wheel.reset();
+        assert_eq!(wheel.len(), 0);
+        assert!(wheel.pop().is_none());
+        assert_eq!(wheel.stats().inserts, inserts_before, "stats survive reset");
+        // Behaves like a fresh wheel afterwards.
+        for (seq, at) in [(0u64, 50u64), (1, 10), (2, 10), (3, 7000), (4, 10), (5, 0)] {
+            wheel.insert(entry(at, seq));
+        }
+        let mut got = Vec::new();
+        while let Some(e) = wheel.pop() {
+            got.push((e.at.as_micros(), e.seq));
+        }
+        assert_eq!(got, vec![(0, 5), (10, 1), (10, 2), (10, 4), (50, 0), (7000, 3)]);
     }
 
     #[test]

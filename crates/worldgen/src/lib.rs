@@ -39,5 +39,7 @@ pub mod rates;
 
 pub use catalog::{Daemon, DeviceKind, DeviceModel};
 pub use content::{ContentKind, OsKind, SensitiveKind};
-pub use population::{build, plan_world, HostTruth, PopulationSpec, WorldPlan, WorldTruth};
+pub use population::{
+    build, plan_world, HostTruth, PopulationSpec, ShardBatchIndex, WorldPlan, WorldTruth,
+};
 pub use rates::{Campaign, Category};

@@ -421,6 +421,14 @@ pub struct WorldPlan {
     spec: PopulationSpec,
 }
 
+/// One shard's plan entries bucketed by batch index (see
+/// [`WorldPlan::bucket_shard`]): `plan_ix[b]` / `non_ftp_ix[b]` list, in
+/// plan order, the entries that `(shard, batch b)` materializes.
+pub struct ShardBatchIndex {
+    plan_ix: Vec<Vec<u32>>,
+    non_ftp_ix: Vec<Vec<u32>>,
+}
+
 /// Draws `k` distinct elements uniformly from `pool` with a partial
 /// Fisher–Yates pass, returning them as the (reordered) prefix.
 /// Replaces the old clone-the-pool-then-shuffle-everything pattern: no
@@ -802,15 +810,69 @@ impl WorldPlan {
         sim: &mut Simulator,
         keep: impl Fn(Ipv4Addr) -> bool,
     ) -> (Vec<HostTruth>, Vec<Ipv4Addr>) {
+        self.materialize_indices(
+            sim,
+            (0..self.plans.len()).filter(|&i| keep(self.plans[i].truth.ip)),
+            (0..self.non_ftp.len()).filter(|&i| keep(self.non_ftp[i].0)),
+        )
+    }
+
+    /// Buckets one shard's slice of the plan by batch index: which plan
+    /// and non-FTP entries each `(shard, batch)` grid cell materializes,
+    /// in plan order.
+    ///
+    /// The streaming runner computes this once per shard and then feeds
+    /// each bucket to [`WorldPlan::materialize_bucket`], replacing the
+    /// per-cell full-plan filter walk of [`WorldPlan::materialize_slice`]
+    /// with a single pass over the plan per shard.
+    pub fn bucket_shard(&self, shard: (u64, u64), batches: u64) -> ShardBatchIndex {
+        let seed = self.spec.seed;
+        let mut plan_ix = vec![Vec::new(); batches as usize];
+        let mut non_ftp_ix = vec![Vec::new(); batches as usize];
+        for (i, p) in self.plans.iter().enumerate() {
+            let ip = p.truth.ip;
+            if netsim::ip::shard_of(seed, ip, shard.1) == shard.0 {
+                plan_ix[netsim::ip::batch_of(seed, ip, batches) as usize].push(i as u32);
+            }
+        }
+        for (i, &(ip, _)) in self.non_ftp.iter().enumerate() {
+            if netsim::ip::shard_of(seed, ip, shard.1) == shard.0 {
+                non_ftp_ix[netsim::ip::batch_of(seed, ip, batches) as usize].push(i as u32);
+            }
+        }
+        ShardBatchIndex { plan_ix, non_ftp_ix }
+    }
+
+    /// Materializes one pre-bucketed batch (from
+    /// [`WorldPlan::bucket_shard`]) — byte-identical to
+    /// [`WorldPlan::materialize_slice`] over the same cell.
+    pub fn materialize_bucket(
+        &self,
+        sim: &mut Simulator,
+        index: &ShardBatchIndex,
+        batch: u64,
+    ) -> (Vec<HostTruth>, Vec<Ipv4Addr>) {
+        let b = batch as usize;
+        self.materialize_indices(
+            sim,
+            index.plan_ix[b].iter().map(|&i| i as usize),
+            index.non_ftp_ix[b].iter().map(|&i| i as usize),
+        )
+    }
+
+    fn materialize_indices(
+        &self,
+        sim: &mut Simulator,
+        plan_ix: impl Iterator<Item = usize>,
+        non_ftp_ix: impl Iterator<Item = usize>,
+    ) -> (Vec<HostTruth>, Vec<Ipv4Addr>) {
         let _span = obs::span!("worldgen.materialize");
         let spec = &self.spec;
         let hosting_cert_weights: Vec<f64> =
             catalog::HOSTING_CERTS.iter().map(|&(_, w, _)| w).collect();
         let mut truths = Vec::new();
-        for plan in &self.plans {
-            if !keep(plan.truth.ip) {
-                continue;
-            }
+        for i in plan_ix {
+            let plan = &self.plans[i];
             let mut rng = host_rng(spec.seed, plan.truth.ip);
             let profile = build_profile(plan, &mut rng, &hosting_cert_weights);
             let vfs = build_vfs(plan, &mut rng);
@@ -847,10 +909,8 @@ impl WorldPlan {
             truths.push(truth);
         }
         let mut non_ftp_open = Vec::new();
-        for &(ip, kind) in &self.non_ftp {
-            if !keep(ip) {
-                continue;
-            }
+        for i in non_ftp_ix {
+            let (ip, kind) = self.non_ftp[i];
             let svc: Box<dyn netsim::Endpoint> = match kind {
                 NonFtpKind::Silent => Box::new(SilentService),
                 NonFtpKind::SshBanner => {
@@ -1378,6 +1438,25 @@ mod tests {
         assert!(cells_hit > shards as usize, "batching must actually split the shards");
         assert_eq!(merged, full_hosts, "grid materialization must be cell-blind");
         assert_eq!(merged_non_ftp, full_non_ftp);
+    }
+
+    #[test]
+    fn bucketed_materialization_matches_slice() {
+        // The streaming runner's per-shard bucketing must materialize
+        // exactly what the per-cell filter walk would have.
+        let spec = PopulationSpec::small(7, 200).with_fault_fraction(0.2);
+        let plan = plan_world(&spec);
+        let (shards, batches) = (2u64, 5u64);
+        for s in 0..shards {
+            let index = plan.bucket_shard((s, shards), batches);
+            for b in 0..batches {
+                let mut sim_a = Simulator::new(7);
+                let sliced = plan.materialize_slice(&mut sim_a, (s, shards), (b, batches));
+                let mut sim_b = Simulator::new(7);
+                let bucketed = plan.materialize_bucket(&mut sim_b, &index, b);
+                assert_eq!(sliced, bucketed, "cell ({s}, {b})");
+            }
+        }
     }
 
     #[test]

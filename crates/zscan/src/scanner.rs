@@ -93,6 +93,12 @@ pub struct ScanConfig {
     pub hash_batch: Option<HashBatch>,
     /// Addresses never probed.
     pub blocklist: Blocklist,
+    /// Schedule each probe as its own simulator event instead of the
+    /// default batched [`netsim::Ctx::probe_batch`] per pacing tick.
+    /// The two paths are byte-identical in every observable (results,
+    /// callback order, RNG stream); this knob exists so the regression
+    /// suite can prove that, and as an escape hatch while doing so.
+    pub per_probe_events: bool,
 }
 
 impl ScanConfig {
@@ -110,7 +116,30 @@ impl ScanConfig {
             hash_shard: None,
             hash_batch: None,
             blocklist: Blocklist::standard(),
+            per_probe_events: false,
         }
+    }
+
+    /// Materializes the permutation order this config sweeps: the
+    /// shard-interleaved orbit, filtered by the hash shard/batch
+    /// filters, as permutation indices into `space`. This is exactly
+    /// the list [`HostDiscovery::new`] computes; exposing it lets a
+    /// caller that runs many scans over one space (the streaming study
+    /// runner's batch grid) walk the orbit once and split the result,
+    /// feeding each piece to [`HostDiscovery::with_order`].
+    pub fn materialize_order(&self) -> Vec<u64> {
+        let perm = CyclicPermutation::new(self.space.size(), self.seed);
+        let (index, count) = self.shard;
+        let space = self.space;
+        let hash_shard = self.hash_shard;
+        let hash_batch = self.hash_batch;
+        perm.shard(index, count)
+            .filter(|&ix| {
+                let ip = space.addr_at(ix);
+                hash_shard.is_none_or(|hs| hs.contains(ip))
+                    && hash_batch.is_none_or(|hb| hb.contains(ip))
+            })
+            .collect()
     }
 }
 
@@ -150,6 +179,9 @@ pub struct HostDiscovery {
     queue: std::vec::IntoIter<u64>,
     /// Per-target (answers still expected, best status so far).
     outstanding: HashMap<Ipv4Addr, (u8, ProbeStatus)>,
+    /// Reused per-tick probe target scratch (one element per probe, so
+    /// a K-probes-per-target address appears K times in a row).
+    targets: Vec<Ipv4Addr>,
     results: std::rc::Rc<std::cell::RefCell<ScanResults>>,
     done: bool,
 }
@@ -158,25 +190,26 @@ impl HostDiscovery {
     /// Builds the scanner and returns it with a shared handle to its
     /// results (readable after the simulation drains).
     pub fn new(cfg: ScanConfig) -> (Self, std::rc::Rc<std::cell::RefCell<ScanResults>>) {
-        let perm = CyclicPermutation::new(cfg.space.size(), cfg.seed);
-        let (index, count) = cfg.shard;
-        let space = cfg.space;
-        let hash_shard = cfg.hash_shard;
-        let hash_batch = cfg.hash_batch;
-        let order: Vec<u64> = perm
-            .shard(index, count)
-            .filter(|&ix| {
-                let ip = space.addr_at(ix);
-                hash_shard.is_none_or(|hs| hs.contains(ip))
-                    && hash_batch.is_none_or(|hb| hb.contains(ip))
-            })
-            .collect();
+        let order = cfg.materialize_order();
+        HostDiscovery::with_order(cfg, order)
+    }
+
+    /// Builds the scanner around a precomputed probe order (permutation
+    /// indices into `cfg.space`, normally from
+    /// [`ScanConfig::materialize_order`] or a cached split of it). The
+    /// order is trusted as-is: `cfg`'s shard/hash filters are *not*
+    /// re-applied.
+    pub fn with_order(
+        cfg: ScanConfig,
+        order: Vec<u64>,
+    ) -> (Self, std::rc::Rc<std::cell::RefCell<ScanResults>>) {
         let results = std::rc::Rc::new(std::cell::RefCell::new(ScanResults::default()));
         (
             HostDiscovery {
                 cfg,
                 queue: order.into_iter(),
                 outstanding: HashMap::new(),
+                targets: Vec::new(),
                 results: results.clone(),
                 done: false,
             },
@@ -190,25 +223,43 @@ impl HostDiscovery {
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        // Collect the tick's targets first, then hand the whole burst
+        // to the simulator in one call — by default one queue entry per
+        // distinct answer deadline instead of one per probe. Deferring
+        // the sends does not reorder anything observable: nothing in
+        // this loop touches the sim RNG or schedules events, so the
+        // probes' RNG draws and sequence numbers are consecutive
+        // exactly as in the probe-per-iteration formulation.
+        self.targets.clear();
+        let probes = self.cfg.probes_per_target.max(1);
         let mut sent = 0;
+        let mut blocked = 0u64;
         while sent < self.cfg.batch {
             let Some(ix) = self.queue.next() else {
                 self.done = true;
-                return;
+                break;
             };
             let ip = self.cfg.space.addr_at(ix);
             if self.cfg.blocklist.is_blocked(ip) {
-                self.results.borrow_mut().blocked += 1;
+                blocked += 1;
                 continue;
             }
-            let probes = self.cfg.probes_per_target.max(1);
             for _ in 0..probes {
-                ctx.probe(ip, self.cfg.port);
+                self.targets.push(ip);
             }
             self.outstanding.insert(ip, (probes, ProbeStatus::Filtered));
-            self.results.borrow_mut().probes_sent += u64::from(probes);
             sent += 1;
         }
+        if self.cfg.per_probe_events {
+            for &ip in &self.targets {
+                ctx.probe(ip, self.cfg.port);
+            }
+        } else {
+            ctx.probe_batch(&self.targets, self.cfg.port);
+        }
+        let mut r = self.results.borrow_mut();
+        r.blocked += blocked;
+        r.probes_sent += self.targets.len() as u64;
     }
 }
 

@@ -54,7 +54,7 @@ fn switch(args: &[String], name: &str) -> bool {
 
 /// Parses the three observability flags shared by `study` and `funnel`
 /// into the paths to write plus the pipeline-facing [`obs::ObsConfig`].
-fn obs_flags<'a>(args: &'a [String]) -> (Option<&'a str>, Option<&'a str>, bool, obs::ObsConfig) {
+fn obs_flags(args: &[String]) -> (Option<&str>, Option<&str>, bool, obs::ObsConfig) {
     let trace = str_flag(args, "--trace");
     let metrics = str_flag(args, "--metrics");
     let profile = switch(args, "--profile");
@@ -133,11 +133,9 @@ fn main() {
                 return;
             };
 
-            // Streamed mode: bounded memory, no record vector — and no
-            // observability recorder (its spans are per-partition).
-            if trace.is_some() || metrics.is_some() || profile {
-                eprintln!("note: --trace/--metrics/--profile are ignored in streamed mode");
-            }
+            // Streamed mode: bounded memory, no record vector. The
+            // observability recorder rides along per shard exactly as
+            // in the in-memory path.
             let opts = StreamOptions {
                 shards,
                 checkpoint_dir: checkpoint_dir.or(resume).map(std::path::PathBuf::from),
@@ -150,6 +148,7 @@ fn main() {
                         "streamed {} shard(s) × {} batch(es) of ≤{} hosts",
                         results.shards, results.batches, batch_size
                     );
+                    write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
                 }
                 Ok(StreamOutcome::Interrupted { next_batches }) => {
                     eprintln!("study interrupted; per-shard resume cursors: {next_batches:?}");

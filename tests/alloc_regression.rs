@@ -147,3 +147,45 @@ fn streamed_study_peak_heap_stays_bounded() {
          (70% of in-memory peak {legacy_peak} B) — streaming is no longer bounded-memory"
     );
 }
+
+/// Allocation-count ceiling for the streaming pipeline, pinned as a
+/// ratio against the in-memory path on the same world. The perf-wave-2
+/// diet (one `Simulator` arena per shard reset between batches, a
+/// single orbit walk split per batch, plan bucketing) brought streamed
+/// allocs from 2.3× the in-memory path to ~1.01×; this test is the
+/// tripwire that keeps the diet from silently regressing — a revived
+/// per-`(shard, batch)` rebuild multiplies the count, it doesn't nudge
+/// it.
+#[test]
+fn streamed_study_allocation_count_stays_near_in_memory_path() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let cfg = StudyConfig::small(SEED, 150);
+    let opts = StreamOptions::new(25);
+
+    // Warm both paths once so lazy initialization doesn't count.
+    drop(run_study(&cfg));
+    drop(run_study_streamed(&cfg, &opts));
+
+    bench::reset();
+    let results = run_study(&cfg);
+    let legacy_allocs = bench::snapshot().allocs;
+    assert!(!results.records.is_empty());
+    drop(results);
+
+    bench::reset();
+    let outcome = run_study_streamed(&cfg, &opts).expect("streamed study runs");
+    let streamed_allocs = bench::snapshot().allocs;
+    match outcome {
+        StreamOutcome::Complete(r) => assert!(r.aggregate.summary.hosts > 0),
+        StreamOutcome::Interrupted { .. } => panic!("no interrupt requested"),
+    }
+
+    assert!(streamed_allocs > 0, "allocator saw no streamed allocations — counter broken?");
+    let ceiling = (legacy_allocs as f64 * 1.5) as u64;
+    assert!(
+        streamed_allocs <= ceiling,
+        "streamed study made {streamed_allocs} allocs vs {legacy_allocs} in-memory \
+         (ceiling 1.5×) — the streaming allocation diet regressed"
+    );
+}
