@@ -6,7 +6,7 @@ use ftp_proto::command::{AuthMechanism, Command};
 use ftp_proto::listing::{self, ListingEntryRef};
 use ftp_proto::{FtpPath, HostPort, LineCodec, Reply};
 use netsim::{ConnId, ConnectError, Ctx, Endpoint};
-use simvfs::{FileMeta, Node, Owner, Vfs};
+use simvfs::{FileMeta, NodeRef, Owner, Vfs};
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
 use std::net::Ipv4Addr;
@@ -279,12 +279,8 @@ impl FtpServerEngine {
         let mut owner = String::new();
         for (name, node) in children {
             let (is_dir, size, perms, node_owner, mtime) = match node {
-                Node::File(meta) => {
-                    (false, Some(meta.size), meta.perms, &meta.owner, meta.mtime.as_str())
-                }
-                Node::Dir { meta, .. } => {
-                    (true, Some(4096), meta.perms, &meta.owner, meta.mtime.as_str())
-                }
+                NodeRef::File(f) => (false, Some(f.size), f.perms, f.owner, f.mtime),
+                NodeRef::Dir(d) => (true, Some(4096), d.perms, d.owner, d.mtime),
             };
             owner.clear();
             let _ = write!(owner, "{node_owner}");
@@ -350,7 +346,7 @@ impl FtpServerEngine {
                 // synthesized bodies) — no per-RETR payload clone.
                 let ok = match self.vfs.file(path.as_str()) {
                     Ok(meta) => {
-                        match &meta.content {
+                        match meta.content {
                             Some(c) => ctx.send(data_conn, c.as_bytes()),
                             None => {
                                 let n = meta.size.min(2048) as usize;
@@ -572,8 +568,8 @@ impl FtpServerEngine {
                 match resolved {
                     Some(p) if self.vfs.is_dir(p.as_str()) => {
                         if self.profile.enforce_dir_perms {
-                            if let Ok(Node::Dir { meta, .. }) = self.vfs.node(p.as_str()) {
-                                if !meta.perms.other_read() {
+                            if let Ok(NodeRef::Dir(d)) = self.vfs.node(p.as_str()) {
+                                if !d.perms.other_read() {
                                     Self::reply(ctx, conn, 550, "Permission denied.");
                                     return;
                                 }

@@ -88,6 +88,14 @@ registry_enum! {
         ProbesSent => "probes_sent",
         /// Virtual filesystem operations (lookups, listings, writes).
         VfsOps => "vfs_ops",
+        /// Arena node slots created across all virtual filesystems.
+        VfsNodes => "vfs_nodes",
+        /// Bytes appended to VFS name/mtime intern arenas (unique
+        /// strings only — repeat interns are free and uncounted).
+        VfsInternedBytes => "vfs_interned_bytes",
+        /// Probe-state slots allocated by zscan's dense per-address
+        /// tables (one table per scanner, sized to its address space).
+        ScanSlots => "scan_slots",
         /// Timer-wheel insertions.
         WheelInserts => "wheel_inserts",
         /// Timer-wheel cascade passes (higher-level slot re-filed).

@@ -13,6 +13,24 @@
 //! never from this structure directly, so the measurement pipeline is
 //! honest about what a real client could observe.
 //!
+//! # Arena representation
+//!
+//! Internally the tree is *not* a pointer structure: nodes live in a
+//! single slab (`Vec<NodeSlot>`) indexed by `u32`, names and mtimes are
+//! interned into a shared string arena (photo mtimes repeat across
+//! thousands of files), and each directory holds a `Vec<u32>` of child
+//! slot indices kept **sorted by name bytes**. That sort order is what
+//! the previous `BTreeMap<String, Node>` representation iterated in, so
+//! [`Vfs::list`] and [`Vfs::walk`] produce byte-identical orderings —
+//! the rendered `LIST` bodies the whole study pipeline hashes against
+//! do not change. What changes is the cost: inserting a file allocates
+//! only when an arena grows (amortized ~0 per file) instead of one
+//! owned `String` key plus tree nodes per path segment.
+//!
+//! Lookups return borrowed views ([`NodeRef`], [`FileRef`], [`DirRef`])
+//! rather than `&Node`: plain `Copy` structs whose string fields borrow
+//! from the arena, mirroring the enumerator's columnar `FileTable`.
+//!
 //! # Example
 //!
 //! ```
@@ -32,14 +50,15 @@
 
 use ftp_proto::listing::Permissions;
 use ftp_proto::FtpPath;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
+
+mod scratch;
+pub use scratch::PathScratch;
 
 /// Who owns a node — rendered as the owner column of UNIX listings and
 /// used by upload-approval quirks (Pure-FTPd refuses to serve files still
 /// owned by [`Owner::Anonymous`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Owner {
     /// `root`.
     Root,
@@ -52,6 +71,9 @@ pub enum Owner {
     User(u16),
 }
 
+impl serde::Serialize for Owner {}
+impl serde::Deserialize for Owner {}
+
 impl fmt::Display for Owner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -63,8 +85,10 @@ impl fmt::Display for Owner {
     }
 }
 
-/// Metadata for a file node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Metadata for a file node — the owned *builder* form used to insert
+/// files. For the zero-allocation insert path see [`FileAttrs`]; for
+/// reading back what the tree stores see [`FileRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileMeta {
     /// Size in bytes.
     pub size: u64,
@@ -78,6 +102,9 @@ pub struct FileMeta {
     pub content: Option<String>,
 }
 
+impl serde::Serialize for FileMeta {}
+impl serde::Deserialize for FileMeta {}
+
 impl FileMeta {
     /// A world-readable (`0644`) file of the given size.
     pub fn public(size: u64) -> Self {
@@ -85,7 +112,7 @@ impl FileMeta {
             size,
             perms: Permissions::public_file(),
             owner: Owner::Ftp,
-            mtime: "Jun 18  2015".to_owned(),
+            mtime: DEFAULT_MTIME.to_owned(),
             content: None,
         }
     }
@@ -120,10 +147,53 @@ impl FileMeta {
         self.mtime = mtime.into();
         self
     }
+
+    fn as_attrs(&self) -> FileAttrs<'_> {
+        FileAttrs {
+            size: self.size,
+            perms: self.perms,
+            owner: self.owner,
+            mtime: &self.mtime,
+            content: self.content.as_deref(),
+        }
+    }
 }
 
-/// Metadata for a directory node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Borrowed file attributes for the hot insert path
+/// ([`Vfs::add_file_attrs`]): worldgen renders the mtime into a reused
+/// scratch buffer and passes it here by reference, so materializing a
+/// file costs no owned `String`s at all — the arena interns what it
+/// needs.
+#[derive(Debug, Clone, Copy)]
+pub struct FileAttrs<'a> {
+    /// Size in bytes.
+    pub size: u64,
+    /// Permission bits.
+    pub perms: Permissions,
+    /// Owner account.
+    pub owner: Owner,
+    /// Modification time as rendered in listings.
+    pub mtime: &'a str,
+    /// Optional small content.
+    pub content: Option<&'a str>,
+}
+
+impl<'a> FileAttrs<'a> {
+    /// A world-readable (`0644`) file with the given size and mtime.
+    pub fn public(size: u64, mtime: &'a str) -> Self {
+        FileAttrs {
+            size,
+            perms: Permissions::public_file(),
+            owner: Owner::Ftp,
+            mtime,
+            content: None,
+        }
+    }
+}
+
+/// Metadata for a directory node (owned builder form; directories
+/// created implicitly use [`DirMeta::default`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirMeta {
     /// Permission bits (other-read governs anonymous LIST).
     pub perms: Permissions,
@@ -133,38 +203,19 @@ pub struct DirMeta {
     pub mtime: String,
 }
 
+impl serde::Serialize for DirMeta {}
+impl serde::Deserialize for DirMeta {}
+
+/// The mtime every implicitly-created node carries.
+const DEFAULT_MTIME: &str = "Jun 18  2015";
+
 impl Default for DirMeta {
     fn default() -> Self {
         DirMeta {
             perms: Permissions::public_dir(),
             owner: Owner::Ftp,
-            mtime: "Jun 18  2015".to_owned(),
+            mtime: DEFAULT_MTIME.to_owned(),
         }
-    }
-}
-
-/// A node in the tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Node {
-    /// A regular file.
-    File(FileMeta),
-    /// A directory with named children.
-    Dir {
-        /// Directory metadata.
-        meta: DirMeta,
-        /// Child name → node.
-        children: BTreeMap<String, Node>,
-    },
-}
-
-impl Node {
-    /// True for directory nodes.
-    pub fn is_dir(&self) -> bool {
-        matches!(self, Node::Dir { .. })
-    }
-
-    fn empty_dir() -> Node {
-        Node::Dir { meta: DirMeta::default(), children: BTreeMap::new() }
     }
 }
 
@@ -207,15 +258,254 @@ impl fmt::Display for VfsError {
 
 impl std::error::Error for VfsError {}
 
-/// The virtual filesystem: a tree rooted at `/`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+// ---------------------------------------------------------------------
+// Interner: the shared name/mtime arena.
+// ---------------------------------------------------------------------
+
+/// Id of an interned string (index into [`Interner::spans`]).
+type StrId = u32;
+
+/// Append-only string arena with open-addressing dedup. All node names
+/// and mtimes live here; repeated strings (mtimes, `index.html`, …)
+/// cost nothing after their first appearance, and unique strings cost
+/// only amortized arena growth — never a per-string allocation.
+#[derive(Debug, Clone, Default)]
+struct Interner {
+    /// Every interned string, concatenated.
+    buf: String,
+    /// `id -> (offset, len)` into `buf`.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing table of `StrId`s (power-of-two capacity,
+    /// `EMPTY` marks free slots). Rebuilt on growth; never tombstoned —
+    /// the arena is append-only.
+    table: Vec<u32>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Interner {
+    fn get(&self, id: StrId) -> &str {
+        let (off, len) = self.spans[id as usize];
+        &self.buf[off as usize..(off + len) as usize]
+    }
+
+    /// Total bytes held by the arena (unique strings only).
+    fn bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn intern(&mut self, s: &str) -> StrId {
+        if self.table.is_empty() {
+            self.table = vec![EMPTY; 16];
+        }
+        let mask = self.table.len() - 1;
+        let mut ix = (fnv1a(s) as usize) & mask;
+        loop {
+            match self.table[ix] {
+                EMPTY => break,
+                id if self.get(id) == s => return id,
+                _ => ix = (ix + 1) & mask,
+            }
+        }
+        let id = self.spans.len() as u32;
+        let off = self.buf.len() as u32;
+        self.buf.push_str(s);
+        self.spans.push((off, s.len() as u32));
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsInternedBytes, s.len() as u64);
+        }
+        self.table[ix] = id;
+        // Keep load factor under 1/2.
+        if self.spans.len() * 2 > self.table.len() {
+            self.grow();
+        }
+        id
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.table.len() * 2;
+        let mut table = vec![EMPTY; new_cap];
+        let mask = new_cap - 1;
+        for id in 0..self.spans.len() as u32 {
+            let mut ix = (fnv1a(self.get(id)) as usize) & mask;
+            while table[ix] != EMPTY {
+                ix = (ix + 1) & mask;
+            }
+            table[ix] = id;
+        }
+        self.table = table;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node slab.
+// ---------------------------------------------------------------------
+
+/// Index of a node slot in the arena. Returned by write operations that
+/// used to return owned paths ([`Vfs::store_unique`]); resolve it back
+/// to text with [`Vfs::path_of`]. Stable until the node is removed or
+/// renamed away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+const ROOT: u32 = 0;
+/// Sentinel for "no content" in a file slot.
+const NO_CONTENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, PartialEq)]
+struct FileData {
+    size: u64,
+    perms: Permissions,
+    owner: Owner,
+    mtime: StrId,
+    /// Index into `Vfs::contents`, or `NO_CONTENT`.
+    content: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct DirData {
+    perms: Permissions,
+    owner: Owner,
+    mtime: StrId,
+    /// Child slot indices, sorted by name bytes — the same order the
+    /// old `BTreeMap<String, _>` iterated in, so listings are
+    /// byte-identical.
+    children: Vec<u32>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    File(FileData),
+    Dir(DirData),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct NodeSlot {
+    /// Interned name (the root's is the empty string).
+    name: StrId,
+    kind: Slot,
+}
+
+// ---------------------------------------------------------------------
+// Borrowed views.
+// ---------------------------------------------------------------------
+
+/// Borrowed view of a file node. Plain `Copy` fields; the string fields
+/// borrow from the tree's arena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileRef<'v> {
+    /// Size in bytes.
+    pub size: u64,
+    /// Permission bits.
+    pub perms: Permissions,
+    /// Owner account.
+    pub owner: Owner,
+    /// Modification time as rendered in listings.
+    pub mtime: &'v str,
+    /// Optional small content.
+    pub content: Option<&'v str>,
+}
+
+/// Borrowed view of a directory node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirRef<'v> {
+    /// Permission bits (other-read governs anonymous LIST).
+    pub perms: Permissions,
+    /// Owner account.
+    pub owner: Owner,
+    /// Modification time as rendered in listings.
+    pub mtime: &'v str,
+    /// Number of children.
+    pub len: usize,
+}
+
+/// Borrowed view of any node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeRef<'v> {
+    /// A regular file.
+    File(FileRef<'v>),
+    /// A directory.
+    Dir(DirRef<'v>),
+}
+
+impl NodeRef<'_> {
+    /// True for directory nodes.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, NodeRef::Dir(_))
+    }
+}
+
+/// Mutable access to a file's listing-visible attributes (from
+/// [`Vfs::file_mut`]). Mtime and content are append-only arena data and
+/// stay immutable; nothing in the pipeline rewrites them in place.
+#[derive(Debug)]
+pub struct FileMut<'v> {
+    /// Size in bytes.
+    pub size: &'v mut u64,
+    /// Permission bits.
+    pub perms: &'v mut Permissions,
+    /// Owner account.
+    pub owner: &'v mut Owner,
+}
+
+/// Name-ordered iterator over a directory's children (from
+/// [`Vfs::list`]). Items borrow from the tree, not the iterator, so it
+/// composes with `collect`/`filter` like any slice iterator.
+#[derive(Debug, Clone)]
+pub struct DirList<'v> {
+    vfs: &'v Vfs,
+    children: std::slice::Iter<'v, u32>,
+}
+
+impl<'v> Iterator for DirList<'v> {
+    type Item = (&'v str, NodeRef<'v>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &child = self.children.next()?;
+        let slot = &self.vfs.nodes[child as usize];
+        Some((self.vfs.strings.get(slot.name), self.vfs.node_ref(child)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.children.size_hint()
+    }
+}
+
+impl ExactSizeIterator for DirList<'_> {}
+
+/// The virtual filesystem: a tree rooted at `/`, stored as an indexed
+/// arena (see the module docs for the layout).
+#[derive(Debug, Clone)]
 pub struct Vfs {
-    root: Node,
+    /// Node slab; slot 0 is the root directory. Slots detached by
+    /// `remove` simply become unreachable — removal is rare (FTP `DELE`
+    /// on simulated hosts) and the slab lives only as long as its host.
+    nodes: Vec<NodeSlot>,
+    /// Interned names and mtimes.
+    strings: Interner,
+    /// File contents (write probes, scripts, robots.txt) — rare, so
+    /// they live out-of-line from the slots.
+    contents: Vec<Box<str>>,
     /// Bumped on every successful mutation. Callers caching data derived
     /// from the tree (e.g. rendered `LIST` bodies) compare generations
     /// to invalidate in O(1) instead of re-walking.
     generation: u64,
 }
+
+// The serde stubs are marker traits (nothing in the workspace
+// serializes); a real serializer would need a path-walk representation
+// for the arena anyway, so these stay manual rather than derived.
+impl serde::Serialize for Vfs {}
+impl serde::Deserialize for Vfs {}
 
 impl Default for Vfs {
     fn default() -> Self {
@@ -224,10 +514,42 @@ impl Default for Vfs {
 }
 
 /// Equality compares tree *content* only: two filesystems with the same
-/// nodes are equal regardless of how many mutations produced them.
+/// nodes are equal regardless of how many mutations produced them or
+/// how their arenas are laid out.
 impl PartialEq for Vfs {
     fn eq(&self, other: &Self) -> bool {
-        self.root == other.root
+        fn dir_eq(a: &Vfs, an: u32, b: &Vfs, bn: u32) -> bool {
+            let (Slot::Dir(da), Slot::Dir(db)) =
+                (&a.nodes[an as usize].kind, &b.nodes[bn as usize].kind)
+            else {
+                return false;
+            };
+            if da.children.len() != db.children.len()
+                || da.perms != db.perms
+                || da.owner != db.owner
+                || a.strings.get(da.mtime) != b.strings.get(db.mtime)
+            {
+                return false;
+            }
+            da.children.iter().zip(&db.children).all(|(&ca, &cb)| {
+                let (sa, sb) = (&a.nodes[ca as usize], &b.nodes[cb as usize]);
+                if a.strings.get(sa.name) != b.strings.get(sb.name) {
+                    return false;
+                }
+                match (&sa.kind, &sb.kind) {
+                    (Slot::File(fa), Slot::File(fb)) => {
+                        fa.size == fb.size
+                            && fa.perms == fb.perms
+                            && fa.owner == fb.owner
+                            && a.strings.get(fa.mtime) == b.strings.get(fb.mtime)
+                            && a.content_of(fa) == b.content_of(fb)
+                    }
+                    (Slot::Dir(_), Slot::Dir(_)) => dir_eq(a, ca, b, cb),
+                    _ => false,
+                }
+            })
+        }
+        dir_eq(self, ROOT, other, ROOT)
     }
 }
 impl Eq for Vfs {}
@@ -235,12 +557,35 @@ impl Eq for Vfs {}
 impl Vfs {
     /// An empty filesystem containing only `/`.
     pub fn new() -> Self {
-        Vfs { root: Node::empty_dir(), generation: 0 }
+        let mut strings = Interner::default();
+        let root_name = strings.intern("");
+        let default_mtime = strings.intern(DEFAULT_MTIME);
+        let root = NodeSlot {
+            name: root_name,
+            kind: Slot::Dir(DirData {
+                perms: Permissions::public_dir(),
+                owner: Owner::Ftp,
+                mtime: default_mtime,
+                children: Vec::new(),
+            }),
+        };
+        Vfs { nodes: vec![root], strings, contents: Vec::new(), generation: 0 }
     }
 
     /// Mutation counter; changes whenever the tree may have changed.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Node slots ever created (the root included; detached slots too —
+    /// this measures arena footprint, not live-tree size).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Bytes held by the name/mtime intern arena.
+    pub fn interned_bytes(&self) -> usize {
+        self.strings.bytes()
     }
 
     fn canon(path: &str) -> Result<FtpPath, VfsError> {
@@ -264,69 +609,115 @@ impl Vfs {
                 }))
     }
 
+    fn content_of<'v>(&'v self, f: &FileData) -> Option<&'v str> {
+        (f.content != NO_CONTENT).then(|| &*self.contents[f.content as usize])
+    }
+
+    fn node_ref(&self, ix: u32) -> NodeRef<'_> {
+        match &self.nodes[ix as usize].kind {
+            Slot::File(f) => NodeRef::File(FileRef {
+                size: f.size,
+                perms: f.perms,
+                owner: f.owner,
+                mtime: self.strings.get(f.mtime),
+                content: self.content_of(f),
+            }),
+            Slot::Dir(d) => NodeRef::Dir(DirRef {
+                perms: d.perms,
+                owner: d.owner,
+                mtime: self.strings.get(d.mtime),
+                len: d.children.len(),
+            }),
+        }
+    }
+
+    /// Binary search for `name` among `dir`'s children. `Ok(child slot)`
+    /// when present, `Err(insertion position)` when not.
+    fn find_child(&self, dir: u32, name: &str) -> Result<u32, usize> {
+        let Slot::Dir(d) = &self.nodes[dir as usize].kind else {
+            unreachable!("find_child on a file slot");
+        };
+        d.children
+            .binary_search_by(|&c| self.strings.get(self.nodes[c as usize].name).cmp(name))
+            .map(|pos| d.children[pos])
+    }
+
+    /// Walks canonical `path` segments from the root; `Ok(slot)` or the
+    /// error the legacy tree produced for the same shape.
+    fn resolve_canonical(&self, path: &str) -> Result<u32, VfsError> {
+        let mut cur = ROOT;
+        for comp in path.split('/').filter(|s| !s.is_empty()) {
+            if !matches!(self.nodes[cur as usize].kind, Slot::Dir(_)) {
+                return Err(VfsError::NotADirectory { path: path.to_owned() });
+            }
+            cur = self
+                .find_child(cur, comp)
+                .map_err(|_| VfsError::NotFound { path: path.to_owned() })?;
+        }
+        Ok(cur)
+    }
+
+    fn resolve(&self, path: &str) -> Result<u32, VfsError> {
+        if Self::is_canonical(path) {
+            return self.resolve_canonical(path);
+        }
+        let p = Self::canon(path)?;
+        self.resolve_canonical(p.as_str())
+    }
+
+    /// Allocates a node slot and links it into `dir`'s children at
+    /// `pos` (from a failed [`Self::find_child`] search for `name`).
+    fn insert_child(&mut self, dir: u32, pos: usize, name: &str, kind: Slot) -> u32 {
+        let name = self.strings.intern(name);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(NodeSlot { name, kind });
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsNodes, 1);
+        }
+        match &mut self.nodes[dir as usize].kind {
+            Slot::Dir(d) => d.children.insert(pos, id),
+            Slot::File(_) => unreachable!("insert_child on a file slot"),
+        }
+        id
+    }
+
+    fn new_dir_slot(&mut self) -> Slot {
+        Slot::Dir(DirData {
+            perms: Permissions::public_dir(),
+            owner: Owner::Ftp,
+            mtime: self.strings.intern(DEFAULT_MTIME),
+            children: Vec::new(),
+        })
+    }
+
+    fn file_data(&mut self, attrs: FileAttrs<'_>) -> FileData {
+        let content = match attrs.content {
+            Some(c) => {
+                self.contents.push(c.into());
+                (self.contents.len() - 1) as u32
+            }
+            None => NO_CONTENT,
+        };
+        FileData {
+            size: attrs.size,
+            perms: attrs.perms,
+            owner: attrs.owner,
+            mtime: self.strings.intern(attrs.mtime),
+            content,
+        }
+    }
+
     /// Looks up a node.
     ///
     /// # Errors
     ///
     /// [`VfsError::NotFound`] if any component is missing,
     /// [`VfsError::NotADirectory`] if a file appears mid-path.
-    pub fn node(&self, path: &str) -> Result<&Node, VfsError> {
+    pub fn node(&self, path: &str) -> Result<NodeRef<'_>, VfsError> {
         if obs::enabled() {
             obs::counter(obs::Counter::VfsOps, 1);
         }
-        if Self::is_canonical(path) {
-            return Self::descend(&self.root, path.split('/').filter(|s| !s.is_empty()), path);
-        }
-        let p = Self::canon(path)?;
-        Self::descend(&self.root, p.components(), path)
-    }
-
-    fn descend<'t, 'p>(
-        mut cur: &'t Node,
-        comps: impl Iterator<Item = &'p str>,
-        path: &str,
-    ) -> Result<&'t Node, VfsError> {
-        for comp in comps {
-            match cur {
-                Node::Dir { children, .. } => {
-                    cur = children
-                        .get(comp)
-                        .ok_or_else(|| VfsError::NotFound { path: path.to_owned() })?;
-                }
-                Node::File(_) => {
-                    return Err(VfsError::NotADirectory { path: path.to_owned() })
-                }
-            }
-        }
-        Ok(cur)
-    }
-
-    fn node_mut(&mut self, path: &str) -> Result<&mut Node, VfsError> {
-        if Self::is_canonical(path) {
-            return Self::descend_mut(&mut self.root, path.split('/').filter(|s| !s.is_empty()), path);
-        }
-        let p = Self::canon(path)?;
-        Self::descend_mut(&mut self.root, p.components(), path)
-    }
-
-    fn descend_mut<'t, 'p>(
-        mut cur: &'t mut Node,
-        comps: impl Iterator<Item = &'p str>,
-        path: &str,
-    ) -> Result<&'t mut Node, VfsError> {
-        for comp in comps {
-            match cur {
-                Node::Dir { children, .. } => {
-                    cur = children
-                        .get_mut(comp)
-                        .ok_or_else(|| VfsError::NotFound { path: path.to_owned() })?;
-                }
-                Node::File(_) => {
-                    return Err(VfsError::NotADirectory { path: path.to_owned() })
-                }
-            }
-        }
-        Ok(cur)
+        self.resolve(path).map(|ix| self.node_ref(ix))
     }
 
     /// True if `path` exists.
@@ -336,7 +727,7 @@ impl Vfs {
 
     /// True if `path` exists and is a directory.
     pub fn is_dir(&self, path: &str) -> bool {
-        matches!(self.node(path), Ok(Node::Dir { .. }))
+        matches!(self.node(path), Ok(NodeRef::Dir(_)))
     }
 
     /// Creates a directory and all missing parents (like `mkdir -p`).
@@ -348,28 +739,41 @@ impl Vfs {
         if obs::enabled() {
             obs::counter(obs::Counter::VfsOps, 1);
         }
-        let p = Self::canon(path)?;
-        let mut cur = &mut self.root;
-        for comp in p.components() {
-            match cur {
-                Node::Dir { children, .. } => {
-                    // Key is cloned only when the directory is actually
-                    // created; re-traversing existing trees stays free.
-                    if !children.contains_key(comp) {
-                        children.insert(comp.to_owned(), Node::empty_dir());
-                    }
-                    cur = children.get_mut(comp).expect("ensured above");
-                    if let Node::File(_) = cur {
-                        return Err(VfsError::NotADirectory { path: path.to_owned() });
-                    }
-                }
-                Node::File(_) => {
-                    return Err(VfsError::NotADirectory { path: path.to_owned() })
-                }
-            }
+        if Self::is_canonical(path) {
+            return self.mkdir_p_canonical(path);
         }
+        let p = Self::canon(path)?;
+        self.mkdir_p_canonical(p.as_str())
+    }
+
+    fn mkdir_p_canonical(&mut self, path: &str) -> Result<(), VfsError> {
+        self.descend_creating(path)?;
         self.generation += 1;
         Ok(())
+    }
+
+    /// Walks canonical `path`, creating missing directories, and returns
+    /// the final slot (a directory).
+    fn descend_creating(&mut self, path: &str) -> Result<u32, VfsError> {
+        let mut cur = ROOT;
+        for comp in path.split('/').filter(|s| !s.is_empty()) {
+            if !matches!(self.nodes[cur as usize].kind, Slot::Dir(_)) {
+                return Err(VfsError::NotADirectory { path: path.to_owned() });
+            }
+            cur = match self.find_child(cur, comp) {
+                Ok(child) => {
+                    if matches!(self.nodes[child as usize].kind, Slot::File(_)) {
+                        return Err(VfsError::NotADirectory { path: path.to_owned() });
+                    }
+                    child
+                }
+                Err(pos) => {
+                    let slot = self.new_dir_slot();
+                    self.insert_child(cur, pos, comp, slot)
+                }
+            };
+        }
+        Ok(cur)
     }
 
     /// Creates a directory whose parent must already exist (FTP `MKD`).
@@ -380,25 +784,23 @@ impl Vfs {
     /// [`VfsError::NotFound`]/[`VfsError::NotADirectory`] for bad parents.
     pub fn mkdir(&mut self, path: &str) -> Result<(), VfsError> {
         let p = Self::canon(path)?;
-        let name = p
-            .file_name()
-            .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
-            .to_owned();
-        let parent = self.node_mut(p.parent().as_str())?;
-        let res = match parent {
-            Node::Dir { children, .. } => {
-                if children.contains_key(&name) {
-                    return Err(VfsError::AlreadyExists { path: path.to_owned() });
-                }
-                children.insert(name, Node::empty_dir());
+        let Some(name) = p.file_name() else {
+            return Err(VfsError::BadPath { path: path.to_owned() });
+        };
+        let parent = self.resolve(p.parent().as_str())?;
+        if !matches!(self.nodes[parent as usize].kind, Slot::Dir(_)) {
+            return Err(VfsError::NotADirectory { path: path.to_owned() });
+        }
+        match self.find_child(parent, name) {
+            Ok(_) => Err(VfsError::AlreadyExists { path: path.to_owned() }),
+            Err(pos) => {
+                let name = name.to_owned();
+                let slot = self.new_dir_slot();
+                self.insert_child(parent, pos, &name, slot);
+                self.generation += 1;
                 Ok(())
             }
-            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
-        };
-        if res.is_ok() {
-            self.generation += 1;
         }
-        res
     }
 
     /// Adds a file, creating parent directories as needed. Overwrites an
@@ -409,62 +811,157 @@ impl Vfs {
     /// [`VfsError::NotADirectory`] if the target is an existing directory
     /// or a file blocks a parent component.
     pub fn add_file(&mut self, path: &str, meta: FileMeta) -> Result<(), VfsError> {
+        self.add_file_attrs(path, meta.as_attrs())
+    }
+
+    /// [`Vfs::add_file`] with fully borrowed attributes — the worldgen
+    /// hot path. One descent creates missing parents and places the
+    /// file; nothing is allocated beyond amortized arena growth.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vfs::add_file`].
+    pub fn add_file_attrs(&mut self, path: &str, attrs: FileAttrs<'_>) -> Result<(), VfsError> {
         if obs::enabled() {
             obs::counter(obs::Counter::VfsOps, 1);
         }
-        // One parse and one walk: missing parents are created in the same
-        // descent that places the file, so the hot worldgen insert path
-        // never re-parses the parent or re-traverses existing prefixes.
+        if Self::is_canonical(path) {
+            return self.add_file_canonical(path, attrs).map(|_| ());
+        }
         let p = Self::canon(path)?;
         if p.file_name().is_none() {
             return Err(VfsError::BadPath { path: path.to_owned() });
         }
-        let mut cur = &mut self.root;
-        let mut comps = p.components().peekable();
-        while let Some(comp) = comps.next() {
-            let children = match cur {
-                Node::Dir { children, .. } => children,
-                Node::File(_) => {
-                    return Err(VfsError::NotADirectory { path: path.to_owned() })
-                }
-            };
-            if comps.peek().is_none() {
-                if let Some(Node::Dir { .. }) = children.get(comp) {
+        self.add_file_canonical(p.as_str(), attrs).map(|_| ())
+    }
+
+    fn add_file_canonical(&mut self, path: &str, attrs: FileAttrs<'_>) -> Result<u32, VfsError> {
+        if path == "/" {
+            return Err(VfsError::BadPath { path: path.to_owned() });
+        }
+        let (parent_path, name) = match path.rfind('/') {
+            Some(0) => ("/", &path[1..]),
+            Some(ix) => (&path[..ix], &path[ix + 1..]),
+            None => return Err(VfsError::BadPath { path: path.to_owned() }),
+        };
+        let parent = self.descend_creating(parent_path).map_err(|e| match e {
+            // The legacy single-descent insert reported blocked parents
+            // against the full target path; keep that.
+            VfsError::NotADirectory { .. } => VfsError::NotADirectory { path: path.to_owned() },
+            other => other,
+        })?;
+        let data = self.file_data(attrs);
+        let id = match self.find_child(parent, name) {
+            Ok(child) => {
+                if matches!(self.nodes[child as usize].kind, Slot::Dir(_)) {
                     return Err(VfsError::NotADirectory { path: path.to_owned() });
                 }
-                children.insert(comp.to_owned(), Node::File(meta));
-                self.generation += 1;
-                return Ok(());
+                self.nodes[child as usize].kind = Slot::File(data);
+                child
             }
-            if !children.contains_key(comp) {
-                children.insert(comp.to_owned(), Node::empty_dir());
-            }
-            cur = children.get_mut(comp).expect("ensured above");
-        }
-        unreachable!("file_name() guaranteed a final component")
+            Err(pos) => self.insert_child(parent, pos, name, Slot::File(data)),
+        };
+        self.generation += 1;
+        Ok(id)
     }
 
     /// Stores an upload with the *unique-suffix* quirk: if `name` exists,
     /// the stored file becomes `name.1`, then `name.2`, … (the behavior
-    /// §VI-A uses as a world-writable indicator). Returns the actual
-    /// stored path.
+    /// §VI-A uses as a world-writable indicator). Returns the stored
+    /// node's id; render it with [`Vfs::path_of`] when the text is
+    /// needed — the candidate probing itself no longer builds paths.
     ///
     /// # Errors
     ///
     /// Propagates [`Vfs::add_file`] errors.
-    pub fn store_unique(&mut self, path: &str, meta: FileMeta) -> Result<String, VfsError> {
-        if !self.exists(path) {
-            self.add_file(path, meta)?;
-            return Ok(Self::canon(path)?.as_str().to_owned());
+    pub fn store_unique(&mut self, path: &str, meta: FileMeta) -> Result<NodeId, VfsError> {
+        self.store_unique_attrs(path, meta.as_attrs())
+    }
+
+    /// [`Vfs::store_unique`] with fully borrowed attributes; `Copy`
+    /// attrs also make repeat stores of the same upload free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vfs::store_unique`].
+    pub fn store_unique_attrs(
+        &mut self,
+        path: &str,
+        attrs: FileAttrs<'_>,
+    ) -> Result<NodeId, VfsError> {
+        use fmt::Write as _;
+        let canonical;
+        let path = if Self::is_canonical(path) {
+            path
+        } else {
+            canonical = Self::canon(path)?;
+            if canonical.file_name().is_none() {
+                return Err(VfsError::BadPath { path: path.to_owned() });
+            }
+            canonical.as_str()
+        };
+        if path == "/" {
+            return Err(VfsError::BadPath { path: path.to_owned() });
         }
+        let (parent_path, name) = match path.rfind('/') {
+            Some(0) => ("/", &path[1..]),
+            Some(ix) => (&path[..ix], &path[ix + 1..]),
+            None => return Err(VfsError::BadPath { path: path.to_owned() }),
+        };
+        let parent = self.descend_creating(parent_path).map_err(|e| match e {
+            VfsError::NotADirectory { .. } => VfsError::NotADirectory { path: path.to_owned() },
+            other => other,
+        })?;
+        if let Err(pos) = self.find_child(parent, name) {
+            let data = self.file_data(attrs);
+            let id = self.insert_child(parent, pos, name, Slot::File(data));
+            self.generation += 1;
+            return Ok(NodeId(id));
+        }
+        // Candidate names are probed inside the already-resolved parent:
+        // one suffix scratch reused across candidates, no re-descent.
+        let mut candidate = String::with_capacity(name.len() + 4);
         for n in 1u32.. {
-            let candidate = format!("{path}.{n}");
-            if !self.exists(&candidate) {
-                self.add_file(&candidate, meta)?;
-                return Ok(candidate);
+            candidate.clear();
+            let _ = write!(candidate, "{name}.{n}");
+            if let Err(pos) = self.find_child(parent, &candidate) {
+                let data = self.file_data(attrs);
+                let id = self.insert_child(parent, pos, &candidate, Slot::File(data));
+                self.generation += 1;
+                return Ok(NodeId(id));
             }
         }
         unreachable!("u32 suffix space exhausted")
+    }
+
+    /// Renders the absolute path of a node returned by
+    /// [`Vfs::store_unique`]. Walks parent links by searching from the
+    /// root — this is a test/diagnostic affordance, not a hot path.
+    pub fn path_of(&self, id: NodeId) -> String {
+        fn rec(vfs: &Vfs, cur: u32, target: u32, out: &mut String) -> bool {
+            if cur == target {
+                return true;
+            }
+            if let Slot::Dir(d) = &vfs.nodes[cur as usize].kind {
+                for &c in &d.children {
+                    out.push('/');
+                    out.push_str(vfs.strings.get(vfs.nodes[c as usize].name));
+                    if rec(vfs, c, target, out) {
+                        return true;
+                    }
+                    out.truncate(out.rfind('/').unwrap_or(0));
+                }
+            }
+            false
+        }
+        let mut out = String::new();
+        if !rec(self, ROOT, id.0, &mut out) {
+            out.clear();
+        }
+        if out.is_empty() {
+            out.push('/');
+        }
+        out
     }
 
     /// Removes a file or (recursively) a directory.
@@ -474,25 +971,27 @@ impl Vfs {
     /// [`VfsError::NotFound`] if absent; [`VfsError::BadPath`] for `/`.
     pub fn remove(&mut self, path: &str) -> Result<(), VfsError> {
         let p = Self::canon(path)?;
-        let name = p
-            .file_name()
-            .ok_or_else(|| VfsError::BadPath { path: path.to_owned() })?
-            .to_owned();
-        let parent = self.node_mut(p.parent().as_str())?;
-        let res = match parent {
-            Node::Dir { children, .. } => children
-                .remove(&name)
-                .map(|_| ())
-                .ok_or_else(|| VfsError::NotFound { path: path.to_owned() }),
-            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        let Some(name) = p.file_name() else {
+            return Err(VfsError::BadPath { path: path.to_owned() });
         };
-        if res.is_ok() {
-            self.generation += 1;
+        let parent = self.resolve(p.parent().as_str())?;
+        if !matches!(self.nodes[parent as usize].kind, Slot::Dir(_)) {
+            return Err(VfsError::NotADirectory { path: path.to_owned() });
         }
-        res
+        match self.detach_child(parent, name) {
+            // The subtree's slots become unreachable garbage in the
+            // slab; nothing frees them (removal is rare and the slab
+            // dies with its host).
+            Some(_) => {
+                self.generation += 1;
+                Ok(())
+            }
+            None => Err(VfsError::NotFound { path: path.to_owned() }),
+        }
     }
 
-    /// Renames `from` to `to` (FTP `RNFR`/`RNTO`).
+    /// Renames `from` to `to` (FTP `RNFR`/`RNTO`). The subtree keeps its
+    /// slots; only the parent links and the node's name change.
     ///
     /// # Errors
     ///
@@ -503,38 +1002,50 @@ impl Vfs {
             return Err(VfsError::AlreadyExists { path: to.to_owned() });
         }
         let pf = Self::canon(from)?;
-        let name = pf
-            .file_name()
-            .ok_or_else(|| VfsError::BadPath { path: from.to_owned() })?
-            .to_owned();
-        // Detach.
-        let node = {
-            let parent = self.node_mut(pf.parent().as_str())?;
-            match parent {
-                Node::Dir { children, .. } => children
-                    .remove(&name)
-                    .ok_or_else(|| VfsError::NotFound { path: from.to_owned() })?,
-                Node::File(_) => return Err(VfsError::NotADirectory { path: from.to_owned() }),
-            }
+        let Some(name) = pf.file_name() else {
+            return Err(VfsError::BadPath { path: from.to_owned() });
         };
-        // Attach.
-        let pt = Self::canon(to)?;
-        let to_name = pt
-            .file_name()
-            .ok_or_else(|| VfsError::BadPath { path: to.to_owned() })?
-            .to_owned();
-        self.mkdir_p(pt.parent().as_str())?;
-        let res = match self.node_mut(pt.parent().as_str())? {
-            Node::Dir { children, .. } => {
-                children.insert(to_name, node);
-                Ok(())
-            }
-            Node::File(_) => Err(VfsError::NotADirectory { path: to.to_owned() }),
-        };
-        if res.is_ok() {
-            self.generation += 1;
+        let parent = self.resolve(pf.parent().as_str())?;
+        if !matches!(self.nodes[parent as usize].kind, Slot::Dir(_)) {
+            return Err(VfsError::NotADirectory { path: from.to_owned() });
         }
-        res
+        let node = self
+            .detach_child(parent, name)
+            .ok_or_else(|| VfsError::NotFound { path: from.to_owned() })?;
+        let pt = Self::canon(to)?;
+        let Some(to_name) = pt.file_name() else {
+            return Err(VfsError::BadPath { path: to.to_owned() });
+        };
+        let to_name = to_name.to_owned();
+        let new_parent = self.descend_creating(pt.parent().as_str()).map_err(|e| match e {
+            VfsError::NotADirectory { .. } => VfsError::NotADirectory { path: to.to_owned() },
+            other => other,
+        })?;
+        self.nodes[node as usize].name = self.strings.intern(&to_name);
+        match self.find_child(new_parent, &to_name) {
+            // `exists(to)` was checked above and nothing has been
+            // created at `to` since; insert at the sorted position.
+            Ok(_) => return Err(VfsError::AlreadyExists { path: to.to_owned() }),
+            Err(pos) => match &mut self.nodes[new_parent as usize].kind {
+                Slot::Dir(d) => d.children.insert(pos, node),
+                Slot::File(_) => unreachable!("descend_creating returns dirs"),
+            },
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Unlinks `name` from `dir`'s child list, returning its slot.
+    fn detach_child(&mut self, dir: u32, name: &str) -> Option<u32> {
+        let Slot::Dir(d) = &self.nodes[dir as usize].kind else { return None };
+        let pos = d
+            .children
+            .binary_search_by(|&c| self.strings.get(self.nodes[c as usize].name).cmp(name))
+            .ok()?;
+        match &mut self.nodes[dir as usize].kind {
+            Slot::Dir(d) => Some(d.children.remove(pos)),
+            Slot::File(_) => None,
+        }
     }
 
     /// Lists a directory's children as `(name, node)` pairs in name
@@ -543,15 +1054,14 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] / [`VfsError::NotADirectory`].
-    pub fn list(&self, path: &str) -> Result<Vec<(&str, &Node)>, VfsError> {
+    pub fn list(&self, path: &str) -> Result<DirList<'_>, VfsError> {
         if obs::enabled() {
             obs::counter(obs::Counter::VfsOps, 1);
         }
-        match self.node(path)? {
-            Node::Dir { children, .. } => {
-                Ok(children.iter().map(|(k, v)| (k.as_str(), v)).collect())
-            }
-            Node::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
+        let ix = self.resolve(path)?;
+        match &self.nodes[ix as usize].kind {
+            Slot::Dir(d) => Ok(DirList { vfs: self, children: d.children.iter() }),
+            Slot::File(_) => Err(VfsError::NotADirectory { path: path.to_owned() }),
         }
     }
 
@@ -560,10 +1070,10 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] if absent or a directory.
-    pub fn file(&self, path: &str) -> Result<&FileMeta, VfsError> {
+    pub fn file(&self, path: &str) -> Result<FileRef<'_>, VfsError> {
         match self.node(path)? {
-            Node::File(meta) => Ok(meta),
-            Node::Dir { .. } => Err(VfsError::NotFound { path: path.to_owned() }),
+            NodeRef::File(f) => Ok(f),
+            NodeRef::Dir(_) => Err(VfsError::NotFound { path: path.to_owned() }),
         }
     }
 
@@ -572,64 +1082,78 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] if absent or a directory.
-    pub fn file_mut(&mut self, path: &str) -> Result<&mut FileMeta, VfsError> {
+    pub fn file_mut(&mut self, path: &str) -> Result<FileMut<'_>, VfsError> {
         // Conservative: the caller receives mutable access, so any
         // cached derived data must be considered stale.
         self.generation += 1;
-        match self.node_mut(path)? {
-            Node::File(meta) => Ok(meta),
-            Node::Dir { .. } => Err(VfsError::NotFound { path: path.to_owned() }),
+        let ix = self.resolve(path)?;
+        match &mut self.nodes[ix as usize].kind {
+            Slot::File(f) => Ok(FileMut { size: &mut f.size, perms: &mut f.perms, owner: &mut f.owner }),
+            Slot::Dir(_) => Err(VfsError::NotFound { path: path.to_owned() }),
         }
     }
 
-    /// Total number of files in the tree.
+    /// Total number of files in the (live) tree.
     pub fn file_count(&self) -> usize {
-        fn walk(n: &Node) -> usize {
-            match n {
-                Node::File(_) => 1,
-                Node::Dir { children, .. } => children.values().map(walk).sum(),
+        fn rec(vfs: &Vfs, ix: u32) -> usize {
+            match &vfs.nodes[ix as usize].kind {
+                Slot::File(_) => 1,
+                Slot::Dir(d) => d.children.iter().map(|&c| rec(vfs, c)).sum(),
             }
         }
-        walk(&self.root)
+        rec(self, ROOT)
     }
 
     /// Total number of directories (excluding the root).
     pub fn dir_count(&self) -> usize {
-        fn walk(n: &Node) -> usize {
-            match n {
-                Node::File(_) => 0,
-                Node::Dir { children, .. } => {
-                    children.values().map(|c| if c.is_dir() { 1 + walk(c) } else { 0 }).sum()
-                }
+        fn rec(vfs: &Vfs, ix: u32) -> usize {
+            match &vfs.nodes[ix as usize].kind {
+                Slot::File(_) => 0,
+                Slot::Dir(d) => d
+                    .children
+                    .iter()
+                    .map(|&c| match &vfs.nodes[c as usize].kind {
+                        Slot::Dir(_) => 1 + rec(vfs, c),
+                        Slot::File(_) => 0,
+                    })
+                    .sum(),
             }
         }
-        walk(&self.root)
+        rec(self, ROOT)
     }
 
-    /// Depth-first visit of every node as `(path, node)`.
-    pub fn walk(&self) -> Vec<(String, &Node)> {
-        let mut out = Vec::new();
-        fn rec<'a>(prefix: &str, node: &'a Node, out: &mut Vec<(String, &'a Node)>) {
-            if let Node::Dir { children, .. } = node {
-                for (name, child) in children {
-                    let path = if prefix == "/" {
-                        format!("/{name}")
-                    } else {
-                        format!("{prefix}/{name}")
-                    };
-                    out.push((path.clone(), child));
-                    rec(&path, child, out);
-                }
-            }
+    /// Depth-first visit of every node as `(path, node)`, siblings in
+    /// name order — the same preorder the old `Vec`-returning walk
+    /// produced, minus the per-node `String` materialization: one path
+    /// buffer is grown and truncated across the whole traversal.
+    pub fn walk(&self, mut f: impl FnMut(&str, NodeRef<'_>)) {
+        let mut path = String::new();
+        self.walk_rec(ROOT, &mut path, &mut f);
+    }
+
+    fn walk_rec(&self, dir: u32, path: &mut String, f: &mut impl FnMut(&str, NodeRef<'_>)) {
+        let Slot::Dir(d) = &self.nodes[dir as usize].kind else { return };
+        for &child in &d.children {
+            let len = path.len();
+            path.push('/');
+            path.push_str(self.strings.get(self.nodes[child as usize].name));
+            f(path, self.node_ref(child));
+            self.walk_rec(child, path, f);
+            path.truncate(len);
         }
-        rec("/", &self.root, &mut out);
-        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Collects `walk`'s visit order for assertions.
+    fn walked(v: &Vfs) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        v.walk(|p, n| out.push((p.to_owned(), n.is_dir())));
+        out
+    }
 
     #[test]
     fn mkdir_p_and_lookup() {
@@ -649,7 +1173,7 @@ mod tests {
         v.add_file("/pub/readme.txt", FileMeta::public(42).with_content("hello")).unwrap();
         let f = v.file("/pub/readme.txt").unwrap();
         assert_eq!(f.size, 5); // with_content resizes
-        assert_eq!(f.content.as_deref(), Some("hello"));
+        assert_eq!(f.content, Some("hello"));
         assert_eq!(v.file_count(), 1);
     }
 
@@ -672,15 +1196,12 @@ mod tests {
     #[test]
     fn store_unique_appends_suffixes() {
         let mut v = Vfs::new();
-        assert_eq!(v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap(), "/up/probe.txt");
-        assert_eq!(
-            v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap(),
-            "/up/probe.txt.1"
-        );
-        assert_eq!(
-            v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap(),
-            "/up/probe.txt.2"
-        );
+        let a = v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap();
+        assert_eq!(v.path_of(a), "/up/probe.txt");
+        let b = v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap();
+        assert_eq!(v.path_of(b), "/up/probe.txt.1");
+        let c = v.store_unique("/up/probe.txt", FileMeta::public(1)).unwrap();
+        assert_eq!(v.path_of(c), "/up/probe.txt.2");
         assert_eq!(v.file_count(), 3);
     }
 
@@ -715,7 +1236,7 @@ mod tests {
         v.add_file("/d/zeta", FileMeta::public(1)).unwrap();
         v.add_file("/d/alpha", FileMeta::public(1)).unwrap();
         v.mkdir_p("/d/beta").unwrap();
-        let names: Vec<&str> = v.list("/d").unwrap().iter().map(|(n, _)| *n).collect();
+        let names: Vec<&str> = v.list("/d").unwrap().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["alpha", "beta", "zeta"]);
         assert!(matches!(v.list("/d/alpha"), Err(VfsError::NotADirectory { .. })));
     }
@@ -725,7 +1246,7 @@ mod tests {
         let mut v = Vfs::new();
         v.add_file("/a/f1", FileMeta::public(1)).unwrap();
         v.add_file("/a/b/f2", FileMeta::public(1)).unwrap();
-        let paths: Vec<String> = v.walk().into_iter().map(|(p, _)| p).collect();
+        let paths: Vec<String> = walked(&v).into_iter().map(|(p, _)| p).collect();
         assert_eq!(paths, vec!["/a", "/a/b", "/a/b/f2", "/a/f1"]);
     }
 
@@ -758,8 +1279,37 @@ mod tests {
     fn file_mut_updates_in_place() {
         let mut v = Vfs::new();
         v.add_file("/f", FileMeta::public(1).with_owner(Owner::Anonymous)).unwrap();
-        v.file_mut("/f").unwrap().owner = Owner::Ftp;
+        *v.file_mut("/f").unwrap().owner = Owner::Ftp;
         assert_eq!(v.file("/f").unwrap().owner, Owner::Ftp);
         assert!(v.file_mut("/nope").is_err());
+    }
+
+    #[test]
+    fn interner_dedups_and_counts_bytes() {
+        let mut v = Vfs::new();
+        let before = v.interned_bytes();
+        v.add_file("/x/a.txt", FileMeta::public(1)).unwrap();
+        let after_first = v.interned_bytes();
+        assert!(after_first > before);
+        // Same names elsewhere in the tree intern to the same spans.
+        v.add_file("/y/a.txt", FileMeta::public(1)).unwrap();
+        assert_eq!(v.interned_bytes(), after_first + 1, "only the new name byte 'y'");
+        assert_eq!(v.node_count(), 1 + 4); // root + x, a.txt, y, a.txt
+    }
+
+    #[test]
+    fn content_equality_ignores_history() {
+        let mut a = Vfs::new();
+        let mut b = Vfs::new();
+        a.add_file("/d/one", FileMeta::public(1)).unwrap();
+        a.add_file("/d/two", FileMeta::public(2)).unwrap();
+        // Same tree, different construction order and extra churn.
+        b.add_file("/d/two", FileMeta::public(2)).unwrap();
+        b.add_file("/d/tmp", FileMeta::public(9)).unwrap();
+        b.remove("/d/tmp").unwrap();
+        b.add_file("/d/one", FileMeta::public(1)).unwrap();
+        assert_eq!(a, b);
+        b.add_file("/d/one", FileMeta::public(7)).unwrap();
+        assert_ne!(a, b);
     }
 }

@@ -41,9 +41,10 @@ proptest! {
         let mut vfs = Vfs::new();
         let mut stored = std::collections::HashSet::new();
         for i in 0..n {
-            let path = vfs
+            let id = vfs
                 .store_unique("/up/probe.txt", FileMeta::public(i as u64))
                 .unwrap();
+            let path = vfs.path_of(id);
             prop_assert!(stored.insert(path.clone()), "duplicate {path}");
         }
         prop_assert_eq!(vfs.file_count(), n);
@@ -58,9 +59,10 @@ proptest! {
         for p in &paths {
             let _ = vfs.add_file(p, FileMeta::public(2));
         }
-        let walked = vfs.walk();
-        let files = walked.iter().filter(|(_, n)| !n.is_dir()).count();
-        let dirs = walked.iter().filter(|(_, n)| n.is_dir()).count();
+        let mut walked: Vec<(String, bool)> = Vec::new();
+        vfs.walk(|p, n| walked.push((p.to_owned(), n.is_dir())));
+        let files = walked.iter().filter(|(_, is_dir)| !is_dir).count();
+        let dirs = walked.iter().filter(|(_, is_dir)| *is_dir).count();
         prop_assert_eq!(files, vfs.file_count());
         prop_assert_eq!(dirs, vfs.dir_count());
         for (p, _) in &walked {

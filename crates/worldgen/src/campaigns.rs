@@ -5,11 +5,14 @@
 //! used (name matching, co-location, directory-name signatures), so the
 //! detection code path is genuinely exercised rather than fed labels.
 
+use crate::content::GenScratch;
 use crate::rates::Campaign;
 use ftp_proto::listing::Permissions;
 use rand::rngs::StdRng;
 use rand::Rng;
-use simvfs::{FileMeta, Owner, Vfs};
+use simvfs::{FileAttrs, Owner, Vfs};
+use std::fmt;
+use std::fmt::Write as _;
 
 /// The ftpchk3 campaign's observable stages (§VI-B). Stage 4 is the
 /// unknown final payload the paper could not observe; it never appears
@@ -31,21 +34,36 @@ pub const HOLY_BIBLE_TAG: &str = "Holy-Bible.html";
 /// Keygen-service flier basenames (§VI-C).
 pub const FLIER_NAMES: [&str; 2] = ["cool-cracking-service.pdf", "keygen-offer.ps"];
 
-fn uploaded(rng: &mut StdRng, content: &str) -> FileMeta {
-    FileMeta::public(content.len() as u64)
-        .with_content(content)
-        .with_owner(Owner::Anonymous)
-        .with_mtime(format!("Jun {:2}  2015", rng.random_range(1..19)))
+/// Draws the upload's mtime into `mtime_buf` and returns the attrs of
+/// an anonymous-owned upload carrying `content`. `Copy`, so the repeat
+/// store of the same probe reuses it without a clone.
+fn uploaded<'a>(rng: &mut StdRng, content: &'a str, mtime_buf: &'a mut String) -> FileAttrs<'a> {
+    mtime_buf.clear();
+    let _ = write!(mtime_buf, "Jun {:2}  2015", rng.random_range(1..19));
+    FileAttrs {
+        size: content.len() as u64,
+        perms: Permissions::public_file(),
+        owner: Owner::Anonymous,
+        mtime: mtime_buf,
+        content: Some(content),
+    }
 }
 
 /// Write-probe content variants the paper lists: "Anonymous", "test",
-/// random characters, or a little base64.
-fn probe_content(rng: &mut StdRng) -> String {
+/// random characters, or a little base64. Random text renders into
+/// `buf`; the other variants borrow statics.
+fn probe_content<'a>(rng: &mut StdRng, buf: &'a mut String) -> &'a str {
     match rng.random_range(0..4) {
-        0 => "Anonymous".to_owned(),
-        1 => "test".to_owned(),
-        2 => (0..12).map(|_| (b'a' + rng.random_range(0..26u8)) as char).collect(),
-        _ => "dGVzdCBwcm9iZQ==".to_owned(),
+        0 => "Anonymous",
+        1 => "test",
+        2 => {
+            buf.clear();
+            for _ in 0..12 {
+                buf.push((b'a' + rng.random_range(0..26u8)) as char);
+            }
+            buf
+        }
+        _ => "dGVzdCBwcm9iZQ==",
     }
 }
 
@@ -62,40 +80,53 @@ fn upload_spot(vfs: &Vfs) -> &'static str {
 /// Plants one campaign's artifacts on `vfs`. The `unique_suffix` flag
 /// mirrors the server's upload quirk: probe files then appear with
 /// `.1`/`.2` suffixes, the §VI-A reference-set signal.
-pub fn inject(vfs: &mut Vfs, rng: &mut StdRng, campaign: Campaign, unique_suffix: bool) {
+pub fn inject(
+    vfs: &mut Vfs,
+    rng: &mut StdRng,
+    scratch: &mut GenScratch,
+    campaign: Campaign,
+    unique_suffix: bool,
+) {
     let spot = upload_spot(vfs);
-    let put = |vfs: &mut Vfs, rng: &mut StdRng, name: &str, content: &str| {
-        let meta = uploaded(rng, content);
-        if unique_suffix {
-            let _ = vfs.store_unique(&format!("{spot}/{name}"), meta.clone());
-            // Repeat probes are what create the suffix trail.
-            if rng.random_bool(0.5) {
-                let _ = vfs.store_unique(&format!("{spot}/{name}"), meta);
+    // Split the scratch so the upload path, its mtime, and generated
+    // probe text borrow independently.
+    let GenScratch { path, mtime, text } = scratch;
+    let mut put =
+        |vfs: &mut Vfs, rng: &mut StdRng, name: fmt::Arguments<'_>, content: &str| {
+            let attrs = uploaded(rng, content, mtime);
+            path.set(spot);
+            path.push_fmt(name);
+            if unique_suffix {
+                let _ = vfs.store_unique_attrs(path.as_str(), attrs);
+                // Repeat probes are what create the suffix trail.
+                if rng.random_bool(0.5) {
+                    let _ = vfs.store_unique_attrs(path.as_str(), attrs);
+                }
+            } else {
+                let _ = vfs.add_file_attrs(path.as_str(), attrs);
             }
-        } else {
-            let _ = vfs.add_file(&format!("{spot}/{name}"), meta);
-        }
-    };
+            path.pop();
+        };
     match campaign {
         Campaign::ProbeW0t => {
             let ext = if rng.random_bool(0.5) { "txt" } else { "php" };
-            let c = probe_content(rng);
-            put(vfs, rng, &format!("w0000000t.{ext}"), &c);
+            let c = probe_content(rng, text);
+            put(vfs, rng, format_args!("w0000000t.{ext}"), c);
         }
         Campaign::ProbeSjutd => {
-            let c = probe_content(rng);
-            put(vfs, rng, "sjutd.txt", &c);
+            let c = probe_content(rng, text);
+            put(vfs, rng, format_args!("sjutd.txt"), c);
         }
         Campaign::ProbeHelloWorld => {
-            let c = probe_content(rng);
-            put(vfs, rng, "hello.world.txt", &c);
+            let c = probe_content(rng, text);
+            put(vfs, rng, format_args!("hello.world.txt"), c);
         }
         Campaign::Ftpchk3 => {
             // Victims are found in various stages of infection.
             let stage = rng.random_range(1..=3usize);
             let contents = ["probe", "<?php echo 'OK'; ?>", "<?php phpinfo(); /*CMS scan*/ ?>"];
             for (i, name) in FTPCHK3_STAGES.iter().take(stage).enumerate() {
-                put(vfs, rng, name, contents[i]);
+                put(vfs, rng, format_args!("{name}"), contents[i]);
             }
         }
         Campaign::Rat => {
@@ -103,8 +134,13 @@ pub fn inject(vfs: &mut Vfs, rng: &mut StdRng, campaign: Campaign, unique_suffix
             for _ in 0..n {
                 let name = RAT_NAMES[rng.random_range(0..RAT_NAMES.len())];
                 // Spread across the filesystem to hit the web root.
-                let dir = if rng.random_bool(0.6) { upload_spot(vfs).to_owned() } else { format!("{}/app", upload_spot(vfs)) };
-                let _ = vfs.add_file(&format!("{dir}/{name}"), uploaded(rng, RAT_ONELINER));
+                path.set(spot);
+                if !rng.random_bool(0.6) {
+                    path.push("app");
+                }
+                path.push(name);
+                let attrs = uploaded(rng, RAT_ONELINER, mtime);
+                let _ = vfs.add_file_attrs(path.as_str(), attrs);
             }
         }
         Campaign::Ddos => {
@@ -112,31 +148,35 @@ pub fn inject(vfs: &mut Vfs, rng: &mut StdRng, campaign: Campaign, unique_suffix
             put(
                 vfs,
                 rng,
-                name,
+                format_args!("{name}"),
                 "<?php $t=$_GET['t']; $p=$_GET['p']; /* 65kB UDP flood loop */ ?>",
             );
         }
         Campaign::HolyBible => {
-            put(vfs, rng, HOLY_BIBLE_TAG, "<html><!-- holy bible seo --></html>");
+            put(vfs, rng, format_args!("{HOLY_BIBLE_TAG}"), "<html><!-- holy bible seo --></html>");
             // The campaign injects hrefs into existing web files and
             // deletes archives; model the tag plus an infected index.
             if vfs.exists("/www") {
-                let _ = vfs.add_file(
-                    "/www/index.php",
-                    uploaded(rng, "<?php /* injected href farm */ ?>"),
-                );
+                let attrs = uploaded(rng, "<?php /* injected href farm */ ?>", mtime);
+                let _ = vfs.add_file_attrs("/www/index.php", attrs);
             }
         }
         Campaign::KeygenFlier => {
             for name in FLIER_NAMES {
-                put(vfs, rng, name, "Really cool software cracking service. $300-$500. Bitmessage.");
+                put(
+                    vfs,
+                    rng,
+                    format_args!("{name}"),
+                    "Really cool software cracking service. $300-$500. Bitmessage.",
+                );
             }
         }
         Campaign::Warez => {
             // Dated transport directories: YYMMDD + 6-digit time + 'p'.
             let n = rng.random_range(1..=5usize);
             for _ in 0..n {
-                let dir = format!(
+                path.set(spot);
+                path.push_fmt(format_args!(
                     "{:02}{:02}{:02}{:02}{:02}{:02}p",
                     rng.random_range(10..16),
                     rng.random_range(1..13),
@@ -144,18 +184,17 @@ pub fn inject(vfs: &mut Vfs, rng: &mut StdRng, campaign: Campaign, unique_suffix
                     rng.random_range(0..24),
                     rng.random_range(0..60),
                     rng.random_range(0..60),
-                );
-                let path = format!("{}/{dir}", upload_spot(vfs));
-                let _ = vfs.mkdir_p(&path);
+                ));
+                let _ = vfs.mkdir_p(path.as_str());
                 // Many observed directories were already emptied (§VI-C).
                 if rng.random_bool(0.35) {
-                    let _ = vfs.add_file(
-                        &format!("{path}/release.r{:02}", rng.random_range(0..30)),
-                        FileMeta {
-                            perms: Permissions::public_file(),
-                            ..uploaded(rng, "warez blob")
-                        },
-                    );
+                    path.push_fmt(format_args!("release.r{:02}", rng.random_range(0..30)));
+                    let attrs = FileAttrs {
+                        perms: Permissions::public_file(),
+                        ..uploaded(rng, "warez blob", mtime)
+                    };
+                    let _ = vfs.add_file_attrs(path.as_str(), attrs);
+                    path.pop();
                 }
             }
         }
@@ -173,6 +212,17 @@ mod tests {
         v
     }
 
+    fn inject_one(v: &mut Vfs, seed: u64, campaign: Campaign, unique_suffix: bool) {
+        inject(v, &mut StdRng::seed_from_u64(seed), &mut GenScratch::default(), campaign, unique_suffix);
+    }
+
+    /// Walks the tree into owned `(path, is_dir)` pairs for assertions.
+    fn walked(vfs: &Vfs) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        vfs.walk(|p, n| out.push((p.to_owned(), n.is_dir())));
+        out
+    }
+
     #[test]
     fn probes_land_with_expected_names() {
         for (campaign, needle) in [
@@ -181,9 +231,9 @@ mod tests {
             (Campaign::ProbeHelloWorld, "hello.world.txt"),
         ] {
             let mut v = base();
-            inject(&mut v, &mut StdRng::seed_from_u64(1), campaign, false);
+            inject_one(&mut v, 1, campaign, false);
             assert!(
-                v.walk().iter().any(|(p, _)| p.contains(needle)),
+                walked(&v).iter().any(|(p, _)| p.contains(needle)),
                 "{campaign:?} missing {needle}"
             );
         }
@@ -196,8 +246,8 @@ mod tests {
         let mut found_suffix = false;
         for seed in 0..10 {
             let mut v2 = base();
-            inject(&mut v2, &mut StdRng::seed_from_u64(seed), Campaign::ProbeSjutd, true);
-            inject(&mut v2, &mut StdRng::seed_from_u64(seed + 100), Campaign::ProbeSjutd, true);
+            inject_one(&mut v2, seed, Campaign::ProbeSjutd, true);
+            inject_one(&mut v2, seed + 100, Campaign::ProbeSjutd, true);
             if v2.exists("/incoming/sjutd.txt.1") {
                 found_suffix = true;
                 v = v2;
@@ -213,7 +263,7 @@ mod tests {
         let mut any_multi = false;
         for seed in 0..20 {
             let mut v = base();
-            inject(&mut v, &mut StdRng::seed_from_u64(seed), Campaign::Ftpchk3, false);
+            inject_one(&mut v, seed, Campaign::Ftpchk3, false);
             assert!(v.exists("/incoming/ftpchk3.txt"), "stage 1 always present");
             if v.exists("/incoming/ftpchk3.php") {
                 any_multi = true;
@@ -225,23 +275,21 @@ mod tests {
     #[test]
     fn rats_carry_the_oneliner() {
         let mut v = base();
-        inject(&mut v, &mut StdRng::seed_from_u64(3), Campaign::Rat, false);
-        let rat = v
-            .walk()
+        inject_one(&mut v, 3, Campaign::Rat, false);
+        let rat = walked(&v)
             .into_iter()
-            .find(|(p, n)| !n.is_dir() && RAT_NAMES.iter().any(|r| p.ends_with(r)));
+            .find(|(p, is_dir)| !is_dir && RAT_NAMES.iter().any(|r| p.ends_with(r)));
         let (path, _) = rat.expect("a RAT file landed");
-        assert_eq!(v.file(&path).unwrap().content.as_deref(), Some(RAT_ONELINER));
+        assert_eq!(v.file(&path).unwrap().content, Some(RAT_ONELINER));
     }
 
     #[test]
     fn warez_dirs_match_signature() {
         let mut v = base();
-        inject(&mut v, &mut StdRng::seed_from_u64(5), Campaign::Warez, false);
-        let dirs: Vec<String> = v
-            .walk()
+        inject_one(&mut v, 5, Campaign::Warez, false);
+        let dirs: Vec<String> = walked(&v)
             .into_iter()
-            .filter(|(_, n)| n.is_dir())
+            .filter(|(_, is_dir)| *is_dir)
             .map(|(p, _)| p)
             .collect();
         let sig = dirs.iter().any(|p| {
@@ -254,18 +302,17 @@ mod tests {
     #[test]
     fn holy_bible_tag_lands() {
         let mut v = base();
-        inject(&mut v, &mut StdRng::seed_from_u64(9), Campaign::HolyBible, false);
-        assert!(v.walk().iter().any(|(p, _)| p.ends_with(HOLY_BIBLE_TAG)));
+        inject_one(&mut v, 9, Campaign::HolyBible, false);
+        assert!(walked(&v).iter().any(|(p, _)| p.ends_with(HOLY_BIBLE_TAG)));
     }
 
     #[test]
     fn uploads_are_owned_by_anonymous() {
         let mut v = base();
-        inject(&mut v, &mut StdRng::seed_from_u64(2), Campaign::Ddos, false);
-        let (path, _) = v
-            .walk()
+        inject_one(&mut v, 2, Campaign::Ddos, false);
+        let (path, _) = walked(&v)
             .into_iter()
-            .find(|(p, n)| !n.is_dir() && DDOS_NAMES.iter().any(|d| p.ends_with(d)))
+            .find(|(p, is_dir)| !is_dir && DDOS_NAMES.iter().any(|d| p.ends_with(d)))
             .expect("ddos script present");
         assert_eq!(v.file(&path).unwrap().owner, Owner::Anonymous);
     }

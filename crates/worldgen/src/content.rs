@@ -8,12 +8,30 @@
 //! File-name vocabularies match the patterns the analysis crate detects,
 //! exactly as the real study iterated between observed names and
 //! detection heuristics (§III).
+//!
+//! Generators thread a [`GenScratch`] so materializing a host allocates
+//! only for arena growth: paths are built segment-by-segment in a
+//! reusable [`PathScratch`], mtimes render into a reused buffer, and
+//! files land via [`Vfs::add_file_attrs`] with everything borrowed.
 
 use ftp_proto::listing::Permissions;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simvfs::{FileMeta, Owner, Vfs};
+use simvfs::{FileAttrs, FileMeta, Owner, PathScratch, Vfs};
+use std::fmt::Write as _;
+
+/// Reusable buffers threaded through world materialization; create one
+/// per host batch (or per test) and every generator call reuses it.
+#[derive(Debug, Default, Clone)]
+pub struct GenScratch {
+    /// Segment-stack path builder.
+    pub path: PathScratch,
+    /// Render buffer for listing mtimes.
+    pub mtime: String,
+    /// Render buffer for small generated file contents.
+    pub text: String,
+}
 
 /// What a host's filesystem looks like.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -112,57 +130,101 @@ const PHOTO_EVENTS: &[&str] = &[
 
 const MONTHS: &[&str] = &["Jan", "Feb", "Mar", "Apr", "May", "Jun"];
 
-fn mtime(rng: &mut StdRng) -> String {
-    format!("{} {:2}  201{}", pick(rng, MONTHS), rng.random_range(1..29), rng.random_range(2..6))
+/// Renders a random listing mtime into `out` (same draw order as the
+/// old `String`-returning version: month, day, year digit).
+fn mtime_into(rng: &mut StdRng, out: &mut String) {
+    out.clear();
+    let _ = write!(
+        out,
+        "{} {:2}  201{}",
+        pick(rng, MONTHS),
+        rng.random_range(1..29),
+        rng.random_range(2..6)
+    );
 }
 
-fn public_file(rng: &mut StdRng, size: u64) -> FileMeta {
-    FileMeta::public(size).with_mtime(mtime(rng))
+/// Draws an mtime into `scratch` and returns public-file attrs for it.
+fn public_attrs<'a>(rng: &mut StdRng, size: u64, mtime_buf: &'a mut String) -> FileAttrs<'a> {
+    mtime_into(rng, mtime_buf);
+    FileAttrs::public(size, mtime_buf)
 }
 
 /// Generates a photo library under `base`: `count` default-named camera
 /// files across per-event directories.
-pub fn add_photo_library(vfs: &mut Vfs, rng: &mut StdRng, base: &str, count: usize) {
+pub fn add_photo_library(
+    vfs: &mut Vfs,
+    rng: &mut StdRng,
+    scratch: &mut GenScratch,
+    base: &str,
+    count: usize,
+) {
     let mut remaining = count;
     let mut serial = rng.random_range(1..2000u32);
     while remaining > 0 {
         let year = rng.random_range(2009..2016);
         let event = pick(rng, PHOTO_EVENTS);
-        let dir = format!("{base}/{year}/{event}");
+        scratch.path.set(base);
+        scratch.path.push_fmt(format_args!("{year}"));
+        scratch.path.push(event);
         let in_dir = rng.random_range(40..320usize).min(remaining);
         for _ in 0..in_dir {
             serial += 1;
-            let name = if rng.random_bool(0.7) {
-                format!("DSC_{serial:04}.JPG")
+            let dsc = rng.random_bool(0.7);
+            let size = rng.random_range(800_000..6_000_000);
+            let attrs = public_attrs(rng, size, &mut scratch.mtime);
+            if dsc {
+                scratch.path.push_fmt(format_args!("DSC_{serial:04}.JPG"));
             } else {
-                format!("IMG_{serial:04}.jpg")
-            };
-            let meta = { let size = rng.random_range(800_000..6_000_000); public_file(rng, size) };
-            let _ = vfs.add_file(&format!("{dir}/{name}"), meta);
+                scratch.path.push_fmt(format_args!("IMG_{serial:04}.jpg"));
+            }
+            let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+            scratch.path.pop();
         }
         remaining -= in_dir;
     }
 }
 
 /// Adds a music/movie media collection.
-pub fn add_media_collection(vfs: &mut Vfs, rng: &mut StdRng, base: &str, songs: usize, movies: usize) {
+pub fn add_media_collection(
+    vfs: &mut Vfs,
+    rng: &mut StdRng,
+    scratch: &mut GenScratch,
+    base: &str,
+    songs: usize,
+    movies: usize,
+) {
     const ARTISTS: &[&str] = &["The Beatles", "Daft Punk", "Miles Davis", "Nirvana", "Adele"];
     for i in 0..songs {
         let artist = pick(rng, ARTISTS);
-        let path = format!("{base}/music/{artist}/track{:03}.mp3", i % 20 + 1);
-        let _ = vfs.add_file(&path, { let size = rng.random_range(3_000_000..9_000_000); public_file(rng, size) });
+        scratch.path.set(base);
+        scratch.path.push("music");
+        scratch.path.push(artist);
+        scratch.path.push_fmt(format_args!("track{:03}.mp3", i % 20 + 1));
+        let size = rng.random_range(3_000_000..9_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
     }
     const TITLES: &[&str] = &["home-video", "holiday", "movie-backup", "recital", "soccer-game"];
     for i in 0..movies {
         let t = pick(rng, TITLES);
         let ext = if rng.random_bool(0.55) { "avi" } else { "mp4" };
-        let path = format!("{base}/videos/{t}-{i:02}.{ext}");
-        let _ = vfs.add_file(&path, { let size = rng.random_range(200_000_000..1_500_000_000); public_file(rng, size) });
+        scratch.path.set(base);
+        scratch.path.push("videos");
+        scratch.path.push_fmt(format_args!("{t}-{i:02}.{ext}"));
+        let size = rng.random_range(200_000_000..1_500_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
     }
 }
 
 /// Adds personal documents (PDF/DOC/ZIP and friends) under `base`.
-pub fn add_documents(vfs: &mut Vfs, rng: &mut StdRng, base: &str, count: usize) {
+pub fn add_documents(
+    vfs: &mut Vfs,
+    rng: &mut StdRng,
+    scratch: &mut GenScratch,
+    base: &str,
+    count: usize,
+) {
     const NAMES: &[&str] = &[
         "resume", "insurance-policy", "mortgage-statement", "recipes", "travel-itinerary",
         "school-report", "manual", "newsletter", "meeting-notes", "scan",
@@ -177,35 +239,56 @@ pub fn add_documents(vfs: &mut Vfs, rng: &mut StdRng, base: &str, count: usize) 
             8 => "png",
             _ => "html",
         };
-        let path = format!("{base}/documents/{n}-{i:03}.{ext}");
-        let _ = vfs.add_file(&path, { let size = rng.random_range(20_000..4_000_000); public_file(rng, size) });
+        scratch.path.set(base);
+        scratch.path.push("documents");
+        scratch.path.push_fmt(format_args!("{n}-{i:03}.{ext}"));
+        let size = rng.random_range(20_000..4_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
     }
 }
 
 /// Builds a shared-hosting webroot with `sites` vhosts.
-pub fn hosting_webroot(rng: &mut StdRng, sites: usize, scripting: bool) -> Vfs {
+pub fn hosting_webroot(
+    rng: &mut StdRng,
+    scratch: &mut GenScratch,
+    sites: usize,
+    scripting: bool,
+) -> Vfs {
     let mut vfs = Vfs::new();
     const SITES: &[&str] = &["shop", "blog", "forum", "landing", "wiki", "store", "portal"];
     for s in 0..sites {
-        let site = format!("/www/{}{s}", pick(rng, SITES));
-        let _ = vfs.add_file(&format!("{site}/index.html"), public_file(rng, 8_192));
-        let _ = vfs.add_file(&format!("{site}/style.css"), public_file(rng, 4_096));
+        let site = pick(rng, SITES);
+        scratch.path.set("/www");
+        scratch.path.push_fmt(format_args!("{site}{s}"));
+        scratch.path.push("index.html");
+        let attrs = public_attrs(rng, 8_192, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.path.pop();
+        scratch.path.push("style.css");
+        let attrs = public_attrs(rng, 4_096, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.path.pop();
         if scripting {
-            let _ = vfs.add_file(&format!("{site}/.htaccess"), public_file(rng, 512));
+            scratch.path.push(".htaccess");
+            let attrs = public_attrs(rng, 512, &mut scratch.mtime);
+            let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+            scratch.path.pop();
+            scratch.path.push("app");
             let n = rng.random_range(8..60);
             for i in 0..n {
-                let name = match rng.random_range(0..6) {
-                    0 => "index.php".to_owned(),
-                    1 => "config.php".to_owned(),
-                    2 => "db_connect.php".to_owned(),
-                    3 => format!("page{i}.php"),
-                    4 => format!("admin{i}.asp"),
-                    _ => format!("include{i}.php"),
-                };
-                let _ = vfs.add_file(
-                    &format!("{site}/app/{name}"),
-                    { let size = rng.random_range(1_000..40_000); public_file(rng, size) },
-                );
+                match rng.random_range(0..6) {
+                    0 => scratch.path.push("index.php"),
+                    1 => scratch.path.push("config.php"),
+                    2 => scratch.path.push("db_connect.php"),
+                    3 => scratch.path.push_fmt(format_args!("page{i}.php")),
+                    4 => scratch.path.push_fmt(format_args!("admin{i}.asp")),
+                    _ => scratch.path.push_fmt(format_args!("include{i}.php")),
+                }
+                let size = rng.random_range(1_000..40_000);
+                let attrs = public_attrs(rng, size, &mut scratch.mtime);
+                let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+                scratch.path.pop();
             }
         }
     }
@@ -213,61 +296,96 @@ pub fn hosting_webroot(rng: &mut StdRng, sites: usize, scripting: bool) -> Vfs {
 }
 
 /// Builds a consumer-NAS media share.
-pub fn nas_media(rng: &mut StdRng, photos: usize, songs: usize, movies: usize, docs: usize) -> Vfs {
+pub fn nas_media(
+    rng: &mut StdRng,
+    scratch: &mut GenScratch,
+    photos: usize,
+    songs: usize,
+    movies: usize,
+    docs: usize,
+) -> Vfs {
     let mut vfs = Vfs::new();
     if photos > 0 {
-        add_photo_library(&mut vfs, rng, "/share/photos", photos);
+        add_photo_library(&mut vfs, rng, scratch, "/share/photos", photos);
     }
     if songs > 0 || movies > 0 {
-        add_media_collection(&mut vfs, rng, "/share", songs, movies);
+        add_media_collection(&mut vfs, rng, scratch, "/share", songs, movies);
     }
     if docs > 0 {
-        add_documents(&mut vfs, rng, "/share", docs);
+        add_documents(&mut vfs, rng, scratch, "/share", docs);
     }
     vfs
 }
 
 /// Builds a printer spool tree (scanned documents).
-pub fn printer_spool(rng: &mut StdRng) -> Vfs {
+pub fn printer_spool(rng: &mut StdRng, scratch: &mut GenScratch) -> Vfs {
     let mut vfs = Vfs::new();
     let n = rng.random_range(0..25);
+    scratch.path.set("/scans");
     for i in 0..n {
-        let _ = vfs.add_file(
-            &format!("/scans/scan{i:04}.pdf"),
-            { let size = rng.random_range(100_000..2_000_000); public_file(rng, size) },
-        );
+        scratch.path.push_fmt(format_args!("scan{i:04}.pdf"));
+        let size = rng.random_range(100_000..2_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.path.pop();
     }
     vfs
 }
 
 /// Builds an exposed OS root with the marker directories §V keys on.
-pub fn os_root(rng: &mut StdRng, kind: OsKind) -> Vfs {
+/// Trees here are a handful of static paths, so the owned [`FileMeta`]
+/// builders stay — there is no per-file loop to starve of allocations.
+pub fn os_root(rng: &mut StdRng, scratch: &mut GenScratch, kind: OsKind) -> Vfs {
     let mut vfs = Vfs::new();
     match kind {
         OsKind::Linux => {
             for d in ["bin", "var", "boot", "etc", "home", "usr"] {
-                vfs.mkdir_p(&format!("/{d}")).expect("static path");
+                scratch.path.set("");
+                scratch.path.push(d);
+                vfs.mkdir_p(scratch.path.as_str()).expect("static path");
             }
-            let _ = vfs.add_file("/etc/passwd", public_file(rng, 2_048));
+            mtime_into(rng, &mut scratch.mtime);
+            let _ = vfs.add_file_attrs("/etc/passwd", FileAttrs::public(2_048, &scratch.mtime));
             let _ = vfs.add_file(
                 "/etc/shadow",
-                FileMeta::private(718).with_owner(Owner::Root).with_mtime(mtime(rng)),
+                FileMeta::private(718).with_owner(Owner::Root).with_mtime({
+                    mtime_into(rng, &mut scratch.mtime);
+                    scratch.mtime.as_str()
+                }),
             );
-            let _ = vfs.add_file("/etc/ssh/ssh_host_rsa_key", FileMeta::private(1_679).with_owner(Owner::Root));
-            let _ = vfs.add_file("/home/user/.bash_history", public_file(rng, 9_000));
+            let _ = vfs
+                .add_file("/etc/ssh/ssh_host_rsa_key", FileMeta::private(1_679).with_owner(Owner::Root));
+            mtime_into(rng, &mut scratch.mtime);
+            let _ = vfs.add_file_attrs(
+                "/home/user/.bash_history",
+                FileAttrs::public(9_000, &scratch.mtime),
+            );
         }
         OsKind::Windows => {
             for d in ["Windows", "Program Files", "Users", "Documents and Settings"] {
-                vfs.mkdir_p(&format!("/{d}")).expect("static path");
+                scratch.path.set("");
+                scratch.path.push(d);
+                vfs.mkdir_p(scratch.path.as_str()).expect("static path");
             }
-            let _ = vfs.add_file("/Windows/system.ini", public_file(rng, 219));
-            let _ = vfs.add_file("/Users/owner/Documents/budget.xls", public_file(rng, 88_000));
+            mtime_into(rng, &mut scratch.mtime);
+            let _ = vfs.add_file_attrs("/Windows/system.ini", FileAttrs::public(219, &scratch.mtime));
+            mtime_into(rng, &mut scratch.mtime);
+            let _ = vfs.add_file_attrs(
+                "/Users/owner/Documents/budget.xls",
+                FileAttrs::public(88_000, &scratch.mtime),
+            );
         }
         OsKind::OsX => {
             for d in ["Applications", "bin", "var", "Library", "Users"] {
-                vfs.mkdir_p(&format!("/{d}")).expect("static path");
+                scratch.path.set("");
+                scratch.path.push(d);
+                vfs.mkdir_p(scratch.path.as_str()).expect("static path");
             }
-            let _ = vfs.add_file("/Users/owner/Desktop/notes.txt", public_file(rng, 1_024));
+            mtime_into(rng, &mut scratch.mtime);
+            let _ = vfs.add_file_attrs(
+                "/Users/owner/Desktop/notes.txt",
+                FileAttrs::public(1_024, &scratch.mtime),
+            );
         }
     }
     vfs
@@ -275,24 +393,29 @@ pub fn os_root(rng: &mut StdRng, kind: OsKind) -> Vfs {
 
 /// Builds an office-wide backup dump (the paper found single servers
 /// with hundreds of `.pst` files and years of financial backups).
-pub fn office_backup(rng: &mut StdRng) -> Vfs {
+pub fn office_backup(rng: &mut StdRng, scratch: &mut GenScratch) -> Vfs {
     let mut vfs = Vfs::new();
     let mailboxes = rng.random_range(5..60);
+    scratch.path.set("/backups/mail");
     for i in 0..mailboxes {
-        let _ = vfs.add_file(
-            &format!("/backups/mail/user{i:03}.pst"),
-            { let size = rng.random_range(50_000_000..2_000_000_000); public_file(rng, size) },
-        );
+        scratch.path.push_fmt(format_args!("user{i:03}.pst"));
+        let size = rng.random_range(50_000_000..2_000_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.path.pop();
     }
+    scratch.path.set("/backups/finance");
     for year in 2010..2015 {
-        let _ = vfs.add_file(
-            &format!("/backups/finance/ledger-{year}.qdf"),
-            { let size = rng.random_range(1_000_000..30_000_000); public_file(rng, size) },
-        );
-        let _ = vfs.add_file(
-            &format!("/backups/finance/payroll-{year}.zip"),
-            { let size = rng.random_range(5_000_000..80_000_000); public_file(rng, size) },
-        );
+        scratch.path.push_fmt(format_args!("ledger-{year}.qdf"));
+        let size = rng.random_range(1_000_000..30_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.path.pop();
+        scratch.path.push_fmt(format_args!("payroll-{year}.zip"));
+        let size = rng.random_range(5_000_000..80_000_000);
+        let attrs = public_attrs(rng, size, &mut scratch.mtime);
+        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.path.pop();
     }
     vfs
 }
@@ -303,22 +426,31 @@ pub fn office_backup(rng: &mut StdRng) -> Vfs {
 pub fn inject_sensitive(
     vfs: &mut Vfs,
     rng: &mut StdRng,
+    scratch: &mut GenScratch,
     kind: SensitiveKind,
     files: usize,
     readable_fraction: f64,
 ) {
     const SPOTS: &[&str] = &["/share/documents", "/backups", "/home/user", "/private", "/data"];
-    let spot = pick(rng, SPOTS).to_string();
+    let spot = pick(rng, SPOTS);
+    scratch.path.set(spot);
     for i in 0..files {
-        let name = pick(rng, kind.filenames()).to_string();
+        let name = pick(rng, kind.filenames());
         let readable = rng.random_bool(readable_fraction.clamp(0.0, 1.0));
         let perms =
             if readable { Permissions::public_file() } else { Permissions::private_file() };
-        let meta = FileMeta::public(rng.random_range(1_000..5_000_000))
-            .with_perms(perms)
-            .with_mtime(mtime(rng));
-        let path = if i == 0 { format!("{spot}/{name}") } else { format!("{spot}/{i}-{name}") };
-        let _ = vfs.add_file(&path, meta);
+        let size = rng.random_range(1_000..5_000_000);
+        mtime_into(rng, &mut scratch.mtime);
+        if i == 0 {
+            scratch.path.push(name);
+        } else {
+            scratch.path.push_fmt(format_args!("{i}-{name}"));
+        }
+        let _ = vfs.add_file_attrs(
+            scratch.path.as_str(),
+            FileAttrs { size, perms, owner: Owner::Ftp, mtime: &scratch.mtime, content: None },
+        );
+        scratch.path.pop();
     }
 }
 
@@ -326,33 +458,39 @@ pub fn inject_sensitive(
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use simvfs::NodeRef;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
     }
 
+    /// Walks the tree into owned `(path, is_dir)` pairs for assertions.
+    fn walked(vfs: &Vfs) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        vfs.walk(|p, n| out.push((p.to_owned(), n.is_dir())));
+        out
+    }
+
     #[test]
     fn photo_library_count_and_names() {
         let mut vfs = Vfs::new();
-        add_photo_library(&mut vfs, &mut rng(), "/share/photos", 500);
+        let mut s = GenScratch::default();
+        add_photo_library(&mut vfs, &mut rng(), &mut s, "/share/photos", 500);
         assert_eq!(vfs.file_count(), 500);
-        let jpgs = vfs
-            .walk()
+        let entries = walked(&vfs);
+        let jpgs = entries
             .iter()
-            .filter(|(p, n)| !n.is_dir() && p.to_lowercase().ends_with(".jpg"))
+            .filter(|(p, is_dir)| !is_dir && p.to_lowercase().ends_with(".jpg"))
             .count();
         assert_eq!(jpgs, 500, "all photos are jpgs");
         // Default camera naming.
-        assert!(vfs
-            .walk()
-            .iter()
-            .any(|(p, _)| p.contains("DSC_") || p.contains("IMG_")));
+        assert!(entries.iter().any(|(p, _)| p.contains("DSC_") || p.contains("IMG_")));
     }
 
     #[test]
     fn webroot_has_index_and_scripts() {
-        let vfs = hosting_webroot(&mut rng(), 3, true);
-        let paths: Vec<String> = vfs.walk().into_iter().map(|(p, _)| p).collect();
+        let vfs = hosting_webroot(&mut rng(), &mut GenScratch::default(), 3, true);
+        let paths: Vec<String> = walked(&vfs).into_iter().map(|(p, _)| p).collect();
         assert!(paths.iter().any(|p| p.ends_with("index.html")));
         assert!(paths.iter().any(|p| p.ends_with(".htaccess")));
         assert!(paths.iter().any(|p| p.ends_with(".php")));
@@ -360,25 +498,25 @@ mod tests {
 
     #[test]
     fn webroot_without_scripting_is_static() {
-        let vfs = hosting_webroot(&mut rng(), 2, false);
-        let paths: Vec<String> = vfs.walk().into_iter().map(|(p, _)| p).collect();
+        let vfs = hosting_webroot(&mut rng(), &mut GenScratch::default(), 2, false);
+        let paths: Vec<String> = walked(&vfs).into_iter().map(|(p, _)| p).collect();
         assert!(paths.iter().any(|p| p.ends_with("index.html")));
         assert!(!paths.iter().any(|p| p.ends_with(".php")), "{paths:?}");
     }
 
     #[test]
     fn os_roots_have_markers() {
-        let linux = os_root(&mut rng(), OsKind::Linux);
+        let linux = os_root(&mut rng(), &mut GenScratch::default(), OsKind::Linux);
         for d in ["/bin", "/var", "/boot", "/etc"] {
             assert!(linux.is_dir(d), "{d}");
         }
         assert!(linux.file("/etc/shadow").is_ok());
 
-        let win = os_root(&mut rng(), OsKind::Windows);
+        let win = os_root(&mut rng(), &mut GenScratch::default(), OsKind::Windows);
         assert!(win.is_dir("/Windows"));
         assert!(win.is_dir("/Program Files"));
 
-        let mac = os_root(&mut rng(), OsKind::OsX);
+        let mac = os_root(&mut rng(), &mut GenScratch::default(), OsKind::OsX);
         assert!(mac.is_dir("/Applications"));
         assert!(mac.is_dir("/Library"));
     }
@@ -386,19 +524,33 @@ mod tests {
     #[test]
     fn sensitive_injection_sets_permissions() {
         let mut vfs = Vfs::new();
-        inject_sensitive(&mut vfs, &mut rng(), SensitiveKind::Shadow, 10, 0.0);
-        let nonreadable = vfs
-            .walk()
-            .iter()
-            .filter(|(_, n)| match n {
-                simvfs::Node::File(m) => !m.perms.other_read(),
-                _ => false,
-            })
-            .count();
+        inject_sensitive(
+            &mut vfs,
+            &mut rng(),
+            &mut GenScratch::default(),
+            SensitiveKind::Shadow,
+            10,
+            0.0,
+        );
+        let mut nonreadable = 0;
+        vfs.walk(|_, n| {
+            if let NodeRef::File(m) = n {
+                if !m.perms.other_read() {
+                    nonreadable += 1;
+                }
+            }
+        });
         assert_eq!(nonreadable, 10, "0.0 readable fraction → all private");
 
         let mut vfs2 = Vfs::new();
-        inject_sensitive(&mut vfs2, &mut rng(), SensitiveKind::Quicken, 10, 1.0);
+        inject_sensitive(
+            &mut vfs2,
+            &mut rng(),
+            &mut GenScratch::default(),
+            SensitiveKind::Quicken,
+            10,
+            1.0,
+        );
         assert_eq!(vfs2.file_count(), 10);
     }
 
@@ -413,19 +565,18 @@ mod tests {
 
     #[test]
     fn office_backup_is_pst_heavy() {
-        let vfs = office_backup(&mut rng());
-        let psts = vfs
-            .walk()
+        let vfs = office_backup(&mut rng(), &mut GenScratch::default());
+        let psts = walked(&vfs)
             .iter()
-            .filter(|(p, n)| !n.is_dir() && p.ends_with(".pst"))
+            .filter(|(p, is_dir)| !is_dir && p.ends_with(".pst"))
             .count();
         assert!(psts >= 5);
     }
 
     #[test]
     fn generators_are_deterministic() {
-        let a = nas_media(&mut StdRng::seed_from_u64(3), 100, 20, 5, 10);
-        let b = nas_media(&mut StdRng::seed_from_u64(3), 100, 20, 5, 10);
+        let a = nas_media(&mut StdRng::seed_from_u64(3), &mut GenScratch::default(), 100, 20, 5, 10);
+        let b = nas_media(&mut StdRng::seed_from_u64(3), &mut GenScratch::default(), 100, 20, 5, 10);
         assert_eq!(a, b);
     }
 }

@@ -870,12 +870,15 @@ impl WorldPlan {
         let spec = &self.spec;
         let hosting_cert_weights: Vec<f64> =
             catalog::HOSTING_CERTS.iter().map(|&(_, w, _)| w).collect();
+        // One set of path/mtime render buffers reused across every host
+        // this call materializes.
+        let mut scratch = content::GenScratch::default();
         let mut truths = Vec::new();
         for i in plan_ix {
             let plan = &self.plans[i];
             let mut rng = host_rng(spec.seed, plan.truth.ip);
             let profile = build_profile(plan, &mut rng, &hosting_cert_weights);
-            let vfs = build_vfs(plan, &mut rng);
+            let vfs = build_vfs(plan, &mut rng, &mut scratch);
             let mut truth = plan.truth.clone();
             truth.banner = profile.banner.clone();
             truth.drop_after = profile.drop_after_commands;
@@ -1163,24 +1166,24 @@ fn make_cert(plan: &HostPlan, rng: &mut StdRng, hosting_weights: &[f64]) -> SimC
     }
 }
 
-fn build_vfs(plan: &HostPlan, rng: &mut StdRng) -> Vfs {
+fn build_vfs(plan: &HostPlan, rng: &mut StdRng, scratch: &mut content::GenScratch) -> Vfs {
     let t = &plan.truth;
     let mut vfs = match t.content {
         ContentKind::Empty => Vfs::new(),
         ContentKind::HostingWebroot => {
             let sites = rng.random_range(1..6);
-            content::hosting_webroot(rng, sites, t.scripting)
+            content::hosting_webroot(rng, scratch, sites, t.scripting)
         }
         ContentKind::NasMedia => {
             let photos = if rng.random_bool(0.6) { rng.random_range(100..1_200) } else { 0 };
             let songs = if rng.random_bool(0.45) { rng.random_range(50..600) } else { 0 };
             let movies = if rng.random_bool(0.5) { rng.random_range(3..40) } else { 0 };
             let docs = if rng.random_bool(0.5) { rng.random_range(10..120) } else { 0 };
-            content::nas_media(rng, photos, songs, movies, docs)
+            content::nas_media(rng, scratch, photos, songs, movies, docs)
         }
-        ContentKind::PrinterSpool => content::printer_spool(rng),
-        ContentKind::OsRoot(kind) => content::os_root(rng, kind),
-        ContentKind::OfficeBackup => content::office_backup(rng),
+        ContentKind::PrinterSpool => content::printer_spool(rng, scratch),
+        ContentKind::OsRoot(kind) => content::os_root(rng, scratch, kind),
+        ContentKind::OfficeBackup => content::office_backup(rng, scratch),
     };
     // Sensitive classes (Table IX): files-per-server and readability from
     // the table's ratios.
@@ -1194,7 +1197,7 @@ fn build_vfs(plan: &HostPlan, rng: &mut StdRng) -> Vfs {
         } else {
             1.0
         };
-        content::inject_sensitive(&mut vfs, rng, kind, count, readable_fraction);
+        content::inject_sensitive(&mut vfs, rng, scratch, kind, count, readable_fraction);
     }
     // Deep trees defeat the request cap. Shape them like what they
     // mostly were in the wild — enormous media collections — so they
@@ -1204,26 +1207,33 @@ fn build_vfs(plan: &HostPlan, rng: &mut StdRng) -> Vfs {
         // overruns the 500-request budget (~250+ dirs), shaped like the
         // giant photo archives the study actually hit.
         let rolls = rng.random_range(300..500);
+        // Static attrs (no per-file RNG draws, matching the legacy
+        // `FileMeta::public` default mtime).
+        let attrs = simvfs::FileAttrs::public(2_000_000, "Jun 18  2015");
         for roll in 0..rolls {
             let per_dir = rng.random_range(8..28);
+            scratch.path.set("/share/photos");
+            scratch.path.push_fmt(format_args!("roll-{roll:03}"));
             for i in 0..per_dir {
-                let _ = vfs.add_file(
-                    &format!("/share/photos/roll-{roll:03}/IMG_{i:04}.jpg"),
-                    simvfs::FileMeta::public(2_000_000),
-                );
+                scratch.path.push_fmt(format_args!("IMG_{i:04}.jpg"));
+                let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+                scratch.path.pop();
             }
         }
     }
     // robots.txt (§IV rates; decided in phase 2 and recorded in truth).
     if plan.robots_some {
         let body = if t.robots_deny_all {
-            "User-agent: *\nDisallow: /\n".to_owned()
+            "User-agent: *\nDisallow: /\n"
         } else {
-            "User-agent: *\nDisallow: /private/\n".to_owned()
+            "User-agent: *\nDisallow: /private/\n"
         };
-        let _ = vfs.add_file(
+        let _ = vfs.add_file_attrs(
             "/robots.txt",
-            simvfs::FileMeta::public(body.len() as u64).with_content(body),
+            simvfs::FileAttrs {
+                content: Some(body),
+                ..simvfs::FileAttrs::public(body.len() as u64, "Jun 18  2015")
+            },
         );
     }
     // Ensure writable servers have their writable directory.
@@ -1234,7 +1244,7 @@ fn build_vfs(plan: &HostPlan, rng: &mut StdRng) -> Vfs {
     // Campaign artifacts land last (on top of the writable dir).
     let unique_suffix = rng.random_bool(0.4);
     for &c in &t.campaigns {
-        campaigns::inject(&mut vfs, rng, c, unique_suffix && t.writable);
+        campaigns::inject(&mut vfs, rng, scratch, c, unique_suffix && t.writable);
     }
     vfs
 }

@@ -5,7 +5,6 @@ use crate::blocklist::Blocklist;
 use crate::cyclic::CyclicPermutation;
 use netsim::ip::{batch_of, shard_of};
 use netsim::{Ctx, Endpoint, Ipv4Net, ProbeStatus, SimDuration};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Hash-based shard filter: probe only the addresses that
@@ -169,16 +168,46 @@ impl ScanResults {
     }
 }
 
+/// Per-address probe state, two bytes in the scanner's dense table.
+/// `remaining == 0` doubles as "not outstanding" — an address that was
+/// never probed and one whose verdict is already recorded look the
+/// same, and both ignore further answers.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbeSlot {
+    /// Answers still expected; 0 = not outstanding.
+    remaining: u8,
+    /// Best status seen so far, ranked 0 = Filtered, 1 = Closed,
+    /// 2 = Open (the scanner's status preference order).
+    best: u8,
+}
+
+fn rank(s: ProbeStatus) -> u8 {
+    match s {
+        ProbeStatus::Open => 2,
+        ProbeStatus::Closed => 1,
+        ProbeStatus::Filtered => 0,
+    }
+}
+
 /// The scanning endpoint. Register it, bind nothing, and kick it with a
 /// timer; when the simulator drains, read [`HostDiscovery`]'s results via
 /// the shared handle returned by [`HostDiscovery::new`].
+///
+/// Probe tracking is ZMap-style stateless: instead of a per-target hash
+/// map churning an insert and a remove per address, state lives in a
+/// flat [`ProbeSlot`] table indexed by the address's offset in
+/// `cfg.space` ([`Ipv4Net::index_of`]) — one allocation for the whole
+/// sweep, O(1) untouched lookups, nothing per host.
 #[derive(Debug)]
 pub struct HostDiscovery {
     cfg: ScanConfig,
     /// Remaining permutation indices (pre-materialized for the shard).
     queue: std::vec::IntoIter<u64>,
-    /// Per-target (answers still expected, best status so far).
-    outstanding: HashMap<Ipv4Addr, (u8, ProbeStatus)>,
+    /// Dense per-address probe state, indexed by position in
+    /// `cfg.space`.
+    slots: Vec<ProbeSlot>,
+    /// Addresses still awaiting a verdict (the count of live slots).
+    outstanding: usize,
     /// Reused per-tick probe target scratch (one element per probe, so
     /// a K-probes-per-target address appears K times in a row).
     targets: Vec<Ipv4Addr>,
@@ -204,11 +233,16 @@ impl HostDiscovery {
         order: Vec<u64>,
     ) -> (Self, std::rc::Rc<std::cell::RefCell<ScanResults>>) {
         let results = std::rc::Rc::new(std::cell::RefCell::new(ScanResults::default()));
+        let slots = vec![ProbeSlot::default(); cfg.space.size() as usize];
+        if obs::enabled() {
+            obs::counter(obs::Counter::ScanSlots, slots.len() as u64);
+        }
         (
             HostDiscovery {
                 cfg,
                 queue: order.into_iter(),
-                outstanding: HashMap::new(),
+                slots,
+                outstanding: 0,
                 targets: Vec::new(),
                 results: results.clone(),
                 done: false,
@@ -219,7 +253,7 @@ impl HostDiscovery {
 
     /// True once every probe has been sent and answered.
     pub fn finished(&self) -> bool {
-        self.done && self.outstanding.is_empty()
+        self.done && self.outstanding == 0
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
@@ -247,7 +281,9 @@ impl HostDiscovery {
             for _ in 0..probes {
                 self.targets.push(ip);
             }
-            self.outstanding.insert(ip, (probes, ProbeStatus::Filtered));
+            // `ix` is the address's offset in the space — the slot index.
+            self.slots[ix as usize] = ProbeSlot { remaining: probes, best: 0 };
+            self.outstanding += 1;
             sent += 1;
         }
         if self.cfg.per_probe_events {
@@ -273,27 +309,27 @@ impl Endpoint for HostDiscovery {
     }
 
     fn on_probe(&mut self, _ctx: &mut Ctx<'_>, target: Ipv4Addr, _port: u16, status: ProbeStatus) {
-        let Some((remaining, best)) = self.outstanding.get_mut(&target) else { return };
-        // Status preference: Open > Closed > Filtered.
-        let rank = |s: ProbeStatus| match s {
-            ProbeStatus::Open => 2,
-            ProbeStatus::Closed => 1,
-            ProbeStatus::Filtered => 0,
-        };
-        if rank(status) > rank(*best) {
-            *best = status;
+        let Some(ix) = self.cfg.space.index_of(target) else { return };
+        let slot = &mut self.slots[ix as usize];
+        if slot.remaining == 0 {
+            // Never probed, or verdict already recorded (an Open answer
+            // resolves early; stragglers land here).
+            return;
         }
-        *remaining -= 1;
-        if *remaining == 0 || *best == ProbeStatus::Open {
-            let verdict = *best;
-            self.outstanding.remove(&target);
+        // Status preference: Open > Closed > Filtered.
+        slot.best = slot.best.max(rank(status));
+        slot.remaining -= 1;
+        if slot.remaining == 0 || slot.best == rank(ProbeStatus::Open) {
+            let best = slot.best;
+            slot.remaining = 0;
+            self.outstanding -= 1;
             let mut r = self.results.borrow_mut();
-            match verdict {
-                ProbeStatus::Open => r.open.push(target),
-                ProbeStatus::Closed => r.closed += 1,
-                ProbeStatus::Filtered => r.filtered += 1,
+            match best {
+                2 => r.open.push(target),
+                1 => r.closed += 1,
+                _ => r.filtered += 1,
             }
-            if obs::enabled() && self.done && self.outstanding.is_empty() {
+            if obs::enabled() && self.done && self.outstanding == 0 {
                 obs::event!(
                     "zscan.sweep_done",
                     open = r.open.len(),
