@@ -12,17 +12,25 @@
 //! per-session wall-clock deadline backstops every other defense, and
 //! each give-up path records a [`GaveUpReason`] plus fault counters on
 //! the partial record instead of panicking or hanging.
+//!
+//! The session loop is allocation-free at steady state (DESIGN.md §8):
+//! control lines are dispatched as borrows of the codec's buffer,
+//! replies accumulate in a reused [`ReplyBuf`] and reach the state
+//! machine as [`ReplyRef`] borrows, commands render into a reused
+//! per-session buffer, and LIST bodies parse line-by-line straight out
+//! of the raw transfer bytes into the columnar
+//! [`FileTable`](crate::record::FileTable).
 
 use crate::config::EnumConfig;
 use crate::record::{GaveUpReason, HostRecord, LoginOutcome};
 use ftp_proto::listing::{self, ListingFormat};
-use ftp_proto::reply::ReplyParser;
-use ftp_proto::{Banner, HostPort, LineCodec, Reply, Robots};
+use ftp_proto::reply::{ReplyBuf, ReplyRef};
+use ftp_proto::{Banner, HostPort, LineCodec, Robots};
 use netsim::{ConnId, ConnectError, Ctx, Endpoint};
 use simtls::SimCertificate;
-use std::borrow::Cow;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use netsim::fasthash::{FastMap, FastSet};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -33,7 +41,11 @@ pub type EnumResults = Rc<RefCell<Vec<HostRecord>>>;
 /// (SYST/HELP/FEAT/SITE/PORT/LIST/AUTH/QUIT).
 const RESERVED_REQUESTS: u32 = 8;
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Session phases. `Copy` on purpose: the per-reply phase read on the
+/// traversal hot path is a plain load. The directory being traversed
+/// lives in [`Session::cur_dir`]/[`Session::cur_depth`] — traversal is
+/// strictly sequential per session, so one slot suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Connecting,
     Banner,
@@ -41,10 +53,8 @@ enum Phase {
     Pass,
     RobotsPasv,
     RobotsRetr,
-    // Directories are `Rc<str>` so the per-reply `phase.clone()` on the
-    // traversal hot path bumps a refcount instead of copying the path.
-    TravPasv { dir: Rc<str>, depth: usize },
-    TravList { dir: Rc<str>, depth: usize },
+    TravPasv,
+    TravList,
     Syst,
     Help,
     Feat,
@@ -55,6 +65,21 @@ enum Phase {
     TlsHello,
     Quit,
     Done,
+}
+
+/// What to render into the pending-command buffer. Commands that embed
+/// config or session state are rendered inside [`Enumerator::queue_cmd`]
+/// (where both halves of `self` are in scope) instead of being built
+/// with `format!` at every call site.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    Fixed(&'static str),
+    /// `PASS <cfg.password>`.
+    Pass,
+    /// `PORT <cfg.bounce_collector as h1,h2,h3,h4,p1,p2>`.
+    Port,
+    /// `LIST <session.cur_dir>`.
+    ListCurDir,
 }
 
 const KIND_SEND: u64 = 0;
@@ -83,9 +108,15 @@ struct Session {
     record: HostRecord,
     control: Option<ConnId>,
     codec: LineCodec,
-    parser: ReplyParser,
+    reply: ReplyBuf,
     phase: Phase,
-    pending: Option<(Cow<'static, str>, Phase)>,
+    /// Rendered command awaiting its rate-limit gap; reused so
+    /// steady-state command building is allocation-free.
+    pending_cmd: String,
+    pending_next: Option<Phase>,
+    /// Directory currently being traversed (PASV → LIST → ingest).
+    cur_dir: Rc<str>,
+    cur_depth: usize,
     data_conn: Option<ConnId>,
     data_buf: Vec<u8>,
     data_closed: bool,
@@ -94,8 +125,10 @@ struct Session {
     last_331_text: String,
     robots: Robots,
     queue: VecDeque<(Rc<str>, usize)>,
-    visited: HashSet<Rc<str>>,
+    visited: FastSet<Rc<str>>,
     listing_hint: ListingFormat,
+    /// Scratch for the rare listing line that needs a lossy re-decode.
+    line_scratch: String,
     /// Sim time (µs) when the session's first connect was issued; only
     /// read by the observability layer for the session-latency histogram.
     started_us: u64,
@@ -110,9 +143,12 @@ impl Session {
             record: HostRecord::new(ip),
             control: None,
             codec: LineCodec::new(),
-            parser: ReplyParser::default(),
+            reply: ReplyBuf::new(),
             phase: Phase::Connecting,
-            pending: None,
+            pending_cmd: String::new(),
+            pending_next: None,
+            cur_dir: Rc::from("/"),
+            cur_depth: 0,
             data_conn: None,
             data_buf: Vec::new(),
             data_closed: false,
@@ -121,8 +157,9 @@ impl Session {
             last_331_text: String::new(),
             robots: Robots::allow_all(),
             queue: VecDeque::new(),
-            visited: HashSet::new(),
+            visited: FastSet::default(),
             listing_hint: ListingFormat::Unix,
+            line_scratch: String::new(),
             started_us: 0,
         }
     }
@@ -146,14 +183,11 @@ pub struct Enumerator {
     /// match a successor session on the same slot.
     slot_gens: Vec<u32>,
     free_slots: Vec<usize>,
-    conns: HashMap<ConnId, (usize, bool)>,
+    conns: FastMap<ConnId, (usize, bool)>,
     results: EnumResults,
     active: usize,
     /// Reused wire buffer for `"{line}\r\n"` command rendering.
     send_buf: Vec<u8>,
-    /// Reused decoded-line strings for [`Enumerator::on_data`]; grows to
-    /// the largest burst seen, then steady-state decoding is alloc-free.
-    line_pool: Vec<String>,
 }
 
 impl Enumerator {
@@ -168,11 +202,10 @@ impl Enumerator {
                 sessions: Vec::new(),
                 slot_gens: Vec::new(),
                 free_slots: Vec::new(),
-                conns: HashMap::new(),
+                conns: FastMap::default(),
                 results: results.clone(),
                 active: 0,
                 send_buf: Vec::new(),
-                line_pool: Vec::new(),
             },
             results,
         )
@@ -248,22 +281,33 @@ impl Enumerator {
         self.start_next(ctx);
     }
 
-    /// Queues `line` to be sent after the rate-limit gap, then moves to
-    /// `next`. Returns `false` (and does nothing) when the request budget
-    /// is exhausted.
-    fn queue_cmd(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        slot: usize,
-        line: impl Into<Cow<'static, str>>,
-        next: Phase,
-    ) -> bool {
+    /// Renders `cmd` into the session's pending buffer to be sent after
+    /// the rate-limit gap, then moves to `next`. Returns `false` (and
+    /// does nothing) when the request budget is exhausted.
+    fn queue_cmd(&mut self, ctx: &mut Ctx<'_>, slot: usize, cmd: Cmd, next: Phase) -> bool {
+        use std::fmt::Write as _;
         let gap = self.cfg.request_gap;
         let Some(s) = self.sessions[slot].as_mut() else { return false };
         if s.record.requests_used >= self.cfg.request_cap {
             return false;
         }
-        s.pending = Some((line.into(), next));
+        s.pending_cmd.clear();
+        match cmd {
+            Cmd::Fixed(line) => s.pending_cmd.push_str(line),
+            Cmd::Pass => {
+                s.pending_cmd.push_str("PASS ");
+                s.pending_cmd.push_str(&self.cfg.password);
+            }
+            Cmd::Port => {
+                let Some(collector) = self.cfg.bounce_collector else { return false };
+                let _ = write!(s.pending_cmd, "PORT {}", collector.port_args());
+            }
+            Cmd::ListCurDir => {
+                s.pending_cmd.push_str("LIST ");
+                s.pending_cmd.push_str(&s.cur_dir);
+            }
+        }
+        s.pending_next = Some(next);
         let gen = s.bump();
         ctx.set_timer(gap, token(slot, gen, KIND_SEND));
         true
@@ -272,14 +316,14 @@ impl Enumerator {
     fn send_pending(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         let timeout = self.cfg.step_timeout;
         let Some(s) = self.sessions[slot].as_mut() else { return };
-        let Some((line, next)) = s.pending.take() else { return };
+        let Some(next) = s.pending_next.take() else { return };
         let Some(control) = s.control else { return };
         s.record.requests_used += 1;
         s.phase = next;
         s.got_final_reply = false;
         let gen = s.gen;
         self.send_buf.clear();
-        self.send_buf.extend_from_slice(line.as_bytes());
+        self.send_buf.extend_from_slice(s.pending_cmd.as_bytes());
         self.send_buf.extend_from_slice(b"\r\n");
         ctx.send(control, &self.send_buf);
         ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
@@ -316,7 +360,7 @@ impl Enumerator {
 
     fn begin_post_login(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         // Anonymous session established: fetch robots.txt first.
-        if !self.queue_cmd(ctx, slot, "PASV", Phase::RobotsPasv) {
+        if !self.queue_cmd(ctx, slot, Cmd::Fixed("PASV"), Phase::RobotsPasv) {
             self.begin_extras(ctx, slot);
         }
     }
@@ -354,7 +398,7 @@ impl Enumerator {
                         if dir.ends_with('/') {
                             s.robots.is_allowed(&dir)
                         } else {
-                            s.robots.is_allowed(&format!("{dir}/"))
+                            s.robots.is_allowed_dir(&dir)
                         }
                     })
                     .unwrap_or(true)
@@ -368,7 +412,11 @@ impl Enumerator {
                 self.begin_extras(ctx, slot);
                 return;
             }
-            if self.queue_cmd(ctx, slot, "PASV", Phase::TravPasv { dir, depth }) {
+            if let Some(s) = self.sessions[slot].as_mut() {
+                s.cur_dir = dir;
+                s.cur_depth = depth;
+            }
+            if self.queue_cmd(ctx, slot, Cmd::Fixed("PASV"), Phase::TravPasv) {
                 return;
             }
             // Budget refused the PASV; wrap up.
@@ -381,7 +429,7 @@ impl Enumerator {
     }
 
     fn begin_extras(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
-        if !self.queue_cmd(ctx, slot, "SYST", Phase::Syst) {
+        if !self.queue_cmd(ctx, slot, Cmd::Fixed("SYST"), Phase::Syst) {
             self.begin_quit(ctx, slot);
         }
     }
@@ -391,25 +439,25 @@ impl Enumerator {
             .as_ref()
             .map(|s| s.record.login == LoginOutcome::Anonymous)
             .unwrap_or(false);
-        if let (Some(collector), true) = (self.cfg.bounce_collector, logged_in) {
-            let line = format!("PORT {}", collector.to_port_args());
-            if self.queue_cmd(ctx, slot, line, Phase::PortProbe) {
-                return;
-            }
+        if self.cfg.bounce_collector.is_some()
+            && logged_in
+            && self.queue_cmd(ctx, slot, Cmd::Port, Phase::PortProbe)
+        {
+            return;
         }
         self.begin_tls(ctx, slot);
     }
 
     fn begin_tls(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         if self.cfg.collect_certs
-            && self.queue_cmd(ctx, slot, "AUTH TLS", Phase::AuthTls) {
+            && self.queue_cmd(ctx, slot, Cmd::Fixed("AUTH TLS"), Phase::AuthTls) {
                 return;
             }
         self.begin_quit(ctx, slot);
     }
 
     fn begin_quit(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
-        if !self.queue_cmd(ctx, slot, "QUIT", Phase::Quit) {
+        if !self.queue_cmd(ctx, slot, Cmd::Fixed("QUIT"), Phase::Quit) {
             self.finish(ctx, slot);
         }
     }
@@ -417,7 +465,7 @@ impl Enumerator {
     // ----- transfer completion -----
 
     fn transfer_complete(&mut self, ctx: &mut Ctx<'_>, slot: usize, success: bool) {
-        let phase = {
+        let (phase, depth) = {
             let Some(s) = self.sessions[slot].as_mut() else { return };
             if obs::enabled() && success {
                 obs::observe(obs::Hist::TransferBytes, s.data_buf.len() as u64);
@@ -426,7 +474,7 @@ impl Enumerator {
                 self.conns.remove(&d);
                 ctx.close(d);
             }
-            s.phase.clone()
+            (s.phase, s.cur_depth)
         };
         match phase {
             Phase::RobotsRetr => {
@@ -455,9 +503,9 @@ impl Enumerator {
                     self.begin_traversal(ctx, slot);
                 }
             }
-            Phase::TravList { dir, depth } => {
+            Phase::TravList => {
                 if success {
-                    self.ingest_listing(slot, &dir, depth);
+                    self.ingest_listing(slot, depth);
                 }
                 self.next_dir(ctx, slot);
             }
@@ -465,49 +513,74 @@ impl Enumerator {
         }
     }
 
-    fn ingest_listing(&mut self, slot: usize, dir: &str, depth: usize) {
+    fn ingest_listing(&mut self, slot: usize, depth: usize) {
         let max_depth = self.cfg.max_depth;
         let Some(s) = self.sessions[slot].as_mut() else { return };
-        // Entries own their strings, so the body borrow ends at the parse
-        // and never forces an owned copy of the raw transfer bytes.
-        let (entries, failures) = {
-            let body = String::from_utf8_lossy(&s.data_buf);
-            listing::parse_body(&body, s.listing_hint)
-        };
-        s.record.unparsed_lines += failures as u64;
-        // Adopt the format of the first successful parse as the hint.
-        for e in entries {
-            if e.name == "." || e.name == ".." {
-                continue;
+        let dir = s.cur_dir.clone();
+        // Parse straight out of the raw transfer bytes, one line at a
+        // time: no whole-body decode, no per-entry owned strings.
+        // Splitting on the byte level and lossy-decoding only the rare
+        // invalid line is equivalent to lossy-decoding the whole body
+        // first — multi-byte UTF-8 sequences never contain '\n', and
+        // replacement-character insertion is local to the bad sequence.
+        let data_buf = std::mem::take(&mut s.data_buf);
+        let mut rest = data_buf.as_slice();
+        while !rest.is_empty() {
+            let (mut line, tail) = match rest.iter().position(|&b| b == b'\n') {
+                Some(p) => (&rest[..p], &rest[p + 1..]),
+                None => (rest, &rest[rest.len()..]),
+            };
+            rest = tail;
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
             }
-            // The joined path is written straight into the record's
-            // columnar arena — no per-entry String materializes here.
-            s.record.files.push_parts(
-                dir,
-                &e.name,
-                e.is_dir,
-                e.size,
-                e.readability(),
-                e.owner.as_deref(),
-                e.permissions.map(|p| p.other_write()),
-            );
-            if e.is_dir && !e.is_symlink && depth < max_depth {
-                let path = s.record.files.last_path().unwrap_or_default();
-                let shared: Rc<str> = Rc::from(path);
-                if s.visited.insert(shared.clone()) {
-                    s.queue.push_back((shared, depth + 1));
+            let parsed = match std::str::from_utf8(line) {
+                Ok(text) => listing::parse_line_ref(text, s.listing_hint),
+                Err(_) => {
+                    s.line_scratch.clear();
+                    ftp_proto::lossy_append(&mut s.line_scratch, line);
+                    listing::parse_line_ref(&s.line_scratch, s.listing_hint)
                 }
+            };
+            match parsed {
+                Ok(Some(e)) => {
+                    if e.name == "." || e.name == ".." {
+                        continue;
+                    }
+                    // The joined path is written straight into the
+                    // record's columnar arena — no per-entry String
+                    // materializes here.
+                    s.record.files.push_parts(
+                        &dir,
+                        e.name,
+                        e.is_dir,
+                        e.size,
+                        e.readability(),
+                        e.owner,
+                        e.permissions.map(|p| p.other_write()),
+                    );
+                    if e.is_dir && !e.is_symlink && depth < max_depth {
+                        let path = s.record.files.last_path().unwrap_or_default();
+                        let shared: Rc<str> = Rc::from(path);
+                        if s.visited.insert(shared.clone()) {
+                            s.queue.push_back((shared, depth + 1));
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => s.record.unparsed_lines += 1,
             }
         }
+        s.data_buf = data_buf;
     }
 
     // ----- reply handling -----
 
     #[allow(clippy::too_many_lines)]
-    fn on_reply(&mut self, ctx: &mut Ctx<'_>, slot: usize, reply: Reply) {
+    fn on_reply(&mut self, ctx: &mut Ctx<'_>, slot: usize, reply: ReplyRef<'_>) {
         // Strict-mode ablation: any multiline reply or out-of-spec code
         // aborts the session (the un-hardened parser of DESIGN.md §5.4).
-        if self.cfg.strict_replies && reply.lines().len() > 1 {
+        if self.cfg.strict_replies && reply.has_multiple_lines() {
             self.finish(ctx, slot);
             return;
         }
@@ -521,17 +594,16 @@ impl Enumerator {
             let Some(s) = self.sessions[slot].as_mut() else { return };
             // A reply ends the step-timeout window.
             s.bump();
-            s.phase.clone()
+            s.phase
         };
         match phase {
             Phase::Connecting => { /* ignore stray */ }
             Phase::Banner => {
                 if code == 220 {
-                    let banner_text = reply.full_text();
-                    let parsed = Banner::parse(&banner_text);
+                    let parsed = Banner::parse(reply.full_text());
                     let forbids = parsed.forbids_anonymous();
                     if let Some(s) = self.sessions[slot].as_mut() {
-                        s.record.banner = Some(banner_text);
+                        s.record.banner = Some(reply.full_text().to_owned());
                         s.record.ftp_compliant = true;
                         // IIS and friends emit DOS listings; seed the hint.
                         if parsed.software().family
@@ -545,7 +617,12 @@ impl Enumerator {
                             s.record.login = LoginOutcome::SkippedBannerForbids;
                         }
                         self.begin_tls(ctx, slot);
-                    } else if !self.queue_cmd(ctx, slot, "USER anonymous", Phase::User) {
+                    } else if !self.queue_cmd(
+                        ctx,
+                        slot,
+                        Cmd::Fixed("USER anonymous"),
+                        Phase::User,
+                    ) {
                         self.begin_quit(ctx, slot);
                     }
                 } else {
@@ -563,10 +640,10 @@ impl Enumerator {
                     self.begin_post_login(ctx, slot);
                 } else if code == 331 || code == 332 {
                     if let Some(s) = self.sessions[slot].as_mut() {
-                        s.last_331_text = reply.full_text();
+                        s.last_331_text.clear();
+                        s.last_331_text.push_str(reply.full_text());
                     }
-                    let pass = format!("PASS {}", self.cfg.password);
-                    if !self.queue_cmd(ctx, slot, pass, Phase::Pass) {
+                    if !self.queue_cmd(ctx, slot, Cmd::Pass, Phase::Pass) {
                         self.begin_quit(ctx, slot);
                     }
                 } else {
@@ -597,7 +674,7 @@ impl Enumerator {
                     self.begin_tls(ctx, slot);
                 }
             }
-            Phase::RobotsPasv | Phase::TravPasv { .. } => {
+            Phase::RobotsPasv | Phase::TravPasv => {
                 if code == 227 {
                     match HostPort::parse_pasv_reply(reply.text()) {
                         Ok(hp) => {
@@ -615,7 +692,7 @@ impl Enumerator {
                     self.begin_extras(ctx, slot);
                 }
             }
-            Phase::RobotsRetr | Phase::TravList { .. } => {
+            Phase::RobotsRetr | Phase::TravList => {
                 if preliminary {
                     // 150 — keep waiting.
                 } else if code >= 400 {
@@ -634,40 +711,41 @@ impl Enumerator {
             Phase::Syst => {
                 if let Some(s) = self.sessions[slot].as_mut() {
                     if code == 215 {
-                        s.record.syst = Some(reply.full_text());
+                        s.record.syst = Some(reply.full_text().to_owned());
                     }
                 }
-                if !self.queue_cmd(ctx, slot, "HELP", Phase::Help) {
+                if !self.queue_cmd(ctx, slot, Cmd::Fixed("HELP"), Phase::Help) {
                     self.begin_quit(ctx, slot);
                 }
             }
             Phase::Help => {
                 if let Some(s) = self.sessions[slot].as_mut() {
                     if code == 214 || code == 211 {
-                        s.record.help = Some(reply.full_text());
+                        s.record.help = Some(reply.full_text().to_owned());
                     }
                 }
-                if !self.queue_cmd(ctx, slot, "FEAT", Phase::Feat) {
+                if !self.queue_cmd(ctx, slot, Cmd::Fixed("FEAT"), Phase::Feat) {
                     self.begin_quit(ctx, slot);
                 }
             }
             Phase::Feat => {
                 if let Some(s) = self.sessions[slot].as_mut() {
-                    // Parse the reply's lines exactly once; a FEAT body is
-                    // "211-Features:" / one line per feature / "211 End".
-                    let lines = reply.lines();
-                    if code == 211 && lines.len() > 2 {
-                        s.record.feat = lines[1..lines.len() - 1].to_vec();
+                    // A FEAT body is "211-Features:" / one line per
+                    // feature / "211 End": keep only the interior lines.
+                    let n = reply.line_count();
+                    if code == 211 && n > 2 {
+                        s.record.feat =
+                            reply.lines().skip(1).take(n - 2).map(str::to_owned).collect();
                     }
                 }
-                if !self.queue_cmd(ctx, slot, "SITE HELP", Phase::Site) {
+                if !self.queue_cmd(ctx, slot, Cmd::Fixed("SITE HELP"), Phase::Site) {
                     self.begin_quit(ctx, slot);
                 }
             }
             Phase::Site => {
                 if let Some(s) = self.sessions[slot].as_mut() {
                     if code < 300 {
-                        s.record.site = Some(reply.full_text());
+                        s.record.site = Some(reply.full_text().to_owned());
                     }
                 }
                 self.begin_port_probe_or_tls(ctx, slot);
@@ -679,7 +757,7 @@ impl Enumerator {
                     }
                     // Trigger the actual bounce so the collector can
                     // confirm the connection.
-                    if !self.queue_cmd(ctx, slot, "LIST /", Phase::PortList) {
+                    if !self.queue_cmd(ctx, slot, Cmd::Fixed("LIST /"), Phase::PortList) {
                         self.begin_tls(ctx, slot);
                     }
                 } else {
@@ -739,11 +817,16 @@ impl Enumerator {
             }
             return;
         }
-        let parsed = {
+        // Accumulate in the reused buffer and dispatch a borrow. The
+        // buffer is taken out for the duration of the dispatch (the
+        // reply borrows it while `self` is re-borrowed mutably) and
+        // handed back afterwards — unless the session finished and the
+        // slot was re-occupied by a different host.
+        let (owner_ip, mut rb) = {
             let Some(s) = self.sessions[slot].as_mut() else { return };
-            s.parser.push_line(line)
+            (s.ip, std::mem::take(&mut s.reply))
         };
-        match parsed {
+        match rb.push_line(line) {
             Ok(Some(reply)) => self.on_reply(ctx, slot, reply),
             Ok(None) => {}
             Err(_) => {
@@ -757,6 +840,11 @@ impl Enumerator {
                     }
                 }
                 self.finish(ctx, slot);
+            }
+        }
+        if let Some(Some(s)) = self.sessions.get_mut(slot) {
+            if s.ip == owner_ip {
+                s.reply = rb;
             }
         }
     }
@@ -854,29 +942,24 @@ impl Endpoint for Enumerator {
                 s.awaiting_data_connect = false;
                 self.conns.insert(conn, (slot, true));
                 // Data channel up: issue the transfer command.
-                let phase = s.phase.clone();
+                let phase = s.phase;
                 match phase {
                     Phase::RobotsPasv
                         if !self.queue_cmd(
                             ctx,
                             slot,
-                            "RETR robots.txt",
+                            Cmd::Fixed("RETR robots.txt"),
                             Phase::RobotsRetr,
                         ) => {
                             self.begin_extras(ctx, slot);
                         }
-                    Phase::TravPasv { dir, depth } => {
-                        let cmd: Cow<'static, str> = if &*dir == "/" {
-                            Cow::Borrowed("LIST /")
-                        } else {
-                            Cow::Owned(format!("LIST {dir}"))
-                        };
-                        if !self.queue_cmd(ctx, slot, cmd, Phase::TravList { dir, depth }) {
-                            if let Some(s) = self.sessions[slot].as_mut() {
-                                s.record.truncated = true;
-                            }
-                            self.begin_extras(ctx, slot);
+                    Phase::TravPasv
+                        if !self.queue_cmd(ctx, slot, Cmd::ListCurDir, Phase::TravList) =>
+                    {
+                        if let Some(s) = self.sessions[slot].as_mut() {
+                            s.record.truncated = true;
                         }
+                        self.begin_extras(ctx, slot);
                     }
                     _ => {}
                 }
@@ -888,10 +971,10 @@ impl Endpoint for Enumerator {
                 s.record.faults.data_conn_failures += 1;
                 s.awaiting_data_connect = false;
                 // No data channel: skip whatever needed it.
-                let phase = s.phase.clone();
+                let phase = s.phase;
                 match phase {
                     Phase::RobotsPasv => self.begin_traversal(ctx, slot),
-                    Phase::TravPasv { .. } => self.begin_extras(ctx, slot),
+                    Phase::TravPasv => self.begin_extras(ctx, slot),
                     _ => {}
                 }
             }
@@ -910,59 +993,73 @@ impl Endpoint for Enumerator {
             }
             return;
         }
-        // Decode into pooled strings: the batch must be fully framed
-        // before dispatch (an over-long line aborts the whole batch), and
-        // the pool makes steady-state decoding allocation-free.
-        let mut lines = std::mem::take(&mut self.line_pool);
-        let mut n = 0;
-        let owner_ip;
-        let framed_ok = {
-            let Some(Some(s)) = self.sessions.get_mut(slot) else {
-                self.line_pool = lines;
-                return;
-            };
-            owner_ip = s.ip;
-            s.codec.extend(data);
-            loop {
-                if n == lines.len() {
-                    lines.push(String::new());
-                }
-                match s.codec.next_line_into(&mut lines[n]) {
-                    Ok(true) => n += 1,
-                    Ok(false) => break true,
-                    Err(_) => {
-                        // Hostile over-long line: abort, keeping what we
-                        // have and classifying the host if it never even
-                        // greeted properly.
-                        s.record.faults.overlong_lines += 1;
-                        s.record.gave_up = Some(GaveUpReason::OverlongLine);
-                        if s.phase == Phase::Banner {
-                            s.record.login = LoginOutcome::NotFtp;
-                        }
-                        break false;
-                    }
-                }
+        // Control data: feed the codec, then dispatch each line as a
+        // borrow of its buffer — no per-line String. The batch must be
+        // fully framed before any line is dispatched (a hostile over-long
+        // line aborts the whole batch); the codec only errors on an
+        // unterminated tail past MAX_LINE, which is checkable up front.
+        let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+        s.codec.extend(data);
+        let overlong = s.codec.unterminated_tail_len() > ftp_proto::codec::MAX_LINE;
+        if overlong {
+            s.record.faults.overlong_lines += 1;
+            s.record.gave_up = Some(GaveUpReason::OverlongLine);
+            if s.phase == Phase::Banner {
+                s.record.login = LoginOutcome::NotFtp;
             }
-        };
-        if !framed_ok {
+        }
+        let owner_ip = s.ip;
+        if overlong {
             self.finish(ctx, slot);
-            self.line_pool = lines;
             return;
         }
-        for line in &lines[..n] {
-            self.on_control_line(ctx, slot, line);
-            // The session may have finished mid-loop — and the slot may
-            // already be re-occupied by a *different* host's session.
-            // Leftover lines belong to the dead session; never leak them.
-            let still_ours = matches!(
-                self.sessions.get(slot),
-                Some(Some(s)) if s.ip == owner_ip
-            );
-            if !still_ours {
-                break;
+        loop {
+            // The codec is taken out for the dispatch (the line borrows
+            // it while `self` is re-borrowed) and handed back after.
+            // A session that finished mid-loop may leave the slot empty
+            // or re-occupied by a *different* host's session; leftover
+            // lines belong to the dead session — never leak them.
+            let mut codec = {
+                let Some(Some(s)) = self.sessions.get_mut(slot) else { return };
+                if s.ip != owner_ip {
+                    return;
+                }
+                std::mem::take(&mut s.codec)
+            };
+            match codec.next_line_str() {
+                Ok(Some(line)) => self.on_control_line(ctx, slot, line),
+                Ok(None) => {
+                    if let Some(Some(s)) = self.sessions.get_mut(slot) {
+                        if s.ip == owner_ip {
+                            s.codec = codec;
+                        }
+                    }
+                    return;
+                }
+                Err(_) => {
+                    // Unreachable given the tail pre-check above; kept
+                    // for defense in depth.
+                    if let Some(Some(s)) = self.sessions.get_mut(slot) {
+                        if s.ip == owner_ip {
+                            s.record.faults.overlong_lines += 1;
+                            s.record.gave_up = Some(GaveUpReason::OverlongLine);
+                            if s.phase == Phase::Banner {
+                                s.record.login = LoginOutcome::NotFtp;
+                            }
+                        }
+                    }
+                    self.finish(ctx, slot);
+                    return;
+                }
             }
+            if let Some(Some(s)) = self.sessions.get_mut(slot) {
+                if s.ip == owner_ip {
+                    s.codec = codec;
+                    continue;
+                }
+            }
+            return;
         }
-        self.line_pool = lines;
     }
 
     fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
@@ -975,7 +1072,7 @@ impl Endpoint for Enumerator {
                 }
                 s.data_closed = true;
                 s.got_final_reply
-                    && matches!(s.phase, Phase::RobotsRetr | Phase::TravList { .. })
+                    && matches!(s.phase, Phase::RobotsRetr | Phase::TravList)
             };
             if done {
                 self.transfer_complete(ctx, slot, true);
@@ -1006,4 +1103,11 @@ mod tests {
 
     // Compile-time guard: the wrap-up reserve must be non-zero.
     const _: () = assert!(RESERVED_REQUESTS > 0);
+
+    // Compile-time guard: the per-reply phase read must stay a plain
+    // load (the zero-alloc session loop depends on it).
+    const _: () = {
+        const fn assert_copy<T: Copy>() {}
+        assert_copy::<Phase>();
+    };
 }

@@ -4,9 +4,20 @@
 //! servers occasionally emit Telnet IAC sequences or bare-LF line
 //! endings; the paper's enumerator had to tolerate both. [`LineCodec`]
 //! accumulates bytes and yields complete decoded lines.
+//!
+//! The hot path is borrowed end to end: [`LineCodec::next_line_str`]
+//! frames a line in place inside the internal buffer (IAC sequences are
+//! compacted in place only when an IAC byte is actually present) and
+//! hands out a `&str` view of it. The line's bytes stay at the front of
+//! the buffer until the next codec call consumes them, so a clean ASCII
+//! line — the overwhelming case — is decoded with zero allocations and
+//! zero copies. Invalid UTF-8 falls back to one reusable lossy scratch
+//! per codec. The owned [`LineCodec::next_line`] survives as a thin
+//! wrapper for tests and cold callers.
 
 use crate::error::ProtoError;
 use bytes::BytesMut;
+use std::borrow::Cow;
 
 /// Telnet "Interpret As Command" escape byte.
 const IAC: u8 = 255;
@@ -34,6 +45,12 @@ pub const MAX_LINE: usize = 8192;
 #[derive(Debug, Default)]
 pub struct LineCodec {
     buf: BytesMut,
+    /// Bytes at the front of `buf` belonging to the line handed out by
+    /// the previous [`LineCodec::next_line_str`] call; consumed lazily
+    /// by the next codec call so the returned `&str` can borrow them.
+    pending: usize,
+    /// Reused decode buffer for the rare line holding invalid UTF-8.
+    lossy: String,
 }
 
 impl LineCodec {
@@ -42,41 +59,106 @@ impl LineCodec {
         Self::default()
     }
 
+    /// Consumes the line handed out by the previous borrowed call.
+    fn flush_pending(&mut self) {
+        if self.pending > 0 {
+            self.buf.advance(self.pending);
+            self.pending = 0;
+        }
+    }
+
     /// Appends raw bytes received from the network.
     pub fn extend(&mut self, bytes: &[u8]) {
+        self.flush_pending();
         self.buf.extend_from_slice(bytes);
     }
 
     /// Number of buffered, not-yet-consumed bytes.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pending
     }
 
-    /// Extracts the next complete line, if one is buffered.
+    /// Length of the trailing unterminated tail (bytes after the last
+    /// `\n`, or the whole buffer when no terminator is present).
+    ///
+    /// Callers that must frame a whole batch before dispatching any of
+    /// it use this to detect the over-long-line condition up front:
+    /// [`LineCodec::next_line_str`] fails exactly when this exceeds
+    /// [`MAX_LINE`] after every terminated line has been drained.
+    pub fn unterminated_tail_len(&self) -> usize {
+        let live = &self.buf[self.pending..];
+        match live.iter().rposition(|&b| b == b'\n') {
+            Some(pos) => live.len() - pos - 1,
+            None => live.len(),
+        }
+    }
+
+    /// Extracts the next complete line as a borrowed `&str` view into
+    /// the codec's internal buffer.
     ///
     /// Lines are terminated by `\r\n` or a bare `\n`; the terminator is
     /// consumed and not included. Telnet IAC escape sequences are
-    /// stripped; non-UTF-8 bytes are replaced with U+FFFD (the enumerator
-    /// must not abort on binary junk — filenames in the wild are in many
-    /// encodings).
+    /// compacted in place (only when an IAC byte is present); non-UTF-8
+    /// bytes are replaced with U+FFFD via a reusable scratch buffer (the
+    /// enumerator must not abort on binary junk — filenames in the wild
+    /// are in many encodings). The returned slice stays valid until the
+    /// next call on this codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::LineTooLong`] when more than [`MAX_LINE`]
+    /// bytes accumulate without a terminator.
+    pub fn next_line_str(&mut self) -> Result<Option<&str>, ProtoError> {
+        self.flush_pending();
+        let Some(pos) = self.buf.iter().position(|&b| b == b'\n') else {
+            if self.buf.len() > MAX_LINE {
+                let len = self.buf.len();
+                self.buf.clear();
+                return Err(ProtoError::LineTooLong { len });
+            }
+            return Ok(None);
+        };
+        // Drop the trailing \n and optional \r.
+        let mut end = pos;
+        if end > 0 && self.buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        // The terminator (and any bytes IAC compaction leaves dead
+        // between `end` and it) is consumed on the next call.
+        self.pending = pos + 1;
+        if self.buf[..end].contains(&IAC) {
+            end = strip_iac_in_place(&mut self.buf[..end]);
+        }
+        // Validity probed with a bool first so the borrow handed back on
+        // the common path never overlaps the lossy-scratch fallback.
+        if std::str::from_utf8(&self.buf[..end]).is_ok() {
+            obs::counter(obs::Counter::CodecLinesBorrowed, 1);
+            let line = &self.buf[..end];
+            return Ok(Some(std::str::from_utf8(line).expect("just validated")));
+        }
+        obs::counter(obs::Counter::CodecLinesCopied, 1);
+        self.lossy.clear();
+        lossy_append(&mut self.lossy, &self.buf[..end]);
+        Ok(Some(&self.lossy))
+    }
+
+    /// Extracts the next complete line, if one is buffered, as an owned
+    /// `String`. Thin wrapper over [`LineCodec::next_line_str`] kept for
+    /// tests and cold callers.
     ///
     /// # Errors
     ///
     /// Returns [`ProtoError::LineTooLong`] when more than [`MAX_LINE`]
     /// bytes accumulate without a terminator.
     pub fn next_line(&mut self) -> Result<Option<String>, ProtoError> {
-        let mut line = String::new();
-        Ok(self.next_line_into(&mut line)?.then_some(line))
+        Ok(self.next_line_str()?.map(str::to_owned))
     }
 
     /// Like [`LineCodec::next_line`], but decodes into a caller-provided
     /// buffer instead of allocating a fresh `String` per line.
     ///
     /// `out` is cleared first; returns `Ok(true)` when a complete line
-    /// was decoded into it. The hot-loop callers (server engine,
-    /// enumerator) reuse one buffer across every line of a session, so
-    /// a clean ASCII line — the overwhelmingly common case — costs no
-    /// allocation at all.
+    /// was decoded into it.
     ///
     /// # Errors
     ///
@@ -84,45 +166,37 @@ impl LineCodec {
     /// bytes accumulate without a terminator.
     pub fn next_line_into(&mut self, out: &mut String) -> Result<bool, ProtoError> {
         out.clear();
-        let Some(pos) = self.buf.iter().position(|&b| b == b'\n') else {
-            if self.buf.len() > MAX_LINE {
-                let len = self.buf.len();
-                self.buf.clear();
-                return Err(ProtoError::LineTooLong { len });
+        match self.next_line_str()? {
+            Some(line) => {
+                out.push_str(line);
+                Ok(true)
             }
-            return Ok(false);
-        };
-        // Drop the trailing \n and optional \r.
-        let mut line = &self.buf[..pos];
-        if line.last() == Some(&b'\r') {
-            line = &line[..line.len() - 1];
+            None => Ok(false),
         }
-        if line.contains(&IAC) {
-            let cleaned = strip_iac(line);
-            out.push_str(&String::from_utf8_lossy(&cleaned));
-        } else {
-            // Borrowed `Cow` unless the line held invalid UTF-8.
-            out.push_str(&String::from_utf8_lossy(line));
-        }
-        self.buf.advance(pos + 1);
-        Ok(true)
     }
 
     /// Drains any trailing unterminated data (used at connection close —
     /// some servers send a final line without CRLF before hanging up).
     pub fn take_remainder(&mut self) -> Option<String> {
+        self.flush_pending();
         if self.buf.is_empty() {
             return None;
         }
-        let bytes: Vec<u8> = self.buf.split_to(self.buf.len()).to_vec();
-        let cleaned = strip_iac(&bytes);
-        Some(String::from_utf8_lossy(&cleaned).into_owned())
+        let cleaned = strip_iac(&self.buf);
+        let mut out = String::with_capacity(cleaned.len());
+        lossy_append(&mut out, &cleaned);
+        self.buf.clear();
+        Some(out)
     }
 }
 
-/// Removes Telnet IAC sequences: `IAC IAC` unescapes to a literal 255,
-/// `IAC <cmd>` and `IAC <cmd> <opt>` are dropped.
-fn strip_iac(bytes: &[u8]) -> Vec<u8> {
+/// Removes Telnet IAC sequences without allocating when no IAC byte is
+/// present (the overwhelming case): `IAC IAC` unescapes to a literal
+/// 255, `IAC <cmd>` and `IAC <cmd> <opt>` are dropped.
+pub fn strip_iac(bytes: &[u8]) -> Cow<'_, [u8]> {
+    if !bytes.contains(&IAC) {
+        return Cow::Borrowed(bytes);
+    }
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
@@ -142,7 +216,55 @@ fn strip_iac(bytes: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
-    out
+    Cow::Owned(out)
+}
+
+/// In-place variant of [`strip_iac`]: compacts the slice and returns the
+/// new length. Same escape semantics; the write cursor never passes the
+/// read cursor, so the compaction is a single forward pass.
+fn strip_iac_in_place(bytes: &mut [u8]) -> usize {
+    let mut w = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == IAC {
+            match bytes.get(i + 1) {
+                Some(&IAC) => {
+                    bytes[w] = IAC;
+                    w += 1;
+                    i += 2;
+                }
+                Some(&cmd) if (251..=254).contains(&cmd) => i += 3,
+                Some(_) => i += 2,
+                None => i += 1,
+            }
+        } else {
+            bytes[w] = bytes[i];
+            w += 1;
+            i += 1;
+        }
+    }
+    w
+}
+
+/// Appends `bytes` to `out` with invalid UTF-8 replaced by U+FFFD, using
+/// the same maximal-subpart substitution as `String::from_utf8_lossy`
+/// but without allocating an intermediate `String`.
+pub fn lossy_append(out: &mut String, mut bytes: &[u8]) {
+    loop {
+        match std::str::from_utf8(bytes) {
+            Ok(s) => {
+                out.push_str(s);
+                return;
+            }
+            Err(e) => {
+                let (valid, rest) = bytes.split_at(e.valid_up_to());
+                out.push_str(std::str::from_utf8(valid).expect("prefix is valid"));
+                out.push('\u{FFFD}');
+                let skip = e.error_len().unwrap_or(rest.len());
+                bytes = &rest[skip..];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +336,88 @@ mod tests {
         assert_eq!(c.next_line().unwrap(), None);
         assert_eq!(c.take_remainder(), Some("221 Goodbye".into()));
         assert_eq!(c.take_remainder(), None);
+    }
+
+    #[test]
+    fn borrowed_line_survives_until_next_call() {
+        let mut c = LineCodec::new();
+        c.extend(b"first\r\nsecond\r\n");
+        let first = c.next_line_str().unwrap().unwrap().to_owned();
+        assert_eq!(first, "first");
+        // The first line's bytes are consumed lazily; the second line
+        // must still frame correctly behind them.
+        assert_eq!(c.next_line_str().unwrap(), Some("second"));
+        assert_eq!(c.next_line_str().unwrap(), None);
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn iac_straddles_chunk_boundary() {
+        // An escaped IAC IAC split across two network chunks must still
+        // unescape to a single literal 255 once the line completes.
+        let mut c = LineCodec::new();
+        c.extend(&[b'x', 255]);
+        assert_eq!(c.next_line().unwrap(), None);
+        c.extend(&[255, b'y', b'\r', b'\n']);
+        let line = c.next_line().unwrap().unwrap();
+        // x + lossy(255) + y
+        assert_eq!(line, "x\u{FFFD}y");
+
+        // And a WILL <opt> negotiation split one byte per chunk.
+        let mut c = LineCodec::new();
+        c.extend(&[255]);
+        c.extend(&[251]);
+        c.extend(&[1]);
+        c.extend(b"ok\n");
+        assert_eq!(c.next_line().unwrap(), Some("ok".into()));
+    }
+
+    #[test]
+    fn strip_iac_borrows_when_clean() {
+        assert!(matches!(strip_iac(b"clean line"), Cow::Borrowed(_)));
+        let stripped = strip_iac(&[b'a', 255, 251, 1, b'b']);
+        assert!(matches!(stripped, Cow::Owned(_)));
+        assert_eq!(&stripped[..], b"ab");
+        // Escaped IAC IAC unescapes to one literal 255.
+        assert_eq!(&strip_iac(&[255, 255])[..], &[255][..]);
+        // A dangling IAC at end-of-buffer is dropped, not kept.
+        assert_eq!(&strip_iac(&[b'a', 255])[..], b"a");
+    }
+
+    #[test]
+    fn take_remainder_strips_iac_without_extra_copies() {
+        let mut c = LineCodec::new();
+        c.extend(&[b'2', b'2', b'1', 255, 251, 1, b' ', b'b', b'y', b'e']);
+        assert_eq!(c.take_remainder(), Some("221 bye".into()));
+    }
+
+    #[test]
+    fn unterminated_tail_len_tracks_last_newline() {
+        let mut c = LineCodec::new();
+        c.extend(b"one\r\ntwo\r\npartial");
+        assert_eq!(c.unterminated_tail_len(), 7);
+        assert_eq!(c.next_line().unwrap(), Some("one".into()));
+        assert_eq!(c.next_line().unwrap(), Some("two".into()));
+        assert_eq!(c.unterminated_tail_len(), 7);
+        c.extend(b"\r\n");
+        assert_eq!(c.unterminated_tail_len(), 0);
+    }
+
+    #[test]
+    fn lossy_append_matches_from_utf8_lossy() {
+        let cases: &[&[u8]] = &[
+            b"plain ascii",
+            &[0xC3, 0x28],
+            &[0xE2, 0x82],
+            &[0xE2, 0x82, 0xAC],
+            &[0xF0, 0x9F, 0x92],
+            &[0xFF, 0x0D, 0x41],
+            &[],
+        ];
+        for case in cases {
+            let mut out = String::new();
+            lossy_append(&mut out, case);
+            assert_eq!(out, String::from_utf8_lossy(case), "case {case:?}");
+        }
     }
 }

@@ -247,8 +247,19 @@ impl FromStr for Command {
             Some(ix) => (&line[..ix], line[ix + 1..].trim()),
             None => (line, ""),
         };
-        let upper = verb.to_ascii_uppercase();
-        Ok(match upper.as_str() {
+        // Every known verb is at most 4 ASCII bytes, so uppercase into a
+        // stack buffer and only allocate for the unknown-verb fallback.
+        let mut verb_buf = [0u8; 4];
+        let upper = if verb.len() <= 4 {
+            let buf = &mut verb_buf[..verb.len()];
+            buf.copy_from_slice(verb.as_bytes());
+            buf.make_ascii_uppercase();
+            // ASCII-uppercasing bytes never invalidates UTF-8.
+            std::str::from_utf8(buf).unwrap_or("")
+        } else {
+            ""
+        };
+        Ok(match upper {
             "USER" => Command::User(arg.to_owned()),
             "PASS" => Command::Pass(arg.to_owned()),
             "ACCT" => Command::Acct(arg.to_owned()),
@@ -294,14 +305,18 @@ impl FromStr for Command {
             "FEAT" => Command::Feat,
             "OPTS" => Command::Opts(arg.to_owned()),
             "NOOP" => Command::Noop,
-            "AUTH" => match arg.to_ascii_uppercase().as_str() {
-                "TLS" | "TLS-C" => Command::Auth(AuthMechanism::Tls),
-                "SSL" => Command::Auth(AuthMechanism::Ssl),
-                _ => Command::Other("AUTH".into(), arg.to_owned()),
-            },
+            "AUTH" => {
+                if arg.eq_ignore_ascii_case("TLS") || arg.eq_ignore_ascii_case("TLS-C") {
+                    Command::Auth(AuthMechanism::Tls)
+                } else if arg.eq_ignore_ascii_case("SSL") {
+                    Command::Auth(AuthMechanism::Ssl)
+                } else {
+                    Command::Other("AUTH".into(), arg.to_owned())
+                }
+            }
             "PBSZ" => Command::Pbsz(arg.parse().unwrap_or(0)),
             "PROT" => Command::Prot(first_char_upper(arg).unwrap_or('C')),
-            _ => Command::Other(upper, arg.to_owned()),
+            _ => Command::Other(verb.to_ascii_uppercase(), arg.to_owned()),
         })
     }
 }

@@ -52,8 +52,14 @@ impl HostPort {
     /// Encodes as `h1,h2,h3,h4,p1,p2` for `PORT` arguments and `227`
     /// reply bodies.
     pub fn to_port_args(&self) -> String {
-        let o = self.ip.octets();
-        format!("{},{},{},{},{},{}", o[0], o[1], o[2], o[3], self.port >> 8, self.port & 0xff)
+        self.port_args().to_string()
+    }
+
+    /// [`fmt::Display`] adapter for the `h1,h2,h3,h4,p1,p2` form, for
+    /// `write!`-ing into a reused buffer without the intermediate
+    /// `String` of [`HostPort::to_port_args`].
+    pub fn port_args(&self) -> PortArgs {
+        PortArgs(*self)
     }
 
     /// Encodes as RFC 2428 `|1|h.h.h.h|port|` for `EPRT`.
@@ -166,6 +172,19 @@ impl FromStr for HostPort {
 impl fmt::Display for HostPort {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Borrowless `Display` of a [`HostPort`] in `PORT`-argument form; see
+/// [`HostPort::port_args`].
+#[derive(Debug, Clone, Copy)]
+pub struct PortArgs(HostPort);
+
+impl fmt::Display for PortArgs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0.ip.octets();
+        let port = self.0.port;
+        write!(f, "{},{},{},{},{},{}", o[0], o[1], o[2], o[3], port >> 8, port & 0xff)
     }
 }
 

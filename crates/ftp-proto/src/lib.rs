@@ -42,11 +42,11 @@ pub mod reply;
 pub mod robots;
 
 pub use banner::{Banner, ServerSoftware, SoftwareFamily};
-pub use codec::LineCodec;
+pub use codec::{lossy_append, strip_iac, LineCodec};
 pub use command::Command;
 pub use error::ProtoError;
 pub use hostport::HostPort;
 pub use listing::{ListingEntry, ListingFormat, Permissions};
 pub use path::FtpPath;
-pub use reply::{Reply, ReplyCode};
+pub use reply::{Reply, ReplyBuf, ReplyCode, ReplyRef};
 pub use robots::Robots;

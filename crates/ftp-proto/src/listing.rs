@@ -180,6 +180,90 @@ impl ListingEntry {
     }
 }
 
+/// Modification-time text as parsed from a listing line, kept as slices
+/// of the source columns so the borrowed parse path allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtimeRef<'a> {
+    /// Format exposes no mtime.
+    None,
+    /// A single contiguous slice (EPLF `m…` fact, MLSD `modify=` value).
+    Raw(&'a str),
+    /// UNIX `ls -l` columns, conventionally joined as `month day tail`.
+    Unix {
+        /// Month name column (`Jun`).
+        month: &'a str,
+        /// Day-of-month column (`18`).
+        day: &'a str,
+        /// Time-or-year column (`09:43` or `2015`).
+        tail: &'a str,
+    },
+    /// DOS columns, conventionally joined as `date time`.
+    Dos {
+        /// Date column (`06-18-15`).
+        date: &'a str,
+        /// Time column (`09:43AM`).
+        time: &'a str,
+    },
+}
+
+impl MtimeRef<'_> {
+    /// The owned single-string form [`ListingEntry::mtime`] carries.
+    pub fn to_owned_string(self) -> Option<String> {
+        match self {
+            MtimeRef::None => None,
+            MtimeRef::Raw(s) => Some(s.to_owned()),
+            MtimeRef::Unix { month, day, tail } => Some(format!("{month} {day} {tail}")),
+            MtimeRef::Dos { date, time } => Some(format!("{date} {time}")),
+        }
+    }
+}
+
+/// A borrowed parsed listing entry: every text field is a slice of the
+/// source line, so parsing a 10 000-entry directory body allocates
+/// nothing — the enumerator copies the fields it keeps straight into its
+/// columnar `FileTable` arenas.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsedEntryRef<'a> {
+    /// File or directory name (final component only).
+    pub name: &'a str,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Size in bytes when the format exposes it.
+    pub size: Option<u64>,
+    /// UNIX permissions when the format exposes them.
+    pub permissions: Option<Permissions>,
+    /// Owner name when the format exposes it (e.g. `ftp`).
+    pub owner: Option<&'a str>,
+    /// Modification-time columns when the format exposes them.
+    pub mtime: MtimeRef<'a>,
+    /// True for symlinks (UNIX `l` type); the link target is stripped.
+    pub is_symlink: bool,
+}
+
+impl ParsedEntryRef<'_> {
+    /// The paper's three-way readability classification for this entry.
+    pub fn readability(&self) -> Readability {
+        match self.permissions {
+            Some(p) if p.other_read() => Readability::Readable,
+            Some(_) => Readability::NonReadable,
+            None => Readability::Unknown,
+        }
+    }
+
+    /// Copies into an owned [`ListingEntry`].
+    pub fn to_owned_entry(&self) -> ListingEntry {
+        ListingEntry {
+            name: self.name.to_owned(),
+            is_dir: self.is_dir,
+            size: self.size,
+            permissions: self.permissions,
+            owner: self.owner.map(str::to_owned),
+            mtime: self.mtime.to_owned_string(),
+            is_symlink: self.is_symlink,
+        }
+    }
+}
+
 /// Parses one listing line, trying the given format first and falling
 /// back to sniffing the others — the tolerance strategy the paper's
 /// enumerator converged on after iterative testing against live servers.
@@ -191,6 +275,20 @@ impl ListingEntry {
 ///
 /// Returns [`ProtoError::BadListing`] if no parser recognizes the line.
 pub fn parse_line(line: &str, hint: ListingFormat) -> Result<Option<ListingEntry>, ProtoError> {
+    Ok(parse_line_ref(line, hint)?.map(|e| e.to_owned_entry()))
+}
+
+/// Borrowed-view variant of [`parse_line`]: the returned entry's text
+/// fields are slices of `line`, so the per-line hot path allocates
+/// nothing.
+///
+/// # Errors
+///
+/// Returns [`ProtoError::BadListing`] if no parser recognizes the line.
+pub fn parse_line_ref(
+    line: &str,
+    hint: ListingFormat,
+) -> Result<Option<ParsedEntryRef<'_>>, ProtoError> {
     let line = line.trim_end_matches(['\r', '\n']);
     if line.is_empty() {
         return Ok(None);
@@ -242,7 +340,7 @@ pub fn parse_body(body: &str, hint: ListingFormat) -> (Vec<ListingEntry>, usize)
     (entries, failures)
 }
 
-fn parse_unix(line: &str) -> Option<ListingEntry> {
+fn parse_unix(line: &str) -> Option<ParsedEntryRef<'_>> {
     // drwxr-xr-x   2 ftp      ftp          4096 Jun 18  2015 pub
     // -rw-r--r--   1 1000     1000      1048576 Jun 18 09:43 photo.jpg
     // lrwxrwxrwx   1 root     root           11 Jan  1  2014 www -> /var/www
@@ -263,7 +361,7 @@ fn parse_unix(line: &str) -> Option<ListingEntry> {
     // Tokenize: links owner group size month day time-or-year name...
     let mut tokens = rest.split_whitespace();
     let _links = tokens.next()?;
-    let owner = tokens.next()?.to_owned();
+    let owner = tokens.next()?;
     let group_or_size = tokens.next()?;
     // Some embedded servers omit the group column; detect by checking if
     // the next token after `group_or_size` is a month name.
@@ -293,23 +391,22 @@ fn parse_unix(line: &str) -> Option<ListingEntry> {
     let size: Option<u64> = size_tok.trim_end_matches(',').parse().ok();
     // The name is everything after the time column in the original line.
     let time_pos = find_token_end(line, time_or_year)?;
-    let mut name = line[time_pos..].trim_start().to_owned();
+    let mut name = line[time_pos..].trim_start();
     if name.is_empty() {
         return None;
     }
     if is_symlink {
         if let Some(ix) = name.find(" -> ") {
-            name.truncate(ix);
+            name = &name[..ix];
         }
     }
-    let mtime = format!("{month} {day} {time_or_year}");
-    Some(ListingEntry {
+    Some(ParsedEntryRef {
         name,
         is_dir,
         size,
         permissions: Some(perms),
         owner: Some(owner),
-        mtime: Some(mtime),
+        mtime: MtimeRef::Unix { month, day, tail: time_or_year },
         is_symlink,
     })
 }
@@ -345,7 +442,7 @@ fn find_token_end(line: &str, tok: &str) -> Option<usize> {
     None
 }
 
-fn parse_dos(line: &str) -> Option<ListingEntry> {
+fn parse_dos(line: &str) -> Option<ParsedEntryRef<'_>> {
     // 06-18-15  09:43AM       <DIR>          aspnet_client
     // 06-18-15  09:43AM              1043901 products.mdb
     let mut tokens = line.split_whitespace();
@@ -364,17 +461,17 @@ fn parse_dos(line: &str) -> Option<ListingEntry> {
         return None;
     }
     let name_start = find_token_end(line, size_or_dir)?;
-    let name = line[name_start..].trim_start().to_owned();
+    let name = line[name_start..].trim_start();
     if name.is_empty() {
         return None;
     }
-    Some(ListingEntry {
+    Some(ParsedEntryRef {
         name,
         is_dir,
         size,
         permissions: None,
         owner: None,
-        mtime: Some(format!("{date} {time}")),
+        mtime: MtimeRef::Dos { date, time },
         is_symlink: false,
     })
 }
@@ -392,7 +489,7 @@ fn looks_like_dos_time(s: &str) -> bool {
     (s.ends_with("AM") || s.ends_with("PM")) && s.contains(':')
 }
 
-fn parse_eplf(line: &str) -> Option<ListingEntry> {
+fn parse_eplf(line: &str) -> Option<ParsedEntryRef<'_>> {
     // +i8388621.48594,m825718503,r,s280,\tdjb.html
     let rest = line.strip_prefix('+')?;
     let tab = rest.find('\t')?;
@@ -402,18 +499,18 @@ fn parse_eplf(line: &str) -> Option<ListingEntry> {
     }
     let mut is_dir = false;
     let mut size = None;
-    let mut mtime = None;
+    let mut mtime = MtimeRef::None;
     for fact in facts.split(',') {
         if fact == "/" {
             is_dir = true;
         } else if let Some(s) = fact.strip_prefix('s') {
             size = s.parse::<u64>().ok();
         } else if let Some(m) = fact.strip_prefix('m') {
-            mtime = Some(m.to_owned());
+            mtime = MtimeRef::Raw(m);
         }
     }
-    Some(ListingEntry {
-        name: name.to_owned(),
+    Some(ParsedEntryRef {
+        name,
         is_dir,
         size,
         permissions: None,
@@ -423,7 +520,7 @@ fn parse_eplf(line: &str) -> Option<ListingEntry> {
     })
 }
 
-fn parse_mlsd(line: &str) -> Option<ListingEntry> {
+fn parse_mlsd(line: &str) -> Option<ParsedEntryRef<'_>> {
     // type=dir;modify=20150618094300;perm=el; pub
     let space = line.find("; ")?;
     let (facts, name) = (&line[..space + 1], &line[space + 2..]);
@@ -432,25 +529,25 @@ fn parse_mlsd(line: &str) -> Option<ListingEntry> {
     }
     let mut is_dir = false;
     let mut size = None;
-    let mut mtime = None;
+    let mut mtime = MtimeRef::None;
     let mut seen_type = false;
     for fact in facts.split(';') {
         let Some((k, v)) = fact.split_once('=') else { continue };
-        match k.trim().to_ascii_lowercase().as_str() {
-            "type" => {
-                seen_type = true;
-                is_dir = matches!(v, "dir" | "cdir" | "pdir");
-            }
-            "size" => size = v.parse::<u64>().ok(),
-            "modify" => mtime = Some(v.to_owned()),
-            _ => {}
+        let k = k.trim();
+        if k.eq_ignore_ascii_case("type") {
+            seen_type = true;
+            is_dir = matches!(v, "dir" | "cdir" | "pdir");
+        } else if k.eq_ignore_ascii_case("size") {
+            size = v.parse::<u64>().ok();
+        } else if k.eq_ignore_ascii_case("modify") {
+            mtime = MtimeRef::Raw(v);
         }
     }
-    if !seen_type && size.is_none() && mtime.is_none() {
+    if !seen_type && size.is_none() && matches!(mtime, MtimeRef::None) {
         return None;
     }
-    Some(ListingEntry {
-        name: name.to_owned(),
+    Some(ParsedEntryRef {
+        name,
         is_dir,
         size,
         permissions: None,
@@ -723,6 +820,27 @@ mod tests {
             assert_eq!(back.size, entry.size, "{fmt:?}: {line}");
             assert!(!back.is_dir);
         }
+    }
+
+    #[test]
+    fn borrowed_parse_matches_owned_parse() {
+        let lines = [
+            "drwxr-xr-x   2 ftp      ftp          4096 Jun 18  2015 pub",
+            "-rw-r--r--   1 user     user      1048576 Jun 18 09:43 photo.jpg",
+            "lrwxrwxrwx   1 root     root           11 Jan  1  2014 www -> /var/www",
+            "06-18-15  09:43AM       <DIR>          aspnet_client",
+            "06-18-15  09:43AM              1043901 products.mdb",
+            "+i8388621.48594,m825718503,r,s280,\tdjb.html",
+            "type=dir;modify=20150618094300;perm=el; pub",
+        ];
+        for line in lines {
+            let owned = parse_line(line, ListingFormat::Unix).unwrap().unwrap();
+            let borrowed = parse_line_ref(line, ListingFormat::Unix).unwrap().unwrap();
+            assert_eq!(borrowed.to_owned_entry(), owned, "{line}");
+            assert_eq!(borrowed.readability(), owned.readability(), "{line}");
+        }
+        assert!(parse_line_ref("total 52", ListingFormat::Unix).unwrap().is_none());
+        assert!(parse_line_ref("garbage %%%", ListingFormat::Unix).is_err());
     }
 
     #[test]

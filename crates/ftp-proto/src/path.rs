@@ -46,7 +46,13 @@ impl FtpPath {
         if relative.starts_with('/') {
             relative.parse()
         } else {
-            format!("{}/{relative}", self.inner).parse()
+            let joined = format!("{}/{relative}", self.inner);
+            // Reuse the joined buffer when it is already canonical instead
+            // of paying a second copy inside `FromStr`.
+            if !joined.contains(['\0', '\r', '\n']) && is_canonical(&joined) {
+                return Ok(FtpPath { inner: joined });
+            }
+            joined.parse()
         }
     }
 
@@ -100,6 +106,14 @@ impl FtpPath {
     }
 }
 
+/// Absolute, no empty/`.`/`..` segments, no trailing slash.
+fn is_canonical(s: &str) -> bool {
+    s.len() > 1
+        && s.starts_with('/')
+        && !s.ends_with('/')
+        && s[1..].split('/').all(|seg| !seg.is_empty() && seg != "." && seg != "..")
+}
+
 impl FromStr for FtpPath {
     type Err = ProtoError;
 
@@ -120,11 +134,7 @@ impl FromStr for FtpPath {
         // no empty/`.`/`..` segments, no trailing slash) round-trips as a
         // single copy instead of a segment stack plus a re-join. Server
         // and client hot paths overwhelmingly re-parse canonical output.
-        if s.len() > 1
-            && s.starts_with('/')
-            && !s.ends_with('/')
-            && s[1..].split('/').all(|seg| !seg.is_empty() && seg != "." && seg != "..")
-        {
+        if is_canonical(s) {
             return Ok(FtpPath { inner: s.to_owned() });
         }
         let mut stack: Vec<&str> = Vec::new();

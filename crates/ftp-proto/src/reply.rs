@@ -292,6 +292,169 @@ impl ReplyParser {
     }
 }
 
+/// A borrowed view of one complete reply: the code plus a slice of the
+/// assembled text (lines joined with `\n`).
+///
+/// This is [`Reply`]'s zero-allocation twin. The enumerator's per-reply
+/// hot path decodes every reply through [`ReplyBuf`] into one of these;
+/// the owned [`Reply`] survives as the wire-rendering / test-facing
+/// wrapper (see DESIGN.md §8). Lifetime is tied to the [`ReplyBuf`] (or
+/// other buffer) the text lives in, which stays valid until the next
+/// `push_line`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyRef<'a> {
+    code: ReplyCode,
+    text: &'a str,
+    line_count: usize,
+}
+
+impl<'a> ReplyRef<'a> {
+    /// Builds a view over already-joined reply text (`\n` separators).
+    pub fn new(code: impl Into<ReplyCode>, text: &'a str) -> Self {
+        ReplyRef { code: code.into(), text, line_count: text.split('\n').count() }
+    }
+
+    /// The reply code.
+    pub fn code(self) -> ReplyCode {
+        self.code
+    }
+
+    /// The first line of text — for banners and quick matching.
+    pub fn text(self) -> &'a str {
+        match self.text.split_once('\n') {
+            Some((first, _)) => first,
+            None => self.text,
+        }
+    }
+
+    /// All lines joined with `\n` — the borrowed analogue of
+    /// [`Reply::full_text`], without the join allocation.
+    pub fn full_text(self) -> &'a str {
+        self.text
+    }
+
+    /// Iterates the text lines (without codes or CRLF).
+    pub fn lines(self) -> std::str::Split<'a, char> {
+        self.text.split('\n')
+    }
+
+    /// Number of text lines.
+    pub fn line_count(self) -> usize {
+        self.line_count
+    }
+
+    /// Whether the reply spans more than one line — O(1), unlike
+    /// collecting [`ReplyRef::lines`] just to test its length.
+    pub fn has_multiple_lines(self) -> bool {
+        self.line_count > 1
+    }
+
+    /// Copies into an owned [`Reply`].
+    pub fn to_reply(self) -> Reply {
+        Reply { code: self.code, lines: self.lines().map(str::to_owned).collect() }
+    }
+}
+
+/// Incremental reply assembler with a reusable text buffer — the
+/// zero-allocation counterpart of [`ReplyParser`].
+///
+/// Feed complete lines via [`ReplyBuf::push_line`]; a `Some(ReplyRef)`
+/// return borrows the assembled text straight out of the buffer, which
+/// is recycled for the next reply instead of reallocated. Assembly
+/// tolerances are identical to [`ReplyParser`]: continuation lines need
+/// not repeat the code, inner lines may start with digits, and a
+/// terminator is a strict `ddd<SP>` (or bare `ddd`) line repeating the
+/// opening code.
+#[derive(Debug, Clone, Default)]
+pub struct ReplyBuf {
+    code: u16,
+    /// Lines assembled so far, joined with `\n`.
+    text: String,
+    line_count: usize,
+    in_progress: bool,
+}
+
+impl ReplyBuf {
+    /// Creates an idle assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if a multiline reply is partially assembled.
+    pub fn in_progress(&self) -> bool {
+        self.in_progress
+    }
+
+    /// Feeds one line (trailing CR/LF tolerated). Returns a borrowed
+    /// view of the completed reply, valid until the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadReplyCode`] only when a *fresh* reply
+    /// line lacks a leading code; continuation lines are accepted
+    /// verbatim.
+    pub fn push_line(&mut self, line: &str) -> Result<Option<ReplyRef<'_>>, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if !self.in_progress {
+            let (code, sep, text) =
+                split_reply_line(line).ok_or_else(|| ProtoError::bad_reply(line))?;
+            self.code = code;
+            self.text.clear();
+            self.text.push_str(text);
+            self.line_count = 1;
+            if sep == '-' {
+                self.in_progress = true;
+                return Ok(None);
+            }
+            return Ok(Some(ReplyRef {
+                code: ReplyCode(code),
+                text: &self.text,
+                line_count: 1,
+            }));
+        }
+        // Same strict-terminator rule as ReplyParser: `ddd<SP>` or a
+        // bare `ddd` repeating the opening code ends the reply; the
+        // jammed-text tolerance stays reserved for fresh replies.
+        let strict_sep = line.len() == 3 || line.as_bytes().get(3) == Some(&b' ');
+        if strict_sep {
+            if let Some((code, ' ', text)) = split_reply_line(line) {
+                if code == self.code {
+                    self.text.push('\n');
+                    self.text.push_str(text);
+                    self.line_count += 1;
+                    self.in_progress = false;
+                    return Ok(Some(ReplyRef {
+                        code: ReplyCode(code),
+                        text: &self.text,
+                        line_count: self.line_count,
+                    }));
+                }
+            }
+        }
+        // Continuation line: strip the conventional leading space.
+        let text = line.strip_prefix(' ').unwrap_or(line);
+        self.text.push('\n');
+        self.text.push_str(text);
+        self.line_count += 1;
+        Ok(None)
+    }
+
+    /// Signals end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::TruncatedReply`] if a multiline reply was
+    /// still being assembled — the server hung up mid-reply, which the
+    /// enumerator treats as refusal of service.
+    pub fn finish(&mut self) -> Result<(), ProtoError> {
+        if std::mem::take(&mut self.in_progress) {
+            Err(ProtoError::TruncatedReply)
+        } else {
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,5 +559,84 @@ mod tests {
     fn display_shows_code_and_first_line() {
         let r = Reply::new(230u16, "Login successful");
         assert_eq!(r.to_string(), "230 Login successful");
+    }
+
+    #[test]
+    fn reply_buf_single_line() {
+        let mut b = ReplyBuf::new();
+        let r = b.push_line("220 Ready\r\n").unwrap().unwrap();
+        assert_eq!(r.code().value(), 220);
+        assert_eq!(r.text(), "Ready");
+        assert_eq!(r.full_text(), "Ready");
+        assert!(!r.has_multiple_lines());
+        assert_eq!(r.line_count(), 1);
+    }
+
+    #[test]
+    fn reply_buf_multiline_and_reuse() {
+        let mut b = ReplyBuf::new();
+        assert!(b.push_line("230-Welcome").unwrap().is_none());
+        assert!(b.in_progress());
+        assert!(b.push_line(" to the machine").unwrap().is_none());
+        {
+            let r = b.push_line("230 Ready").unwrap().unwrap();
+            assert_eq!(r.line_count(), 3);
+            assert!(r.has_multiple_lines());
+            assert_eq!(r.text(), "Welcome");
+            assert_eq!(r.full_text(), "Welcome\nto the machine\nReady");
+            assert_eq!(r.lines().nth(1), Some("to the machine"));
+        }
+        // The buffer is recycled: the next reply starts clean.
+        let r = b.push_line("221 Bye").unwrap().unwrap();
+        assert_eq!(r.full_text(), "Bye");
+        assert_eq!(r.line_count(), 1);
+    }
+
+    #[test]
+    fn reply_buf_matches_reply_parser() {
+        let streams: &[&[&str]] = &[
+            &["220 ProFTPD ready"],
+            &["220Welcome"],
+            &["230"],
+            &["211-Features:", "211x not terminator", "500 other code", "211 End"],
+            &["230-Welcome", " indented", "plain", "230 Done"],
+        ];
+        for stream in streams {
+            let mut owned = ReplyParser::new();
+            let mut borrowed = ReplyBuf::new();
+            for line in *stream {
+                let a = owned.push_line(line).unwrap();
+                let b = borrowed.push_line(line).unwrap();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.code(), b.code());
+                        assert_eq!(a.full_text(), b.full_text());
+                        assert_eq!(a.lines().len(), b.line_count());
+                        assert_eq!(b.to_reply(), a);
+                    }
+                    (a, b) => panic!("parser divergence on {line:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reply_buf_truncation_detected() {
+        let mut b = ReplyBuf::new();
+        b.push_line("220-Hello").unwrap();
+        assert_eq!(b.finish(), Err(ProtoError::TruncatedReply));
+        assert!(b.finish().is_ok());
+        // And garbage on a fresh line still errors.
+        assert!(b.push_line("garbage").is_err());
+    }
+
+    #[test]
+    fn reply_ref_view_helpers() {
+        let r = ReplyRef::new(211u16, "Features:\nMDTM\nEnd");
+        assert_eq!(r.line_count(), 3);
+        assert!(r.has_multiple_lines());
+        assert_eq!(r.text(), "Features:");
+        assert_eq!(r.lines().collect::<Vec<_>>(), ["Features:", "MDTM", "End"]);
     }
 }

@@ -147,12 +147,26 @@ impl Robots {
     ///
     /// Longest-pattern-match wins; on equal lengths, `Allow` wins.
     pub fn is_allowed(&self, path: &str) -> bool {
+        self.verdict(path, "")
+    }
+
+    /// True if the policy permits entering directory `path`, evaluated
+    /// as if a trailing `/` were appended — equivalent to
+    /// `is_allowed(&format!("{path}/"))` without the allocation. The
+    /// enumerator probes every directory this way before queueing it.
+    pub fn is_allowed_dir(&self, path: &str) -> bool {
+        self.verdict(path, "/")
+    }
+
+    /// Longest-match verdict over the virtual concatenation
+    /// `path ⧺ tail`.
+    fn verdict(&self, path: &str, tail: &str) -> bool {
         let mut verdict = true;
         let mut best_len = 0usize;
         let mut best_allow = true;
         let mut matched = false;
         for rule in &self.rules {
-            if pattern_matches(&rule.pattern, path) {
+            if pattern_matches_concat(&rule.pattern, path, tail) {
                 let len = rule.pattern.len();
                 if !matched || len > best_len || (len == best_len && rule.allow && !best_allow) {
                     best_len = len;
@@ -183,25 +197,37 @@ impl Robots {
 
 /// Google-style pattern match: literal prefix with `*` wildcards and an
 /// optional `$` end anchor.
+#[cfg(test)]
 fn pattern_matches(pattern: &str, path: &str) -> bool {
+    pattern_matches_concat(pattern, path, "")
+}
+
+/// [`pattern_matches`] evaluated against the virtual concatenation
+/// `path ⧺ tail` without materializing it (and without the per-call
+/// `split('*').collect()` the old matcher paid). Both inputs are valid
+/// UTF-8, so byte-wise substring search agrees with `str::find`.
+fn pattern_matches_concat(pattern: &str, path: &str, tail: &str) -> bool {
     let (pattern, anchored) = match pattern.strip_suffix('$') {
         Some(p) => (p, true),
         None => (pattern, false),
     };
-    let parts: Vec<&str> = pattern.split('*').collect();
+    let total = path.len() + tail.len();
     let mut pos = 0usize;
-    for (i, part) in parts.iter().enumerate() {
+    let mut at_start = true;
+    for part in pattern.split('*') {
         if part.is_empty() {
+            at_start = false;
             continue;
         }
-        if i == 0 {
-            if !path.starts_with(part) {
+        if at_start {
+            if !concat_starts_at(path, tail, 0, part.as_bytes()) {
                 return false;
             }
             pos = part.len();
+            at_start = false;
         } else {
-            match path[pos..].find(part) {
-                Some(found) => pos = pos + found + part.len(),
+            match concat_find(path, tail, pos, part.as_bytes()) {
+                Some(found) => pos = found + part.len(),
                 None => return false,
             }
         }
@@ -209,10 +235,33 @@ fn pattern_matches(pattern: &str, path: &str) -> bool {
     if anchored {
         // The last literal part must reach the end of the path (or the
         // pattern ends with '*', which can always consume the tail).
-        pattern.ends_with('*') || pos == path.len()
+        pattern.ends_with('*') || pos == total
     } else {
         true
     }
+}
+
+/// Byte `i` of the virtual concatenation `path ⧺ tail`.
+fn concat_byte(path: &[u8], tail: &[u8], i: usize) -> u8 {
+    if i < path.len() { path[i] } else { tail[i - path.len()] }
+}
+
+/// Whether `needle` occurs at offset `at` of `path ⧺ tail`.
+fn concat_starts_at(path: &str, tail: &str, at: usize, needle: &[u8]) -> bool {
+    let (path, tail) = (path.as_bytes(), tail.as_bytes());
+    if at + needle.len() > path.len() + tail.len() {
+        return false;
+    }
+    needle.iter().enumerate().all(|(j, &b)| concat_byte(path, tail, at + j) == b)
+}
+
+/// First occurrence of `needle` in `path ⧺ tail` at or after `from`.
+fn concat_find(path: &str, tail: &str, from: usize, needle: &[u8]) -> Option<usize> {
+    let total = path.len() + tail.len();
+    if from + needle.len() > total {
+        return None;
+    }
+    (from..=total - needle.len()).find(|&i| concat_starts_at(path, tail, i, needle))
 }
 
 #[cfg(test)]
@@ -308,5 +357,39 @@ mod tests {
         assert!(pattern_matches("/a/*/c", "/a/b/c"));
         assert!(pattern_matches("/a/*/c", "/a/bbb/cc")); // prefix semantics
         assert!(!pattern_matches("/a/*/c", "/a/b/d"));
+    }
+
+    #[test]
+    fn is_allowed_dir_equals_allocated_probe() {
+        let bodies = [
+            "User-agent: *\nDisallow: /secret/\n",
+            "User-agent: *\nDisallow: /a/\nAllow: /a/b/\n",
+            "User-agent: *\nDisallow: /*.d/$\n",
+            "User-agent: *\nDisallow: /pub*js/\n",
+            "User-agent: *\nDisallow: /\n",
+        ];
+        let dirs = ["/", "/secret", "/secret/", "/a", "/a/b", "/pub/extjs", "/x.d", "/x.d/y"];
+        for body in bodies {
+            let r = Robots::parse(body, "ftp-enumerator");
+            for dir in dirs {
+                assert_eq!(
+                    r.is_allowed_dir(dir),
+                    r.is_allowed(&format!("{dir}/")),
+                    "divergence for {body:?} on {dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_matcher_spans_the_boundary() {
+        // The literal part straddles the path/tail seam.
+        let r = Robots::parse("User-agent: *\nDisallow: /data/\n", "bot");
+        assert!(!r.is_allowed_dir("/data"));
+        assert!(r.is_allowed("/data"));
+        // Anchored pattern must reach the end of the virtual path.
+        let a = Robots::parse("User-agent: *\nDisallow: /tmp/$\n", "bot");
+        assert!(!a.is_allowed_dir("/tmp"));
+        assert!(a.is_allowed_dir("/tmp/x"));
     }
 }

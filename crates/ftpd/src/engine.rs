@@ -7,7 +7,7 @@ use ftp_proto::listing::{self, ListingEntryRef};
 use ftp_proto::{FtpPath, HostPort, LineCodec, Reply};
 use netsim::{ConnId, ConnectError, Ctx, Endpoint};
 use simvfs::{FileMeta, NodeRef, Owner, Vfs};
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::fmt::{self, Write as _};
 use std::net::Ipv4Addr;
 
@@ -124,13 +124,13 @@ pub struct FtpServerEngine {
     ip: Ipv4Addr,
     profile: ServerProfile,
     vfs: Vfs,
-    sessions: HashMap<ConnId, Session>,
+    sessions: FastMap<ConnId, Session>,
     /// Passive listening port → owning control connection.
-    pasv_ports: HashMap<u16, ConnId>,
+    pasv_ports: FastMap<u16, ConnId>,
     /// Established data connection → owning control connection.
-    data_conns: HashMap<ConnId, ConnId>,
+    data_conns: FastMap<ConnId, ConnId>,
     /// Outbound (active-mode) connect token → owning control connection.
-    out_tokens: HashMap<u64, ConnId>,
+    out_tokens: FastMap<u64, ConnId>,
     next_token: u64,
     stats: EngineStats,
     /// Welcome banner, pre-rendered to wire bytes at construction —
@@ -144,72 +144,119 @@ pub struct FtpServerEngine {
     help_wire: Vec<u8>,
     /// `211` STAT reply wire bytes (fixed text).
     stat_wire: Vec<u8>,
-    /// Rendered `LIST` bodies keyed by directory path, valid for
-    /// `list_cache_gen`. Directories are re-listed by every enumerator
+    /// Rendered `LIST` bodies interned by directory path; see
+    /// [`ListCache`]. Directories are re-listed by every enumerator
     /// visit but mutate only on uploads, so bodies are rendered once
     /// and invalidated wholesale when [`Vfs::generation`] moves.
-    list_cache: HashMap<String, String>,
-    list_cache_gen: u64,
+    list_cache: ListCache,
     /// Scratch for synthesized RETR payloads (files without content).
     payload_scratch: Vec<u8>,
     /// Scratch for decoding control-channel lines (one per engine, not
     /// one `String` per line).
     line_scratch: String,
+    /// Scratch for rendering the `Owner` enum of each listing entry.
+    owner_scratch: String,
+}
+
+/// Interned `LIST` cache: keys and bodies live end-to-end in two
+/// per-engine arena strings, so a repeat `LIST` of the same directory
+/// is a borrow — no per-directory key/body `String`s. Invalidation
+/// (on a VFS generation move) clears the arenas but keeps their
+/// capacity, so a steady-state engine stops allocating for listings
+/// entirely. Lookup is a linear scan: a host VFS holds tens of
+/// directories, not thousands.
+#[derive(Debug, Default)]
+struct ListCache {
+    keys: String,
+    bodies: String,
+    /// `(key_end, body_end)` prefix offsets into the arenas: entry
+    /// `i`'s key spans `keys[spans[i-1].0..spans[i].0]` (from 0 for
+    /// the first entry), and likewise for bodies.
+    spans: Vec<(usize, usize)>,
+    /// The [`Vfs::generation`] the cached bodies were rendered for.
+    gen: u64,
+}
+
+impl ListCache {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.bodies.clear();
+        self.spans.clear();
+    }
+
+    fn find(&self, key: &str) -> Option<usize> {
+        (0..self.spans.len()).find(|&i| {
+            let start = if i == 0 { 0 } else { self.spans[i - 1].0 };
+            &self.keys[start..self.spans[i].0] == key
+        })
+    }
+
+    fn body(&self, i: usize) -> &str {
+        let start = if i == 0 { 0 } else { self.spans[i - 1].1 };
+        &self.bodies[start..self.spans[i].1]
+    }
+
+    /// Seals everything appended to `bodies` since the last entry as
+    /// the cached body for `key`, returning its index.
+    fn commit(&mut self, key: &str) -> usize {
+        self.keys.push_str(key);
+        self.spans.push((self.keys.len(), self.bodies.len()));
+        self.spans.len() - 1
+    }
 }
 
 impl FtpServerEngine {
     /// Creates an engine for the host at `ip` publishing `vfs` with the
     /// given behavior profile.
     pub fn new(ip: Ipv4Addr, profile: ServerProfile, vfs: Vfs) -> Self {
+        // Render the canned wire blocks straight from borrowed lines —
+        // same bytes as `Reply::multiline(..).to_wire()` without the
+        // intermediate `Vec<String>` per host.
         let banner_wire = if profile.banner.contains('\n') {
             // Multiline welcome banner (common on mirrors and corporate
             // servers; the enumerator's hardened parser must cope).
-            let lines: Vec<String> = profile.banner.lines().map(str::to_owned).collect();
-            Reply::multiline(220u16, lines).to_wire().into_bytes()
+            let count = profile.banner.lines().count();
+            Self::render_wire(220, count, &mut profile.banner.lines())
         } else {
-            Reply::new(220u16, profile.banner.as_str()).to_wire().into_bytes()
+            Self::render_wire(220, 1, &mut std::iter::once(profile.banner.as_str()))
         };
         let feat_wire = if profile.feat_lines.is_empty() {
             Vec::new()
         } else {
-            let mut lines = vec!["Features:".to_owned()];
-            lines.extend(profile.feat_lines.iter().cloned());
-            lines.push("End".to_owned());
-            Reply::multiline(211u16, lines).to_wire().into_bytes()
+            let count = profile.feat_lines.len() + 2;
+            let mut lines = std::iter::once("Features:")
+                .chain(profile.feat_lines.iter().map(String::as_str))
+                .chain(std::iter::once("End"));
+            Self::render_wire(211, count, &mut lines)
         };
         let help_wire = if profile.help_lines.is_empty() {
             Vec::new()
         } else {
-            let mut lines = profile.help_lines.clone();
-            if lines.len() == 1 {
-                lines.push("Help OK.".to_owned());
-            }
-            Reply::multiline(214u16, lines).to_wire().into_bytes()
+            let extra = if profile.help_lines.len() == 1 { Some("Help OK.") } else { None };
+            let count = profile.help_lines.len() + extra.iter().count();
+            let mut lines = profile.help_lines.iter().map(String::as_str).chain(extra);
+            Self::render_wire(214, count, &mut lines)
         };
-        let stat_wire = Reply::multiline(
-            211u16,
-            vec!["FTP server status:".to_owned(), "End of status".to_owned()],
-        )
-        .to_wire()
-        .into_bytes();
+        let stat_wire =
+            Self::render_wire(211, 2, &mut ["FTP server status:", "End of status"].into_iter());
         FtpServerEngine {
             ip,
             profile,
             vfs,
-            sessions: HashMap::new(),
-            pasv_ports: HashMap::new(),
-            data_conns: HashMap::new(),
-            out_tokens: HashMap::new(),
+            sessions: FastMap::default(),
+            pasv_ports: FastMap::default(),
+            data_conns: FastMap::default(),
+            out_tokens: FastMap::default(),
             next_token: 1,
             stats: EngineStats::default(),
             banner_wire,
             feat_wire,
             help_wire,
             stat_wire,
-            list_cache: HashMap::new(),
-            list_cache_gen: 0,
+            list_cache: ListCache::default(),
             payload_scratch: Vec::new(),
             line_scratch: String::new(),
+            owner_scratch: String::new(),
         }
     }
 
@@ -252,6 +299,25 @@ impl FtpServerEngine {
         }
     }
 
+    /// Renders a reply's wire bytes from `count` borrowed lines: byte
+    /// for byte what `Reply::multiline(code, lines).to_wire()` produces
+    /// (`ddd-first`, ` middle`, `ddd last`; single-line `ddd text`),
+    /// with one output allocation instead of a line `Vec<String>`.
+    fn render_wire(code: u16, count: usize, lines: &mut dyn Iterator<Item = &str>) -> Vec<u8> {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (i, l) in lines.enumerate() {
+            if count == 1 || i + 1 == count {
+                let _ = write!(out, "{code:03} {l}\r\n");
+            } else if i == 0 {
+                let _ = write!(out, "{code:03}-{l}\r\n");
+            } else {
+                let _ = write!(out, " {l}\r\n");
+            }
+        }
+        out.into_bytes()
+    }
+
     fn resolve(&self, session: &Session, arg: &str) -> Option<FtpPath> {
         // Strip `ls`-style flags some clients prepend ("-la /pub").
         let arg = arg.trim();
@@ -270,13 +336,22 @@ impl FtpServerEngine {
         }
     }
 
-    fn render_listing(&self, path: &FtpPath) -> Option<String> {
+    /// Renders the listing of `path` straight into `body` (the cache's
+    /// body arena on the caller side). Appends nothing and returns
+    /// `false` when `path` is not a listable directory. Takes the
+    /// pieces of `self` it reads so the caller can hold the cache
+    /// arena mutably at the same time.
+    fn render_listing_into(
+        vfs: &Vfs,
+        format: listing::ListingFormat,
+        owner: &mut String,
+        path: &FtpPath,
+        body: &mut String,
+    ) -> bool {
         use fmt::Write as _;
-        let children = self.vfs.list(path.as_str()).ok()?;
-        let mut body = String::new();
+        let Ok(children) = vfs.list(path.as_str()) else { return false };
         // One owner scratch reused across the loop: `Owner` is an enum,
         // so rendering it is the only per-entry string work left.
-        let mut owner = String::new();
         for (name, node) in children {
             let (is_dir, size, perms, node_owner, mtime) = match node {
                 NodeRef::File(f) => (false, Some(f.size), f.perms, f.owner, f.mtime),
@@ -290,29 +365,40 @@ impl FtpServerEngine {
                     is_dir,
                     size,
                     permissions: Some(perms),
-                    owner: Some(&owner),
+                    owner: Some(owner),
                     mtime: Some(mtime),
                 },
-                self.profile.listing_format,
-                &mut body,
+                format,
+                body,
             );
             body.push_str("\r\n");
         }
-        Some(body)
+        true
     }
 
-    /// The rendered `LIST` body for `path`, from the cache when the VFS
-    /// is unchanged since it was rendered.
+    /// The rendered `LIST` body for `path`, from the interned cache
+    /// when the VFS is unchanged since it was rendered — a repeat
+    /// `LIST` is a borrow of the arena, with zero allocations.
     fn listing_body(&mut self, path: &FtpPath) -> Option<&str> {
-        if self.vfs.generation() != self.list_cache_gen {
+        if self.vfs.generation() != self.list_cache.gen {
             self.list_cache.clear();
-            self.list_cache_gen = self.vfs.generation();
+            self.list_cache.gen = self.vfs.generation();
         }
-        if !self.list_cache.contains_key(path.as_str()) {
-            let body = self.render_listing(path)?;
-            self.list_cache.insert(path.as_str().to_owned(), body);
+        if let Some(i) = self.list_cache.find(path.as_str()) {
+            obs::counter(obs::Counter::ListCacheHits, 1);
+            return Some(self.list_cache.body(i));
         }
-        self.list_cache.get(path.as_str()).map(String::as_str)
+        if !Self::render_listing_into(
+            &self.vfs,
+            self.profile.listing_format,
+            &mut self.owner_scratch,
+            path,
+            &mut self.list_cache.bodies,
+        ) {
+            return None;
+        }
+        let i = self.list_cache.commit(path.as_str());
+        Some(self.list_cache.body(i))
     }
 
     /// Executes a transfer on an established data connection, then closes
@@ -619,7 +705,7 @@ impl FtpServerEngine {
             Command::Size(arg) => {
                 let resolved = self.sessions.get(&conn).and_then(|s| self.resolve(s, &arg));
                 match resolved.and_then(|p| self.vfs.file(p.as_str()).ok().map(|m| m.size)) {
-                    Some(size) => Self::reply(ctx, conn, 213, &size.to_string()),
+                    Some(size) => Self::reply_fmt(ctx, conn, 213, format_args!("{size}")),
                     None => Self::reply(ctx, conn, 550, "Could not get file size."),
                 }
             }
@@ -982,7 +1068,10 @@ impl FtpServerEngine {
             if awaiting && line.starts_with(simtls::CLIENT_HELLO) {
                 if let Some(ftps) = &self.profile.ftps {
                     let hello = ftps.cert.to_server_hello();
-                    ctx.send(conn, format!("{hello}\r\n").as_bytes());
+                    self.payload_scratch.clear();
+                    self.payload_scratch.extend_from_slice(hello.as_bytes());
+                    self.payload_scratch.extend_from_slice(b"\r\n");
+                    ctx.send(conn, &self.payload_scratch);
                     if let Some(s) = self.sessions.get_mut(&conn) {
                         s.tls = true;
                         s.awaiting_tls_hello = false;

@@ -249,7 +249,7 @@ fn stor_allowed_in_writable_dir() {
     let e = engine.borrow();
     assert_eq!(e.stats().uploads, 1);
     let f = e.vfs().file("/incoming/probe.txt").unwrap();
-    assert_eq!(f.content.as_deref(), Some("w0000000t"));
+    assert_eq!(f.content, Some("w0000000t"));
 }
 
 #[test]

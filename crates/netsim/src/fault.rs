@@ -133,36 +133,41 @@ fn mix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Deterministic garbage for one control-channel reply.
+/// Deterministic garbage for one control-channel reply, appended to
+/// `out` (a pooled, cleared buffer on the simulator's data path — the
+/// fault layer must not be the one spot that still allocates per send).
 ///
 /// Keyed by `(profile seed, connection id, reply ordinal)`. Three
 /// styles rotate: printable junk lines, binary junk with a terminator,
 /// and (when `overlong`) an unterminated 10 KB run that overflows any
 /// line buffer.
-pub(crate) fn garbage_reply(seed: u64, conn_id: u64, ordinal: u32, overlong: bool) -> Vec<u8> {
+pub(crate) fn garbage_reply_into(
+    seed: u64,
+    conn_id: u64,
+    ordinal: u32,
+    overlong: bool,
+    out: &mut Vec<u8>,
+) {
     let mut x = seed ^ conn_id.rotate_left(17) ^ u64::from(ordinal).rotate_left(43);
     let style = mix(&mut x) % if overlong { 3 } else { 2 };
     match style {
         0 => {
             // Printable junk that is not an FTP reply: no leading digits.
             let len = 5 + (mix(&mut x) % 60) as usize;
-            let mut out: Vec<u8> = (0..len)
-                .map(|_| b'#' + (mix(&mut x) % 58) as u8) // '#'..='\\' and beyond: printable
-                .collect();
+            // '#'..='\\' and beyond: printable.
+            out.extend((0..len).map(|_| b'#' + (mix(&mut x) % 58) as u8));
             out.extend_from_slice(b"\r\n");
-            out
         }
         1 => {
             // Binary junk (protocol confusion: TLS record / HTTP body).
             let len = 8 + (mix(&mut x) % 100) as usize;
-            let mut out: Vec<u8> = (0..len).map(|_| (mix(&mut x) & 0xff) as u8).collect();
+            out.extend((0..len).map(|_| (mix(&mut x) & 0xff) as u8));
             out.push(b'\n');
-            out
         }
         _ => {
             // Unterminated overlong run: > MAX_LINE with no newline.
             let len = 10_240;
-            (0..len).map(|_| b'A' + (mix(&mut x) % 26) as u8).collect()
+            out.extend((0..len).map(|_| b'A' + (mix(&mut x) % 26) as u8));
         }
     }
 }
@@ -194,6 +199,12 @@ mod tests {
         }
     }
 
+    fn garbage_reply(seed: u64, conn_id: u64, ordinal: u32, overlong: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        garbage_reply_into(seed, conn_id, ordinal, overlong, &mut out);
+        out
+    }
+
     #[test]
     fn garbage_is_deterministic_per_key() {
         let a = garbage_reply(7, 3, 1, true);
@@ -201,6 +212,17 @@ mod tests {
         assert_eq!(a, b);
         let c = garbage_reply(7, 3, 2, true);
         assert_ne!(a, c, "ordinal changes the garbage");
+    }
+
+    #[test]
+    fn garbage_into_appends_after_existing_bytes() {
+        // A recycled pool buffer arrives cleared; make sure the writer
+        // appends rather than assuming an offset.
+        let mut out = b"xy".to_vec();
+        garbage_reply_into(7, 3, 1, false, &mut out);
+        let fresh = garbage_reply(7, 3, 1, false);
+        assert_eq!(&out[..2], b"xy");
+        assert_eq!(&out[2..], &fresh[..]);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod fasthash;
 pub mod fault;
 pub mod ip;
 pub mod sim;

@@ -18,12 +18,12 @@
 //! single-threaded; determinism comes from the totally-ordered event
 //! queue (time, then insertion sequence).
 
-use crate::fault::{garbage_reply, FaultKind, FaultProfile};
+use crate::fasthash::FastMap;
+use crate::fault::{garbage_reply_into, FaultKind, FaultProfile};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::{Entry, TimerWheel, WheelStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -135,7 +135,7 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 struct Host {
-    bound: HashMap<u16, EndpointId>,
+    bound: FastMap<u16, EndpointId>,
     firewall: FirewallPolicy,
     /// RFC 1918 address this host believes it has (NAT deployment).
     internal_ip: Option<Ipv4Addr>,
@@ -151,7 +151,7 @@ struct Host {
 impl Host {
     fn new() -> Self {
         Host {
-            bound: HashMap::new(),
+            bound: FastMap::default(),
             firewall: FirewallPolicy::default(),
             internal_ip: None,
             next_ephemeral: 49_152,
@@ -240,9 +240,9 @@ pub struct SimCore {
     now: SimTime,
     seq: u64,
     queue: TimerWheel<Ev>,
-    hosts: HashMap<Ipv4Addr, Host>,
-    conns: HashMap<u64, Conn>,
-    faults: HashMap<Ipv4Addr, FaultProfile>,
+    hosts: FastMap<Ipv4Addr, Host>,
+    conns: FastMap<u64, Conn>,
+    faults: FastMap<Ipv4Addr, FaultProfile>,
     next_conn: u64,
     cfg: SimConfig,
     seed: u64,
@@ -434,7 +434,12 @@ impl SimCore {
                     return false;
                 }
                 c.fault_sends += 1;
-                let junk = garbage_reply(profile.seed, c.fault_ordinal, c.fault_sends, overlong);
+                let (ordinal, sends) = (c.fault_ordinal, c.fault_sends);
+                // Render into a pooled buffer: the garbage path rides
+                // the same recycled data-path buffers as clean sends.
+                let mut junk = self.fill_buf(&[]);
+                garbage_reply_into(profile.seed, ordinal, sends, overlong, &mut junk);
+                let c = self.conns.get_mut(&conn.0).expect("conn present");
                 c.sent.1 += junk.len() as u64;
                 self.schedule(lat, Ev::Data { conn, to_initiator: true, bytes: junk });
                 true
@@ -721,9 +726,9 @@ impl Simulator {
                 now: SimTime::ZERO,
                 seq: 0,
                 queue: TimerWheel::new(),
-                hosts: HashMap::new(),
-                conns: HashMap::new(),
-                faults: HashMap::new(),
+                hosts: FastMap::default(),
+                conns: FastMap::default(),
+                faults: FastMap::default(),
                 next_conn: 0,
                 cfg,
                 seed,

@@ -108,6 +108,15 @@ registry_enum! {
         HttpObservations => "http_observations",
         /// Non-monotonic funnel stage counts detected (should stay 0).
         FunnelInvariantViolations => "funnel_invariant_violations",
+        /// Control-channel lines decoded as zero-copy borrows of the
+        /// codec buffer (clean UTF-8, the overwhelming case).
+        CodecLinesBorrowed => "codec_lines_borrowed",
+        /// Control-channel lines that fell back to the lossy scratch
+        /// copy (invalid UTF-8 after IAC stripping).
+        CodecLinesCopied => "codec_lines_copied",
+        /// LIST bodies served from the ftpd per-engine listing arena
+        /// without re-rendering.
+        ListCacheHits => "list_cache_hits",
     }
 }
 

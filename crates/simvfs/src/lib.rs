@@ -357,6 +357,11 @@ impl Interner {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(u32);
 
+/// Handle to a directory node from [`Vfs::dir_handle`], for bulk
+/// insertion with [`Vfs::add_file_in`]. Valid for the `Vfs`'s lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirId(u32);
+
 const ROOT: u32 = 0;
 /// Sentinel for "no content" in a file slot.
 const NO_CONTENT: u32 = u32::MAX;
@@ -833,6 +838,72 @@ impl Vfs {
             return Err(VfsError::BadPath { path: path.to_owned() });
         }
         self.add_file_canonical(p.as_str(), attrs).map(|_| ())
+    }
+
+    /// Descends to `path` once (creating missing directories, like
+    /// [`Vfs::mkdir_p`]) and returns a handle for direct insertion via
+    /// [`Vfs::add_file_in`]. The worldgen bulk path: generators place
+    /// dozens to thousands of files per directory, and the handle
+    /// replaces a full root-to-leaf descent per file with one descent
+    /// per directory.
+    ///
+    /// The handle stays valid for the `Vfs`'s lifetime (nodes are never
+    /// removed), but points at whatever the directory becomes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vfs::mkdir_p`]: a file blocking a component or a malformed
+    /// path.
+    pub fn dir_handle(&mut self, path: &str) -> Result<DirId, VfsError> {
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsOps, 1);
+        }
+        if Self::is_canonical(path) {
+            return self.descend_creating(path).map(DirId);
+        }
+        let p = Self::canon(path)?;
+        self.descend_creating(p.as_str()).map(DirId)
+    }
+
+    /// Adds (or overwrites) the file `name` directly inside the
+    /// directory `dir` — [`Vfs::add_file_attrs`] without the per-file
+    /// path render and descent. `name` is a single component: no `/`.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::BadPath`] for an empty/`.`/`..`/separator-bearing
+    /// name, [`VfsError::NotADirectory`] when a directory named `name`
+    /// already exists.
+    pub fn add_file_in(
+        &mut self,
+        dir: DirId,
+        name: &str,
+        attrs: FileAttrs<'_>,
+    ) -> Result<(), VfsError> {
+        if obs::enabled() {
+            obs::counter(obs::Counter::VfsOps, 1);
+        }
+        if name.is_empty()
+            || name == "."
+            || name == ".."
+            || name.bytes().any(|b| matches!(b, 0 | b'\r' | b'\n' | b'/'))
+        {
+            return Err(VfsError::BadPath { path: name.to_owned() });
+        }
+        let data = self.file_data(attrs);
+        match self.find_child(dir.0, name) {
+            Ok(child) => {
+                if matches!(self.nodes[child as usize].kind, Slot::Dir(_)) {
+                    return Err(VfsError::NotADirectory { path: name.to_owned() });
+                }
+                self.nodes[child as usize].kind = Slot::File(data);
+            }
+            Err(pos) => {
+                self.insert_child(dir.0, pos, name, Slot::File(data));
+            }
+        }
+        self.generation += 1;
+        Ok(())
     }
 
     fn add_file_canonical(&mut self, path: &str, attrs: FileAttrs<'_>) -> Result<u32, VfsError> {

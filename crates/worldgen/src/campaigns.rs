@@ -90,7 +90,7 @@ pub fn inject(
     let spot = upload_spot(vfs);
     // Split the scratch so the upload path, its mtime, and generated
     // probe text borrow independently.
-    let GenScratch { path, mtime, text } = scratch;
+    let GenScratch { path, mtime, text, .. } = scratch;
     let mut put =
         |vfs: &mut Vfs, rng: &mut StdRng, name: fmt::Arguments<'_>, content: &str| {
             let attrs = uploaded(rng, content, mtime);

@@ -31,6 +31,9 @@ pub struct GenScratch {
     pub mtime: String,
     /// Render buffer for small generated file contents.
     pub text: String,
+    /// Render buffer for a single file-name component (bulk
+    /// [`Vfs::add_file_in`] insertion).
+    pub name: String,
 }
 
 /// What a host's filesystem looks like.
@@ -166,19 +169,23 @@ pub fn add_photo_library(
         scratch.path.set(base);
         scratch.path.push_fmt(format_args!("{year}"));
         scratch.path.push(event);
+        // One descent for the whole roll; files insert by name.
+        let dir = vfs.dir_handle(scratch.path.as_str()).ok();
         let in_dir = rng.random_range(40..320usize).min(remaining);
         for _ in 0..in_dir {
             serial += 1;
             let dsc = rng.random_bool(0.7);
             let size = rng.random_range(800_000..6_000_000);
             let attrs = public_attrs(rng, size, &mut scratch.mtime);
+            scratch.name.clear();
             if dsc {
-                scratch.path.push_fmt(format_args!("DSC_{serial:04}.JPG"));
+                let _ = write!(scratch.name, "DSC_{serial:04}.JPG");
             } else {
-                scratch.path.push_fmt(format_args!("IMG_{serial:04}.jpg"));
+                let _ = write!(scratch.name, "IMG_{serial:04}.jpg");
             }
-            let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-            scratch.path.pop();
+            if let Some(d) = dir {
+                let _ = vfs.add_file_in(d, &scratch.name, attrs);
+            }
         }
         remaining -= in_dir;
     }
@@ -199,21 +206,29 @@ pub fn add_media_collection(
         scratch.path.set(base);
         scratch.path.push("music");
         scratch.path.push(artist);
-        scratch.path.push_fmt(format_args!("track{:03}.mp3", i % 20 + 1));
+        let dir = vfs.dir_handle(scratch.path.as_str()).ok();
         let size = rng.random_range(3_000_000..9_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.name.clear();
+        let _ = write!(scratch.name, "track{:03}.mp3", i % 20 + 1);
+        if let Some(d) = dir {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
     }
     const TITLES: &[&str] = &["home-video", "holiday", "movie-backup", "recital", "soccer-game"];
+    scratch.path.set(base);
+    scratch.path.push("videos");
+    let videos = if movies > 0 { vfs.dir_handle(scratch.path.as_str()).ok() } else { None };
     for i in 0..movies {
         let t = pick(rng, TITLES);
         let ext = if rng.random_bool(0.55) { "avi" } else { "mp4" };
-        scratch.path.set(base);
-        scratch.path.push("videos");
-        scratch.path.push_fmt(format_args!("{t}-{i:02}.{ext}"));
         let size = rng.random_range(200_000_000..1_500_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.name.clear();
+        let _ = write!(scratch.name, "{t}-{i:02}.{ext}");
+        if let Some(d) = videos {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
     }
 }
 
@@ -229,6 +244,9 @@ pub fn add_documents(
         "resume", "insurance-policy", "mortgage-statement", "recipes", "travel-itinerary",
         "school-report", "manual", "newsletter", "meeting-notes", "scan",
     ];
+    scratch.path.set(base);
+    scratch.path.push("documents");
+    let dir = if count > 0 { vfs.dir_handle(scratch.path.as_str()).ok() } else { None };
     for i in 0..count {
         let n = pick(rng, NAMES);
         let ext = match rng.random_range(0..10) {
@@ -239,12 +257,13 @@ pub fn add_documents(
             8 => "png",
             _ => "html",
         };
-        scratch.path.set(base);
-        scratch.path.push("documents");
-        scratch.path.push_fmt(format_args!("{n}-{i:03}.{ext}"));
         let size = rng.random_range(20_000..4_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
+        scratch.name.clear();
+        let _ = write!(scratch.name, "{n}-{i:03}.{ext}");
+        if let Some(d) = dir {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
     }
 }
 
@@ -261,34 +280,44 @@ pub fn hosting_webroot(
         let site = pick(rng, SITES);
         scratch.path.set("/www");
         scratch.path.push_fmt(format_args!("{site}{s}"));
-        scratch.path.push("index.html");
+        let dir = vfs.dir_handle(scratch.path.as_str()).ok();
         let attrs = public_attrs(rng, 8_192, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-        scratch.path.pop();
-        scratch.path.push("style.css");
+        if let Some(d) = dir {
+            let _ = vfs.add_file_in(d, "index.html", attrs);
+        }
         let attrs = public_attrs(rng, 4_096, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-        scratch.path.pop();
+        if let Some(d) = dir {
+            let _ = vfs.add_file_in(d, "style.css", attrs);
+        }
         if scripting {
-            scratch.path.push(".htaccess");
             let attrs = public_attrs(rng, 512, &mut scratch.mtime);
-            let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-            scratch.path.pop();
+            if let Some(d) = dir {
+                let _ = vfs.add_file_in(d, ".htaccess", attrs);
+            }
             scratch.path.push("app");
+            let app = vfs.dir_handle(scratch.path.as_str()).ok();
             let n = rng.random_range(8..60);
             for i in 0..n {
+                scratch.name.clear();
                 match rng.random_range(0..6) {
-                    0 => scratch.path.push("index.php"),
-                    1 => scratch.path.push("config.php"),
-                    2 => scratch.path.push("db_connect.php"),
-                    3 => scratch.path.push_fmt(format_args!("page{i}.php")),
-                    4 => scratch.path.push_fmt(format_args!("admin{i}.asp")),
-                    _ => scratch.path.push_fmt(format_args!("include{i}.php")),
+                    0 => scratch.name.push_str("index.php"),
+                    1 => scratch.name.push_str("config.php"),
+                    2 => scratch.name.push_str("db_connect.php"),
+                    3 => {
+                        let _ = write!(scratch.name, "page{i}.php");
+                    }
+                    4 => {
+                        let _ = write!(scratch.name, "admin{i}.asp");
+                    }
+                    _ => {
+                        let _ = write!(scratch.name, "include{i}.php");
+                    }
                 }
                 let size = rng.random_range(1_000..40_000);
                 let attrs = public_attrs(rng, size, &mut scratch.mtime);
-                let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-                scratch.path.pop();
+                if let Some(d) = app {
+                    let _ = vfs.add_file_in(d, &scratch.name, attrs);
+                }
             }
         }
     }
@@ -321,13 +350,15 @@ pub fn nas_media(
 pub fn printer_spool(rng: &mut StdRng, scratch: &mut GenScratch) -> Vfs {
     let mut vfs = Vfs::new();
     let n = rng.random_range(0..25);
-    scratch.path.set("/scans");
+    let dir = if n > 0 { vfs.dir_handle("/scans").ok() } else { None };
     for i in 0..n {
-        scratch.path.push_fmt(format_args!("scan{i:04}.pdf"));
         let size = rng.random_range(100_000..2_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-        scratch.path.pop();
+        scratch.name.clear();
+        let _ = write!(scratch.name, "scan{i:04}.pdf");
+        if let Some(d) = dir {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
     }
     vfs
 }
@@ -396,26 +427,32 @@ pub fn os_root(rng: &mut StdRng, scratch: &mut GenScratch, kind: OsKind) -> Vfs 
 pub fn office_backup(rng: &mut StdRng, scratch: &mut GenScratch) -> Vfs {
     let mut vfs = Vfs::new();
     let mailboxes = rng.random_range(5..60);
-    scratch.path.set("/backups/mail");
+    let mail = vfs.dir_handle("/backups/mail").ok();
     for i in 0..mailboxes {
-        scratch.path.push_fmt(format_args!("user{i:03}.pst"));
         let size = rng.random_range(50_000_000..2_000_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-        scratch.path.pop();
+        scratch.name.clear();
+        let _ = write!(scratch.name, "user{i:03}.pst");
+        if let Some(d) = mail {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
     }
-    scratch.path.set("/backups/finance");
+    let finance = vfs.dir_handle("/backups/finance").ok();
     for year in 2010..2015 {
-        scratch.path.push_fmt(format_args!("ledger-{year}.qdf"));
         let size = rng.random_range(1_000_000..30_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-        scratch.path.pop();
-        scratch.path.push_fmt(format_args!("payroll-{year}.zip"));
+        scratch.name.clear();
+        let _ = write!(scratch.name, "ledger-{year}.qdf");
+        if let Some(d) = finance {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
         let size = rng.random_range(5_000_000..80_000_000);
         let attrs = public_attrs(rng, size, &mut scratch.mtime);
-        let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-        scratch.path.pop();
+        scratch.name.clear();
+        let _ = write!(scratch.name, "payroll-{year}.zip");
+        if let Some(d) = finance {
+            let _ = vfs.add_file_in(d, &scratch.name, attrs);
+        }
     }
     vfs
 }
@@ -433,7 +470,7 @@ pub fn inject_sensitive(
 ) {
     const SPOTS: &[&str] = &["/share/documents", "/backups", "/home/user", "/private", "/data"];
     let spot = pick(rng, SPOTS);
-    scratch.path.set(spot);
+    let dir = if files > 0 { vfs.dir_handle(spot).ok() } else { None };
     for i in 0..files {
         let name = pick(rng, kind.filenames());
         let readable = rng.random_bool(readable_fraction.clamp(0.0, 1.0));
@@ -441,16 +478,19 @@ pub fn inject_sensitive(
             if readable { Permissions::public_file() } else { Permissions::private_file() };
         let size = rng.random_range(1_000..5_000_000);
         mtime_into(rng, &mut scratch.mtime);
+        scratch.name.clear();
         if i == 0 {
-            scratch.path.push(name);
+            scratch.name.push_str(name);
         } else {
-            scratch.path.push_fmt(format_args!("{i}-{name}"));
+            let _ = write!(scratch.name, "{i}-{name}");
         }
-        let _ = vfs.add_file_attrs(
-            scratch.path.as_str(),
-            FileAttrs { size, perms, owner: Owner::Ftp, mtime: &scratch.mtime, content: None },
-        );
-        scratch.path.pop();
+        if let Some(d) = dir {
+            let _ = vfs.add_file_in(
+                d,
+                &scratch.name,
+                FileAttrs { size, perms, owner: Owner::Ftp, mtime: &scratch.mtime, content: None },
+            );
+        }
     }
 }
 

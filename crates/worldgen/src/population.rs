@@ -25,6 +25,7 @@ use rand::{Rng, SeedableRng};
 use simtls::SimCertificate;
 use simvfs::Vfs;
 use std::collections::HashSet;
+use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 /// Parameters of a generated world.
@@ -877,15 +878,26 @@ impl WorldPlan {
         for i in plan_ix {
             let plan = &self.plans[i];
             let mut rng = host_rng(spec.seed, plan.truth.ip);
-            let profile = build_profile(plan, &mut rng, &hosting_cert_weights);
-            let vfs = build_vfs(plan, &mut rng, &mut scratch);
+            let profile = {
+                let _s = obs::span!("worldgen.profile");
+                build_profile(plan, &mut rng, &hosting_cert_weights)
+            };
+            let vfs = {
+                let _s = obs::span!("worldgen.vfs");
+                build_vfs(plan, &mut rng, &mut scratch)
+            };
             let mut truth = plan.truth.clone();
-            truth.banner = profile.banner.clone();
+            // `clone_from` reuses the just-cloned banner buffer instead
+            // of dropping it for a fresh allocation.
+            truth.banner.clone_from(&profile.banner);
             truth.drop_after = profile.drop_after_commands;
             if let Some(ftps) = &profile.ftps {
                 truth.cert_fp = Some(ftps.cert.fingerprint());
             }
-            let engine = FtpServerEngine::new(truth.ip, profile, vfs);
+            let engine = {
+                let _s = obs::span!("worldgen.engine");
+                FtpServerEngine::new(truth.ip, profile, vfs)
+            };
             let id = sim.register_endpoint(Box::new(engine));
             sim.bind(truth.ip, 21, id);
             if let Some(fault) = sample_fault(spec, truth.ip) {
@@ -1210,14 +1222,18 @@ fn build_vfs(plan: &HostPlan, rng: &mut StdRng, scratch: &mut content::GenScratc
         // Static attrs (no per-file RNG draws, matching the legacy
         // `FileMeta::public` default mtime).
         let attrs = simvfs::FileAttrs::public(2_000_000, "Jun 18  2015");
+        let mut name = String::new();
         for roll in 0..rolls {
             let per_dir = rng.random_range(8..28);
             scratch.path.set("/share/photos");
             scratch.path.push_fmt(format_args!("roll-{roll:03}"));
+            let dir = vfs.dir_handle(scratch.path.as_str()).ok();
             for i in 0..per_dir {
-                scratch.path.push_fmt(format_args!("IMG_{i:04}.jpg"));
-                let _ = vfs.add_file_attrs(scratch.path.as_str(), attrs);
-                scratch.path.pop();
+                name.clear();
+                let _ = write!(name, "IMG_{i:04}.jpg");
+                if let Some(d) = dir {
+                    let _ = vfs.add_file_in(d, &name, attrs);
+                }
             }
         }
     }
