@@ -226,6 +226,20 @@ pub fn run_stages(servers: usize, shards: u64, iters: u32) -> PipelineRun {
     stages.push(stage_of("full_study_k1", servers, base_best));
     stages.push(stage_of("full_study_k1_obs", servers, obs_best));
 
+    // The flight-recorder run: host journals for every probed address
+    // plus 500 ms sim-time sampling, on top of metrics. Compared against
+    // full_study_k1 this column is the journaling cost story.
+    let mut journal_cfg = study_cfg.clone();
+    journal_cfg.obs = obs::ObsConfig {
+        metrics: true,
+        journal: true,
+        timeseries_every_us: 500_000,
+        ..obs::ObsConfig::default()
+    };
+    stages.push(time_stage("full_study_k1_journal", servers, iters, || {
+        run_study_sharded(&journal_cfg, 1).obs.map_or(0, |r| r.journal.len())
+    }));
+
     stages.push(time_stage(sharded_stage_name(shards), servers, iters, || {
         run_study_sharded(&study_cfg, shards).records.len()
     }));
@@ -250,7 +264,7 @@ pub fn run_stages(servers: usize, shards: u64, iters: u32) -> PipelineRun {
 /// *exactly* — any drift is a behavior change, not timing noise.
 pub fn behavior_metrics(servers: usize) -> Option<obs::MetricsSnapshot> {
     let mut cfg = StudyConfig::small(SEED, servers);
-    cfg.obs = obs::ObsConfig { metrics: true, trace: false, profile: false };
+    cfg.obs = obs::ObsConfig { metrics: true, ..obs::ObsConfig::default() };
     run_study_sharded(&cfg, 1).obs.map(|r| r.metrics)
 }
 

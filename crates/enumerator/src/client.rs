@@ -67,6 +67,32 @@ enum Phase {
     Done,
 }
 
+impl Phase {
+    /// Stable snake_case tag for host journals and diagnostics.
+    const fn label(self) -> &'static str {
+        match self {
+            Phase::Connecting => "connecting",
+            Phase::Banner => "banner",
+            Phase::User => "user",
+            Phase::Pass => "pass",
+            Phase::RobotsPasv => "robots_pasv",
+            Phase::RobotsRetr => "robots_retr",
+            Phase::TravPasv => "trav_pasv",
+            Phase::TravList => "trav_list",
+            Phase::Syst => "syst",
+            Phase::Help => "help",
+            Phase::Feat => "feat",
+            Phase::Site => "site",
+            Phase::PortProbe => "port_probe",
+            Phase::PortList => "port_list",
+            Phase::AuthTls => "auth_tls",
+            Phase::TlsHello => "tls_hello",
+            Phase::Quit => "quit",
+            Phase::Done => "done",
+        }
+    }
+}
+
 /// What to render into the pending-command buffer. Commands that embed
 /// config or session state are rendered inside [`Enumerator::queue_cmd`]
 /// (where both halves of `self` are in scope) instead of being built
@@ -239,6 +265,8 @@ impl Enumerator {
                 obs::counter(obs::Counter::SessionsStarted, 1);
                 obs::gauge_max(obs::Gauge::MaxActiveSessions, self.active as u64);
             }
+            obs::journal!(ip, obs::JournalEvent::SessionStart);
+            obs::journal!(ip, obs::JournalEvent::Phase { phase: Phase::Connecting.label() });
             ctx.connect(self.cfg.source_ip, ip, 21, token(slot, gen, KIND_CONTROL));
             ctx.set_timer(self.cfg.session_deadline, token(slot, gen, KIND_DEADLINE));
         }
@@ -275,6 +303,15 @@ impl Enumerator {
                 );
             }
         }
+        obs::journal!(
+            session.ip,
+            obs::JournalEvent::SessionEnd {
+                login: session.record.login.label(),
+                gave_up: session.record.gave_up.map(GaveUpReason::label),
+                requests: session.record.requests_used,
+                files: session.record.files.len() as u64,
+            }
+        );
         self.results.borrow_mut().push(session.record);
         self.free_slots.push(slot);
         self.active -= 1;
@@ -320,6 +357,7 @@ impl Enumerator {
         let Some(control) = s.control else { return };
         s.record.requests_used += 1;
         s.phase = next;
+        obs::journal!(s.ip, obs::JournalEvent::Phase { phase: next.label() });
         s.got_final_reply = false;
         let gen = s.gen;
         self.send_buf.clear();
@@ -340,6 +378,7 @@ impl Enumerator {
         let src = self.cfg.source_ip;
         let Some(s) = self.sessions[slot].as_mut() else { return };
         s.phase = Phase::Connecting;
+        obs::journal!(s.ip, obs::JournalEvent::Phase { phase: Phase::Connecting.label() });
         let gen = s.gen;
         let ip = s.ip;
         ctx.connect(src, ip, 21, token(slot, gen, KIND_CONTROL));
@@ -594,6 +633,7 @@ impl Enumerator {
             let Some(s) = self.sessions[slot].as_mut() else { return };
             // A reply ends the step-timeout window.
             s.bump();
+            obs::journal!(s.ip, obs::JournalEvent::Reply { code });
             s.phase
         };
         match phase {
@@ -783,6 +823,9 @@ impl Enumerator {
                             ctx.send(c, &self.send_buf);
                         }
                         s.phase = Phase::TlsHello;
+                        obs::journal!(s.ip, obs::JournalEvent::Phase {
+                            phase: Phase::TlsHello.label(),
+                        });
                         let gen = s.gen;
                         let timeout = self.cfg.step_timeout;
                         ctx.set_timer(timeout, token(slot, gen, KIND_TIMEOUT));
@@ -905,6 +948,7 @@ impl Endpoint for Enumerator {
             (KIND_CONTROL, Ok(conn)) => {
                 s.control = Some(conn);
                 s.phase = Phase::Banner;
+                obs::journal!(s.ip, obs::JournalEvent::Phase { phase: Phase::Banner.label() });
                 self.conns.insert(conn, (slot, false));
                 let timeout = self.cfg.step_timeout;
                 let gen = s.gen;
@@ -929,6 +973,10 @@ impl Endpoint for Enumerator {
                             backoff_us = delay.as_micros(),
                         );
                     }
+                    obs::journal!(s.ip, obs::JournalEvent::Retry {
+                        attempt: s.record.faults.connect_retries,
+                        backoff_us: delay.as_micros(),
+                    });
                     let gen = s.bump();
                     ctx.set_timer(delay, token(slot, gen, KIND_RETRY));
                 } else {
@@ -989,6 +1037,7 @@ impl Endpoint for Enumerator {
                 obs::counter(obs::Counter::ListingBytes, data.len() as u64);
             }
             if let Some(Some(s)) = self.sessions.get_mut(slot) {
+                obs::journal!(s.ip, obs::JournalEvent::DataBytes { n: data.len() as u64 });
                 s.data_buf.extend_from_slice(data);
             }
             return;

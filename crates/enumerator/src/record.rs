@@ -22,6 +22,20 @@ pub enum LoginOutcome {
     Aborted,
 }
 
+impl LoginOutcome {
+    /// Stable snake_case tag for structured diagnostics and journals.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            LoginOutcome::SkippedBannerForbids => "skipped_banner_forbids",
+            LoginOutcome::Denied => "denied",
+            LoginOutcome::Anonymous => "anonymous",
+            LoginOutcome::NotFtp => "not_ftp",
+            LoginOutcome::Aborted => "aborted",
+        }
+    }
+}
+
 /// Why the enumerator unilaterally abandoned a session.
 ///
 /// `None` on a [`HostRecord`] means the session ended on the

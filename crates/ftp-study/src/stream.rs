@@ -35,7 +35,10 @@ use crate::study::{run_partition, StudyConfig, StudyResults};
 use analysis::StreamingAggregate;
 use netsim::Simulator;
 use std::fmt;
+use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use worldgen::{PopulationSpec, WorldPlan};
 use zscan::{Blocklist, HashBatch, HashShard, ScanConfig};
 
@@ -56,13 +59,31 @@ pub struct StreamOptions {
     /// executing this many batches *in this invocation* (checkpoints
     /// already written stay on disk). `None` runs to completion.
     pub interrupt_after_batches: Option<u64>,
+    /// Where to stream host journals (JSONL, one line per host). Each
+    /// `(shard, batch)` cell's journals are drained from the recorder
+    /// and appended as soon as the batch completes, so journaling never
+    /// grows peak memory past O(batch). Requires
+    /// [`obs::ObsConfig::journal`] to be set; `None` disables flushing
+    /// (journals then surface in [`StreamResults::obs`] at shard end).
+    pub journal_path: Option<PathBuf>,
+    /// Emit a wall-clock heartbeat (batches done, hosts/s, ETA) through
+    /// [`obs::diag!`] after every batch. Wall-clock only — enabling it
+    /// cannot perturb study output.
+    pub progress: bool,
 }
 
 impl StreamOptions {
     /// Single-shard streaming with the given batch size and no
     /// checkpointing.
     pub fn new(batch_size: usize) -> Self {
-        StreamOptions { batch_size, shards: 1, checkpoint_dir: None, interrupt_after_batches: None }
+        StreamOptions {
+            batch_size,
+            shards: 1,
+            checkpoint_dir: None,
+            interrupt_after_batches: None,
+            journal_path: None,
+            progress: false,
+        }
     }
 }
 
@@ -73,6 +94,8 @@ pub enum StreamError {
     Config(String),
     /// Checkpoint load/store failure (corruption, I/O, config mismatch).
     Checkpoint(CheckpointError),
+    /// Journal sink I/O failure.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for StreamError {
@@ -80,6 +103,7 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::Config(why) => write!(f, "invalid streaming options: {why}"),
             StreamError::Checkpoint(e) => write!(f, "{e}"),
+            StreamError::Io(e) => write!(f, "journal i/o failed: {e}"),
         }
     }
 }
@@ -163,9 +187,86 @@ struct ShardRun {
     obs: Option<obs::Report>,
 }
 
+/// Shared append-only sink for per-batch journal flushes. Shards drain
+/// their recorder's journals after every batch and append under the
+/// lock; lines within a batch are in ip order (the recorder drains a
+/// `BTreeMap`), so a single-shard run's file is fully deterministic.
+struct JournalSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JournalSink {
+    fn create(path: &std::path::Path) -> Result<Self, StreamError> {
+        let file = std::fs::File::create(path).map_err(StreamError::Io)?;
+        Ok(JournalSink { out: Mutex::new(std::io::BufWriter::new(file)) })
+    }
+
+    /// Drains the installed recorder's finished journals into the file.
+    fn flush_batch(&self) -> Result<(), StreamError> {
+        let mut lines = Vec::new();
+        obs::drain_journal(&mut lines);
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let mut out = self.out.lock().expect("journal sink poisoned");
+        for line in &lines {
+            out.write_all(line.as_bytes()).map_err(StreamError::Io)?;
+            out.write_all(b"\n").map_err(StreamError::Io)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<(), StreamError> {
+        self.out.lock().expect("journal sink poisoned").flush().map_err(StreamError::Io)
+    }
+}
+
+/// Wall-clock heartbeat state shared by every shard. All fields are
+/// wall-time or atomics — nothing here can feed back into sim results.
+struct Progress {
+    start: std::time::Instant,
+    batches_done: AtomicU64,
+    hosts_done: AtomicU64,
+    total_batches: u64,
+}
+
+impl Progress {
+    fn new(total_batches: u64) -> Self {
+        Progress {
+            start: std::time::Instant::now(),
+            batches_done: AtomicU64::new(0),
+            hosts_done: AtomicU64::new(0),
+            total_batches,
+        }
+    }
+
+    /// Records one finished batch and emits a heartbeat line.
+    fn tick(&self, batch_hosts: u64) {
+        let done = self.batches_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let hosts = self.hosts_done.fetch_add(batch_hosts, Ordering::Relaxed) + batch_hosts;
+        let secs = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = hosts as f64 / secs;
+        let eta = secs / done as f64 * self.total_batches.saturating_sub(done) as f64;
+        obs::diag!(
+            "progress: batches {done}/{} hosts {hosts} ({rate:.0} hosts/s) eta {eta:.0}s",
+            self.total_batches,
+        );
+    }
+}
+
+/// Per-run hooks threaded into each shard's batch loop: the journal
+/// sink (when `--journal` is set) and the heartbeat (when `--progress`
+/// is set).
+#[derive(Clone, Copy)]
+struct StreamHooks<'a> {
+    journal: Option<&'a JournalSink>,
+    progress: Option<&'a Progress>,
+}
+
 /// Installs the shard's recorder (when configured), runs the batch
 /// loop, and always uninstalls — errors included — so a failed shard
 /// never leaks a recorder into the worker thread.
+#[allow(clippy::too_many_arguments)]
 fn run_stream_shard(
     cfg: &StudyConfig,
     plan: &WorldPlan,
@@ -174,15 +275,17 @@ fn run_stream_shard(
     batches: u64,
     fingerprint: u64,
     opts: &StreamOptions,
+    hooks: StreamHooks<'_>,
 ) -> Result<ShardRun, StreamError> {
     if cfg.obs.any() {
-        obs::install(Box::new(obs::CollectingRecorder::new(index, cfg.obs.trace)));
+        obs::install(Box::new(obs::CollectingRecorder::with_config(index, cfg.obs)));
     }
-    let result = stream_shard_batches(cfg, plan, index, shards, batches, fingerprint, opts);
+    let result = stream_shard_batches(cfg, plan, index, shards, batches, fingerprint, opts, hooks);
     let report = obs::uninstall().map(|r| r.finish());
     result.map(|(aggregate, next_batch)| ShardRun { aggregate, next_batch, obs: report })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn stream_shard_batches(
     cfg: &StudyConfig,
     plan: &WorldPlan,
@@ -191,6 +294,7 @@ fn stream_shard_batches(
     batches: u64,
     fingerprint: u64,
     opts: &StreamOptions,
+    hooks: StreamHooks<'_>,
 ) -> Result<(StreamingAggregate, u64), StreamError> {
     let shard_span = obs::span!("shard.run");
     obs::event!("shard.start", shards = shards);
@@ -238,6 +342,10 @@ fn stream_shard_batches(
             return Ok((aggregate, batch));
         }
 
+        // Tag the recorder before any event of this batch: journals
+        // opened inside the cell carry `(shard, batch)`, and the
+        // sim-time sampler re-arms for the reset clock.
+        obs::set_batch(batch);
         // Reset gives a byte-identical blank simulator: batch teardown
         // is the reset, so nothing observable survives to the next
         // batch (endpoints and queue cleared, RNG re-seeded).
@@ -275,6 +383,14 @@ fn stream_shard_batches(
         if obs::enabled() {
             obs::counter(obs::Counter::HttpObservations, out.http.len() as u64);
             obs::event!("batch.done", batch = batch, records = out.records.len());
+        }
+        // Flush this cell's journals to disk now so the recorder never
+        // holds more than one batch's worth of them.
+        if let Some(sink) = hooks.journal {
+            sink.flush_batch()?;
+        }
+        if let Some(progress) = hooks.progress {
+            progress.tick(out.records.len() as u64);
         }
 
         if let Some(dir) = &opts.checkpoint_dir {
@@ -331,16 +447,31 @@ pub fn run_study_streamed(
     let plan = worldgen::plan_world(&cfg.population);
     let batches = (plan.planned_host_count() as u64).div_ceil(opts.batch_size as u64).max(1);
     let fingerprint = config_fingerprint(cfg, opts.shards, batches, opts.batch_size);
+    let journal_sink = match &opts.journal_path {
+        Some(path) => Some(JournalSink::create(path)?),
+        None => None,
+    };
+    let progress = opts.progress.then(|| Progress::new(batches * opts.shards));
+    let hooks = StreamHooks { journal: journal_sink.as_ref(), progress: progress.as_ref() };
 
     let runs: Vec<Result<ShardRun, StreamError>> = if opts.shards == 1 {
-        vec![run_stream_shard(cfg, &plan, 0, 1, batches, fingerprint, opts)]
+        vec![run_stream_shard(cfg, &plan, 0, 1, batches, fingerprint, opts, hooks)]
     } else {
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..opts.shards)
                 .map(|index| {
                     let plan = &plan;
                     scope.spawn(move || {
-                        run_stream_shard(cfg, plan, index, opts.shards, batches, fingerprint, opts)
+                        run_stream_shard(
+                            cfg,
+                            plan,
+                            index,
+                            opts.shards,
+                            batches,
+                            fingerprint,
+                            opts,
+                            hooks,
+                        )
                     })
                 })
                 .collect();
@@ -350,6 +481,9 @@ pub fn run_study_streamed(
                 .collect()
         })
     };
+    if let Some(sink) = &journal_sink {
+        sink.finish()?;
+    }
 
     let merge_start = std::time::Instant::now();
     let mut aggregate = StreamingAggregate::default();

@@ -247,7 +247,7 @@ pub(crate) fn run_partition(
 /// lands in.
 fn run_shard(cfg: &StudyConfig, plan: &WorldPlan, index: u64, shards: u64) -> ShardOutput {
     if cfg.obs.any() {
-        obs::install(Box::new(obs::CollectingRecorder::new(index, cfg.obs.trace)));
+        obs::install(Box::new(obs::CollectingRecorder::with_config(index, cfg.obs)));
     }
     let shard_span = obs::span!("shard.run");
     // The recorder stamps every line with the shard index, so events

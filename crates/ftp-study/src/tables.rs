@@ -28,7 +28,20 @@ pub fn table01_funnel(r: &StudyResults) -> String {
         &pct(f.anonymous, f.ftp_servers),
     ]);
     t.row(["Gave up (hostile/dead)", &thousands(f.gave_up), &pct(f.gave_up, f.open_port)]);
+    t.row(["Funnel invariants", &funnel_invariants_cell(&f), ""]);
     t.render()
+}
+
+/// Renders the funnel's monotonicity self-check for Table I: "ok" when
+/// every stage is consistent, else the violated invariants. A pure
+/// function of the funnel, so every runner prints the same cell.
+fn funnel_invariants_cell(f: &analysis::Funnel) -> String {
+    let violations = f.invariant_violations();
+    if violations.is_empty() {
+        "ok".to_owned()
+    } else {
+        format!("VIOLATED: {}", violations.join("; "))
+    }
 }
 
 /// Table II: server classification.
@@ -479,6 +492,7 @@ pub fn stream_report(agg: &StreamingAggregate, spec: &PopulationSpec) -> String 
         &pct(f.anonymous, f.ftp_servers),
     ]);
     t.row(["Gave up (hostile/dead)", &thousands(f.gave_up), &pct(f.gave_up, f.open_port)]);
+    t.row(["Funnel invariants", &funnel_invariants_cell(&f), ""]);
     out.push_str(&t.render());
     out.push('\n');
 

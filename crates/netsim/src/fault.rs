@@ -72,6 +72,21 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable snake_case label used in host journals and summaries.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            FaultKind::SynBlackhole => "syn_blackhole",
+            FaultKind::MidSessionRst { .. } => "mid_session_rst",
+            FaultKind::Tarpit { .. } => "tarpit",
+            FaultKind::DataChannelBroken => "data_channel_broken",
+            FaultKind::TruncateData { .. } => "truncate_data",
+            FaultKind::GarbageReplies { .. } => "garbage_replies",
+        }
+    }
+}
+
 /// A host's complete fault configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultProfile {

@@ -371,6 +371,7 @@ impl SimCore {
         let Some(c) = self.conns.get_mut(&conn.0) else { return true };
         let on_control = c.responder_port == profile.control_port;
         let lat = c.latency;
+        let faulty_ip = c.responder_ip;
         match profile.kind {
             // Connect-time faults: established traffic is untouched
             // (SynBlackhole never establishes; DataChannelBroken only
@@ -382,6 +383,10 @@ impl SimCore {
                     // Abrupt reset: peer sees close, nothing more flows.
                     c.state = ConnState::Closed;
                     self.schedule(lat, Ev::Close { conn, to_initiator: true });
+                    obs::journal!(
+                        faulty_ip,
+                        obs::JournalEvent::FaultHit { kind: profile.kind.label() }
+                    );
                     true
                 } else {
                     false
@@ -405,6 +410,10 @@ impl SimCore {
                     let c = self.conns.get_mut(&conn.0).expect("conn present");
                     c.drip_until = start + drip.saturating_mul(n as u64);
                 }
+                obs::journal!(
+                    faulty_ip,
+                    obs::JournalEvent::FaultHit { kind: profile.kind.label() }
+                );
                 true
             }
             FaultKind::TruncateData { after_bytes } => {
@@ -426,6 +435,10 @@ impl SimCore {
                         c.state = ConnState::Closed;
                         self.schedule(lat, Ev::Close { conn, to_initiator: true });
                     }
+                    obs::journal!(
+                        faulty_ip,
+                        obs::JournalEvent::FaultHit { kind: profile.kind.label() }
+                    );
                 }
                 true
             }
@@ -442,6 +455,10 @@ impl SimCore {
                 let c = self.conns.get_mut(&conn.0).expect("conn present");
                 c.sent.1 += junk.len() as u64;
                 self.schedule(lat, Ev::Data { conn, to_initiator: true, bytes: junk });
+                obs::journal!(
+                    faulty_ip,
+                    obs::JournalEvent::FaultHit { kind: profile.kind.label() }
+                );
                 true
             }
         }
@@ -974,8 +991,12 @@ impl Simulator {
                 // fires, exactly like a DropAll firewall, but probes
                 // still see the port open.
                 match self.core.faults.get(&dst_ip).map(|p| (p.kind, p.control_port)) {
-                    Some((FaultKind::SynBlackhole, _)) => return,
-                    Some((FaultKind::DataChannelBroken, control)) if dst_port != control => {
+                    Some((kind @ FaultKind::SynBlackhole, _)) => {
+                        obs::journal!(dst_ip, obs::JournalEvent::FaultHit { kind: kind.label() });
+                        return;
+                    }
+                    Some((kind @ FaultKind::DataChannelBroken, control)) if dst_port != control => {
+                        obs::journal!(dst_ip, obs::JournalEvent::FaultHit { kind: kind.label() });
                         return;
                     }
                     _ => {}

@@ -36,9 +36,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
+mod journal;
 mod metrics;
 mod recorder;
 
+pub use journal::{
+    summarize, HostJournal, JournalEvent, JournalSummary, ParsedJournal, JOURNAL_VERSION,
+    REPLY_CLASSES,
+};
 pub use metrics::{
     reply_class_counter, Counter, Gauge, Hist, Histogram, MetricsSnapshot, HIST_BUCKETS,
 };
@@ -69,19 +74,27 @@ pub struct ObsConfig {
     pub trace: bool,
     /// Collect span statistics for the self-profile table.
     pub profile: bool,
+    /// Accumulate per-host [`HostJournal`] records (`--journal`).
+    pub journal: bool,
+    /// Sim-time telemetry sampling interval in microseconds
+    /// (`--timeseries`); 0 disables the sampler.
+    pub timeseries_every_us: u64,
 }
 
 impl ObsConfig {
     /// True when any collection is requested (recorders get installed).
     #[must_use]
     pub fn any(self) -> bool {
-        self.metrics || self.trace || self.profile
+        self.metrics || self.trace || self.profile || self.journal || self.timeseries_every_us > 0
     }
 
-    /// Everything on — used by tests and the bench overhead stage.
+    /// Everything from the PR-4 surface on — used by tests and the
+    /// bench overhead stage. Journaling and the time-series sampler stay
+    /// off here so the long-standing `full_study_k1_obs` bench baseline
+    /// keeps measuring the same work; they have their own bench stage.
     #[must_use]
     pub fn all() -> Self {
-        ObsConfig { metrics: true, trace: true, profile: true }
+        ObsConfig { metrics: true, trace: true, profile: true, ..ObsConfig::default() }
     }
 }
 
@@ -98,6 +111,17 @@ mod gate {
         /// simulator event loop so recorders can stamp events without
         /// reaching into the sim.
         pub(super) static SIM_NOW: Cell<u64> = const { Cell::new(0) };
+        /// Fast flag mirroring "the installed recorder journals"; keeps
+        /// the [`crate::journal!`] no-journal cost to one TLS bool load.
+        pub(super) static JOURNAL: Cell<bool> = const { Cell::new(false) };
+        /// Current stream batch index, published by the stream runner so
+        /// journal entries and telemetry rows carry their batch tag.
+        pub(super) static BATCH: Cell<u64> = const { Cell::new(0) };
+        /// Telemetry sampling interval (sim-µs); 0 when sampling is off.
+        pub(super) static SAMPLE_EVERY: Cell<u64> = const { Cell::new(0) };
+        /// Next sim-time boundary to sample at; `u64::MAX` parks the
+        /// check so the hot `set_sim_now` path is one compare.
+        pub(super) static SAMPLE_NEXT: Cell<u64> = const { Cell::new(u64::MAX) };
         pub(super) static RECORDER: RefCell<Option<Box<dyn Recorder>>> =
             const { RefCell::new(None) };
     }
@@ -127,8 +151,14 @@ use std::cell::Cell;
 pub fn install(recorder: Box<dyn Recorder>) {
     #[cfg(feature = "enabled")]
     {
+        let journal = recorder.journal_enabled();
+        let every = recorder.sample_interval_us();
         gate::RECORDER.with(|r| *r.borrow_mut() = Some(recorder));
         gate::ACTIVE.with(|a| a.set(true));
+        gate::JOURNAL.with(|j| j.set(journal));
+        gate::BATCH.with(|b| b.set(0));
+        gate::SAMPLE_EVERY.with(|e| e.set(every));
+        gate::SAMPLE_NEXT.with(|n| n.set(if every == 0 { u64::MAX } else { every }));
     }
     #[cfg(not(feature = "enabled"))]
     {
@@ -142,6 +172,10 @@ pub fn uninstall() -> Option<Box<dyn Recorder>> {
     #[cfg(feature = "enabled")]
     {
         gate::ACTIVE.with(|a| a.set(false));
+        gate::JOURNAL.with(|j| j.set(false));
+        gate::BATCH.with(|b| b.set(0));
+        gate::SAMPLE_EVERY.with(|e| e.set(0));
+        gate::SAMPLE_NEXT.with(|n| n.set(u64::MAX));
         gate::RECORDER.with(|r| r.borrow_mut().take())
     }
     #[cfg(not(feature = "enabled"))]
@@ -152,13 +186,41 @@ pub fn uninstall() -> Option<Box<dyn Recorder>> {
 
 /// Publishes the current simulated time (microseconds). Called by the
 /// simulator event loop once per dispatched event, only when
-/// [`enabled()`].
+/// [`enabled()`]. This is also the telemetry sampler's clock source:
+/// when sim time crosses the next sampling boundary the recorder is
+/// asked for one metrics row per crossed boundary (the cost when
+/// sampling is off is a single parked `u64` compare).
 #[inline]
 pub fn set_sim_now(sim_us: u64) {
     #[cfg(feature = "enabled")]
-    gate::SIM_NOW.with(|t| t.set(sim_us));
+    {
+        gate::SIM_NOW.with(|t| t.set(sim_us));
+        if sim_us >= gate::SAMPLE_NEXT.with(Cell::get) {
+            sample_crossed_boundaries(sim_us);
+        }
+    }
     #[cfg(not(feature = "enabled"))]
     let _ = sim_us;
+}
+
+/// Emits one telemetry sample per sampling boundary in
+/// `(SAMPLE_NEXT ..= sim_us]` and advances the boundary. Cold: only
+/// entered when a boundary was actually crossed.
+#[cfg(feature = "enabled")]
+#[cold]
+fn sample_crossed_boundaries(sim_us: u64) {
+    let every = gate::SAMPLE_EVERY.with(Cell::get);
+    if every == 0 {
+        return;
+    }
+    let batch = gate::BATCH.with(Cell::get);
+    let mut next = gate::SAMPLE_NEXT.with(Cell::get);
+    while sim_us >= next {
+        let boundary = next;
+        with_recorder(|r| r.sim_sample(boundary, batch));
+        next += every;
+    }
+    gate::SAMPLE_NEXT.with(|n| n.set(next));
 }
 
 /// The last published simulated time (microseconds); 0 outside a run.
@@ -247,6 +309,107 @@ pub fn emit_event(name: &'static str, fields: &[Field<'_>]) {
     {
         let _ = (name, fields);
     }
+}
+
+/// Publishes the stream batch index the current thread is executing.
+/// Journal entries and telemetry rows opened after this call carry the
+/// new batch tag; the telemetry sampling boundary is re-armed because
+/// the stream runner resets the sim clock to 0 between batches.
+pub fn set_batch(batch: u64) {
+    #[cfg(feature = "enabled")]
+    {
+        gate::BATCH.with(|b| b.set(batch));
+        let every = gate::SAMPLE_EVERY.with(Cell::get);
+        gate::SAMPLE_NEXT.with(|n| n.set(if every == 0 { u64::MAX } else { every }));
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = batch;
+}
+
+/// The last published stream batch index (0 for in-memory runs).
+#[inline]
+#[must_use]
+pub fn batch() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        gate::BATCH.with(Cell::get)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// True when the installed recorder accumulates host journals; the
+/// [`journal!`] macro's fast gate (one TLS bool load when off).
+#[inline(always)]
+#[must_use]
+pub fn journal_on() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        gate::JOURNAL.with(Cell::get)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Forwards one host-journal event to the recorder, stamped with the
+/// last published sim time and batch. Prefer the [`journal!`] macro,
+/// which skips argument evaluation entirely when journaling is off.
+#[inline]
+pub fn journal_event(ip: std::net::Ipv4Addr, ev: &JournalEvent) {
+    #[cfg(feature = "enabled")]
+    {
+        if journal_on() {
+            let now = sim_now();
+            let batch = batch();
+            with_recorder(|r| r.journal(ip, now, batch, ev));
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (ip, ev);
+    }
+}
+
+/// Drains the current thread's accumulated host journals as rendered
+/// JSONL lines (sorted by host address), clearing the recorder's
+/// buffer. The stream runner calls this after every batch so journal
+/// memory never outlives a `(shard, batch)` slice; journals still
+/// buffered at [`Recorder::finish`] time ride out in the [`Report`].
+pub fn drain_journal(out: &mut Vec<String>) {
+    #[cfg(feature = "enabled")]
+    {
+        if enabled() {
+            with_recorder(|r| r.drain_journal(out));
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = out;
+    }
+}
+
+/// Records one [`JournalEvent`] for host `ip`:
+///
+/// ```
+/// # let ip = std::net::Ipv4Addr::new(10, 0, 0, 1);
+/// obs::journal!(ip, obs::JournalEvent::Phase { phase: "banner" });
+/// ```
+///
+/// Folds away entirely when the `enabled` feature is off; with the
+/// feature on but journaling not requested, the cost is one
+/// thread-local boolean load and the event expression is never
+/// evaluated.
+#[macro_export]
+macro_rules! journal {
+    ($ip:expr, $ev:expr) => {
+        if $crate::ENABLED && $crate::journal_on() {
+            $crate::journal_event($ip, &$ev);
+        }
+    };
 }
 
 /// RAII guard for a profiling span; created by [`span!`]. Records
@@ -418,6 +581,57 @@ mod tests {
         event!("no.recorder", x = 1u64);
         let _span = span!("no.recorder");
         counter(Counter::Connects, 1);
+    }
+
+    #[test]
+    fn journal_macro_routes_through_gate() {
+        use std::net::Ipv4Addr;
+        let ip = Ipv4Addr::new(10, 0, 0, 9);
+        // No journaling requested: the macro is inert.
+        install(Box::new(CollectingRecorder::new(0, false)));
+        assert!(!journal_on());
+        journal!(ip, JournalEvent::SessionStart);
+        let report = uninstall().unwrap().finish();
+        assert!(report.journal.is_empty());
+
+        // Journaling on: events accumulate per host, batch tag applies.
+        let cfg = ObsConfig { journal: true, ..ObsConfig::default() };
+        install(Box::new(CollectingRecorder::with_config(3, cfg)));
+        assert!(journal_on());
+        set_batch(4);
+        set_sim_now(1_500);
+        journal!(ip, JournalEvent::SessionStart);
+        journal!(ip, JournalEvent::Phase { phase: "banner" });
+        let mut drained = Vec::new();
+        drain_journal(&mut drained);
+        assert_eq!(drained.len(), 1);
+        assert!(drained[0].contains("\"ip\":\"10.0.0.9\""), "{}", drained[0]);
+        assert!(drained[0].contains("\"shard\":3,\"batch\":4"), "{}", drained[0]);
+        assert!(drained[0].contains("\"start_us\":1500"), "{}", drained[0]);
+        // Drained journals are gone from the final report.
+        let report = uninstall().unwrap().finish();
+        assert!(report.journal.is_empty());
+        assert!(!journal_on());
+    }
+
+    #[test]
+    fn sampler_emits_one_row_per_crossed_boundary() {
+        let cfg = ObsConfig { metrics: true, timeseries_every_us: 1_000, ..ObsConfig::default() };
+        install(Box::new(CollectingRecorder::with_config(2, cfg)));
+        counter(Counter::Connects, 1);
+        set_sim_now(500); // below the first boundary
+        counter(Counter::Connects, 1);
+        set_sim_now(3_200); // crosses 1000, 2000, 3000
+        let report = uninstall().unwrap().finish();
+        assert_eq!(report.series.len(), 3);
+        assert!(report.series[0].starts_with("2,0,1,"), "{}", report.series[0]);
+        assert!(report.series[1].starts_with("2,0,2,"), "{}", report.series[1]);
+        assert!(report.series[2].starts_with("2,0,3,"), "{}", report.series[2]);
+        let header = Report::timeseries_header();
+        assert!(header.starts_with("shard,batch,t_ms,sim_events,"));
+        assert_eq!(header.split(',').count() - 3, Counter::COUNT);
+        // Each row has one value per counter after the three tags.
+        assert_eq!(report.series[0].split(',').count() - 3, Counter::COUNT);
     }
 
     #[test]

@@ -117,6 +117,12 @@ registry_enum! {
         /// LIST bodies served from the ftpd per-engine listing arena
         /// without re-rendering.
         ListCacheHits => "list_cache_hits",
+        /// Slab slots orphaned by `simvfs` subtree removal: `remove`
+        /// detaches the subtree but nothing frees the slots (DESIGN.md
+        /// §8), so this counts the garbage a long-lived VFS carries.
+        /// Summed across shards like every counter (the slots are
+        /// per-shard arenas, so the sum is the fleet-wide total).
+        VfsDeadNodes => "vfs_dead_nodes",
     }
 }
 

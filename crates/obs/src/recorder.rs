@@ -8,10 +8,13 @@
 //! the simulation, which is how the determinism contract ("tracing
 //! observes, never perturbs") is kept.
 
+use crate::journal::{HostJournal, JournalEvent};
 use crate::metrics::{Counter, Gauge, Hist, MetricsSnapshot};
+use crate::ObsConfig;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::net::Ipv4Addr;
 use std::time::Instant;
 
 /// A typed field value attached to an event.
@@ -104,6 +107,38 @@ pub trait Recorder {
     fn span_exit(&self, sim_us: u64, name: &'static str, wall: Instant);
     /// Consumes the recorder and returns everything it collected.
     fn finish(self: Box<Self>) -> Report;
+
+    /// True when this recorder accumulates host journals. The install
+    /// path caches the answer in a thread-local so the `journal!` fast
+    /// gate never virtual-dispatches. Default: no journaling.
+    fn journal_enabled(&self) -> bool {
+        false
+    }
+
+    /// Sim-time telemetry sampling interval in microseconds; 0 (the
+    /// default) disables the sampler.
+    fn sample_interval_us(&self) -> u64 {
+        0
+    }
+
+    /// Folds one host-journal event for `ip`, stamped at `sim_us` in
+    /// stream batch `batch`. Default: dropped.
+    fn journal(&self, ip: Ipv4Addr, sim_us: u64, batch: u64, ev: &JournalEvent) {
+        let _ = (ip, sim_us, batch, ev);
+    }
+
+    /// Moves the accumulated host journals out as rendered JSONL lines
+    /// (sorted by host address), clearing the buffer. Default: no-op.
+    fn drain_journal(&self, out: &mut Vec<String>) {
+        let _ = out;
+    }
+
+    /// Takes one telemetry sample at sim-time `boundary_us` in stream
+    /// batch `batch` (called by the gate once per crossed sampling
+    /// boundary). Default: dropped.
+    fn sim_sample(&self, boundary_us: u64, batch: u64) {
+        let _ = (boundary_us, batch);
+    }
 }
 
 /// Aggregated statistics for one span name.
@@ -148,12 +183,22 @@ pub struct Report {
     pub spans: Vec<SpanStat>,
     /// Pre-rendered JSONL trace lines (empty unless tracing was on).
     pub trace: Vec<String>,
+    /// Rendered host-journal JSONL lines still buffered at finish time
+    /// (the whole run for in-memory studies; empty for streamed runs,
+    /// which drain per batch). Sorted by host address per shard.
+    pub journal: Vec<String>,
+    /// Rendered telemetry CSV rows (no header), in sample order per
+    /// shard; empty unless the sampler was armed.
+    pub series: Vec<String>,
 }
 
 impl Report {
     /// Merges another shard's report into this one. Trace lines are
     /// concatenated (each line already carries its shard index), spans
-    /// merge by name, metrics merge per [`MetricsSnapshot::absorb`].
+    /// merge by name, metrics merge per [`MetricsSnapshot::absorb`];
+    /// journal and telemetry lines concatenate like the trace (each
+    /// line carries its shard tag, and callers merge in shard-index
+    /// order, so the merged order is deterministic).
     pub fn absorb(&mut self, other: Report) {
         self.metrics.absorb(&other.metrics);
         for stat in &other.spans {
@@ -164,6 +209,8 @@ impl Report {
         }
         self.spans.sort_by(|a, b| a.name.cmp(b.name));
         self.trace.extend(other.trace);
+        self.journal.extend(other.journal);
+        self.series.extend(other.series);
     }
 
     /// Records a span measured outside any recorder (e.g. the merge
@@ -191,6 +238,45 @@ impl Report {
         let mut out = String::with_capacity(self.trace.iter().map(|l| l.len() + 1).sum());
         for line in &self.trace {
             out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The buffered host journals as one JSONL string (one host per
+    /// line). In-memory runs export through this; streamed runs write
+    /// incrementally per batch instead.
+    #[must_use]
+    pub fn journal_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.journal.iter().map(|l| l.len() + 1).sum());
+        for line in &self.journal {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The header line for the telemetry CSV: partition coordinates
+    /// followed by every counter in registry order.
+    #[must_use]
+    pub fn timeseries_header() -> String {
+        let mut out = String::from("shard,batch,t_ms");
+        for c in Counter::ALL {
+            out.push(',');
+            out.push_str(c.name());
+        }
+        out
+    }
+
+    /// The telemetry series as a CSV document (header + one row per
+    /// sample). Rows carry cumulative per-shard counter values tagged
+    /// `(shard, batch, t_ms)`; rates are first differences per shard.
+    #[must_use]
+    pub fn timeseries_csv(&self) -> String {
+        let mut out = Report::timeseries_header();
+        out.push('\n');
+        for row in &self.series {
+            out.push_str(row);
             out.push('\n');
         }
         out
@@ -249,20 +335,41 @@ pub struct CollectingRecorder {
     stack: RefCell<Vec<Frame>>,
     agg: RefCell<BTreeMap<&'static str, SpanStat>>,
     trace: Option<RefCell<Vec<String>>>,
+    /// Host journals keyed by the host's u32 address, so drains render
+    /// in deterministic address order regardless of event arrival order.
+    journal: Option<RefCell<BTreeMap<u32, HostJournal>>>,
+    /// Rendered telemetry CSV rows, in sample order.
+    series: Option<RefCell<Vec<String>>>,
+    /// Telemetry sampling interval (sim-µs); 0 when sampling is off.
+    sample_every_us: u64,
     seq: Cell<u64>,
 }
 
 impl CollectingRecorder {
     /// Creates a recorder for shard `shard`; `trace` enables the JSONL
     /// buffer (events and spans are recorded as lines as they happen).
+    /// Journaling and telemetry stay off — use [`Self::with_config`].
     #[must_use]
     pub fn new(shard: u64, trace: bool) -> Self {
+        CollectingRecorder::with_config(shard, ObsConfig { trace, ..ObsConfig::default() })
+    }
+
+    /// Creates a recorder for shard `shard` collecting what `cfg`
+    /// requests. Metrics and span statistics are always collected (they
+    /// are cheap flat arrays and both the `--metrics` and `--profile`
+    /// exports read them); `cfg` gates the allocation-bearing buffers:
+    /// trace lines, host journals, and the telemetry series.
+    #[must_use]
+    pub fn with_config(shard: u64, cfg: ObsConfig) -> Self {
         CollectingRecorder {
             shard,
             metrics: RefCell::new(MetricsSnapshot::default()),
             stack: RefCell::new(Vec::with_capacity(8)),
             agg: RefCell::new(BTreeMap::new()),
-            trace: trace.then(|| RefCell::new(Vec::new())),
+            trace: cfg.trace.then(|| RefCell::new(Vec::new())),
+            journal: cfg.journal.then(|| RefCell::new(BTreeMap::new())),
+            series: (cfg.timeseries_every_us > 0).then(|| RefCell::new(Vec::new())),
+            sample_every_us: cfg.timeseries_every_us,
             seq: Cell::new(0),
         }
     }
@@ -281,7 +388,7 @@ impl CollectingRecorder {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -410,7 +517,60 @@ impl Recorder for CollectingRecorder {
         let metrics = self.metrics.into_inner();
         let spans: Vec<SpanStat> = self.agg.into_inner().into_values().collect();
         let trace = self.trace.map(RefCell::into_inner).unwrap_or_default();
-        Report { metrics, spans, trace }
+        let journal = self
+            .journal
+            .map(|map| {
+                map.into_inner()
+                    .into_values()
+                    .map(|j| {
+                        let mut line = String::with_capacity(256);
+                        j.render(&mut line);
+                        line
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let series = self.series.map(RefCell::into_inner).unwrap_or_default();
+        Report { metrics, spans, trace, journal, series }
+    }
+
+    fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    fn sample_interval_us(&self) -> u64 {
+        self.sample_every_us
+    }
+
+    fn journal(&self, ip: Ipv4Addr, sim_us: u64, batch: u64, ev: &JournalEvent) {
+        if let Some(map) = &self.journal {
+            map.borrow_mut()
+                .entry(u32::from(ip))
+                .or_insert_with(|| HostJournal::new(ip, self.shard, batch))
+                .note(sim_us, ev);
+        }
+    }
+
+    fn drain_journal(&self, out: &mut Vec<String>) {
+        if let Some(map) = &self.journal {
+            for j in std::mem::take(&mut *map.borrow_mut()).into_values() {
+                let mut line = String::with_capacity(256);
+                j.render(&mut line);
+                out.push(line);
+            }
+        }
+    }
+
+    fn sim_sample(&self, boundary_us: u64, batch: u64) {
+        if let Some(series) = &self.series {
+            let m = self.metrics.borrow();
+            let mut row = String::with_capacity(16 + Counter::COUNT * 8);
+            let _ = write!(row, "{},{},{}", self.shard, batch, boundary_us / 1_000);
+            for c in Counter::ALL {
+                let _ = write!(row, ",{}", m.counter(c));
+            }
+            series.borrow_mut().push(row);
+        }
     }
 }
 

@@ -1052,13 +1052,29 @@ impl Vfs {
         match self.detach_child(parent, name) {
             // The subtree's slots become unreachable garbage in the
             // slab; nothing frees them (removal is rare and the slab
-            // dies with its host).
-            Some(_) => {
+            // dies with its host). The gauge makes that leak visible.
+            Some(node) => {
+                if obs::enabled() {
+                    obs::counter(obs::Counter::VfsDeadNodes, self.subtree_slots(node));
+                }
                 self.generation += 1;
                 Ok(())
             }
             None => Err(VfsError::NotFound { path: path.to_owned() }),
         }
+    }
+
+    /// Slab slots in the subtree rooted at `node`, including `node`.
+    fn subtree_slots(&self, node: u32) -> u64 {
+        let mut stack = vec![node];
+        let mut n = 0u64;
+        while let Some(ix) = stack.pop() {
+            n += 1;
+            if let Slot::Dir(d) = &self.nodes[ix as usize].kind {
+                stack.extend_from_slice(&d.children);
+            }
+        }
+        n
     }
 
     /// Renames `from` to `to` (FTP `RNFR`/`RNTO`). The subtree keeps its

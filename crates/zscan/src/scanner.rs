@@ -189,6 +189,15 @@ fn rank(s: ProbeStatus) -> u8 {
     }
 }
 
+/// Stable label for a probe status / verdict, used in host journals.
+fn status_label(rank: u8) -> &'static str {
+    match rank {
+        2 => "open",
+        1 => "closed",
+        _ => "filtered",
+    }
+}
+
 /// The scanning endpoint. Register it, bind nothing, and kick it with a
 /// timer; when the simulator drains, read [`HostDiscovery`]'s results via
 /// the shared handle returned by [`HostDiscovery::new`].
@@ -278,8 +287,9 @@ impl HostDiscovery {
                 blocked += 1;
                 continue;
             }
-            for _ in 0..probes {
+            for k in 0..probes {
                 self.targets.push(ip);
+                obs::journal!(ip, obs::JournalEvent::ProbeSent { attempt: k + 1 });
             }
             // `ix` is the address's offset in the space — the slot index.
             self.slots[ix as usize] = ProbeSlot { remaining: probes, best: 0 };
@@ -310,6 +320,7 @@ impl Endpoint for HostDiscovery {
 
     fn on_probe(&mut self, _ctx: &mut Ctx<'_>, target: Ipv4Addr, _port: u16, status: ProbeStatus) {
         let Some(ix) = self.cfg.space.index_of(target) else { return };
+        obs::journal!(target, obs::JournalEvent::ProbeReply { status: status_label(rank(status)) });
         let slot = &mut self.slots[ix as usize];
         if slot.remaining == 0 {
             // Never probed, or verdict already recorded (an Open answer
@@ -323,6 +334,7 @@ impl Endpoint for HostDiscovery {
             let best = slot.best;
             slot.remaining = 0;
             self.outstanding -= 1;
+            obs::journal!(target, obs::JournalEvent::ProbeVerdict { verdict: status_label(best) });
             let mut r = self.results.borrow_mut();
             match best {
                 2 => r.open.push(target),

@@ -5,6 +5,8 @@
 //! ftpcloud study [--scale N] [--servers N] [--seed S] [--shards K]
 //!                [--batch-size B] [--checkpoint-dir DIR] [--resume DIR]
 //!                [--trace OUT.jsonl] [--metrics OUT.json] [--profile]
+//!                [--journal OUT.jsonl] [--timeseries OUT.csv]
+//!                [--timeseries-every MS] [--progress]
 //!                                            run the full pipeline, print every table;
 //!                                            --servers sizes the world by host count
 //!                                            (e.g. --servers 1000000) instead of paper
@@ -17,11 +19,22 @@
 //!                                            batch, and --resume continues from such a
 //!                                            directory to a byte-identical report;
 //!                                            --trace/--metrics/--profile turn on the
-//!                                            observability layer (never changes results)
+//!                                            observability layer (never changes results);
+//!                                            --journal records one flight-recorder line
+//!                                            per host, --timeseries samples every metric
+//!                                            every MS sim-milliseconds (default 500), and
+//!                                            --progress prints a wall-clock heartbeat in
+//!                                            streamed mode — none of which changes results
 //! ftpcloud funnel [--servers N] [--seed S] [--faults PCT] [--shards K]
 //!                [--trace OUT.jsonl] [--metrics OUT.json] [--profile]
+//!                [--journal OUT.jsonl] [--timeseries OUT.csv]
 //!                                            quick Table I funnel on a small world;
 //!                                            --faults makes PCT% of it hostile
+//! ftpcloud explain [IP] --journal J.jsonl [--top gave-up|faults]
+//!                                            reconstruct a host's timeline from a journal
+//!                                            written by `study --journal`; without an IP,
+//!                                            summarize the whole journal (funnel, top
+//!                                            gave-up reasons, fault encounters)
 //! ftpcloud honeypot [--days D] [--pots N]    run the §VIII experiment
 //! ftpcloud certify [--servers N]             CyberUL fleet audit (§X)
 //! ftpcloud notify [--servers N]              responsible-disclosure digests (§III-A)
@@ -52,46 +65,152 @@ fn switch(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-/// Parses the three observability flags shared by `study` and `funnel`
-/// into the paths to write plus the pipeline-facing [`obs::ObsConfig`].
-fn obs_flags(args: &[String]) -> (Option<&str>, Option<&str>, bool, obs::ObsConfig) {
+/// The observability flags shared by `study` and `funnel`: the sink
+/// paths to write plus the pipeline-facing [`obs::ObsConfig`].
+struct ObsCli<'a> {
+    trace: Option<&'a str>,
+    metrics: Option<&'a str>,
+    profile: bool,
+    journal: Option<&'a str>,
+    timeseries: Option<&'a str>,
+    cfg: obs::ObsConfig,
+}
+
+fn obs_flags(args: &[String]) -> ObsCli<'_> {
     let trace = str_flag(args, "--trace");
     let metrics = str_flag(args, "--metrics");
     let profile = switch(args, "--profile");
+    let journal = str_flag(args, "--journal");
+    let timeseries = str_flag(args, "--timeseries");
+    let every_ms = flag(args, "--timeseries-every").unwrap_or(500).max(1);
     let cfg = obs::ObsConfig {
         // A metrics file is always worth collecting alongside a trace;
         // the snapshot rides in the same recorder for free.
         metrics: metrics.is_some() || trace.is_some() || profile,
         trace: trace.is_some(),
         profile,
+        journal: journal.is_some(),
+        timeseries_every_us: if timeseries.is_some() { every_ms * 1_000 } else { 0 },
     };
-    (trace, metrics, profile, cfg)
+    ObsCli { trace, metrics, profile, journal, timeseries, cfg }
 }
 
 /// Writes the requested observability sinks out of a finished study.
-fn write_obs_outputs(
-    report: Option<&obs::Report>,
-    trace: Option<&str>,
-    metrics: Option<&str>,
-    profile: bool,
-) {
+/// `journal` overrides [`ObsCli::journal`] — streamed runs flush their
+/// journals per batch through [`StreamOptions::journal_path`] and pass
+/// `None` here so the already-written file is not clobbered.
+fn write_obs_outputs(report: Option<&obs::Report>, cli: &ObsCli, journal: Option<&str>) {
     let Some(report) = report else { return };
-    if let Some(path) = trace {
+    if let Some(path) = cli.trace {
         if let Err(e) = std::fs::write(path, report.trace_jsonl()) {
             eprintln!("warning: could not write trace {path}: {e}");
         } else {
             eprintln!("trace written to {path} ({} lines)", report.trace.len());
         }
     }
-    if let Some(path) = metrics {
+    if let Some(path) = cli.metrics {
         if let Err(e) = std::fs::write(path, report.metrics.render_json()) {
             eprintln!("warning: could not write metrics {path}: {e}");
         } else {
             eprintln!("metrics snapshot written to {path}");
         }
     }
-    if profile {
+    if let Some(path) = journal {
+        if let Err(e) = std::fs::write(path, report.journal_jsonl()) {
+            eprintln!("warning: could not write journal {path}: {e}");
+        } else {
+            eprintln!("host journal written to {path} ({} hosts)", report.journal.len());
+        }
+    }
+    if let Some(path) = cli.timeseries {
+        if let Err(e) = std::fs::write(path, report.timeseries_csv()) {
+            eprintln!("warning: could not write timeseries {path}: {e}");
+        } else {
+            eprintln!("timeseries written to {path} ({} samples)", report.series.len());
+        }
+    }
+    if cli.profile {
         println!("{}", report.render_profile());
+    }
+}
+
+/// `ftpcloud explain`: reconstructs host timelines (or a whole-journal
+/// summary) from a `--journal` file alone — no rerun needed.
+fn explain(args: &[String]) {
+    let Some(path) = str_flag(args, "--journal") else {
+        eprintln!("explain needs --journal FILE (written by `study --journal FILE`)");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(journals) = obs::ParsedJournal::parse_file(&text) else {
+        eprintln!("error: {path} is not a v{} host journal", obs::JOURNAL_VERSION);
+        std::process::exit(1);
+    };
+
+    // A bare positional argument after the subcommand is the host to
+    // explain; without one the whole journal is summarized.
+    if let Some(raw) = args.get(1).filter(|a| !a.starts_with("--")) {
+        let Ok(ip) = raw.parse::<std::net::Ipv4Addr>() else {
+            eprintln!("error: {raw} is not an IPv4 address");
+            std::process::exit(2);
+        };
+        let matched: Vec<_> = journals.iter().filter(|j| j.ip == ip).collect();
+        if matched.is_empty() {
+            eprintln!("no journal entry for {ip} in {path} ({} hosts)", journals.len());
+            std::process::exit(1);
+        }
+        for j in matched {
+            println!("{}", j.timeline());
+        }
+        return;
+    }
+
+    let s = obs::summarize(&journals);
+    let top = str_flag(args, "--top");
+    let gave_up_total: u64 = s.gave_up.iter().map(|&(_, n)| n).sum();
+    if top.is_none() {
+        println!(
+            "journal: {} hosts probed, {} open, {} sessions, {} ftp, {} anonymous, \
+             {} gave up, {} connect retries",
+            s.hosts, s.open, s.sessions, s.ftp, s.anonymous, gave_up_total, s.retries
+        );
+        let funnel = analysis::Funnel {
+            ips_scanned: s.hosts,
+            open_port: s.open,
+            ftp_servers: s.ftp,
+            anonymous: s.anonymous,
+            gave_up: gave_up_total,
+        };
+        let violations = funnel.invariant_violations();
+        if violations.is_empty() {
+            println!("funnel invariants: ok");
+        } else {
+            println!("funnel invariants: VIOLATED: {}", violations.join("; "));
+        }
+    }
+    if matches!(top, None | Some("gave-up")) {
+        println!("gave up, by reason:");
+        for (reason, n) in &s.gave_up {
+            println!("{n:>8}  {reason}");
+        }
+    }
+    if matches!(top, None | Some("faults")) {
+        println!("fault encounters, by kind:");
+        for (kind, n) in &s.faults {
+            println!("{n:>8}  {kind}");
+        }
+    }
+    if let Some(other) = top {
+        if other != "gave-up" && other != "faults" {
+            eprintln!("error: --top takes gave-up or faults, not {other}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -106,7 +225,7 @@ fn main() {
             let batch_size = flag(&args, "--batch-size");
             let checkpoint_dir = str_flag(&args, "--checkpoint-dir");
             let resume = str_flag(&args, "--resume");
-            let (trace, metrics, profile, obs_cfg) = obs_flags(&args);
+            let obs_cli = obs_flags(&args);
 
             // --servers sizes the world directly (the million-host
             // entry point); --scale keeps the paper-ratio sizing.
@@ -120,7 +239,7 @@ fn main() {
             );
             let mut cfg = StudyConfig::new(spec);
             cfg.request_gap = netsim::SimDuration::from_millis(20);
-            cfg.obs = obs_cfg;
+            cfg.obs = obs_cli.cfg;
 
             let Some(batch_size) = batch_size else {
                 if checkpoint_dir.is_some() || resume.is_some() {
@@ -129,16 +248,18 @@ fn main() {
                 }
                 let results = run_study_sharded(&cfg, shards);
                 println!("{}", tables::full_report(&results));
-                write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
+                write_obs_outputs(results.obs.as_ref(), &obs_cli, obs_cli.journal);
                 return;
             };
 
             // Streamed mode: bounded memory, no record vector. The
             // observability recorder rides along per shard exactly as
-            // in the in-memory path.
+            // in the in-memory path; journals flush per batch.
             let opts = StreamOptions {
                 shards,
                 checkpoint_dir: checkpoint_dir.or(resume).map(std::path::PathBuf::from),
+                journal_path: obs_cli.journal.map(std::path::PathBuf::from),
+                progress: switch(&args, "--progress"),
                 ..StreamOptions::new(batch_size as usize)
             };
             match run_study_streamed(&cfg, &opts) {
@@ -148,7 +269,10 @@ fn main() {
                         "streamed {} shard(s) × {} batch(es) of ≤{} hosts",
                         results.shards, results.batches, batch_size
                     );
-                    write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
+                    if let Some(path) = obs_cli.journal {
+                        eprintln!("host journal written to {path}");
+                    }
+                    write_obs_outputs(results.obs.as_ref(), &obs_cli, None);
                 }
                 Ok(StreamOutcome::Interrupted { next_batches }) => {
                     eprintln!("study interrupted; per-shard resume cursors: {next_batches:?}");
@@ -164,13 +288,16 @@ fn main() {
             let servers = flag(&args, "--servers").unwrap_or(800) as usize;
             let faults = flag(&args, "--faults").unwrap_or(0);
             let shards = flag(&args, "--shards").unwrap_or(1).max(1);
-            let (trace, metrics, profile, obs_cfg) = obs_flags(&args);
+            let obs_cli = obs_flags(&args);
             let mut cfg =
                 StudyConfig::small(seed, servers).with_fault_fraction(faults as f64 / 100.0);
-            cfg.obs = obs_cfg;
+            cfg.obs = obs_cli.cfg;
             let results = run_study_sharded(&cfg, shards);
             println!("{}", tables::table01_funnel(&results));
-            write_obs_outputs(results.obs.as_ref(), trace, metrics, profile);
+            write_obs_outputs(results.obs.as_ref(), &obs_cli, obs_cli.journal);
+        }
+        Some("explain") => {
+            explain(&args);
         }
         Some("honeypot") => {
             let days = flag(&args, "--days").unwrap_or(90);
@@ -206,7 +333,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ftpcloud <study|funnel|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--batch-size B] [--checkpoint-dir DIR] [--resume DIR] [--faults PCT] [--days D] [--pots N] [--trace OUT.jsonl] [--metrics OUT.json] [--profile]"
+                "usage: ftpcloud <study|funnel|explain|honeypot|certify|notify|verdicts> [--scale N] [--seed S] [--shards K] [--servers N] [--batch-size B] [--checkpoint-dir DIR] [--resume DIR] [--faults PCT] [--days D] [--pots N] [--trace OUT.jsonl] [--metrics OUT.json] [--profile] [--journal OUT.jsonl] [--timeseries OUT.csv] [--timeseries-every MS] [--progress] [--top gave-up|faults]"
             );
             std::process::exit(2);
         }

@@ -239,6 +239,60 @@ fn streamed_study_peak_heap_stays_bounded() {
     );
 }
 
+/// Peak-live-bytes ceiling with the flight recorder on: per-batch
+/// journal flushing must keep a streamed run's high-water mark a
+/// fraction of the in-memory path's, which holds every probed address's
+/// journal in the recorder until shard end. Same 0.7 tripwire as the
+/// baseline streaming test — if flushing silently stops draining (or
+/// drains without rendering), the streamed side re-accumulates
+/// O(space) journals and blows through it.
+#[test]
+fn streamed_study_peak_heap_stays_bounded_with_journaling() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let mut cfg = StudyConfig::small(SEED, 150);
+    cfg.obs = obs::ObsConfig { journal: true, ..obs::ObsConfig::default() };
+    let journal = std::env::temp_dir()
+        .join(format!("ftpcloud_alloc_journal_{}.jsonl", std::process::id()));
+    let opts = StreamOptions {
+        journal_path: Some(journal.clone()),
+        ..StreamOptions::new(25)
+    };
+
+    // Warm both paths once so lazy initialization doesn't count.
+    drop(run_study(&cfg));
+    drop(run_study_streamed(&cfg, &opts));
+
+    bench::reset();
+    let results = run_study(&cfg);
+    let legacy_peak = bench::peak_growth_since_reset();
+    let in_memory_journals = results.obs.as_ref().expect("journaling requested").journal.len();
+    assert!(in_memory_journals > 0, "in-memory path collected journals");
+    drop(results);
+
+    bench::reset();
+    let outcome = run_study_streamed(&cfg, &opts).expect("streamed study runs");
+    let streamed_peak = bench::peak_growth_since_reset();
+    match outcome {
+        StreamOutcome::Complete(r) => assert!(r.aggregate.summary.hosts > 0),
+        StreamOutcome::Interrupted { .. } => panic!("no interrupt requested"),
+    }
+    let flushed = std::fs::read_to_string(&journal).expect("journal written");
+    let _ = std::fs::remove_file(&journal);
+    assert_eq!(
+        flushed.lines().count(),
+        in_memory_journals,
+        "streamed flushing must cover every journal the in-memory path collects"
+    );
+
+    let ceiling = (legacy_peak as f64 * 0.7) as u64;
+    assert!(
+        streamed_peak <= ceiling,
+        "streamed+journal peak heap {streamed_peak} B exceeds {ceiling} B \
+         (70% of in-memory peak {legacy_peak} B) — per-batch journal flushing regressed"
+    );
+}
+
 /// Allocation-count ceiling for the streaming pipeline, pinned as a
 /// ratio against the in-memory path on the same world. The perf-wave-2
 /// diet (one `Simulator` arena per shard reset between batches, a

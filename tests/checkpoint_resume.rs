@@ -15,7 +15,7 @@ use ftp_study::{
     StreamOutcome, StreamResults, StudyConfig,
 };
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 const SEED: u64 = 4242;
@@ -113,7 +113,7 @@ fn multi_shard_resume_is_byte_identical() {
     let dir = scratch("multishard");
     let interrupted = StreamOptions {
         shards: 4,
-        checkpoint_dir: Some(dir.clone()),
+        checkpoint_dir: Some(dir.to_path_buf()),
         interrupt_after_batches: Some(1),
         ..StreamOptions::new(BATCH_SIZE)
     };
@@ -136,9 +136,9 @@ fn multi_shard_resume_is_byte_identical() {
 
 /// Leaves an interrupted run's checkpoint in `dir` and returns its
 /// resume options.
-fn interrupted_checkpoint(dir: &PathBuf) -> StreamOptions {
+fn interrupted_checkpoint(dir: &Path) -> StreamOptions {
     let opts = StreamOptions {
-        checkpoint_dir: Some(dir.clone()),
+        checkpoint_dir: Some(dir.to_path_buf()),
         interrupt_after_batches: Some(1),
         ..StreamOptions::new(BATCH_SIZE)
     };
@@ -146,7 +146,7 @@ fn interrupted_checkpoint(dir: &PathBuf) -> StreamOptions {
         StreamOutcome::Interrupted { .. } => {}
         StreamOutcome::Complete(_) => panic!("interrupt did not fire"),
     }
-    StreamOptions { checkpoint_dir: Some(dir.clone()), ..StreamOptions::new(BATCH_SIZE) }
+    StreamOptions { checkpoint_dir: Some(dir.to_path_buf()), ..StreamOptions::new(BATCH_SIZE) }
 }
 
 /// A truncated checkpoint (torn write with no temp-file rename, disk
